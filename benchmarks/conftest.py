@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to the ``tiny`` experiment scale so the whole suite
+finishes in minutes; set ``REPRO_BENCH_SCALE=small`` (or ``medium``) to
+time the larger configurations the EXPERIMENTS.md report uses.
+
+Every benchmark stores its paper-comparable quantities (times, speedups,
+work expansion, crossovers) in ``benchmark.extra_info`` so the JSON
+output doubles as a machine-readable reproduction record.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.config import SCALES
+from repro.harness.runner import ExperimentRunner
+
+
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower()
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def runner(scale):
+    """One shared runner: experiments cache across benchmarks, so each
+    (bench, input, sorted) triple is simulated once per session."""
+    return ExperimentRunner(scale=scale)
+
+
+ALL_PAIRS = [
+    (bench, input_name)
+    for bench, inputs in (
+        ("bh", ("plummer", "random")),
+        ("pc", ("covtype", "mnist", "random", "geocity")),
+        ("knn", ("covtype", "mnist", "random", "geocity")),
+        ("nn", ("covtype", "mnist", "random", "geocity")),
+        ("vp", ("covtype", "mnist", "random", "geocity")),
+    )
+    for input_name in inputs
+]

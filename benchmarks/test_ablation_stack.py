@@ -1,0 +1,84 @@
+"""Ablation: rope-stack storage layout (Section 5.2).
+
+The paper lays per-thread stacks out *interleaved* in global memory for
+coalescing and moves per-warp lockstep stacks into shared memory for
+shallow trees. This ablation times all the layout choices on Point
+Correlation and checks the design rationale quantitatively:
+
+* interleaved-global beats contiguous-global for per-thread stacks
+  (same work, fewer transactions);
+* a shared-memory per-warp stack eliminates the lockstep stack's global
+  traffic entirely.
+"""
+
+import pytest
+
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.stack import RopeStackLayout
+
+LAYOUTS_N = [RopeStackLayout.INTERLEAVED_GLOBAL, RopeStackLayout.CONTIGUOUS_GLOBAL]
+LAYOUTS_L = [RopeStackLayout.SHARED, RopeStackLayout.INTERLEAVED_GLOBAL]
+
+
+def _launch(app, kernel, layout):
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+        stack_layout=layout,
+    )
+
+
+@pytest.mark.parametrize("layout", LAYOUTS_N, ids=lambda l: l.value)
+def test_nonlockstep_stack_layout(benchmark, runner, layout):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    res = benchmark.pedantic(
+        lambda: AutoropesExecutor(_launch(app, compiled.autoropes, layout)).run(),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["transactions"] = res.stats.global_transactions
+
+
+@pytest.mark.parametrize("layout", LAYOUTS_L, ids=lambda l: l.value)
+def test_lockstep_stack_layout(benchmark, runner, layout):
+    app, compiled = runner.app_for("pc", "covtype", True)
+    res = benchmark.pedantic(
+        lambda: LockstepExecutor(_launch(app, compiled.lockstep, layout)).run(),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["shared_accesses"] = res.stats.shared_accesses
+    benchmark.extra_info["occupancy"] = round(res.occupancy, 3)
+
+
+def test_layout_rationale(runner):
+    """The quantitative claims behind the paper's layout choices."""
+    app, compiled = runner.app_for("pc", "covtype", True)
+
+    inter = AutoropesExecutor(
+        _launch(app, compiled.autoropes, RopeStackLayout.INTERLEAVED_GLOBAL)
+    ).run()
+    contig = AutoropesExecutor(
+        _launch(app, compiled.autoropes, RopeStackLayout.CONTIGUOUS_GLOBAL)
+    ).run()
+    assert inter.stats.global_transactions <= contig.stats.global_transactions
+    assert inter.time_ms <= contig.time_ms * 1.001
+
+    shared = LockstepExecutor(
+        _launch(app, compiled.lockstep, RopeStackLayout.SHARED)
+    ).run()
+    glob = LockstepExecutor(
+        _launch(app, compiled.lockstep, RopeStackLayout.INTERLEAVED_GLOBAL)
+    ).run()
+    assert shared.stats.global_transactions < glob.stats.global_transactions
+    assert shared.stats.shared_accesses > 0

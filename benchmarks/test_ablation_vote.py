@@ -1,0 +1,100 @@
+"""Ablation: dynamic single-call-set vote vs a statically pinned order
+(Section 4.3).
+
+The paper's transformation makes a *dynamic* choice — each warp votes
+per node — and argues this "is more efficient than statically choosing
+a single call-set for the entire traversal". The ablation pins kNN's
+call order to left-first for every warp (a constant, point-independent
+selector) and compares against the majority vote.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ir import CondRef, If, Seq, Stmt, TraversalSpec
+from repro.core.pipeline import TransformPipeline
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import LockstepExecutor, TraversalLaunch
+
+PINNED_COND = "closer_to_left"
+
+
+def _pin_condition(stmt: Stmt) -> Stmt:
+    if isinstance(stmt, Seq):
+        return Seq(*[_pin_condition(s) for s in stmt.stmts])
+    if isinstance(stmt, If):
+        cond = stmt.cond
+        if cond.name == PINNED_COND:
+            cond = CondRef(
+                "__always_left", point_dependent=False, reads=cond.reads,
+                cost=cond.cost,
+            )
+        return If(
+            cond=cond,
+            then=_pin_condition(stmt.then),
+            orelse=None if stmt.orelse is None else _pin_condition(stmt.orelse),
+        )
+    return stmt
+
+
+def pinned_variant(app) -> TraversalSpec:
+    conditions = dict(app.spec.conditions)
+    conditions["__always_left"] = lambda ctx, node, pt, args: np.ones(
+        len(node), dtype=bool
+    )
+    return TraversalSpec(
+        name=app.spec.name + "_pinned",
+        body=_pin_condition(app.spec.body),
+        args=app.spec.args,
+        conditions=conditions,
+        updates=app.spec.updates,
+        arg_rules=app.spec.arg_rules,
+        annotations=app.spec.annotations,
+        child_field_group=app.spec.child_field_group,
+    )
+
+
+def _run(app, kernel):
+    launch = TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+    )
+    res = LockstepExecutor(launch).run()
+    return res, launch.ctx
+
+
+@pytest.mark.parametrize("variant", ["majority_vote", "pinned_left"])
+def test_callset_choice(benchmark, runner, variant):
+    app, compiled = runner.app_for("knn", "covtype", True)
+    if variant == "majority_vote":
+        kernel = compiled.lockstep
+    else:
+        kernel = TransformPipeline().compile(pinned_variant(app)).lockstep
+    res, _ = benchmark.pedantic(lambda: _run(app, kernel), rounds=1, iterations=1)
+    benchmark.extra_info["model_time_ms"] = round(res.time_ms, 4)
+    benchmark.extra_info["avg_nodes_per_point"] = round(res.avg_nodes_per_point, 1)
+    benchmark.extra_info["work_expansion"] = round(
+        float(res.work_expansion_per_warp().mean()), 3
+    )
+
+
+def test_vote_beats_pinned(runner):
+    """The dynamic vote prunes earlier, so it visits no more nodes than
+    the pinned order — while both return exact k-NN results."""
+    app, compiled = runner.app_for("knn", "covtype", True)
+    want = app.brute_force()
+
+    vote_res, vote_ctx = _run(app, compiled.lockstep)
+    app.check(vote_ctx.out, want)
+
+    pinned = TransformPipeline().compile(pinned_variant(app))
+    assert pinned.lockstep.vote_conditions == frozenset()  # nothing to vote on
+    pin_res, pin_ctx = _run(app, pinned.lockstep)
+    app.check(pin_ctx.out, want)
+
+    assert vote_res.stats.warp_node_visits <= pin_res.stats.warp_node_visits

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figures 10 and 11 (CPU vs GPU thread sweeps).
+
+One target per benchmark (all its inputs, both traversal types): the
+measured series — ``T_gpu / T_cpu(threads)`` for threads 1..32 — lands
+in ``extra_info``, including the CPU/GPU crossover thread count per
+curve (the quantity the paper's figures are read for).
+"""
+
+import pytest
+
+from repro.harness.config import BENCHMARKS, CPU_THREAD_SWEEP
+from repro.harness.figures import figure_series
+
+
+@pytest.mark.parametrize("sorted_points", [True, False], ids=["fig10", "fig11"])
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS))
+def test_figure_panel(benchmark, runner, bench, sorted_points):
+    series = benchmark.pedantic(
+        figure_series,
+        args=(runner, sorted_points),
+        kwargs={"benches": [bench]},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 2 * len(BENCHMARKS[bench])  # L and N per input
+    for s in series:
+        assert len(s.cpu_over_gpu) == len(CPU_THREAD_SWEEP)
+        key = f"{s.input_name}.{s.traversal_type}"
+        benchmark.extra_info[f"{key}.final_ratio"] = round(s.cpu_over_gpu[-1], 4)
+        benchmark.extra_info[f"{key}.crossover"] = s.crossover_threads or 0
+        # CPU relative performance cannot shrink with more threads.
+        assert s.cpu_over_gpu[-1] >= s.cpu_over_gpu[0] * 0.999

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Table 1 (performance summary).
+
+One benchmark target per benchmark/input pair; each run performs the
+full Table-1 measurement for that pair — the four GPU variants (autoropes
+lockstep / non-lockstep, recursive masked / unmasked) on sorted and
+unsorted inputs plus the CPU thread sweep — and records the paper's
+columns in ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.conftest import ALL_PAIRS
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.mark.parametrize("bench,input_name", ALL_PAIRS)
+def test_table1_row(benchmark, scale, bench, input_name):
+    def measure():
+        # fresh runner: benchmark the full measurement, not the cache.
+        r = ExperimentRunner(scale=scale)
+        return (
+            r.run(bench, input_name, sorted_points=True),
+            r.run(bench, input_name, sorted_points=False),
+        )
+
+    s, u = benchmark.pedantic(measure, rounds=1, iterations=1)
+    info = {}
+    for tag, res in (("sorted", s), ("unsorted", u)):
+        for ttype, lockstep in (("L", True), ("N", False)):
+            v = res.variant(lockstep)
+            if v is None:
+                continue
+            info[f"{tag}.{ttype}.time_ms"] = round(v.time_ms, 4)
+            info[f"{tag}.{ttype}.avg_nodes"] = round(v.avg_nodes, 1)
+            info[f"{tag}.{ttype}.speedup_vs1"] = round(
+                res.speedup_vs_cpu(lockstep, 1), 2
+            )
+            info[f"{tag}.{ttype}.speedup_vs32"] = round(
+                res.speedup_vs_cpu(lockstep, 32), 2
+            )
+            info[f"{tag}.{ttype}.improv_vs_recurse_pct"] = round(
+                res.improvement_vs_recursive(lockstep), 1
+            )
+    benchmark.extra_info.update(info)
+
+    # Table 1's headline shape: lockstep visits at least as many nodes
+    # per point as non-lockstep, and some autoropes variant beats the
+    # matching recursive baseline.
+    assert s.lockstep.avg_nodes >= s.nonlockstep.avg_nodes * 0.999
+    assert (
+        s.improvement_vs_recursive(True) > 0
+        or s.improvement_vs_recursive(False) > 0
+        or u.improvement_vs_recursive(True) > 0
+        or u.improvement_vs_recursive(False) > 0
+    )

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Table 2 (work expansion of lockstep warps).
+
+Times the lockstep launch per pair and records mean (std) work
+expansion for sorted and unsorted inputs, Table 2's cells.
+"""
+
+import pytest
+
+from benchmarks.conftest import ALL_PAIRS
+from repro.gpusim.executors import LockstepExecutor, TraversalLaunch
+from repro.gpusim.device import TESLA_C2070
+
+
+@pytest.mark.parametrize("bench,input_name", ALL_PAIRS)
+def test_table2_work_expansion(benchmark, runner, bench, input_name):
+    app_s, compiled_s = runner.app_for(bench, input_name, True)
+    app_u, compiled_u = runner.app_for(bench, input_name, False)
+
+    def lockstep_run(app, compiled):
+        launch = TraversalLaunch(
+            kernel=compiled.lockstep,
+            tree=app.tree,
+            ctx=app.make_ctx(),
+            n_points=app.n_points,
+            device=TESLA_C2070,
+        )
+        return LockstepExecutor(launch).run()
+
+    res_s = benchmark.pedantic(
+        lockstep_run, args=(app_s, compiled_s), rounds=1, iterations=1
+    )
+    res_u = lockstep_run(app_u, compiled_u)
+
+    w_s = res_s.work_expansion_per_warp()
+    w_u = res_u.work_expansion_per_warp()
+    benchmark.extra_info.update(
+        {
+            "sorted.mean": round(float(w_s.mean()), 3),
+            "sorted.std": round(float(w_s.std()), 3),
+            "unsorted.mean": round(float(w_u.mean()), 3),
+            "unsorted.std": round(float(w_u.std()), 3),
+        }
+    )
+    # Section 6.3's definition guarantees expansion >= 1.
+    assert (w_s >= 1.0 - 1e-9).all()
+    assert (w_u >= 1.0 - 1e-9).all()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Barnes-Hut n-body demo: a short simulation on the simulated GPU.
+
+Reproduces the paper's flagship workload end to end: sample a Plummer
+sphere, and for a few leapfrog timesteps (the paper runs its inputs for
+five) rebuild the oct-tree, sort the bodies along a Morton curve
+(Section 4.4), run the force traversal with the lockstep kernel and a
+per-warp shared-memory rope stack (Section 5.2), and integrate.
+
+Also validates the traversal forces against the exact O(n^2) sum and
+shows how the opening angle theta trades accuracy for node visits.
+
+Run: ``python examples/barneshut_demo.py``
+"""
+
+import numpy as np
+
+from repro.apps.barneshut import build_barneshut_app, exact_forces
+from repro.core.pipeline import TransformPipeline
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import LockstepExecutor, TraversalLaunch
+from repro.gpusim.stack import RopeStackLayout
+from repro.points.datasets import BodySet, plummer_bodies
+from repro.points.sorting import morton_order
+
+DT = 0.05
+STEPS = 5
+
+
+def forces(bodies: BodySet, theta: float):
+    """One traversal pass: returns accelerations (original body order)
+    and the launch result."""
+    order = morton_order(bodies.pos)
+    app = build_barneshut_app(bodies, order, theta=theta, leaf_size=4)
+    compiled = TransformPipeline().compile(app.spec)
+    ctx = app.make_ctx()
+    launch = TraversalLaunch(
+        kernel=compiled.lockstep,
+        tree=app.tree,
+        ctx=ctx,
+        n_points=app.n_points,
+        device=TESLA_C2070,
+        stack_layout=RopeStackLayout.SHARED,
+    )
+    res = LockstepExecutor(launch).run()
+    acc = np.empty_like(ctx.out["acc"])
+    acc[order] = ctx.out["acc"]  # back to original body order
+    return acc, res, app
+
+
+def main() -> None:
+    bodies = plummer_bodies(n=2048, seed=11)
+    theta = 0.5
+
+    print("== accuracy vs theta (one timestep) ==")
+    for th in (0.2, 0.5, 1.0):
+        acc, res, app = forces(bodies, th)
+        exact = exact_forces(app.queries, bodies.pos, bodies.mass, app.params["eps_sq"])
+        exact_orig = np.empty_like(exact["acc"])
+        exact_orig[app.queries.orig_ids] = exact["acc"]
+        rel = np.linalg.norm(acc - exact_orig, axis=1) / np.maximum(
+            np.linalg.norm(exact_orig, axis=1), 1e-12
+        )
+        print(
+            f"  theta={th:3.1f}: median rel err {np.median(rel):.2e}, "
+            f"avg nodes/body {res.avg_nodes_per_point:6.0f}, "
+            f"traversal {res.time_ms:7.3f} model-ms"
+        )
+
+    print(f"\n== {STEPS}-step leapfrog simulation (theta={theta}) ==")
+    pos, vel = bodies.pos.copy(), bodies.vel.copy()
+    for step in range(STEPS):
+        current = BodySet(name="plummer", pos=pos, vel=vel, mass=bodies.mass)
+        acc, res, _ = forces(current, theta)
+        vel = vel + DT * acc
+        pos = pos + DT * vel
+        com = (pos * bodies.mass[:, None]).sum(axis=0) / bodies.mass.sum()
+        ke = 0.5 * (bodies.mass * (vel**2).sum(axis=1)).sum()
+        print(
+            f"  step {step + 1}: traversal {res.time_ms:7.3f} model-ms, "
+            f"warp work expansion {res.work_expansion_per_warp().mean():.2f}, "
+            f"|COM| {np.linalg.norm(com):.3e}, KE {ke:.4f}"
+        )
+    print("\nCenter of mass stays pinned (momentum conservation) and the")
+    print("work expansion stays low: Morton-sorted bodies give each warp")
+    print("nearly identical traversals, exactly the Section 4.4 effect.")
+
+
+if __name__ == "__main__":
+    main()

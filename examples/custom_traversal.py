@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Bring-your-own traversal: the pseudo-tail normalization in action.
+
+The paper's transformations are not tied to the five benchmarks — any
+repeated recursive tree traversal qualifies. This example defines a new
+one from scratch: **range-sum queries over a balanced BST**, written in
+the natural *in-order* style::
+
+    void recurse(node n, query q) {
+        if (disjoint(n, q)) return;   // subtree outside [lo, hi]
+        recurse(n.left, q);
+        add_if_inside(n, q);          // <- between the recursive calls!
+        recurse(n.right, q);
+    }
+
+That update between the two recursive calls makes the function *not*
+pseudo-tail-recursive, so autoropes cannot apply directly (Section
+3.2). The pipeline's normalization pushes the in-order update down into
+the right child's invocation (carrying the parent node on the rope
+stack via synthetic arguments) and only then applies autoropes — the
+construction sketched in the paper's tech report.
+
+Run: ``python examples/custom_traversal.py``
+"""
+
+import numpy as np
+
+from repro.apps.base import QuerySet
+from repro.core.codegen import render_iterative, render_recursive
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    EvalContext,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.core.pipeline import TransformPipeline
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import AutoropesExecutor, TraversalLaunch
+from repro.trees.node import FieldGroup, RawTree
+from repro.trees.linearize import linearize_left_biased
+
+
+def build_bst(keys: np.ndarray, values: np.ndarray) -> RawTree:
+    """Balanced BST over sorted keys, with subtree [min, max] ranges."""
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    n = len(keys)
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    key = np.zeros(n)
+    value = np.zeros(n)
+    lo_arr, hi_arr = np.zeros(n), np.zeros(n)
+    counter = [0]
+
+    def build(lo: int, hi: int) -> int:
+        node = counter[0]
+        counter[0] += 1
+        mid = (lo + hi) // 2
+        key[node], value[node] = keys[mid], values[mid]
+        lo_arr[node], hi_arr[node] = keys[lo], keys[hi - 1]
+        if lo < mid:
+            left[node] = build(lo, mid)
+        if mid + 1 < hi:
+            right[node] = build(mid + 1, hi)
+        return node
+
+    build(0, n)
+    return RawTree(
+        child_names=("left", "right"),
+        children={"left": left, "right": right},
+        arrays={"key": key, "value": value, "lo": lo_arr, "hi": hi_arr},
+        groups=(FieldGroup("hot", 16), FieldGroup("cold", 8)),
+    ).validate()
+
+
+def disjoint(ctx, node, pt, args):
+    q = ctx.points.coords[pt]
+    return (ctx.tree.arrays["hi"][node] < q[:, 0]) | (
+        ctx.tree.arrays["lo"][node] > q[:, 1]
+    )
+
+
+def add_if_inside(ctx, node, pt, args):
+    q = ctx.points.coords[pt]
+    k = ctx.tree.arrays["key"][node]
+    inside = (k >= q[:, 0]) & (k <= q[:, 1])
+    np.add.at(ctx.out["sum"], pt, np.where(inside, ctx.tree.arrays["value"][node], 0.0))
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n = 1023
+    keys = rng.uniform(0, 100, n)
+    values = rng.uniform(0, 1, n)
+    tree = linearize_left_biased(build_bst(keys, values))
+
+    n_q = 512
+    lo = rng.uniform(0, 90, n_q)
+    queries = QuerySet(
+        coords=np.stack([lo, lo + rng.uniform(1, 10, n_q)], axis=1),
+        orig_ids=np.arange(n_q),
+    )
+
+    spec = TraversalSpec(
+        name="range_sum",
+        body=Seq(
+            If(CondRef("disjoint", reads=("hot",)), Return()),
+            Recurse(ChildRef("left")),
+            Update(UpdateRef("add_if_inside", reads=("hot",))),
+            Recurse(ChildRef("right")),
+        ),
+        conditions={"disjoint": disjoint},
+        updates={"add_if_inside": add_if_inside},
+    )
+    print("== the in-order source (not pseudo-tail-recursive) ==")
+    print(render_recursive(spec))
+
+    compiled = TransformPipeline().compile(spec)
+    print("\n== transformation log ==")
+    for line in compiled.log:
+        print("  *", line)
+    print("\n== normalized + autoropes form ==")
+    print(render_iterative(compiled.autoropes))
+
+    ctx = EvalContext(
+        tree=tree, points=queries, out={"sum": np.zeros(n_q)}, params={}
+    )
+    launch = TraversalLaunch(
+        kernel=compiled.autoropes, tree=tree, ctx=ctx,
+        n_points=n_q, device=TESLA_C2070,
+    )
+    res = AutoropesExecutor(launch).run()
+
+    # Oracles: brute force and the scalar recursive interpreter.
+    inside = (keys[None, :] >= queries.coords[:, :1]) & (
+        keys[None, :] <= queries.coords[:, 1:]
+    )
+    brute = (inside * values[None, :]).sum(axis=1)
+    np.testing.assert_allclose(ctx.out["sum"], brute, rtol=1e-9)
+
+    ctx2 = EvalContext(tree=tree, points=queries, out={"sum": np.zeros(n_q)}, params={})
+    interp = RecursiveInterpreter(compiled.normalized, tree, ctx2)
+    for p in range(0, n_q, 64):
+        interp.run_point(p)
+    np.testing.assert_allclose(
+        ctx2.out["sum"][::64], brute[::64], rtol=1e-9
+    )
+
+    print(f"\nall {n_q} range sums match brute force exactly;")
+    print(f"traversal took {res.time_ms:.3f} model-ms, "
+          f"avg {res.avg_nodes_per_point:.0f} nodes/query.")
+    print("\nThe in-order update ran at the right moment for every query —")
+    print("after the left subtree, before the right — even though the")
+    print("iterative kernel never returns to a parent node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Looking inside a traversal: divergence traces and rope mechanisms.
+
+Section 4 of the paper is an argument about *dynamics* — threads drift
+apart in the tree, masks thin out, coalescing decays. This example uses
+the simulator's per-step traces to watch it happen on point correlation
+over the clustered geocity input, and lines up three rope mechanisms:
+
+* non-lockstep autoropes (per-thread stacks),
+* statically preinstalled ropes (the hand-coded, stackless baseline
+  that autoropes generalizes),
+* lockstep autoropes (per-warp stack + masks).
+
+Run: ``python examples/divergence_profile.py``
+"""
+
+import numpy as np
+
+from repro.core.pipeline import TransformPipeline
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    StaticRopesExecutor,
+    TraversalLaunch,
+)
+from repro.points.datasets import geocity_like
+from repro.points.sorting import morton_order, shuffled_order
+
+
+def run(app, compiled, executor, lockstep=False):
+    launch = TraversalLaunch(
+        kernel=compiled.lockstep if lockstep else compiled.autoropes,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+        trace=True,
+    )
+    res = executor(launch).run()
+    app.check(launch.ctx.out, app.brute_force())
+    return res
+
+
+def sparkline(values, width=48):
+    blocks = " .:-=+*#%@"
+    v = np.asarray(values, dtype=float)
+    if len(v) > width:  # resample
+        idx = np.linspace(0, len(v) - 1, width).astype(int)
+        v = v[idx]
+    hi = v.max() if v.max() > 0 else 1.0
+    return "".join(blocks[min(int(x / hi * (len(blocks) - 1)), 9)] for x in v)
+
+
+def main() -> None:
+    ds = geocity_like(n=2048, seed=33)
+    pipeline = TransformPipeline()
+
+    for label, order in [
+        ("sorted  ", morton_order(ds.points)),
+        ("unsorted", shuffled_order(ds.n, seed=3)),
+    ]:
+        app = build_pointcorr_app(ds.points, order, radius=0.01, leaf_size=4)
+        compiled = pipeline.compile(app.spec)
+
+        auto = run(app, compiled, AutoropesExecutor)
+        ropes = run(app, compiled, StaticRopesExecutor)
+        lock = run(app, compiled, LockstepExecutor, lockstep=True)
+
+        print(f"==== geocity PC, {label} points ====")
+        for name, res in (
+            ("autoropes (per-thread)", auto),
+            ("static ropes (stackless)", ropes),
+            ("lockstep (per-warp)", lock),
+        ):
+            tr = res.trace
+            util = tr.lane_utilization(TESLA_C2070.warp_size)
+            print(
+                f"  {name:<26} {res.time_ms:7.3f} ms | steps {len(tr):4d} "
+                f"| tail {tr.tail_fraction():4.0%} "
+                f"| stack ops {res.stats.stack_ops:8d}"
+            )
+            print(f"      active warps  {sparkline(tr.active_warps)}")
+            print(f"      lane util     {sparkline(util)}")
+        print()
+
+    print("Reading the sparklines: sorted points keep lane utilization")
+    print("high for the whole (short) run; shuffled points leave a long,")
+    print("thin tail of active warps — the load imbalance that makes the")
+    print("clustered Geocity input the paper's consistent outlier. The")
+    print("stackless static-ropes walk matches autoropes step for step")
+    print("but does zero stack operations: that difference is the")
+    print("'price of generality' autoropes pays, and lockstep buys it")
+    print("back with coalesced loads.")
+
+
+if __name__ == "__main__":
+    main()

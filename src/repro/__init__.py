@@ -1,0 +1,34 @@
+"""repro: a reproduction of *General Transformations for GPU Execution
+of Tree Traversals* (Goldfarb, Jo & Kulkarni, SC '13).
+
+The package implements the paper's semantics-agnostic transformations —
+**autoropes** (recursive traversals to iterative rope-stack traversals)
+and **lockstep traversal** (warp-synchronous traversal with mask
+bit-vectors and call-set majority voting) — over a small traversal IR,
+and evaluates them on a deterministic SIMT GPU simulator against a
+modeled multicore CPU baseline, reproducing the shape of the paper's
+Table 1, Table 2 and Figures 10/11.
+
+Layout
+------
+* :mod:`repro.core` — the transformations (the paper's contribution).
+* :mod:`repro.gpusim` — the simulated GPU substrate and executors.
+* :mod:`repro.cpusim` — the CPU baseline substrate.
+* :mod:`repro.trees` — oct-tree / kd-tree / VP-tree builders + layout.
+* :mod:`repro.points` — input generators and point sorting.
+* :mod:`repro.apps` — the five benchmarks with brute-force oracles.
+* :mod:`repro.harness` — experiment drivers for every table & figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import TransformPipeline, CompiledTraversal
+from repro.core.ir import TraversalSpec, EvalContext
+
+__all__ = [
+    "__version__",
+    "TransformPipeline",
+    "CompiledTraversal",
+    "TraversalSpec",
+    "EvalContext",
+]

@@ -1,0 +1,34 @@
+"""The paper's five benchmarks (Section 6.1.2), expressed as traversal
+specs over the tree substrates:
+
+* :mod:`repro.apps.barneshut` — Barnes-Hut n-body force computation
+  (oct-tree, unguided).
+* :mod:`repro.apps.pointcorr` — two-point correlation counting
+  (leaf-bucket kd-tree, unguided).
+* :mod:`repro.apps.knn` — k-nearest-neighbor search (leaf-bucket
+  kd-tree, guided, two call sets, annotated equivalent).
+* :mod:`repro.apps.nn` — nearest-neighbor search over an
+  internal-point kd-tree (guided, two call sets, annotated).
+* :mod:`repro.apps.vptree_nn` — nearest-neighbor search over a
+  vantage-point tree (guided, two call sets, annotated).
+
+Every app ships a brute-force oracle used by the tests to validate all
+executor variants.
+"""
+
+from repro.apps.base import QuerySet, TraversalApp
+from repro.apps.barneshut import build_barneshut_app
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.apps.knn import build_knn_app
+from repro.apps.nn import build_nn_app
+from repro.apps.vptree_nn import build_vptree_app
+
+__all__ = [
+    "QuerySet",
+    "TraversalApp",
+    "build_barneshut_app",
+    "build_pointcorr_app",
+    "build_knn_app",
+    "build_nn_app",
+    "build_vptree_app",
+]

@@ -1,0 +1,214 @@
+"""Barnes-Hut (BH): n-body gravitational force computation.
+
+Each body traverses the oct-tree; a cell far enough away (squared
+distance to its center of mass at least ``dsq``, the traversal-variant
+argument quartered per level, Fig. 9) — or a leaf — contributes a force
+term and truncates; otherwise the traversal descends into all eight
+children in canonical order. **Unguided**: one call set of eight calls.
+
+The oracle is an independent, straight-line implementation of the same
+algorithm (so results must agree to summation order), plus a physics
+helper comparing against the exact O(n^2) sum within the opening-angle
+error budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import QuerySet, TraversalApp
+from repro.core.ir import (
+    ArgDecl,
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.points.datasets import BodySet
+from repro.trees.linearize import LinearTree, linearize_left_biased
+from repro.trees.octree import LEAF, build_octree
+
+_CHILDREN = tuple(f"c{i}" for i in range(8))
+
+
+def _approximate(ctx, node, pt, args):
+    """Fig. 9a's condition, inverted to guard the truncating arm:
+    far enough for the COM approximation, or a leaf."""
+    tree, q = ctx.tree, ctx.points
+    com = tree.arrays["com"][node]
+    p = q.coords[pt]
+    d_sq = ((p - com) ** 2).sum(axis=1)
+    far = d_sq >= args["dsq"]
+    return far | (tree.arrays["type"][node] == LEAF)
+
+
+def _quarter_dsq(ctx, node, pt, args):
+    return args["dsq"] * 0.25
+
+
+def _make_add_force(
+    body_coords: np.ndarray, body_mass: np.ndarray, body_ids: np.ndarray, leaf_size: int
+):
+    def add_force(ctx, node, pt, args):
+        tree, q = ctx.tree, ctx.points
+        eps_sq = ctx.params["eps_sq"]
+        p = q.coords[pt]
+        mine = q.orig_ids[pt]
+        acc = np.zeros((len(node), 3))
+        is_leaf = tree.arrays["type"][node] == LEAF
+        # Interior (far-enough) cells: one COM term.
+        com = tree.arrays["com"][node]
+        m = tree.arrays["mass"][node]
+        dr = com - p
+        d_sq = (dr * dr).sum(axis=1) + eps_sq
+        inv = m / (d_sq * np.sqrt(d_sq))
+        acc += np.where(is_leaf[:, None], 0.0, dr * inv[:, None])
+        # Leaves: exact per-body terms, excluding self-interaction.
+        start = tree.arrays["body_start"][node]
+        count = tree.arrays["body_count"][node]
+        for slot in range(leaf_size):
+            valid = is_leaf & (slot < count)
+            cand = np.minimum(start + slot, len(body_coords) - 1)
+            dr = body_coords[cand] - p
+            d_sq = (dr * dr).sum(axis=1) + eps_sq
+            inv = body_mass[cand] / (d_sq * np.sqrt(d_sq))
+            use = valid & (body_ids[cand] != mine)
+            acc += np.where(use[:, None], dr * inv[:, None], 0.0)
+        np.add.at(ctx.out["acc"], pt, acc)
+
+    return add_force
+
+
+def barneshut_oracle(
+    tree: LinearTree,
+    queries: QuerySet,
+    dsq0: float,
+    eps_sq: float,
+    body_coords: np.ndarray,
+    body_mass: np.ndarray,
+    body_ids: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Independent per-point stack walker for the same BH algorithm."""
+    com = tree.arrays["com"]
+    mass = tree.arrays["mass"]
+    ntype = tree.arrays["type"]
+    start = tree.arrays["body_start"]
+    count = tree.arrays["body_count"]
+    kids = [tree.children[c] for c in _CHILDREN]
+    acc = np.zeros((queries.n, 3))
+    for i in range(queries.n):
+        p = queries.coords[i]
+        mine = queries.orig_ids[i]
+        stack = [(tree.root, dsq0)]
+        while stack:
+            node, dsq = stack.pop()
+            dr = com[node] - p
+            d_sq = float((dr * dr).sum())
+            if d_sq >= dsq or ntype[node] == LEAF:
+                if ntype[node] == LEAF:
+                    for s in range(int(count[node])):
+                        b = int(start[node]) + s
+                        if body_ids[b] == mine:
+                            continue
+                        drb = body_coords[b] - p
+                        db = float((drb * drb).sum()) + eps_sq
+                        acc[i] += body_mass[b] * drb / (db * np.sqrt(db))
+                else:
+                    db = d_sq + eps_sq
+                    acc[i] += mass[node] * dr / (db * np.sqrt(db))
+            else:
+                for kid in reversed(kids):
+                    c = kid[node]
+                    if c >= 0:
+                        stack.append((int(c), dsq * 0.25))
+    return {"acc": acc}
+
+
+def exact_forces(queries: QuerySet, pos: np.ndarray, mass: np.ndarray, eps_sq: float):
+    """O(n^2) direct sum (for physics sanity checks)."""
+    acc = np.zeros((queries.n, 3))
+    for i in range(queries.n):
+        dr = pos - queries.coords[i]
+        d_sq = (dr * dr).sum(axis=1) + eps_sq
+        w = mass / (d_sq * np.sqrt(d_sq))
+        w[queries.orig_ids[i]] = 0.0
+        acc[i] = (dr * w[:, None]).sum(axis=0)
+    return {"acc": acc}
+
+
+def build_barneshut_app(
+    bodies: BodySet,
+    order: np.ndarray,
+    theta: float = 0.5,
+    eps: float = 0.05,
+    leaf_size: int = 1,
+    name: str = "bh",
+) -> TraversalApp:
+    """Assemble the BH benchmark: oct-tree over all bodies, each body
+    traversing in ``order``."""
+    build = build_octree(bodies.pos, bodies.mass, leaf_size=leaf_size)
+    tree = linearize_left_biased(build.tree)
+    body_coords = np.ascontiguousarray(bodies.pos[build.body_order])
+    body_mass = bodies.mass[build.body_order].copy()
+    body_ids = build.body_order.copy()
+    queries = QuerySet.from_order(bodies.pos, order)
+    dsq0 = (build.root_diameter / theta) ** 2
+
+    body = Seq(
+        If(
+            CondRef("approximate", reads=("hot",), cost=8.0),
+            Seq(
+                Update(UpdateRef("add_force", reads=("leafdata",), cost=16.0)),
+                Return(),
+            ),
+            Seq(*[Recurse(ChildRef(c)) for c in _CHILDREN]),
+        )
+    )
+    spec = TraversalSpec(
+        name=name,
+        body=body,
+        args=(ArgDecl("dsq", dsq0, update="quarter_dsq"),),
+        conditions={"approximate": _approximate},
+        updates={"add_force": _make_add_force(body_coords, body_mass, body_ids, leaf_size)},
+        arg_rules={"quarter_dsq": _quarter_dsq},
+    )
+
+    params = {"eps_sq": float(eps) ** 2, "theta": float(theta)}
+    n = len(order)
+
+    def make_out() -> Dict[str, np.ndarray]:
+        return {"acc": np.zeros((n, 3), dtype=np.float64)}
+
+    def brute_force() -> Dict[str, np.ndarray]:
+        return barneshut_oracle(
+            tree, queries, dsq0, params["eps_sq"], body_coords, body_mass, body_ids
+        )
+
+    def check(got: Dict[str, np.ndarray], want: Dict[str, np.ndarray]) -> None:
+        np.testing.assert_allclose(got["acc"], want["acc"], rtol=1e-9, atol=1e-12)
+
+    return TraversalApp(
+        name=name,
+        spec=spec,
+        tree=tree,
+        queries=queries,
+        make_out=make_out,
+        params=params,
+        brute_force=brute_force,
+        check=check,
+        expect_guided=False,
+        visit_cost_scale=1.6,
+        extras={
+            "body_coords": body_coords,
+            "body_mass": body_mass,
+            "body_ids": body_ids,
+            "dsq0": np.array([dsq0]),
+        },
+    )

@@ -1,0 +1,107 @@
+"""Common application scaffolding.
+
+A :class:`TraversalApp` is what the experiment harness consumes: a
+traversal spec, the linearized tree it runs over, a factory for fresh
+evaluation contexts (so independent launches never share result
+arrays), and a brute-force oracle. Query points carry their original
+dataset ids (:class:`QuerySet`) so that point sorting — which permutes
+the query order but not the tree — keeps self-exclusion and result
+comparison straight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.ir import EvalContext, TraversalSpec
+from repro.trees.linearize import LinearTree
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """The traversing points, in launch order.
+
+    ``coords[i]`` is the i-th query's coordinates; ``orig_ids[i]`` its
+    index in the original dataset (used for self-exclusion and for
+    comparing results across different point orders).
+    """
+
+    coords: np.ndarray
+    orig_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.coords) != len(self.orig_ids):
+            raise ValueError("coords and orig_ids must align")
+
+    @property
+    def n(self) -> int:
+        return len(self.coords)
+
+    @classmethod
+    def from_order(cls, data: np.ndarray, order: np.ndarray) -> "QuerySet":
+        return cls(coords=np.ascontiguousarray(data[order]), orig_ids=np.asarray(order))
+
+
+@dataclass
+class TraversalApp:
+    """One benchmark instance: spec + tree + data + oracle."""
+
+    name: str
+    spec: TraversalSpec
+    tree: LinearTree
+    queries: QuerySet
+    #: fresh result arrays for one run, keyed like ``ctx.out``.
+    make_out: Callable[[], Dict[str, np.ndarray]]
+    params: Dict[str, float]
+    #: computes expected results (same keys as ``make_out``), indexed by
+    #: *query row* (launch order).
+    brute_force: Callable[[], Dict[str, np.ndarray]]
+    #: compares a run's out against oracle out; raises AssertionError.
+    check: Callable[[Dict[str, np.ndarray], Dict[str, np.ndarray]], None]
+    #: expected guided/unguided classification (tests assert it).
+    expect_guided: bool
+    #: CPU per-visit instruction weight relative to the default.
+    visit_cost_scale: float = 1.0
+    #: auxiliary per-app data (e.g. bucket-contiguous payload arrays)
+    #: exposed to callbacks through ``ctx.points``/``ctx.tree``.
+    extras: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_points(self) -> int:
+        return self.queries.n
+
+    def make_ctx(self) -> EvalContext:
+        """A fresh evaluation context for one launch."""
+        return EvalContext(
+            tree=self.tree,
+            points=self.queries,
+            out=self.make_out(),
+            params=dict(self.params),
+        )
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between row sets (small inputs)."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def chunked_sq_dists(
+    queries: np.ndarray, data: np.ndarray, chunk: int = 512
+) -> "np.ndarray":
+    """Generator-free chunked distance computation for oracles."""
+    n = len(queries)
+    out = np.empty((n, len(data)), dtype=np.float64)
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        out[lo:hi] = pairwise_sq_dists(queries[lo:hi], data)
+    return out
+
+
+def sq_dist_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise squared distance between aligned (m, d) arrays."""
+    diff = a - b
+    return np.einsum("ij,ij->i", diff, diff)

@@ -1,0 +1,30 @@
+"""Programmer annotations (the only semantic input the paper allows).
+
+The transformations are semantics-agnostic, with one deliberate
+exception (Section 4.3): a programmer may annotate that a guided
+traversal's multiple call sets are *semantically equivalent* — they
+differ only in performance, not in results (e.g. nearest-neighbor
+search finds the neighbor whichever child is explored first). Only with
+that annotation does the lockstep transformation apply its dynamic
+single-call-set majority vote; without it, guided traversals always run
+non-lockstep.
+
+``POINT_LOOP_INDEPENDENT`` mirrors Section 5.1's loop annotation
+asserting there are no inter-point dependencies, which is what licenses
+parallelizing the point loop at all.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Annotation(enum.Enum):
+    """Annotations attachable to a :class:`~repro.core.ir.TraversalSpec`."""
+
+    #: The traversal's call sets produce identical results in any order
+    #: (enables lockstep for guided traversals, Section 4.3).
+    CALLSETS_EQUIVALENT = "callsets_equivalent"
+    #: Iterations of the repeated point loop are independent
+    #: (Section 5.1).
+    POINT_LOOP_INDEPENDENT = "point_loop_independent"

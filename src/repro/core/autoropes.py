@@ -1,0 +1,174 @@
+"""The autoropes transformation (Section 3, Figures 6 and 7).
+
+Autoropes turns a pseudo-tail-recursive traversal into an iterative
+traversal driven by an explicit stack of rope pointers:
+
+* every maximal run of recursive calls becomes a :class:`PushGroup`
+  that pushes the callee children onto the rope stack **in reverse call
+  order** — LIFO popping then visits them in the original order, which
+  is the whole correctness argument (Section 3.3);
+* every ``Return`` becomes a :class:`Continue`, so truncation merely
+  skips to the next stack pop instead of leaving the traversal loop
+  (Fig. 6's ``continue``);
+* traversal-variant arguments ride on the stack next to the rope;
+  traversal-invariant arguments stay in registers (Section 3.2.2).
+
+The result, an :class:`IterativeKernel`, is a *program*, not a run: the
+executors in :mod:`repro.gpusim.executors` interpret it per-thread
+(non-lockstep) or per-warp (lockstep), and
+:mod:`repro.cpusim` interprets the original recursive spec to validate
+that the visit orders match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.callset import CallSetAnalysis, analyze_call_sets
+from repro.core.ir import (
+    If,
+    Recurse,
+    Return,
+    Seq,
+    Stmt,
+    TraversalSpec,
+    Update,
+)
+from repro.core.pseudotail import NotPseudoTailRecursive, tail_duplicate
+
+
+@dataclass(frozen=True)
+class PushGroup(Stmt):
+    """Replaces a maximal run of recursive calls.
+
+    ``calls`` is kept in the *original call order*; executors must push
+    in reverse (``reversed(calls)``) so that pops preserve the
+    recursive visit order — mirroring Fig. 6, where
+    ``recurse(left); recurse(right)`` becomes
+    ``push(right); push(left)``.
+    """
+
+    calls: Tuple[Recurse, ...]
+
+    @property
+    def push_order(self) -> Tuple[Recurse, ...]:
+        return tuple(reversed(self.calls))
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    """Replaces ``Return``: fall through to the next stack pop."""
+
+
+@dataclass(frozen=True)
+class IterativeKernel:
+    """An autoropes-transformed traversal, ready for an executor."""
+
+    spec: TraversalSpec
+    body: Stmt
+    analysis: CallSetAnalysis
+    #: names of conditions turned into warp votes by the lockstep
+    #: transformation (empty until :func:`~repro.core.lockstep
+    #: .apply_lockstep` runs).
+    vote_conditions: frozenset = frozenset()
+    lockstep: bool = False
+
+    @property
+    def unguided(self) -> bool:
+        return self.analysis.unguided
+
+    def push_groups(self) -> Tuple[PushGroup, ...]:
+        return tuple(s for s in self.body.walk() if isinstance(s, PushGroup))
+
+    @property
+    def max_pushes_per_visit(self) -> int:
+        """Upper bound on stack growth per node visit (for sizing)."""
+        best = 0
+        for g in self.push_groups():
+            best = max(best, len(g.calls))
+        return best
+
+
+def _rewrite(stmt: Stmt) -> Stmt:
+    """Recursive rewrite: trailing Recurse runs -> PushGroup; Return ->
+    Continue. Raises if a Recurse appears anywhere else (the body was
+    not pseudo-tail-recursive / not normalized)."""
+    if isinstance(stmt, Return):
+        return Continue()
+    if isinstance(stmt, Recurse):
+        return PushGroup(calls=(stmt,))
+    if isinstance(stmt, If):
+        return If(
+            cond=stmt.cond,
+            then=_rewrite(stmt.then),
+            orelse=None if stmt.orelse is None else _rewrite(stmt.orelse),
+        )
+    if isinstance(stmt, Seq):
+        stmts = stmt.stmts
+        # Find the maximal trailing run of Recurse statements.
+        k = len(stmts)
+        while k > 0 and isinstance(stmts[k - 1], Recurse):
+            k -= 1
+        head, run = stmts[:k], stmts[k:]
+        for s in head:
+            if any(isinstance(x, Recurse) for x in s.walk()) and not isinstance(
+                s, (If,)
+            ):
+                raise NotPseudoTailRecursive(
+                    f"recursive call in non-tail position: {type(s).__name__}"
+                )
+        new_head: List[Stmt] = []
+        for i, s in enumerate(head):
+            if isinstance(s, If) and any(
+                isinstance(x, Recurse) for x in s.walk()
+            ):
+                if i != len(head) - 1 or run:
+                    raise NotPseudoTailRecursive(
+                        "branch containing recursive calls is followed by "
+                        "more statements; run tail_duplicate/normalize first"
+                    )
+                new_head.append(_rewrite(s))
+            elif isinstance(s, (Update,)):
+                new_head.append(s)
+            elif isinstance(s, If):
+                new_head.append(_rewrite(s))
+            elif isinstance(s, Return):
+                new_head.append(Continue())
+            elif isinstance(s, Seq):
+                new_head.append(_rewrite(s))
+            else:
+                new_head.append(s)
+        if run:
+            new_head.append(PushGroup(calls=tuple(run)))  # type: ignore[arg-type]
+        return Seq(*new_head)
+    return stmt
+
+
+def apply_autoropes(spec: TraversalSpec) -> IterativeKernel:
+    """Transform a pseudo-tail-recursive spec into an iterative kernel.
+
+    Raises
+    ------
+    NotPseudoTailRecursive
+        if the body is not pseudo-tail-recursive; call
+        :func:`repro.core.pseudotail.normalize_to_pseudo_tail` first.
+    """
+    analysis = analyze_call_sets(spec)
+    if not analysis.pseudo_tail_recursive:
+        raise NotPseudoTailRecursive(
+            f"{spec.name}: body is not pseudo-tail-recursive; apply "
+            "normalize_to_pseudo_tail() before autoropes"
+        )
+    canonical = tail_duplicate(spec.body)
+    body = _rewrite(canonical)
+    _validate_iterative(body)
+    return IterativeKernel(spec=spec, body=body, analysis=analysis)
+
+
+def _validate_iterative(body: Stmt) -> None:
+    for s in body.walk():
+        if isinstance(s, Recurse):
+            raise AssertionError("Recurse survived the autoropes rewrite")
+        if isinstance(s, Return):
+            raise AssertionError("Return survived the autoropes rewrite")

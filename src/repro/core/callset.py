@@ -1,0 +1,203 @@
+"""Static call-set analysis (Section 3.2.1).
+
+A *static call set* is the ordered set of recursive calls executed along
+one path through the traversal function. We enumerate paths over the
+reduced CFG — which, for our loop-free IR (recursive calls visiting
+children are fully unrolled per the paper's footnote 1), is simply every
+root-to-exit path of the statement tree — and collect, per path:
+
+* the sequence of :class:`~repro.core.ir.Recurse` site ids (the call set),
+* the branch decisions that select the path and whether any of those
+  conditions is point-dependent.
+
+From the call sets we derive the properties the transformations need:
+
+* **pseudo-tail-recursion** support: whether along every path, nothing
+  but recursive calls follows the first recursive call;
+* **guided vs unguided**: a traversal is (conservatively) unguided iff
+  there is exactly one distinct call set and no recursive call's node
+  argument depends on point state. With a single call set, any point-
+  dependent branching can only *truncate*, never reorder, so all points
+  share one canonical linearization of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    Stmt,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+
+# Path events: what happened, in execution order, along one CFG path.
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    cond: CondRef
+    taken: bool
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    fn: UpdateRef
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    site_id: int
+    child: ChildRef
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    pass
+
+
+PathEvent = object
+Path = Tuple[PathEvent, ...]
+
+
+def enumerate_paths(body: Stmt, max_paths: int = 4096) -> List[Path]:
+    """All root-to-exit event sequences of the (acyclic) reduced CFG.
+
+    ``max_paths`` guards against pathological specs; real traversal
+    functions have a handful of paths (Fig. 4 has 3, Fig. 5 has 4).
+    """
+
+    def seq_paths(stmts: Tuple[Stmt, ...]) -> List[Path]:
+        if not stmts:
+            return [()]
+        head, rest = stmts[0], stmts[1:]
+        if isinstance(head, Return):
+            return [(ReturnEvent(),)]
+        if isinstance(head, Recurse):
+            suffixes = seq_paths(rest)
+            return [(CallEvent(head.site_id, head.child),) + s for s in suffixes]
+        if isinstance(head, Update):
+            suffixes = seq_paths(rest)
+            return [(UpdateEvent(head.fn),) + s for s in suffixes]
+        if isinstance(head, Seq):
+            return seq_paths(head.stmts + rest)
+        if isinstance(head, If):
+            out: List[Path] = []
+            then_stmts = (head.then,) + rest
+            for p in seq_paths(then_stmts):
+                out.append((BranchEvent(head.cond, True),) + p)
+            else_stmts = ((head.orelse,) if head.orelse is not None else ()) + rest
+            for p in seq_paths(else_stmts):
+                out.append((BranchEvent(head.cond, False),) + p)
+            if len(out) > max_paths:
+                raise ValueError(
+                    f"reduced CFG has more than {max_paths} paths; "
+                    "is the traversal body well-formed?"
+                )
+            return out
+        raise TypeError(f"unknown statement {type(head).__name__}")
+
+    return seq_paths((body,))
+
+
+@dataclass(frozen=True)
+class CallSet:
+    """One static call set: ordered recursive calls along a path."""
+
+    sites: Tuple[int, ...]
+    children: Tuple[ChildRef, ...]
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+@dataclass(frozen=True)
+class CallSetAnalysis:
+    """Result of static call-set analysis over a traversal body."""
+
+    call_sets: Tuple[CallSet, ...]
+    #: paths that execute no recursive call (pure truncations).
+    n_truncating_paths: int
+    #: every recursive call is followed only by recursive calls.
+    pseudo_tail_recursive: bool
+    #: node arguments of recursive calls never depend on point state.
+    point_independent_children: bool
+
+    @property
+    def single_call_set(self) -> bool:
+        return len(self.call_sets) == 1
+
+    @property
+    def unguided(self) -> bool:
+        """Conservative classification (Section 3.2.1): single call set
+        whose node arguments are point-independent."""
+        return self.single_call_set and self.point_independent_children
+
+    @property
+    def guided(self) -> bool:
+        return not self.unguided
+
+    def call_set_for_sites(self, sites: Tuple[int, ...]) -> Optional[int]:
+        for i, cs in enumerate(self.call_sets):
+            if cs.sites == sites:
+                return i
+        return None
+
+
+def analyze_call_sets(spec_or_body) -> CallSetAnalysis:
+    """Run static call-set analysis on a spec (or raw body).
+
+    Each recursive call participates in the call set of every path it
+    lies on; for pseudo-tail-recursive functions each call belongs to
+    exactly one call set (checked by the autoropes transformation, which
+    relies on it).
+    """
+    body = spec_or_body.body if isinstance(spec_or_body, TraversalSpec) else spec_or_body
+    paths = enumerate_paths(body)
+
+    call_sets: List[CallSet] = []
+    seen: set = set()
+    n_truncating = 0
+    pseudo_tail = True
+    point_independent = True
+
+    for path in paths:
+        calls = [e for e in path if isinstance(e, CallEvent)]
+        if not calls:
+            n_truncating += 1
+            continue
+        sites = tuple(e.site_id for e in calls)
+        children = tuple(e.child for e in calls)
+        if sites not in seen:
+            seen.add(sites)
+            call_sets.append(CallSet(sites=sites, children=children))
+        if any(c.point_dependent for c in children):
+            point_independent = False
+        # pseudo-tail: after the first call event, only call events may
+        # appear — except a trailing Return, which *is* the exit node
+        # the definition allows recursive calls to precede.
+        first = next(
+            i for i, e in enumerate(path) if isinstance(e, CallEvent)
+        )
+        for offset, e in enumerate(path[first:], start=first):
+            if isinstance(e, CallEvent):
+                continue
+            if isinstance(e, ReturnEvent) and offset == len(path) - 1:
+                continue
+            pseudo_tail = False
+            break
+
+    return CallSetAnalysis(
+        call_sets=tuple(call_sets),
+        n_truncating_paths=n_truncating,
+        pseudo_tail_recursive=pseudo_tail,
+        point_independent_children=point_independent,
+    )

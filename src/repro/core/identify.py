@@ -1,0 +1,138 @@
+"""Identifying the algorithmic structure (Section 5.1).
+
+*"The first step in translating traversal algorithms to GPUs is
+identifying the key components of traversal algorithms: the recursive
+tree structure itself, the point structures ..., the recursive method
+..., and the loop that invokes the repeated traversals."* The paper
+leans on type information, structural analysis, simple annotations and
+heuristics (after Jo & Kulkarni).
+
+In this reproduction the components arrive pre-packaged in a
+:class:`~repro.core.ir.TraversalSpec` plus a
+:class:`~repro.trees.linearize.LinearTree`, so identification becomes
+*verification*: :func:`identify_structure` runs the same structural
+checks the paper's front end performs and reports what it found —
+which child slots the recursion descends, which conditions/updates
+touch point state, whether the point loop is annotated independent —
+failing loudly on specs that do not fit the repeated-traversal pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.annotations import Annotation
+from repro.core.callset import analyze_call_sets
+from repro.core.ir import If, Recurse, Stmt, TraversalSpec, Update
+from repro.trees.linearize import LinearTree
+
+
+class StructureError(ValueError):
+    """The spec does not fit the repeated-traversal pattern of Fig. 1."""
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """What Section 5.1's identification step found."""
+
+    #: child slots the recursion descends (the "recursive fields").
+    recursive_fields: Tuple[str, ...]
+    #: conditions reading point state (candidates for truncation tests).
+    point_dependent_conditions: Tuple[str, ...]
+    #: conditions reading only tree structure.
+    structural_conditions: Tuple[str, ...]
+    #: update functions (the per-point computation).
+    updates: Tuple[str, ...]
+    #: number of recursive call sites.
+    n_call_sites: int
+    #: declared traversal arguments riding the recursion.
+    traversal_args: Tuple[str, ...]
+    #: the point loop carries the independence annotation.
+    point_loop_annotated_independent: bool
+    notes: Tuple[str, ...] = ()
+
+
+def identify_structure(
+    spec: TraversalSpec, tree: LinearTree, require_annotation: bool = False
+) -> StructureReport:
+    """Verify and report the traversal's structural components.
+
+    Raises
+    ------
+    StructureError
+        if the body has no recursive call (not a traversal), if a
+        recursive call names a child slot the tree does not have, or if
+        ``require_annotation`` is set and the point loop lacks the
+        independence annotation the paper's parallelization relies on.
+    """
+    sites = [s for s in spec.body.walk() if isinstance(s, Recurse)]
+    if not sites:
+        raise StructureError(
+            f"{spec.name}: no recursive call in the body; nothing to "
+            "parallelize as a repeated traversal"
+        )
+    fields: List[str] = []
+    for s in sites:
+        if s.child.name not in tree.child_names:
+            raise StructureError(
+                f"{spec.name}: recursive call descends {s.child.name!r}, "
+                f"but the tree has child slots {tree.child_names}"
+            )
+        if s.child.name not in fields:
+            fields.append(s.child.name)
+
+    point_conds: List[str] = []
+    struct_conds: List[str] = []
+    update_names: List[str] = []
+    for s in spec.body.walk():
+        if isinstance(s, If):
+            bucket = point_conds if s.cond.point_dependent else struct_conds
+            if s.cond.name not in bucket:
+                bucket.append(s.cond.name)
+        elif isinstance(s, Update) and s.fn.name not in update_names:
+            update_names.append(s.fn.name)
+
+    for name in list(point_conds) + list(struct_conds):
+        cond = _find_cond(spec.body, name)
+        for group in cond.reads:
+            tree.group(group)  # raises KeyError for unknown groups
+
+    annotated = Annotation.POINT_LOOP_INDEPENDENT in spec.annotations
+    if require_annotation and not annotated:
+        raise StructureError(
+            f"{spec.name}: point loop lacks the POINT_LOOP_INDEPENDENT "
+            "annotation (Section 5.1); cannot assert inter-point "
+            "independence structurally"
+        )
+
+    notes: List[str] = []
+    analysis = analyze_call_sets(spec)
+    if not update_names:
+        notes.append("no updates: traversal computes nothing per point")
+    if analysis.n_truncating_paths == 0:
+        notes.append(
+            "no truncating path: every point walks the whole tree "
+            "(autoropes still applies, lockstep expansion will be 1)"
+        )
+    if len(fields) < len(tree.child_names):
+        unused = set(tree.child_names) - set(fields)
+        notes.append(f"child slots never descended: {sorted(unused)}")
+
+    return StructureReport(
+        recursive_fields=tuple(fields),
+        point_dependent_conditions=tuple(point_conds),
+        structural_conditions=tuple(struct_conds),
+        updates=tuple(update_names),
+        n_call_sites=len(sites),
+        traversal_args=tuple(a.name for a in spec.args),
+        point_loop_annotated_independent=annotated,
+        notes=tuple(notes),
+    )
+
+
+def _find_cond(body: Stmt, name: str):
+    for s in body.walk():
+        if isinstance(s, If) and s.cond.name == name:
+            return s.cond
+    raise KeyError(name)

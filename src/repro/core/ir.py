@@ -1,0 +1,359 @@
+"""Traversal IR: the abstract tree-traversal pattern of Figure 1 as an AST.
+
+Every benchmark in the paper fits the shape::
+
+    void recurse(Point p, TreeNode n, ...) {
+        if (truncate?(p, n, ...)) return;
+        update(p, n, ...);
+        foreach (TreeNode child : n.children())
+            recurse(p, child, ...);
+    }
+
+We capture that shape with a tiny statement language — :class:`Seq`,
+:class:`If`, :class:`Update`, :class:`Return`, :class:`Recurse` — whose
+conditions and updates are *opaque references* (:class:`CondRef`,
+:class:`UpdateRef`) bound to vectorized numpy callbacks. The analyses in
+:mod:`repro.core.callset` and the transformations in
+:mod:`repro.core.autoropes` / :mod:`repro.core.lockstep` operate purely
+on this structure, never on the callback semantics — that is exactly the
+paper's claim of semantics-agnostic generality.
+
+Callback conventions
+--------------------
+
+All callbacks are vectorized over a batch of (point, node) pairs:
+
+* condition: ``fn(ctx, node, pt, args) -> bool ndarray``
+* update:    ``fn(ctx, node, pt, args) -> None`` (mutates ``ctx.out``)
+* arg rule:  ``fn(ctx, node, pt, args) -> ndarray`` (new value per pair)
+
+where ``node`` and ``pt`` are equal-length int64 index arrays, ``args``
+is a dict of per-pair traversal-argument value arrays, and ``ctx`` is an
+:class:`EvalContext` giving access to the tree, the point set, result
+arrays, and scalar parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Opaque references
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CondRef:
+    """A boolean predicate over (point, node, args).
+
+    Attributes
+    ----------
+    point_dependent:
+        whether the predicate reads point state. Structure-only
+        predicates (e.g. ``is_leaf``) keep a traversal unguided even
+        when they select between branches.
+    reads:
+        tree field groups the predicate loads (drives the partial-node
+        load accounting of Section 5.2).
+    cost:
+        instruction-issue weight (roughly, arithmetic ops evaluated).
+    """
+
+    name: str
+    point_dependent: bool = True
+    reads: Tuple[str, ...] = ()
+    cost: float = 1.0
+
+
+@dataclass(frozen=True)
+class UpdateRef:
+    """A side-effecting update of per-point result state."""
+
+    name: str
+    reads: Tuple[str, ...] = ()
+    cost: float = 1.0
+
+
+@dataclass(frozen=True)
+class ChildRef:
+    """Which child a recursive call descends into (a structural name).
+
+    ``point_dependent`` exists for completeness of the guided/unguided
+    analysis: a child selector computed from point state would make the
+    traversal guided even with a single call set. All our benchmarks use
+    fixed structural selectors, as do the paper's.
+    """
+
+    name: str
+    point_dependent: bool = False
+
+
+@dataclass(frozen=True)
+class ArgDecl:
+    """A traversal argument threaded through recursive calls.
+
+    ``update`` of ``None`` marks the argument *traversal-invariant*: its
+    value never changes, so autoropes keeps it out of the rope stack
+    (Section 3.2.2, the ``c`` argument of Fig. 7). Otherwise ``update``
+    names a bound arg-rule callback evaluated at each recursive call
+    (the ``dsq * 0.25`` of Fig. 9), and the argument value is pushed
+    alongside the rope.
+    """
+
+    name: str
+    initial: float
+    update: Optional[str] = None
+    dtype: np.dtype = np.dtype(np.float64)
+    #: whether the argument's value depends on point state. Point-
+    #: independent arguments are warp-uniform under lockstep and can be
+    #: "saved per warp rather than per thread" (Section 5.2).
+    point_dependent: bool = False
+
+    @property
+    def invariant(self) -> bool:
+        return self.update is None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for traversal-body statements."""
+
+    def children_stmts(self) -> Tuple["Stmt", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Pre-order traversal of the statement tree."""
+        yield self
+        for child in self.children_stmts():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """Sequential composition."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __init__(self, *stmts: Stmt) -> None:
+        flat = []
+        for s in stmts:
+            if isinstance(s, Seq):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        object.__setattr__(self, "stmts", tuple(flat))
+
+    def children_stmts(self) -> Tuple[Stmt, ...]:
+        return self.stmts
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Two-way branch on an opaque condition."""
+
+    cond: CondRef
+    then: Stmt
+    orelse: Optional[Stmt] = None
+
+    def children_stmts(self) -> Tuple[Stmt, ...]:
+        if self.orelse is None:
+            return (self.then,)
+        return (self.then, self.orelse)
+
+
+@dataclass(frozen=True)
+class Update(Stmt):
+    """Apply an opaque per-point update at the current node."""
+
+    fn: UpdateRef
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """Truncate: end this (point, node) visit."""
+
+
+@dataclass(frozen=True)
+class Recurse(Stmt):
+    """Recursive call descending into one child.
+
+    ``site_id`` identifies the call site for call-set analysis; it is
+    assigned by :func:`number_call_sites` and must be unique within a
+    spec body. ``arg_overrides`` maps argument names to arg-rule names
+    evaluated *at this site only*, overriding the declaration-level
+    rule; the pseudo-tail normalization uses this to thread its
+    synthetic call-set/child identifiers (Section 3.2).
+    """
+
+    child: ChildRef
+    site_id: int = -1
+    arg_overrides: Tuple[Tuple[str, str], ...] = ()
+
+
+def number_call_sites(body: Stmt) -> Stmt:
+    """Return a copy of ``body`` with Recurse sites numbered 0..n-1 in
+    textual (pre-order) order."""
+    counter = [0]
+
+    def rewrite(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Recurse):
+            new = Recurse(
+                child=stmt.child,
+                site_id=counter[0],
+                arg_overrides=stmt.arg_overrides,
+            )
+            counter[0] += 1
+            return new
+        if isinstance(stmt, Seq):
+            return Seq(*[rewrite(s) for s in stmt.stmts])
+        if isinstance(stmt, If):
+            return If(
+                cond=stmt.cond,
+                then=rewrite(stmt.then),
+                orelse=None if stmt.orelse is None else rewrite(stmt.orelse),
+            )
+        return stmt
+
+    return rewrite(body)
+
+
+def recurse_sites(body: Stmt) -> Tuple[Recurse, ...]:
+    """All Recurse statements in pre-order."""
+    return tuple(s for s in body.walk() if isinstance(s, Recurse))
+
+
+def for_each_child(*names: str) -> Seq:
+    """Sugar for Fig. 1's ``foreach (TreeNode child : n.children())``.
+
+    The paper's footnote 1 assumes such loops are fully unrolled (tree
+    nodes have a bounded out-degree), which keeps the reduced CFG
+    acyclic; this helper performs exactly that unrolling:
+    ``for_each_child("c0", ..., "c7")`` is the eight recursive calls of
+    the Barnes-Hut body.
+    """
+    if not names:
+        raise ValueError("for_each_child needs at least one child slot")
+    return Seq(*[Recurse(ChildRef(n)) for n in names])
+
+
+# ---------------------------------------------------------------------------
+# Evaluation context and specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EvalContext:
+    """Everything callbacks may read or write during a traversal.
+
+    ``tree`` is any object exposing the arrays the app's callbacks use
+    (typically a :class:`repro.trees.linearize.LinearTree`). ``out``
+    holds per-point result arrays the updates mutate; ``params`` holds
+    run-wide scalars (correlation radius, opening-angle threshold, k).
+    """
+
+    tree: object
+    points: object
+    out: Dict[str, np.ndarray] = field(default_factory=dict)
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+Callback = Callable[..., np.ndarray]
+
+
+@dataclass
+class TraversalSpec:
+    """A complete recursive traversal: body + argument decls + bindings.
+
+    This is what an application hands to the transformation pipeline —
+    the moral equivalent of the annotated C++ the paper's ROSE pass
+    consumes (Section 5.1).
+    """
+
+    name: str
+    body: Stmt
+    args: Tuple[ArgDecl, ...] = ()
+    conditions: Mapping[str, Callback] = field(default_factory=dict)
+    updates: Mapping[str, Callback] = field(default_factory=dict)
+    arg_rules: Mapping[str, Callback] = field(default_factory=dict)
+    annotations: frozenset = frozenset()
+    #: Field group holding child pointers (charged when pushing ropes).
+    child_field_group: str = "cold"
+    #: Set by the pseudo-tail normalization when deferred (pushed-down)
+    #: updates exist: recursive calls then visit *null* children too, as
+    #: phantom entries whose only job is to pay the parent's pending
+    #: update before a null-guard truncates them.
+    visits_null_children: bool = False
+
+    def __post_init__(self) -> None:
+        self.body = number_call_sites(self.body)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check that every opaque reference has a binding and that
+        declared argument-update rules exist."""
+        for stmt in self.body.walk():
+            if isinstance(stmt, If) and stmt.cond.name not in self.conditions:
+                raise KeyError(f"unbound condition {stmt.cond.name!r}")
+            if isinstance(stmt, Update) and stmt.fn.name not in self.updates:
+                raise KeyError(f"unbound update {stmt.fn.name!r}")
+        for arg in self.args:
+            if arg.update is not None and arg.update not in self.arg_rules:
+                raise KeyError(f"unbound arg rule {arg.update!r} for {arg.name!r}")
+        seen = set()
+        for site in recurse_sites(self.body):
+            if site.site_id in seen:
+                raise ValueError("duplicate call-site ids; use number_call_sites")
+            seen.add(site.site_id)
+
+    @property
+    def variant_args(self) -> Tuple[ArgDecl, ...]:
+        """Arguments that must travel on the rope stack."""
+        return tuple(a for a in self.args if not a.invariant)
+
+    @property
+    def invariant_args(self) -> Tuple[ArgDecl, ...]:
+        return tuple(a for a in self.args if a.invariant)
+
+    def eval_condition(
+        self,
+        ref: CondRef,
+        ctx: EvalContext,
+        node: np.ndarray,
+        pt: np.ndarray,
+        args: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        result = self.conditions[ref.name](ctx, node, pt, args)
+        return np.asarray(result, dtype=bool)
+
+    def eval_update(
+        self,
+        ref: UpdateRef,
+        ctx: EvalContext,
+        node: np.ndarray,
+        pt: np.ndarray,
+        args: Dict[str, np.ndarray],
+    ) -> None:
+        self.updates[ref.name](ctx, node, pt, args)
+
+    def eval_arg_rule(
+        self,
+        name: str,
+        ctx: EvalContext,
+        node: np.ndarray,
+        pt: np.ndarray,
+        args: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        return np.asarray(self.arg_rules[name](ctx, node, pt, args))
+
+    def initial_args(self, n: int) -> Dict[str, np.ndarray]:
+        """Per-pair argument values at the root, for ``n`` pairs."""
+        return {
+            a.name: np.full(n, a.initial, dtype=a.dtype) for a in self.args
+        }

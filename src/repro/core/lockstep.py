@@ -1,0 +1,101 @@
+"""The lockstep-traversal transformation (Section 4).
+
+Lockstep recasts an autoropes traversal in terms of the whole warp: one
+rope stack per *warp*, each entry carrying a mask bit-vector saying
+which lanes should still do work at that node (Fig. 8). A truncated
+lane is carried along masked-out rather than departing; the warp
+truncates only when a warp vote shows every bit cleared. All lanes then
+load the *same* node — perfect memory coalescing — at the price of
+visiting the union of the lanes' traversals (the Table 2 "work
+expansion").
+
+Legality (Section 4.2/4.3): lockstep applies to *unguided* traversals
+directly. A guided traversal qualifies only when the programmer
+annotates its call sets as semantically equivalent
+(:class:`~repro.core.annotations.Annotation.CALLSETS_EQUIVALENT`); the
+transformation then marks each call-set-selecting condition as a **vote
+condition** — the executor evaluates it per lane and takes a majority
+vote among live lanes, making the algorithm dynamically
+single-call-set per warp while different warps remain free to choose
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Set
+
+from repro.core.annotations import Annotation
+from repro.core.autoropes import IterativeKernel, PushGroup
+from repro.core.ir import If, Stmt
+
+
+class LockstepNotApplicable(ValueError):
+    """Lockstep requested for a guided traversal without the
+    call-set-equivalence annotation (Section 4.3's fallback: guided
+    traversals always perform non-lockstep traversals)."""
+
+
+#: Alias making intent explicit at call sites: a lockstep kernel is an
+#: :class:`IterativeKernel` with ``lockstep=True`` and vote conditions.
+LockstepKernel = IterativeKernel
+
+
+def _contains_push(stmt: Stmt) -> bool:
+    return any(isinstance(s, PushGroup) for s in stmt.walk())
+
+
+def find_vote_conditions(body: Stmt) -> Set[str]:
+    """Conditions that *select between* call sets.
+
+    An ``If`` whose both arms contain push groups chooses which call
+    set executes (Fig. 5's ``closer_to_left``); under lockstep it must
+    become a warp-level majority vote. An ``If`` with pushes in only
+    one arm merely truncates, which masks handle.
+    """
+    votes: Set[str] = set()
+    for s in body.walk():
+        if isinstance(s, If) and s.orelse is not None:
+            if _contains_push(s.then) and _contains_push(s.orelse):
+                votes.add(s.cond.name)
+    return votes
+
+
+def apply_lockstep(kernel: IterativeKernel) -> LockstepKernel:
+    """Produce the lockstep variant of an autoropes kernel.
+
+    Raises
+    ------
+    LockstepNotApplicable
+        for guided kernels lacking the equivalence annotation.
+    """
+    if kernel.lockstep:
+        return kernel
+    if kernel.analysis.unguided:
+        vote: Set[str] = set()
+        # Defensive: an unguided kernel may still syntactically contain a
+        # point-independent selector; such Ifs are warp-uniform anyway
+        # (the node is shared by the warp), so no vote is needed.
+    else:
+        if Annotation.CALLSETS_EQUIVALENT not in kernel.spec.annotations:
+            raise LockstepNotApplicable(
+                f"{kernel.spec.name}: guided traversal (call sets="
+                f"{len(kernel.analysis.call_sets)}) without "
+                "CALLSETS_EQUIVALENT annotation; use the non-lockstep "
+                "variant instead"
+            )
+        vote = {
+            name
+            for name in find_vote_conditions(kernel.body)
+            # Point-independent conditions are warp-uniform under
+            # lockstep (the node is shared), so no vote is required.
+            if _cond_is_point_dependent(kernel.body, name)
+        }
+    return replace(kernel, lockstep=True, vote_conditions=frozenset(vote))
+
+
+def _cond_is_point_dependent(body: Stmt, name: str) -> bool:
+    for s in body.walk():
+        if isinstance(s, If) and s.cond.name == name:
+            return s.cond.point_dependent
+    return False

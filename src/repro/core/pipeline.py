@@ -1,0 +1,114 @@
+"""End-to-end transformation pipeline (Section 5's compiler driver).
+
+Mirrors the paper's ROSE-based source-to-source flow:
+
+1. identify the algorithmic structure (here: the app hands us a
+   :class:`~repro.core.ir.TraversalSpec`, the product of Section 5.1's
+   identification step);
+2. establish pseudo-tail-recursive form (Section 3.2);
+3. run static call-set analysis; classify guided/unguided;
+4. apply autoropes (Section 3.2.2);
+5. derive the lockstep variant where legal (Section 4);
+6. optionally consult run-time profiling (Section 4.4) to pick which
+   variant to launch.
+
+The result, :class:`CompiledTraversal`, packages both variants plus the
+analysis facts; executors and the experiment harness consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.autoropes import IterativeKernel, apply_autoropes
+from repro.core.callset import CallSetAnalysis, analyze_call_sets
+from repro.core.ir import TraversalSpec
+from repro.core.lockstep import LockstepNotApplicable, apply_lockstep
+from repro.core.profiling import TraversalSimilarity
+from repro.core.pseudotail import is_pseudo_tail_recursive, normalize_to_pseudo_tail
+
+
+@dataclass
+class CompiledTraversal:
+    """All artifacts of compiling one traversal spec."""
+
+    original: TraversalSpec
+    normalized: TraversalSpec
+    analysis: CallSetAnalysis
+    autoropes: IterativeKernel
+    lockstep: Optional[IterativeKernel]
+    lockstep_unavailable_reason: Optional[str]
+    #: human-readable log of the transformation steps applied.
+    log: List[str] = field(default_factory=list)
+
+    @property
+    def unguided(self) -> bool:
+        return self.analysis.unguided
+
+    def kernel(self, lockstep: bool) -> IterativeKernel:
+        """Fetch the requested variant, failing loudly if unavailable."""
+        if not lockstep:
+            return self.autoropes
+        if self.lockstep is None:
+            raise LockstepNotApplicable(
+                self.lockstep_unavailable_reason or "lockstep unavailable"
+            )
+        return self.lockstep
+
+    def choose_variant(
+        self, similarity: Optional[TraversalSimilarity]
+    ) -> IterativeKernel:
+        """Section 4.4's policy: lockstep when available and profiling
+        says neighboring traversals are similar (or no profile given and
+        the traversal is unguided)."""
+        if self.lockstep is None:
+            return self.autoropes
+        if similarity is None:
+            return self.lockstep if self.unguided else self.autoropes
+        return self.lockstep if similarity.recommend_lockstep else self.autoropes
+
+
+class TransformPipeline:
+    """Stateless driver; one ``compile`` call per traversal spec."""
+
+    def compile(self, spec: TraversalSpec) -> CompiledTraversal:
+        log: List[str] = []
+        if is_pseudo_tail_recursive(spec):
+            normalized = spec
+            log.append("body already pseudo-tail-recursive")
+        else:
+            normalized = normalize_to_pseudo_tail(spec)
+            log.append(
+                "normalized to pseudo-tail-recursive form "
+                "(tail duplication + update push-down)"
+            )
+        analysis = analyze_call_sets(normalized)
+        log.append(
+            f"call sets: {len(analysis.call_sets)} "
+            f"({'unguided' if analysis.unguided else 'guided'})"
+        )
+        kernel = apply_autoropes(normalized)
+        log.append("autoropes applied")
+        lockstep: Optional[IterativeKernel]
+        reason: Optional[str]
+        try:
+            lockstep = apply_lockstep(kernel)
+            reason = None
+            votes = sorted(lockstep.vote_conditions)
+            log.append(
+                "lockstep derived"
+                + (f" with vote conditions {votes}" if votes else "")
+            )
+        except LockstepNotApplicable as exc:
+            lockstep, reason = None, str(exc)
+            log.append(f"lockstep unavailable: {exc}")
+        return CompiledTraversal(
+            original=spec,
+            normalized=normalized,
+            analysis=analysis,
+            autoropes=kernel,
+            lockstep=lockstep,
+            lockstep_unavailable_reason=reason,
+            log=log,
+        )

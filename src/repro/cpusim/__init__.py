@@ -1,0 +1,28 @@
+"""CPU baseline substrate.
+
+The paper compares its GPU kernels against multithreaded CPU
+implementations on a 4-socket, 48-core AMD Opteron 6176 system
+(Section 6.1.1). Here the *same* traversal specs are interpreted
+per-point in recursive order (:mod:`repro.cpusim.recursive`) — which
+both validates the GPU executors' visit order and yields per-point
+visit streams — and those streams are priced with a reuse-window cache
+model (:mod:`repro.cpusim.cache`) and a thread-scaling model
+(:mod:`repro.cpusim.threads`) that derives load imbalance from actual
+per-thread work and saturates on shared memory bandwidth.
+"""
+
+from repro.cpusim.cache import CacheConfig, classify_reuse, reuse_gaps
+from repro.cpusim.recursive import RecursiveInterpreter, ReferenceRun
+from repro.cpusim.threads import CPUConfig, CPUTiming, OPTERON_6176, cpu_time_ms
+
+__all__ = [
+    "CacheConfig",
+    "classify_reuse",
+    "reuse_gaps",
+    "RecursiveInterpreter",
+    "ReferenceRun",
+    "CPUConfig",
+    "CPUTiming",
+    "OPTERON_6176",
+    "cpu_time_ms",
+]

@@ -1,0 +1,120 @@
+"""Multithreaded CPU baseline timing (Section 6.1.1's Opteron system).
+
+The CPU implementations in the paper parallelize the point loop over
+1-32 threads. Our model derives time from the *same* per-point visit
+streams the traversal produced:
+
+* each thread gets a contiguous chunk of points (the usual OpenMP
+  static schedule); its compute time is per-visit instruction work plus
+  cache-hierarchy access costs from the reuse-window model — so sorted
+  inputs, whose neighboring traversals re-touch the same nodes, run
+  faster, exactly the effect the paper reports;
+* wall-clock is a roofline over threads: the slowest thread's compute
+  (load imbalance falls out of real per-thread work, which is what
+  hurts the clustered Geocity input) against total DRAM traffic over a
+  shared bandwidth — which is what bends the scaling curves past ~8-16
+  threads in Figures 10/11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cpusim.cache import CacheConfig, classify_reuse
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Cost parameters for one CPU system."""
+
+    name: str = "opteron-6176"
+    clock_ghz: float = 2.3
+    n_cores: int = 48
+    #: instruction work per node visit (distance computations etc.).
+    cycles_per_visit: float = 55.0
+    #: DRAM bytes the whole system can move per CPU cycle.
+    dram_bytes_per_cycle: float = 24.0
+    #: parallel-region overhead per launch, cycles.
+    fork_join_cycles: float = 40_000.0
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def validate(self) -> "CPUConfig":
+        if self.n_cores < 1 or self.clock_ghz <= 0:
+            raise ValueError("bad CPUConfig")
+        self.cache.validate()
+        return self
+
+
+OPTERON_6176 = CPUConfig().validate()
+
+
+@dataclass(frozen=True)
+class CPUTiming:
+    """Modeled CPU run at one thread count."""
+
+    threads: int
+    time_ms: float
+    compute_cycles_max: float
+    dram_cycles: float
+    total_visits: int
+
+
+def _chunks(n_points: int, threads: int) -> List[np.ndarray]:
+    bounds = np.linspace(0, n_points, threads + 1).astype(np.int64)
+    return [np.arange(bounds[t], bounds[t + 1]) for t in range(threads)]
+
+
+def cpu_time_ms(
+    sequences: Sequence[np.ndarray],
+    threads: int,
+    config: CPUConfig = OPTERON_6176,
+    visit_cost_scale: float = 1.0,
+) -> CPUTiming:
+    """Model one CPU run over per-point visit sequences.
+
+    Parameters
+    ----------
+    sequences:
+        visit sequence (node ids) per point, in point order.
+    threads:
+        thread count (chunked statically over points).
+    visit_cost_scale:
+        multiplier on per-visit instruction work — applications with
+        heavier updates (e.g. BH's force kernel) pass > 1.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    config.validate()
+    n_points = len(sequences)
+    threads = min(threads, max(1, n_points))
+    per_thread_compute: List[float] = []
+    dram_lines = 0
+    total_visits = 0
+    for chunk in _chunks(n_points, threads):
+        if len(chunk) == 0:
+            per_thread_compute.append(0.0)
+            continue
+        parts = [sequences[int(p)] for p in chunk]
+        stream = np.concatenate(parts) if parts else np.empty(0, np.int64)
+        visits = len(stream)
+        total_visits += visits
+        hits = classify_reuse(stream, config.cache)
+        compute = (
+            visits * config.cycles_per_visit * visit_cost_scale + hits["cycles"]
+        )
+        per_thread_compute.append(compute)
+        dram_lines += hits["dram"]
+
+    compute_max = max(per_thread_compute) if per_thread_compute else 0.0
+    dram_cycles = dram_lines * config.cache.line_bytes / config.dram_bytes_per_cycle
+    total = max(compute_max, dram_cycles) + config.fork_join_cycles
+    return CPUTiming(
+        threads=threads,
+        time_ms=total / (config.clock_ghz * 1e6),
+        compute_cycles_max=compute_max,
+        dram_cycles=dram_cycles,
+        total_visits=total_visits,
+    )

@@ -1,0 +1,39 @@
+"""Simulated SIMT GPU substrate.
+
+The paper evaluates its transformations on an nVidia Tesla C2070. This
+package provides a deterministic, laptop-scale stand-in: a SIMT execution
+model with warps, divergence masks and a warp-vote primitive
+(:mod:`repro.gpusim.warp`), a global-memory model that counts 128-byte
+coalesced transactions and approximates the L2 (:mod:`repro.gpusim.memory`),
+rope-stack storage layouts including per-warp shared-memory stacks
+(:mod:`repro.gpusim.stack`), and a throughput cost model that converts
+counted architectural events into kernel time
+(:mod:`repro.gpusim.cost`).
+
+Executors that run transformed traversal kernels live in
+:mod:`repro.gpusim.executors`.
+"""
+
+from repro.gpusim.device import DeviceConfig, TESLA_C2070
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.memory import DeviceAllocator, GlobalMemory, Region
+from repro.gpusim.stack import RopeStackLayout, StackStorage
+from repro.gpusim.cost import CostModel, KernelTiming
+from repro.gpusim.trace import StepTrace
+from repro.gpusim.kernel import LaunchConfig, occupancy_for
+
+__all__ = [
+    "DeviceConfig",
+    "TESLA_C2070",
+    "KernelStats",
+    "DeviceAllocator",
+    "GlobalMemory",
+    "Region",
+    "RopeStackLayout",
+    "StackStorage",
+    "CostModel",
+    "KernelTiming",
+    "StepTrace",
+    "LaunchConfig",
+    "occupancy_for",
+]

@@ -1,0 +1,120 @@
+"""Throughput cost model: counted events -> kernel time.
+
+The simulator does not execute real PTX; instead every executor counts
+the architectural events the paper attributes performance to (warp
+instruction issue, coalesced global transactions and their L2 hits,
+shared-memory traffic, recursive-call overhead). This module converts a
+:class:`~repro.gpusim.stats.KernelStats` into model time with a
+roofline-style formula:
+
+``cycles = max(compute, memory) * overlap + (compute + memory) * (1 - overlap)``
+
+where *compute* is per-SM instruction issue, *memory* is device-wide
+DRAM/L2 service occupancy, and *overlap* grows with occupancy — at high
+occupancy warps hide each other's memory latency (Section 2.2), at low
+occupancy (e.g. shared-memory stacks that are too deep, Section 5.2)
+compute and memory serialize.
+
+Only the relative magnitudes of the cost knobs in
+:class:`~repro.gpusim.device.DeviceConfig` matter; the paper's
+evaluation is about *ratios* between variants on the same device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceConfig
+from repro.gpusim.stats import KernelStats
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one kernel launch's modeled time."""
+
+    compute_cycles: float
+    memory_cycles: float
+    overlap: float
+    total_cycles: float
+    time_ms: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates ('compute' or 'memory')."""
+        return "compute" if self.compute_cycles >= self.memory_cycles else "memory"
+
+
+class CostModel:
+    """Stateless translator from event counts to model time."""
+
+    def __init__(self, device: DeviceConfig) -> None:
+        self.device = device
+
+    def compute_cycles(self, stats: KernelStats) -> float:
+        """Per-SM instruction-issue cycles (the compute roof)."""
+        d = self.device
+        issue = (
+            stats.warp_instructions * d.issue_cycles
+            + stats.recursive_calls * d.call_overhead_cycles
+            + stats.shared_accesses * d.shared_access_cycles
+        )
+        return issue / d.num_sms
+
+    def memory_cycles(self, stats: KernelStats) -> float:
+        """Device-wide memory-system occupancy cycles (the memory roof)."""
+        d = self.device
+        misses = stats.global_transactions - stats.l2_hit_transactions
+        return (
+            misses * d.dram_cycles_per_transaction
+            + stats.l2_hit_transactions
+            * d.dram_cycles_per_transaction
+            * d.l2_hit_cost_fraction
+        )
+
+    def imbalance_factor(self, warp_work: "np.ndarray") -> float:
+        """SM load imbalance from per-warp traversal lengths.
+
+        Warps are assigned to SMs round-robin at launch; the kernel ends
+        when the most loaded SM drains. Highly variable warp lengths —
+        the paper's clustered Geocity input — leave most SMs idle while
+        a few long warps finish ("leading to load imbalance and hence
+        poor performance", Section 6.2).
+        """
+        work = np.asarray(warp_work, dtype=np.float64)
+        if work.size == 0 or work.sum() == 0:
+            return 1.0
+        sms = self.device.num_sms
+        per_sm = np.zeros(sms)
+        np.add.at(per_sm, np.arange(work.size) % sms, work)
+        mean = per_sm.mean()
+        if mean == 0:
+            return 1.0
+        return float(per_sm.max() / mean)
+
+    def timing(
+        self,
+        stats: KernelStats,
+        occupancy: float = 1.0,
+        imbalance: float = 1.0,
+    ) -> KernelTiming:
+        """Model the launch time for counted events at given occupancy."""
+        if not 0.0 < occupancy <= 1.0:
+            raise ValueError(f"occupancy must be in (0, 1], got {occupancy}")
+        if imbalance < 1.0:
+            raise ValueError("imbalance factor must be >= 1")
+        d = self.device
+        c = self.compute_cycles(stats) * imbalance
+        m = self.memory_cycles(stats)
+        overlap = min(1.0, occupancy / d.full_overlap_occupancy)
+        total = max(c, m) * overlap + (c + m) * (1.0 - overlap)
+        total += d.launch_overhead_cycles
+        time_ms = total / (d.clock_ghz * 1e6)
+        return KernelTiming(
+            compute_cycles=c,
+            memory_cycles=m,
+            overlap=overlap,
+            total_cycles=total,
+            time_ms=time_ms,
+        )

@@ -1,0 +1,127 @@
+"""Device configuration for the simulated GPU.
+
+The defaults model the nVidia Tesla C2070 used in the paper's evaluation
+(Section 6.1.1): 14 streaming multiprocessors (SMs) of 32 streaming
+processors each, 32-thread warps, 6 GB of global memory behind a 768 KB
+L2 with 128-byte lines, and 64 KB of configurable shared memory per SM
+(48 KB usable as software-managed cache in the common configuration).
+
+Only *ratios* between the cost parameters matter for reproducing the
+paper's comparisons; absolute times are reported in model-milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Architectural and cost parameters of the simulated device.
+
+    Attributes mirror the quantities the paper's performance model
+    depends on: warp width (SIMT granularity), the 128-byte coalescing
+    segment (Section 2.2), shared-memory capacity (stack placement,
+    Section 5.2) and the relative costs of instruction issue versus
+    DRAM transactions.
+    """
+
+    name: str = "tesla-c2070"
+    num_sms: int = 14
+    sps_per_sm: int = 32
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    max_threads_per_block: int = 1024
+
+    #: Width of a coalescing segment; accesses from a warp that fall in
+    #: the same segment merge into one global-memory transaction.
+    segment_bytes: int = 128
+
+    #: Shared memory available per SM for software-managed stacks.
+    shared_mem_per_sm: int = 48 * 1024
+
+    l2_bytes: int = 768 * 1024
+    l2_line_bytes: int = 128
+
+    clock_ghz: float = 1.15
+
+    # --- cost model knobs (relative costs, see repro.gpusim.cost) ---
+
+    #: Cycles for one warp-instruction issue.
+    issue_cycles: float = 1.0
+    #: Device cycles of DRAM occupancy per 128-byte transaction
+    #: (aggregate bandwidth ~144 GB/s at 1.15 GHz -> ~1 cycle/segment,
+    #: inflated slightly for row activation overheads).
+    dram_cycles_per_transaction: float = 1.6
+    #: L2 hits are serviced at a fraction of the DRAM cost.
+    l2_hit_cost_fraction: float = 0.16
+    #: Shared-memory access cost per warp access (conflict-free).
+    shared_access_cycles: float = 1.0
+    #: Extra issue cycles charged per recursive call/return pair in the
+    #: naive recursive kernels (frame bookkeeping, Section 6.1).
+    call_overhead_cycles: float = 60.0
+    #: Bytes of local-memory (global) stack frame saved/restored per
+    #: recursive call in the naive implementation (most locals stay in
+    #: registers; this is the spilled residue).
+    frame_bytes: int = 32
+    #: Extra per-visit issue cycles charged to *unmasked* recursive
+    #: kernels: hardware post-dominator reconvergence handles the long
+    #: divergent call chains less efficiently than explicit predication
+    #: (Section 6.1's footnote on why masked recursive variants run
+    #: faster).
+    recursive_divergence_cycles: float = 20.0
+    #: Fixed kernel launch overhead in cycles.
+    launch_overhead_cycles: float = 6000.0
+    #: Occupancy (resident warps / max warps) at which memory latency is
+    #: considered fully hidden; below it, compute/memory overlap degrades.
+    full_overlap_occupancy: float = 0.5
+
+    def validate(self) -> "DeviceConfig":
+        """Return ``self`` after sanity-checking parameters.
+
+        Raises :class:`ValueError` for non-physical configurations so
+        misconfigured experiments fail loudly rather than producing
+        silently meaningless timings.
+        """
+        if self.warp_size < 1:
+            raise ValueError(f"warp_size must be >= 1, got {self.warp_size}")
+        if self.num_sms < 1:
+            raise ValueError(f"num_sms must be >= 1, got {self.num_sms}")
+        if self.segment_bytes < 1 or self.segment_bytes & (self.segment_bytes - 1):
+            raise ValueError(
+                f"segment_bytes must be a positive power of two, got {self.segment_bytes}"
+            )
+        if self.l2_line_bytes % self.segment_bytes not in (0,) and (
+            self.segment_bytes % self.l2_line_bytes != 0
+        ):
+            raise ValueError("l2_line_bytes and segment_bytes must nest")
+        if not 0.0 < self.full_overlap_occupancy <= 1.0:
+            raise ValueError("full_overlap_occupancy must be in (0, 1]")
+        return self
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads the whole device can keep resident simultaneously."""
+        return self.num_sms * self.max_warps_per_sm * self.warp_size
+
+    def with_warp_size(self, warp_size: int) -> "DeviceConfig":
+        """A copy with a different warp width (tests use tiny warps)."""
+        return replace(self, warp_size=warp_size).validate()
+
+
+#: The paper's evaluation GPU (Section 6.1.1).
+TESLA_C2070 = DeviceConfig().validate()
+
+
+def small_test_device(warp_size: int = 4, num_sms: int = 2) -> DeviceConfig:
+    """A tiny device for unit tests: small warps keep fixtures readable."""
+    return replace(
+        TESLA_C2070,
+        name=f"test-device-w{warp_size}",
+        warp_size=warp_size,
+        num_sms=num_sms,
+        max_warps_per_sm=8,
+        shared_mem_per_sm=4 * 1024,
+        l2_bytes=16 * 1024,
+        launch_overhead_cycles=0.0,
+    ).validate()

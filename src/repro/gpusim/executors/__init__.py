@@ -1,0 +1,27 @@
+"""Executors: run transformed traversal kernels on the simulated GPU.
+
+* :mod:`repro.gpusim.executors.common` — launch plumbing shared by all
+  executors (region setup, per-group load accounting, run results).
+* :mod:`repro.gpusim.executors.autoropes_exec` — per-thread rope
+  stacks; threads traverse independently (the non-lockstep variant).
+* :mod:`repro.gpusim.executors.lockstep_exec` — per-warp rope stacks
+  with mask bit-vectors and warp votes (Section 4).
+* :mod:`repro.gpusim.executors.recursive_exec` — the naive baseline:
+  CUDA-style recursion with function-call frames in (device) local
+  memory, in masked ("lockstep") and unmasked flavors (Section 6.1).
+"""
+
+from repro.gpusim.executors.common import LaunchResult, TraversalLaunch
+from repro.gpusim.executors.autoropes_exec import AutoropesExecutor
+from repro.gpusim.executors.lockstep_exec import LockstepExecutor
+from repro.gpusim.executors.recursive_exec import RecursiveExecutor
+from repro.gpusim.executors.ropes_exec import StaticRopesExecutor
+
+__all__ = [
+    "LaunchResult",
+    "TraversalLaunch",
+    "AutoropesExecutor",
+    "LockstepExecutor",
+    "RecursiveExecutor",
+    "StaticRopesExecutor",
+]

@@ -1,0 +1,155 @@
+"""Shared executor plumbing: launches, regions, results.
+
+A :class:`TraversalLaunch` bundles everything a kernel run needs — the
+compiled kernel, the linearized tree, the evaluation context, launch
+geometry — and allocates simulated device regions for each tree field
+group (the Section 5.2 layout step: "an identical linearized copy of
+the tree is constructed ... and copied to the GPU's global memory").
+
+:class:`LaunchResult` carries the counted events, the modeled timing,
+and per-point / per-warp traversal statistics the harness turns into
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.autoropes import IterativeKernel
+from repro.core.ir import EvalContext
+from repro.gpusim.cost import CostModel, KernelTiming
+from repro.gpusim.device import DeviceConfig
+from repro.gpusim.kernel import LaunchConfig, occupancy_for
+from repro.gpusim.memory import DeviceAllocator, GlobalMemory, Region
+from repro.gpusim.stack import RopeStackLayout
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.trace import StepTrace
+from repro.gpusim.warp import WarpIssueAccountant
+from repro.trees.linearize import LinearTree
+
+
+@dataclass
+class TraversalLaunch:
+    """One kernel launch: kernel + data + geometry + device state."""
+
+    kernel: IterativeKernel
+    tree: LinearTree
+    ctx: EvalContext
+    n_points: int
+    device: DeviceConfig
+    stack_layout: RopeStackLayout = RopeStackLayout.INTERLEAVED_GLOBAL
+    record_visits: bool = False
+    #: record a per-step divergence/traffic trace (repro.gpusim.trace).
+    trace: bool = False
+    l2_enabled: bool = True
+    max_stack_depth: int = 4096
+
+    # populated in __post_init__
+    launch: LaunchConfig = field(init=False)
+    stats: KernelStats = field(init=False)
+    allocator: DeviceAllocator = field(init=False)
+    memory: GlobalMemory = field(init=False)
+    issue: WarpIssueAccountant = field(init=False)
+    regions: Dict[str, Region] = field(init=False)
+
+    def __post_init__(self) -> None:
+        block = min(256, self.device.max_threads_per_block)
+        block -= block % self.device.warp_size
+        self.launch = LaunchConfig(
+            n_points=self.n_points, device=self.device, block_size=max(
+                block, self.device.warp_size
+            )
+        )
+        self.stats = KernelStats()
+        self.allocator = DeviceAllocator(self.device)
+        self.regions = {}
+        for group in self.tree.groups:
+            self.regions[group.name] = self.allocator.alloc(
+                f"tree.{group.name}", group.itemsize, self.tree.n_nodes
+            )
+        # Per-point result/point storage (copy-in/copy-out, Section 5.2):
+        # charged as one region; traversal-time accesses to point state
+        # stay in registers, so only the tree and stack traffic dominate.
+        self.allocator.alloc("points", 64, self.n_points)
+        self.memory = GlobalMemory(
+            self.device, self.allocator, self.stats, l2_enabled=self.l2_enabled
+        )
+        self.issue = WarpIssueAccountant(self.device.warp_size, self.stats)
+
+    @property
+    def n_threads(self) -> int:
+        return self.launch.n_threads
+
+    @property
+    def n_warps(self) -> int:
+        return self.launch.n_warps
+
+    def thread_points(self) -> np.ndarray:
+        """Point index handled by each thread; padding threads -> -1."""
+        pts = np.arange(self.n_threads, dtype=np.int64)
+        pts[self.n_points :] = -1
+        return pts
+
+
+@dataclass
+class LaunchResult:
+    """Everything measured from one simulated kernel run."""
+
+    stats: KernelStats
+    timing: KernelTiming
+    occupancy: float
+    #: nodes visited by each point's own traversal (useful work).
+    nodes_per_point: np.ndarray
+    #: warp-level traversal lengths (lockstep: nodes the warp visited;
+    #: non-lockstep: the number of steps the warp stayed live).
+    nodes_per_warp: np.ndarray
+    #: longest member traversal per warp (Table 2's denominator).
+    longest_member_per_warp: np.ndarray
+    #: optional visit log: list of (point_idx array, node array) per
+    #: step, only when record_visits was requested.
+    visits: Optional[list] = None
+    #: optional per-step divergence/traffic trace.
+    trace: Optional["StepTrace"] = None
+
+    @property
+    def time_ms(self) -> float:
+        return self.timing.time_ms
+
+    @property
+    def avg_nodes_per_point(self) -> float:
+        if len(self.nodes_per_point) == 0:
+            return 0.0
+        return float(self.nodes_per_point.mean())
+
+    def work_expansion_per_warp(self) -> np.ndarray:
+        """Table 2's metric: lockstep warp nodes / longest member
+        traversal, one value per warp."""
+        denom = np.maximum(self.longest_member_per_warp, 1)
+        return self.nodes_per_warp / denom
+
+    def per_point_sequences(self) -> list:
+        """Reconstruct each point's visit sequence from the visit log.
+
+        Requires ``record_visits=True`` at launch. Returns a list of
+        int64 arrays, one per point, in visit order.
+        """
+        if self.visits is None:
+            raise ValueError("launch did not record visits")
+        pts = (
+            np.concatenate([p for p, _ in self.visits])
+            if self.visits
+            else np.empty(0, np.int64)
+        )
+        nodes = (
+            np.concatenate([n for _, n in self.visits])
+            if self.visits
+            else np.empty(0, np.int64)
+        )
+        order = np.argsort(pts, kind="stable")
+        pts, nodes = pts[order], nodes[order]
+        n_points = len(self.nodes_per_point)
+        bounds = np.searchsorted(pts, np.arange(n_points + 1))
+        return [nodes[bounds[i] : bounds[i + 1]] for i in range(n_points)]

@@ -1,0 +1,113 @@
+"""Naive recursive GPU baselines (Section 6.1).
+
+The paper compares against "a naive GPU implementation that uses CUDA
+compute capability 2.0's support for recursion to directly map the
+recursive algorithm to the GPU", in masked ("lockstep") and unmasked
+flavors.
+
+Mechanically, SIMT recursion on an *unguided* traversal walks the union
+of the warp's call trees: a lane that truncates merely idles (masked by
+hardware) while the others step through the shared call structure, so
+the warp's visit set is the union — the same set an explicitly-masked
+lockstep walk visits. That is why the paper's footnote observes that
+lockstep "should have no effect on recursive implementations" (the
+masked variant only wins by enabling predication). For *guided*
+traversals the call orders differ per lane, the reconvergence stack
+cannot merge differing call chains, and each call-order subgroup
+descends separately — which the union machinery reproduces because the
+plain autoropes kernel has no votes: a call-order branch splits the
+warp and both arms push their (differently-ordered) children with
+complementary masks.
+
+On top of the walk, recursion pays per visited node: a call/return pair
+(``DeviceConfig.call_overhead_cycles``) and a local-memory frame
+save/restore of ``DeviceConfig.frame_bytes`` per active lane (CUDA's
+interleaved local-memory layout, so converged lanes coalesce). The
+unmasked flavor additionally pays
+``DeviceConfig.recursive_divergence_cycles`` per visit — hardware
+post-dominator reconvergence handles long divergent call chains less
+efficiently than explicit predication (the footnote again).
+
+The performance story the evaluation tells then falls out: against the
+*non-lockstep* autoropes variant, the recursive baseline does
+union-size work instead of own-traversal work, so sorted inputs (union
+close to the longest member) leave it competitive while shuffled inputs
+(union many times larger) sink it; against the *lockstep* variant it
+does the same walk but pays the recursion tax on every node.
+
+``RecursiveExecutor(launch, masking=...)`` is the factory the harness
+uses: pass the lockstep kernel for the masked flavor where one exists,
+and the plain autoropes kernel for the unmasked flavor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.executors.common import TraversalLaunch
+from repro.gpusim.executors.lockstep_exec import LockstepExecutor
+
+
+class _RecursiveBase(LockstepExecutor):
+    """Union-walk recursion with frame/call accounting."""
+
+    _require_lockstep = False
+    _stack_account = False
+    _masking = True
+
+    def __init__(self, launch: TraversalLaunch) -> None:
+        super().__init__(launch)
+        self._frame_depth_cap = 128
+        self._frames = launch.allocator.alloc(
+            "call_frames",
+            launch.device.frame_bytes,
+            launch.n_threads * self._frame_depth_cap,
+        )
+
+    def _on_visit(
+        self, warp_on: np.ndarray, live: np.ndarray, node: np.ndarray
+    ) -> None:
+        L = self.L
+        dev = L.device
+        L.stats.recursive_calls += int(warp_on.sum())
+        # Frame save at call + restore at return, per active lane, at
+        # the warp's current call depth (interleaved local memory).
+        depth = np.minimum(self.stack.sp, self._frame_depth_cap - 1)
+        lanes = np.arange(self.ws, dtype=np.int64)[None, :]
+        thread_ids = np.arange(L.n_warps, dtype=np.int64)[:, None] * self.ws + lanes
+        frame_idx = depth[:, None] * L.n_threads + thread_ids
+        addrs = self._frames.addresses(frame_idx)
+        for _ in range(2):
+            L.memory.warp_access(addrs, dev.frame_bytes, live, self._step)
+        if not self._masking:
+            L.issue.issue(warp_on[:, None], dev.recursive_divergence_cycles)
+
+
+class RecursiveMaskedExecutor(_RecursiveBase):
+    """Masked flavor: run with the lockstep kernel where one exists
+    (its votes mirror what an explicitly-masked recursive guided
+    implementation does)."""
+
+    _masking = True
+
+
+class RecursiveUnmaskedExecutor(_RecursiveBase):
+    """Unmasked flavor: run with the plain autoropes kernel so guided
+    call-order branches stay per-lane (subgroup serialization)."""
+
+    _masking = False
+
+    def __init__(self, launch: TraversalLaunch) -> None:
+        if launch.kernel.lockstep:
+            raise ValueError(
+                "the unmasked recursive baseline runs the plain autoropes "
+                "kernel (its call-order branches must stay per-lane)"
+            )
+        super().__init__(launch)
+
+
+def RecursiveExecutor(launch: TraversalLaunch, masking: bool):
+    """Factory: the masked or unmasked recursive baseline executor."""
+    if masking:
+        return RecursiveMaskedExecutor(launch)
+    return RecursiveUnmaskedExecutor(launch)

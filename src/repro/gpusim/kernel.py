@@ -1,0 +1,75 @@
+"""Kernel launch geometry and occupancy.
+
+Section 5.2: the repeated point loop is strip-mined and moved into the
+kernel so that "each thread only processes one point per thread grid";
+the grid covers all points in one or more resident waves. Occupancy —
+how many warps an SM can keep resident — controls how well memory
+latency is hidden; shared-memory rope stacks reduce occupancy when they
+grow large, which is why the paper only places stacks in shared memory
+"if the depth of the tree is reasonably small".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceConfig
+
+
+def occupancy_for(device: DeviceConfig, shared_bytes_per_warp: int) -> float:
+    """Occupancy (0..1] given per-warp shared-memory consumption."""
+    if shared_bytes_per_warp < 0:
+        raise ValueError("shared_bytes_per_warp must be >= 0")
+    warps = device.max_warps_per_sm
+    if shared_bytes_per_warp > 0:
+        fit = device.shared_mem_per_sm // shared_bytes_per_warp
+        if fit == 0:
+            # The kernel still launches with one resident warp per SM —
+            # spilling beyond shared memory is a configuration error the
+            # executors avoid by falling back to global stacks first.
+            fit = 1
+        warps = min(warps, fit)
+    return warps / device.max_warps_per_sm
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Geometry of one kernel launch over ``n_points`` traversals."""
+
+    n_points: int
+    device: DeviceConfig
+    block_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_points <= 0:
+            raise ValueError("n_points must be positive")
+        if self.block_size % self.device.warp_size != 0:
+            raise ValueError("block_size must be a multiple of warp_size")
+        if self.block_size > self.device.max_threads_per_block:
+            raise ValueError("block_size exceeds device limit")
+
+    @property
+    def n_threads(self) -> int:
+        """Threads launched: points padded up to a whole warp."""
+        w = self.device.warp_size
+        return ((self.n_points + w - 1) // w) * w
+
+    @property
+    def n_warps(self) -> int:
+        return self.n_threads // self.device.warp_size
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n_threads + self.block_size - 1) // self.block_size
+
+    @property
+    def waves(self) -> int:
+        """Resident waves needed to cover the grid (strip-mined loop)."""
+        resident = self.device.max_resident_threads
+        return max(1, -(-self.n_threads // resident))
+
+    def lane_of_thread(self, thread_ids):
+        return thread_ids % self.device.warp_size
+
+    def warp_of_thread(self, thread_ids):
+        return thread_ids // self.device.warp_size

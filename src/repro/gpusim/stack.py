@@ -1,0 +1,229 @@
+"""Rope-stack storage with the layout options of Section 5.2.
+
+The paper lays out per-thread rope stacks *interleaved* in global
+memory, "such that if two adjacent threads are at the same stack level
+their accesses are made to contiguous locations in memory, providing
+the best opportunity for memory coalescing", and moves the stack to
+per-warp *shared memory* for lockstep traversals of shallow trees.
+A strided contiguous-per-thread layout is kept as an ablation baseline.
+
+:class:`StackStorage` both stores the stack payload (host-side numpy —
+node indices, traversal-variant arguments, lockstep masks) and accounts
+the simulated memory traffic each push/pop generates under the chosen
+layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceConfig
+from repro.gpusim.memory import DeviceAllocator, GlobalMemory
+from repro.gpusim.stats import KernelStats
+
+
+class RopeStackLayout(enum.Enum):
+    """Where and how rope-stack entries live."""
+
+    #: entry (stack s, depth d) at ``(d * n_stacks + s)``: neighboring
+    #: threads at equal depth are contiguous -> coalesced (paper default).
+    INTERLEAVED_GLOBAL = "interleaved_global"
+    #: entry (s, d) at ``(s * max_depth + d)``: each thread's stack is
+    #: contiguous, so warp accesses stride by ``max_depth`` (ablation).
+    CONTIGUOUS_GLOBAL = "contiguous_global"
+    #: per-warp stack in shared memory (lockstep, shallow trees); no
+    #: global traffic but consumes shared memory, limiting occupancy.
+    SHARED = "shared"
+
+
+class StackOverflowError(RuntimeError):
+    """A traversal exceeded the stack capacity cap."""
+
+
+class StackStorage:
+    """A set of parallel stacks with layout-aware traffic accounting.
+
+    Parameters
+    ----------
+    n_stacks:
+        one stack per thread (non-lockstep) or per warp (lockstep).
+    channels:
+        mapping ``name -> (dtype, width)`` of payload lanes stored per
+        entry; e.g. ``{"node": (np.int64, 1), "mask": (np.uint64, 1)}``.
+    lanes_per_access:
+        how many stacks form one warp access group: ``warp_size`` for
+        per-thread stacks, ``1`` for per-warp stacks.
+    max_depth:
+        capacity cap; storage grows lazily up to this.
+    """
+
+    def __init__(
+        self,
+        n_stacks: int,
+        channels: Dict[str, Tuple[np.dtype, int]],
+        layout: RopeStackLayout,
+        device: DeviceConfig,
+        allocator: Optional[DeviceAllocator],
+        memory: Optional[GlobalMemory],
+        stats: KernelStats,
+        lanes_per_access: int,
+        max_depth: int = 4096,
+        initial_depth: int = 64,
+        name: str = "rope_stack",
+        account: bool = True,
+    ) -> None:
+        if n_stacks <= 0:
+            raise ValueError("n_stacks must be positive")
+        if n_stacks % lanes_per_access != 0:
+            raise ValueError("n_stacks must be a multiple of lanes_per_access")
+        self.n_stacks = n_stacks
+        self.layout = layout
+        self.device = device
+        self.memory = memory
+        self.stats = stats
+        self.lanes_per_access = lanes_per_access
+        self.max_depth = max_depth
+        self._channels: Dict[str, np.ndarray] = {}
+        self._widths: Dict[str, int] = {}
+        entry_bytes = 0
+        cap = max(1, min(initial_depth, max_depth))
+        for cname, (dtype, width) in channels.items():
+            dt = np.dtype(dtype)
+            shape = (n_stacks, cap) if width == 1 else (n_stacks, cap, width)
+            self._channels[cname] = np.zeros(shape, dtype=dt)
+            self._widths[cname] = width
+            entry_bytes += dt.itemsize * width
+        self.entry_bytes = entry_bytes
+        self.sp = np.zeros(n_stacks, dtype=np.int64)
+        self._capacity = cap
+        self.high_water = 0
+        #: when False, the stack stores payload but generates no
+        #: simulated traffic (used by the recursive baseline, whose
+        #: control stack is accounted as call frames instead).
+        self.account = account
+
+        if layout is RopeStackLayout.SHARED:
+            self.region = None  # no global allocation; traffic is shared-mem
+        else:
+            if allocator is None:
+                raise ValueError("global stack layouts need an allocator")
+            self.region = allocator.alloc(name, entry_bytes, n_stacks * max_depth)
+
+    # -- capacity -------------------------------------------------------
+
+    @property
+    def shared_bytes_per_group(self) -> int:
+        """Shared memory a warp-group of stacks consumes (occupancy input).
+
+        Uses the high-water depth so shallow traversals are not charged
+        the full capacity cap.
+        """
+        if self.layout is not RopeStackLayout.SHARED:
+            return 0
+        depth = max(1, self.high_water)
+        return depth * self.entry_bytes * self.lanes_per_access
+
+    def _grow(self, needed: int) -> None:
+        if needed > self.max_depth:
+            raise StackOverflowError(
+                f"stack depth {needed} exceeds cap {self.max_depth}"
+            )
+        new_cap = self._capacity
+        while new_cap < needed:
+            new_cap = min(self.max_depth, new_cap * 2)
+        for cname, arr in self._channels.items():
+            pad_shape = list(arr.shape)
+            pad_shape[1] = new_cap - arr.shape[1]
+            self._channels[cname] = np.concatenate(
+                [arr, np.zeros(pad_shape, dtype=arr.dtype)], axis=1
+            )
+        self._capacity = new_cap
+
+    # -- traffic accounting ----------------------------------------------
+
+    def _entry_addresses(self, stack_ids: np.ndarray, depths: np.ndarray) -> np.ndarray:
+        assert self.region is not None
+        if self.layout is RopeStackLayout.INTERLEAVED_GLOBAL:
+            entry_idx = depths * self.n_stacks + stack_ids
+        else:  # CONTIGUOUS_GLOBAL
+            entry_idx = stack_ids * self.max_depth + depths
+        return self.region.addresses(entry_idx)
+
+    def _account(self, active: np.ndarray, depths: np.ndarray, step: int) -> None:
+        """Charge the traffic of touching ``(stack, depth)`` entries."""
+        if not self.account:
+            return
+        n_active = int(active.sum())
+        if n_active == 0:
+            return
+        self.stats.stack_ops += n_active
+        groups = self.n_stacks // self.lanes_per_access
+        if self.layout is RopeStackLayout.SHARED:
+            grp_active = active.reshape(groups, self.lanes_per_access).any(axis=1)
+            self.stats.shared_accesses += int(grp_active.sum())
+            return
+        if self.memory is None:
+            return
+        stack_ids = np.arange(self.n_stacks, dtype=np.int64)
+        addrs = self._entry_addresses(stack_ids, depths).reshape(
+            groups, self.lanes_per_access
+        )
+        self.memory.warp_access(
+            addrs, self.entry_bytes, active.reshape(groups, self.lanes_per_access), step
+        )
+
+    # -- stack operations --------------------------------------------------
+
+    def push(self, active: np.ndarray, step: int, **values: np.ndarray) -> None:
+        """Push one entry on every stack where ``active`` is set.
+
+        ``values`` must contain exactly the configured channels; each is
+        an array of shape ``(n_stacks,)`` (or ``(n_stacks, width)``).
+        """
+        if set(values) != set(self._channels):
+            raise KeyError(
+                f"push channels {sorted(values)} != {sorted(self._channels)}"
+            )
+        if not active.any():
+            return
+        depths = self.sp
+        max_needed = int(depths[active].max()) + 1
+        if max_needed > self._capacity:
+            self._grow(max_needed)
+        idx = np.nonzero(active)[0]
+        d = depths[idx]
+        for cname, arr in self._channels.items():
+            arr[idx, d] = values[cname][idx]
+        self._account(active, depths, step)
+        self.sp[idx] += 1
+        self.high_water = max(self.high_water, max_needed)
+
+    def pop(self, active: np.ndarray, step: int) -> Dict[str, np.ndarray]:
+        """Pop the top entry of every stack where ``active`` is set.
+
+        Returns full-width arrays; entries for inactive stacks are
+        whatever was previously stored there (callers must mask).
+        """
+        if np.any(active & (self.sp == 0)):
+            raise IndexError("pop from empty rope stack")
+        out: Dict[str, np.ndarray] = {}
+        if not active.any():
+            for cname, arr in self._channels.items():
+                out[cname] = arr[:, 0].copy()
+            return out
+        new_sp = np.where(active, self.sp - 1, self.sp)
+        for cname, arr in self._channels.items():
+            out[cname] = arr[np.arange(self.n_stacks), np.maximum(new_sp, 0)].copy()
+        self._account(active, new_sp, step)
+        self.sp = new_sp
+        return out
+
+    def nonempty(self) -> np.ndarray:
+        """Bool array: which stacks still hold entries."""
+        return self.sp > 0
+
+    def any_nonempty(self) -> bool:
+        return bool((self.sp > 0).any())

@@ -1,0 +1,105 @@
+"""Architectural event counters for a simulated kernel launch.
+
+Every executor accumulates a :class:`KernelStats` as it steps warps.
+The counters are exactly the events the paper's discussion attributes
+performance to:
+
+* warp instructions issued (and how many were issued redundantly due to
+  intra-warp control divergence),
+* global-memory transactions, split by L2 hit/miss, produced by the
+  coalescing model,
+* shared-memory accesses (per-warp rope stacks),
+* rope-stack pushes/pops and recursive call frames (naive baseline),
+* node visits, both per-thread useful visits and warp-level visits
+  (whose ratio is the Table 2 "work expansion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class KernelStats:
+    """Mutable counter bundle for one kernel launch."""
+
+    #: Warp-instructions issued (one per warp per executed operation).
+    warp_instructions: float = 0.0
+    #: Of those, instructions issued for warps where some lanes were
+    #: masked off (a measure of divergence-induced waste).
+    divergent_instructions: float = 0.0
+    #: Instruction slots wasted: (inactive lanes / warp_size) summed
+    #: over issued instructions.
+    wasted_lane_fraction: float = 0.0
+
+    #: Global-memory transactions (segment-granularity requests).
+    global_transactions: int = 0
+    #: Transactions that hit in the simulated L2.
+    l2_hit_transactions: int = 0
+    #: Bytes transferred from DRAM (L2 misses * segment size).
+    dram_bytes: int = 0
+    #: Bytes the kernel actually asked for (sum of field-group record
+    #: sizes loaded); field splitting reduces this directly, whereas its
+    #: effect on transactions depends on alignment and coalescing.
+    bytes_requested: int = 0
+
+    #: Shared-memory warp accesses (lockstep per-warp stacks).
+    shared_accesses: int = 0
+
+    #: Rope-stack operations (pushes + pops), any layout.
+    stack_ops: int = 0
+    #: Recursive call/return pairs executed (naive baseline only).
+    recursive_calls: int = 0
+
+    #: Per-thread node visits where the thread did useful work.
+    node_visits: int = 0
+    #: Warp-level node visits (a warp arriving at a node counts once).
+    warp_node_visits: int = 0
+
+    #: Number of warp time-steps executed (max traversal length proxy).
+    steps: int = 0
+
+    #: Free-form auxiliary metrics (e.g. per-warp traversal lengths).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate ``other`` into ``self`` and return ``self``.
+
+        ``steps`` merges by max (launch waves overlap in time is not
+        modeled; sequential waves sum via explicit addition by callers),
+        everything else by sum.
+        """
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            if f.name == "steps":
+                self.steps = max(self.steps, other.steps)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+        return self
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of global transactions serviced by the L2."""
+        if self.global_transactions == 0:
+            return 0.0
+        return self.l2_hit_transactions / self.global_transactions
+
+    @property
+    def avg_transactions_per_step(self) -> float:
+        if self.steps == 0:
+            return 0.0
+        return self.global_transactions / self.steps
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view (for harness reports and tests)."""
+        out: Dict[str, float] = {}
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            out[f.name] = getattr(self, f.name)
+        out.update({f"extra.{k}": v for k, v in self.extra.items()})
+        return out

@@ -1,0 +1,66 @@
+"""Per-step execution traces: how divergence and traffic evolve.
+
+Section 4's whole argument is about what happens *per warp per step* —
+threads drifting apart in the tree, masks thinning out, coalescing
+degrading. A :class:`StepTrace` records, for every traversal-loop
+iteration of a launch, how many warps were still running, how many
+lanes did useful work, and how many memory transactions the step
+generated, so the dynamics behind the aggregate numbers can be
+inspected (and asserted on).
+
+Enable with ``TraversalLaunch(..., trace=True)``; the executors append
+one sample per step and :class:`~repro.gpusim.executors.common
+.LaunchResult` carries the finished trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class StepTrace:
+    """Per-step samples of one kernel launch."""
+
+    active_warps: List[int] = field(default_factory=list)
+    live_lanes: List[int] = field(default_factory=list)
+    transactions: List[int] = field(default_factory=list)
+
+    def record(self, active_warps: int, live_lanes: int, transactions: int) -> None:
+        self.active_warps.append(int(active_warps))
+        self.live_lanes.append(int(live_lanes))
+        self.transactions.append(int(transactions))
+
+    def __len__(self) -> int:
+        return len(self.active_warps)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "active_warps": np.array(self.active_warps, dtype=np.int64),
+            "live_lanes": np.array(self.live_lanes, dtype=np.int64),
+            "transactions": np.array(self.transactions, dtype=np.int64),
+        }
+
+    def lane_utilization(self, warp_size: int) -> np.ndarray:
+        """Fraction of lanes doing useful work among running warps."""
+        w = np.array(self.active_warps, dtype=np.float64)
+        l = np.array(self.live_lanes, dtype=np.float64)
+        out = np.zeros_like(w)
+        running = w > 0
+        out[running] = l[running] / (w[running] * warp_size)
+        return out
+
+    def tail_fraction(self, threshold: float = 0.1) -> float:
+        """Fraction of steps spent in the 'tail' where fewer than
+        ``threshold`` of the peak warps remain active — the load-
+        imbalance signature of clustered inputs (Section 6.2)."""
+        if not self.active_warps:
+            return 0.0
+        w = np.array(self.active_warps, dtype=np.float64)
+        peak = w.max()
+        if peak == 0:
+            return 0.0
+        return float((w < threshold * peak).mean())

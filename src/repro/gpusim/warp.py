@@ -1,0 +1,105 @@
+"""Warp-level primitives: masks, votes, and divergence accounting.
+
+The lockstep transformation (Section 4.2) relies on a warp vote — the
+paper uses nVidia's ``ballot`` instruction to combine per-thread mask
+bits — and on pushing mask bit-vectors onto the rope stack. This module
+provides those primitives for the simulator, operating on *batches* of
+warps at once (arrays shaped ``(n_warps, warp_size)``), plus the
+bookkeeping that attributes instruction-issue waste to divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.stats import KernelStats
+
+
+def pack_mask(bits: np.ndarray) -> np.ndarray:
+    """Pack bool lane masks ``(n_warps, warp_size)`` into uint64 words.
+
+    This is the representation pushed onto the rope stack by the
+    lockstep transformation (one machine word per entry, Fig. 8).
+    """
+    n_warps, warp_size = bits.shape
+    if warp_size > 64:
+        raise ValueError("warp_size > 64 cannot pack into a uint64 mask")
+    weights = (np.uint64(1) << np.arange(warp_size, dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+
+
+def unpack_mask(words: np.ndarray, warp_size: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask`."""
+    if warp_size > 64:
+        raise ValueError("warp_size > 64 cannot unpack from a uint64 mask")
+    lanes = np.arange(warp_size, dtype=np.uint64)
+    return ((words[:, None] >> lanes) & np.uint64(1)).astype(bool)
+
+
+def warp_any(bits: np.ndarray) -> np.ndarray:
+    """Vote: does any lane of each warp have its bit set? (``ballot != 0``)"""
+    return bits.any(axis=1)
+
+
+def warp_all(bits: np.ndarray) -> np.ndarray:
+    """Vote: do all lanes of each warp have their bit set?"""
+    return bits.all(axis=1)
+
+
+def majority_vote(choice: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Per-warp majority over a binary per-lane ``choice``.
+
+    Used by the dynamic single-call-set optimization (Section 4.3): each
+    active lane votes for a call set; the warp executes the most popular
+    one. Ties resolve to call set 0 (the textually-first call set), and
+    warps with no active lanes also report 0.
+
+    Parameters
+    ----------
+    choice:
+        int/bool array ``(n_warps, warp_size)`` with values in {0, 1}.
+    active:
+        bool array of the same shape; inactive lanes do not vote.
+    """
+    votes_for_1 = (choice.astype(bool) & active).sum(axis=1)
+    voters = active.sum(axis=1)
+    return votes_for_1 * 2 > voters
+
+
+class WarpIssueAccountant:
+    """Attributes instruction issue (and divergence waste) to warps.
+
+    Every simulated operation executed under a lane-mask calls
+    :meth:`issue`. A warp that has *any* active lane must issue the
+    instruction (SIMT semantics, Section 2.2); lanes that are masked
+    off represent wasted execution slots, which is exactly the
+    divergence penalty the paper's naive-recursive baseline suffers
+    from and that autoropes' loop re-convergence avoids.
+    """
+
+    def __init__(self, warp_size: int, stats: KernelStats) -> None:
+        self.warp_size = warp_size
+        self.stats = stats
+
+    def issue(self, lane_active: np.ndarray, n_inst: float = 1.0) -> None:
+        """Charge ``n_inst`` instructions to each warp with active lanes.
+
+        ``lane_active`` is ``(n_warps, lanes)`` where ``lanes`` is the
+        true warp width for per-thread execution or 1 for warp-uniform
+        (lockstep control) instructions.
+        """
+        if lane_active.ndim != 2:
+            raise ValueError("lane_active must be 2-D (n_warps, lanes)")
+        active_count = lane_active.sum(axis=1)
+        issuing = active_count > 0
+        n_issuing = int(issuing.sum())
+        if n_issuing == 0:
+            return
+        self.stats.warp_instructions += n_inst * n_issuing
+        lanes = lane_active.shape[1]
+        if lanes > 1:
+            partial = issuing & (active_count < lanes)
+            n_partial = int(partial.sum())
+            self.stats.divergent_instructions += n_inst * n_partial
+            wasted = (lanes - active_count[issuing]).sum() / lanes
+            self.stats.wasted_lane_fraction += n_inst * float(wasted)

@@ -1,0 +1,39 @@
+"""Experiment harness: regenerates every table and figure of Section 6.
+
+* :mod:`repro.harness.config` — benchmark/input matrix and scales.
+* :mod:`repro.harness.runner` — builds apps, compiles specs, runs all
+  four GPU variants plus the CPU model, and caches results.
+* :mod:`repro.harness.table1` — the Table 1 performance summary.
+* :mod:`repro.harness.table2` — the Table 2 work-expansion summary.
+* :mod:`repro.harness.figures` — the Figure 10/11 thread sweeps.
+* :mod:`repro.harness.report` — EXPERIMENTS.md generation.
+
+Run ``python -m repro.harness all`` to regenerate everything.
+"""
+
+from repro.harness.config import (
+    BENCHMARKS,
+    CPU_THREAD_SWEEP,
+    ExperimentScale,
+    scale_from_env,
+)
+from repro.harness.runner import ExperimentResult, ExperimentRunner, VariantResult
+from repro.harness.table1 import table1_rows, format_table1
+from repro.harness.table2 import table2_rows, format_table2
+from repro.harness.figures import figure_series, format_figures
+
+__all__ = [
+    "BENCHMARKS",
+    "CPU_THREAD_SWEEP",
+    "ExperimentScale",
+    "scale_from_env",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "VariantResult",
+    "table1_rows",
+    "format_table1",
+    "table2_rows",
+    "format_table2",
+    "figure_series",
+    "format_figures",
+]

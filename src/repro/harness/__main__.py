@@ -1,0 +1,68 @@
+"""CLI driver: ``python -m repro.harness <command>``.
+
+Commands
+--------
+* ``table1`` — print the Table 1 reproduction.
+* ``table2`` — print the Table 2 reproduction.
+* ``fig10`` / ``fig11`` — print the figure series (sorted / unsorted).
+* ``all`` — run everything and (re)write EXPERIMENTS.md.
+
+Options: ``--scale tiny|small|medium|large`` (or env ``REPRO_SCALE``),
+``--bench bh,pc,...`` to restrict benchmarks, ``--out PATH`` for
+``all``'s report destination.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness.config import BENCHMARKS, SCALES, scale_from_env
+from repro.harness.figures import figure_series, format_figures
+from repro.harness.report import generate_report
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import format_table1, table1_rows
+from repro.harness.table2 import format_table2, table2_rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness")
+    parser.add_argument(
+        "command", choices=["table1", "table2", "fig10", "fig11", "all"]
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default=None)
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help=f"comma-separated subset of {sorted(BENCHMARKS)}",
+    )
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale] if args.scale else scale_from_env()
+    benches = args.bench.split(",") if args.bench else None
+    runner = ExperimentRunner(scale=scale)
+    t0 = time.time()
+
+    if args.command == "table1":
+        print(format_table1(table1_rows(runner, benches)))
+    elif args.command == "table2":
+        print(format_table2(table2_rows(runner, benches)))
+    elif args.command == "fig10":
+        print(format_figures(figure_series(runner, True, benches), "Figure 10"))
+    elif args.command == "fig11":
+        print(format_figures(figure_series(runner, False, benches), "Figure 11"))
+    elif args.command == "all":
+        report = generate_report(runner)
+        out = pathlib.Path(args.out)
+        out.write_text(report)
+        print(report)
+        print(f"\n[written to {out}]")
+    print(f"\n[{args.command} done in {time.time() - t0:.1f}s at scale {scale.name}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Figures 10 & 11: CPU performance relative to GPU vs thread count.
+
+Each subplot in the paper plots, for one benchmark and one traversal
+type (lockstep / non-lockstep), the ratio ``T_gpu / T_cpu(threads)``
+for every input as threads sweep 1..32 — values above 1 mean the CPU
+has overtaken the GPU. Figure 10 uses sorted inputs, Figure 11
+unsorted. We emit the same series as text (and as data rows the
+benchmarks assert on); plotting is left to the reader's tooling since
+the environment is headless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.harness.config import BENCHMARKS, CPU_THREAD_SWEEP
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import BENCH_TITLES
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One curve: a benchmark/input/variant's CPU-vs-GPU ratio sweep."""
+
+    bench: str
+    input_name: str
+    traversal_type: str  # "L" / "N"
+    sorted_points: bool
+    threads: Tuple[int, ...]
+    cpu_over_gpu: Tuple[float, ...]  # T_gpu / T_cpu per thread count
+
+    @property
+    def crossover_threads(self) -> Optional[int]:
+        """First thread count at which the CPU beats the GPU."""
+        for t, v in zip(self.threads, self.cpu_over_gpu):
+            if v >= 1.0:
+                return t
+        return None
+
+
+def figure_series(
+    runner: ExperimentRunner,
+    sorted_points: bool,
+    benches: Optional[Iterable[str]] = None,
+) -> List[FigureSeries]:
+    """All series of Figure 10 (sorted) or Figure 11 (unsorted)."""
+    series: List[FigureSeries] = []
+    for bench in benches or BENCHMARKS:
+        for input_name in BENCHMARKS[bench]:
+            res = runner.run(bench, input_name, sorted_points)
+            for ttype, lockstep in (("L", True), ("N", False)):
+                v = res.variant(lockstep)
+                if v is None:
+                    continue
+                ratios = tuple(
+                    v.time_ms / res.cpu_ms[t] for t in CPU_THREAD_SWEEP
+                )
+                series.append(
+                    FigureSeries(
+                        bench=bench,
+                        input_name=input_name,
+                        traversal_type=ttype,
+                        sorted_points=sorted_points,
+                        threads=CPU_THREAD_SWEEP,
+                        cpu_over_gpu=ratios,
+                    )
+                )
+    return series
+
+
+def format_figures(series: List[FigureSeries], figure_name: str) -> str:
+    """Text rendering of one figure's panels (10a-j / 11a-j)."""
+    lines = [f"{figure_name}: CPU performance vs. GPU (ratio T_gpu/T_cpu)"]
+    panels: Dict[Tuple[str, str], List[FigureSeries]] = {}
+    for s in series:
+        panels.setdefault((s.bench, s.traversal_type), []).append(s)
+    for (bench, ttype), curves in panels.items():
+        title = BENCH_TITLES.get(bench, bench)
+        kind = "Lockstep" if ttype == "L" else "Non-Lockstep"
+        lines.append(f"\n  [{title} {kind}]")
+        head = "    " + f"{'input':<9}" + "".join(
+            f"{t:>8}" for t in curves[0].threads
+        )
+        lines.append(head + "   crossover")
+        for c in curves:
+            xover = c.crossover_threads
+            lines.append(
+                "    "
+                + f"{c.input_name:<9}"
+                + "".join(f"{v:>8.3f}" for v in c.cpu_over_gpu)
+                + f"   {('t=' + str(xover)) if xover else 'never'}"
+            )
+    return "\n".join(lines)

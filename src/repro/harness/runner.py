@@ -1,0 +1,258 @@
+"""Experiment runner: builds, compiles, launches, caches.
+
+One :class:`ExperimentRunner` serves all tables and figures: each
+(benchmark, input, sorted?) triple is executed once — four GPU variants
+(autoropes lockstep & non-lockstep, recursive masked & unmasked, all on
+the same simulated device) plus the CPU thread sweep priced from the
+non-lockstep run's per-point visit streams — and the
+:class:`ExperimentResult` is cached for reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.barneshut import build_barneshut_app
+from repro.apps.base import TraversalApp
+from repro.apps.knn import build_knn_app
+from repro.apps.nn import build_nn_app
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.apps.vptree_nn import build_vptree_app
+from repro.core.pipeline import CompiledTraversal, TransformPipeline
+from repro.cpusim.threads import CPUConfig, OPTERON_6176, cpu_time_ms
+from repro.gpusim.device import DeviceConfig, TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    RecursiveExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.executors.common import LaunchResult
+from repro.gpusim.stack import RopeStackLayout
+from repro.harness.config import CPU_THREAD_SWEEP, ExperimentScale, scale_from_env
+from repro.points.datasets import dataset_by_name, plummer_bodies, random_bodies
+from repro.points.sorting import morton_order, shuffled_order
+
+#: shared-memory stacks are used when the estimated per-warp stack
+#: footprint stays below this (Section 5.2: "if the depth of the tree
+#: is reasonably small then the fast shared memory can be used").
+SHARED_STACK_BUDGET_BYTES = 4096
+
+
+@dataclass
+class VariantResult:
+    """One GPU variant's outcome."""
+
+    variant: str
+    result: LaunchResult
+
+    @property
+    def time_ms(self) -> float:
+        return self.result.time_ms
+
+    @property
+    def avg_nodes(self) -> float:
+        return self.result.avg_nodes_per_point
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured for one (benchmark, input, sorted?) triple."""
+
+    bench: str
+    input_name: str
+    sorted_points: bool
+    lockstep: Optional[VariantResult]
+    nonlockstep: VariantResult
+    recursive_lockstep: VariantResult
+    recursive_nonlockstep: VariantResult
+    cpu_ms: Dict[int, float]
+    work_expansion_mean: float
+    work_expansion_std: float
+
+    def variant(self, lockstep: bool) -> Optional[VariantResult]:
+        return self.lockstep if lockstep else self.nonlockstep
+
+    def recursive_variant(self, lockstep: bool) -> VariantResult:
+        return self.recursive_lockstep if lockstep else self.recursive_nonlockstep
+
+    def speedup_vs_cpu(self, lockstep: bool, threads: int) -> float:
+        v = self.variant(lockstep)
+        if v is None:
+            return float("nan")
+        return self.cpu_ms[threads] / v.time_ms
+
+    def improvement_vs_recursive(self, lockstep: bool) -> float:
+        """Percent improvement of our variant over the matching
+        recursive baseline (Table 1's last column)."""
+        v = self.variant(lockstep)
+        if v is None:
+            return float("nan")
+        rec = self.recursive_variant(lockstep)
+        return (rec.time_ms / v.time_ms - 1.0) * 100.0
+
+    @property
+    def best_time_ms(self) -> float:
+        times = [self.nonlockstep.time_ms]
+        if self.lockstep is not None:
+            times.append(self.lockstep.time_ms)
+        return min(times)
+
+
+class ExperimentRunner:
+    """Builds and runs experiments, caching by (bench, input, sorted)."""
+
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        device: DeviceConfig = TESLA_C2070,
+        cpu: CPUConfig = OPTERON_6176,
+        seed: int = 0,
+    ) -> None:
+        self.scale = scale or scale_from_env()
+        self.device = device
+        self.cpu = cpu
+        self.seed = seed
+        self.pipeline = TransformPipeline()
+        self._cache: Dict[Tuple[str, str, bool], ExperimentResult] = {}
+        self._apps: Dict[Tuple[str, str, bool], Tuple[TraversalApp, CompiledTraversal]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def app_for(
+        self, bench: str, input_name: str, sorted_points: bool
+    ) -> Tuple[TraversalApp, CompiledTraversal]:
+        key = (bench, input_name, sorted_points)
+        if key in self._apps:
+            return self._apps[key]
+        s = self.scale
+        if bench == "bh":
+            if input_name == "plummer":
+                bodies = plummer_bodies(s.n_bodies, seed=42 + self.seed)
+            elif input_name == "random":
+                bodies = random_bodies(s.n_bodies, seed=43 + self.seed)
+            else:
+                raise KeyError(f"BH has no input {input_name!r}")
+            order = (
+                morton_order(bodies.pos)
+                if sorted_points
+                else shuffled_order(bodies.n, seed=99 + self.seed)
+            )
+            app = build_barneshut_app(
+                bodies, order, theta=s.theta, leaf_size=s.bh_leaf_size
+            )
+        else:
+            ds = dataset_by_name(input_name, s.n_points, seed=self.seed)
+            order = (
+                morton_order(ds.points)
+                if sorted_points
+                else shuffled_order(ds.n, seed=99 + self.seed)
+            )
+            if bench == "pc":
+                app = build_pointcorr_app(
+                    ds.points, order, radius=s.pc_radius(input_name), leaf_size=s.leaf_size
+                )
+            elif bench == "knn":
+                app = build_knn_app(ds.points, order, k=s.knn_k, leaf_size=s.leaf_size)
+            elif bench == "nn":
+                app = build_nn_app(ds.points, order)
+            elif bench == "vp":
+                app = build_vptree_app(ds.points, order, leaf_size=s.leaf_size)
+            else:
+                raise KeyError(f"unknown benchmark {bench!r}")
+        compiled = self.pipeline.compile(app.spec)
+        self._apps[key] = (app, compiled)
+        return app, compiled
+
+    # -- launching ---------------------------------------------------------
+
+    def _lockstep_layout(self, app: TraversalApp, compiled: CompiledTraversal):
+        entry_bytes = 16 + 8 * len(app.spec.variant_args)
+        fanout = max(1, len(app.tree.child_names) - 1)
+        est_depth = app.tree.depth * fanout + 2
+        if est_depth * entry_bytes <= SHARED_STACK_BUDGET_BYTES:
+            return RopeStackLayout.SHARED
+        return RopeStackLayout.INTERLEAVED_GLOBAL
+
+    def _launch(
+        self,
+        app: TraversalApp,
+        kernel,
+        layout: RopeStackLayout,
+        record_visits: bool = False,
+    ) -> TraversalLaunch:
+        return TraversalLaunch(
+            kernel=kernel,
+            tree=app.tree,
+            ctx=app.make_ctx(),
+            n_points=app.n_points,
+            device=self.device,
+            stack_layout=layout,
+            record_visits=record_visits,
+        )
+
+    def run(self, bench: str, input_name: str, sorted_points: bool) -> ExperimentResult:
+        key = (bench, input_name, sorted_points)
+        if key in self._cache:
+            return self._cache[key]
+        app, compiled = self.app_for(bench, input_name, sorted_points)
+
+        # Non-lockstep autoropes (records visits: the CPU model input).
+        launch_n = self._launch(
+            app,
+            compiled.autoropes,
+            RopeStackLayout.INTERLEAVED_GLOBAL,
+            record_visits=True,
+        )
+        res_n = AutoropesExecutor(launch_n).run()
+        nonlockstep = VariantResult("nonlockstep", res_n)
+
+        # Lockstep autoropes (shared-memory stack when the tree allows).
+        lockstep: Optional[VariantResult] = None
+        wexp_mean = wexp_std = float("nan")
+        if compiled.lockstep is not None:
+            launch_l = self._launch(
+                app, compiled.lockstep, self._lockstep_layout(app, compiled)
+            )
+            res_l = LockstepExecutor(launch_l).run()
+            lockstep = VariantResult("lockstep", res_l)
+            wexp = res_l.work_expansion_per_warp()
+            wexp_mean, wexp_std = float(wexp.mean()), float(wexp.std())
+
+        # Naive recursive baselines (masked / unmasked).
+        rec_l_kernel = compiled.lockstep if compiled.lockstep is not None else compiled.autoropes
+        res_rec_l = RecursiveExecutor(
+            self._launch(app, rec_l_kernel, RopeStackLayout.INTERLEAVED_GLOBAL),
+            masking=True,
+        ).run()
+        res_rec_n = RecursiveExecutor(
+            self._launch(app, compiled.autoropes, RopeStackLayout.INTERLEAVED_GLOBAL),
+            masking=False,
+        ).run()
+
+        # CPU thread sweep from the recorded per-point visit streams.
+        sequences = res_n.per_point_sequences()
+        cpu_ms = {
+            t: cpu_time_ms(
+                sequences, t, self.cpu, visit_cost_scale=app.visit_cost_scale
+            ).time_ms
+            for t in CPU_THREAD_SWEEP
+        }
+
+        result = ExperimentResult(
+            bench=bench,
+            input_name=input_name,
+            sorted_points=sorted_points,
+            lockstep=lockstep,
+            nonlockstep=nonlockstep,
+            recursive_lockstep=VariantResult("recursive_lockstep", res_rec_l),
+            recursive_nonlockstep=VariantResult("recursive_nonlockstep", res_rec_n),
+            cpu_ms=cpu_ms,
+            work_expansion_mean=wexp_mean,
+            work_expansion_std=wexp_std,
+        )
+        self._cache[key] = result
+        return result

@@ -1,0 +1,106 @@
+"""Table 1: performance summary of transformed traversals.
+
+For every benchmark/input pair and traversal type (L = lockstep, N =
+non-lockstep), in sorted and unsorted variants: traversal time, average
+nodes visited per point, speedup over the 1-thread and 32-thread CPU
+baselines, and percentage improvement over the matching recursive GPU
+baseline — the same columns as the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.harness.config import BENCHMARKS
+from repro.harness.runner import ExperimentRunner
+
+BENCH_TITLES = {
+    "bh": "Barnes Hut",
+    "pc": "Point Correlation",
+    "knn": "k-Nearest Neighbor",
+    "nn": "Nearest Neighbor",
+    "vp": "Vantage Point",
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    bench: str
+    input_name: str
+    traversal_type: str  # "L" or "N"
+    # sorted columns
+    s_time_ms: float
+    s_avg_nodes: float
+    s_speedup_vs1: float
+    s_speedup_vs32: float
+    s_improv_vs_recurse_pct: float
+    # unsorted columns
+    u_time_ms: float
+    u_avg_nodes: float
+    u_speedup_vs1: float
+    u_speedup_vs32: float
+    u_improv_vs_recurse_pct: float
+
+
+def table1_rows(
+    runner: ExperimentRunner,
+    benches: Optional[Iterable[str]] = None,
+) -> List[Table1Row]:
+    """Run (or fetch cached) experiments and produce all Table 1 rows."""
+    rows: List[Table1Row] = []
+    for bench in benches or BENCHMARKS:
+        for input_name in BENCHMARKS[bench]:
+            s = runner.run(bench, input_name, sorted_points=True)
+            u = runner.run(bench, input_name, sorted_points=False)
+            for ttype, lockstep in (("L", True), ("N", False)):
+                vs, vu = s.variant(lockstep), u.variant(lockstep)
+                if vs is None or vu is None:
+                    continue
+                rows.append(
+                    Table1Row(
+                        bench=bench,
+                        input_name=input_name,
+                        traversal_type=ttype,
+                        s_time_ms=vs.time_ms,
+                        s_avg_nodes=vs.avg_nodes,
+                        s_speedup_vs1=s.speedup_vs_cpu(lockstep, 1),
+                        s_speedup_vs32=s.speedup_vs_cpu(lockstep, 32),
+                        s_improv_vs_recurse_pct=s.improvement_vs_recursive(lockstep),
+                        u_time_ms=vu.time_ms,
+                        u_avg_nodes=vu.avg_nodes,
+                        u_speedup_vs1=u.speedup_vs_cpu(lockstep, 1),
+                        u_speedup_vs32=u.speedup_vs_cpu(lockstep, 32),
+                        u_improv_vs_recurse_pct=u.improvement_vs_recursive(lockstep),
+                    )
+                )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render rows in the paper's layout."""
+    header = (
+        f"{'Benchmark':<20} {'Input':<9} {'T':<2} "
+        f"{'Time(ms)':>10} {'AvgNodes':>9} {'vs1':>8} {'vs32':>7} {'vsRec':>8}   "
+        f"{'Time(ms)':>10} {'AvgNodes':>10} {'vs1':>8} {'vs32':>7} {'vsRec':>8}"
+    )
+    bar = "-" * len(header)
+    lines = [
+        f"{'':<33}{'--- Sorted ---':^47}   {'--- Unsorted ---':^47}",
+        header,
+        bar,
+    ]
+    prev = None
+    for r in rows:
+        title = BENCH_TITLES.get(r.bench, r.bench)
+        show = title if (r.bench, r.input_name) != prev else ""
+        show_input = r.input_name if (r.bench, r.input_name) != prev else ""
+        prev = (r.bench, r.input_name)
+        lines.append(
+            f"{show:<20} {show_input:<9} {r.traversal_type:<2} "
+            f"{r.s_time_ms:>10.2f} {r.s_avg_nodes:>9.0f} {r.s_speedup_vs1:>8.2f} "
+            f"{r.s_speedup_vs32:>7.2f} {r.s_improv_vs_recurse_pct:>7.0f}%   "
+            f"{r.u_time_ms:>10.2f} {r.u_avg_nodes:>10.0f} {r.u_speedup_vs1:>8.2f} "
+            f"{r.u_speedup_vs32:>7.2f} {r.u_improv_vs_recurse_pct:>7.0f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Table 2: average work expansion per warp of lockstep traversals.
+
+Work expansion compares the number of nodes a lockstep warp visits with
+the longest member traversal of that warp (how long the warp would take
+non-lockstep); Section 6.3 uses it to explain when lockstep pays off.
+Reported as mean (std) per benchmark/input, sorted and unsorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.harness.config import BENCHMARKS
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import BENCH_TITLES
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    bench: str
+    input_name: str
+    sorted_mean: float
+    sorted_std: float
+    unsorted_mean: float
+    unsorted_std: float
+
+
+def table2_rows(
+    runner: ExperimentRunner,
+    benches: Optional[Iterable[str]] = None,
+) -> List[Table2Row]:
+    rows: List[Table2Row] = []
+    for bench in benches or BENCHMARKS:
+        for input_name in BENCHMARKS[bench]:
+            s = runner.run(bench, input_name, sorted_points=True)
+            u = runner.run(bench, input_name, sorted_points=False)
+            rows.append(
+                Table2Row(
+                    bench=bench,
+                    input_name=input_name,
+                    sorted_mean=s.work_expansion_mean,
+                    sorted_std=s.work_expansion_std,
+                    unsorted_mean=u.work_expansion_mean,
+                    unsorted_std=u.work_expansion_std,
+                )
+            )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    header = f"{'Benchmark':<20} {'Input':<9} {'Sorted':>16} {'Unsorted':>18}"
+    lines = [header, "-" * len(header)]
+    prev = None
+    for r in rows:
+        title = BENCH_TITLES.get(r.bench, r.bench)
+        show = title if r.bench != prev else ""
+        prev = r.bench
+        lines.append(
+            f"{show:<20} {r.input_name:<9} "
+            f"{r.sorted_mean:>8.2f} ({r.sorted_std:.2f}) "
+            f"{r.unsorted_mean:>9.2f} ({r.unsorted_std:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Input point sets and point ordering.
+
+:mod:`repro.points.datasets` generates the evaluation inputs
+(Section 6.1.2) — Plummer and random body distributions for Barnes-Hut,
+and covtype-like / mnist-like / random / geocity-like 7-d and 2-d point
+sets for the kd-tree benchmarks. Proprietary datasets are replaced by
+synthetic generators that preserve dimension, reduction method and
+clustering structure (see DESIGN.md, "Substitutions").
+
+:mod:`repro.points.sorting` provides the point-sorting step of
+Section 4.4 (Morton-order space-filling-curve sort, plus tree-order
+sorting) and the seeded shuffle that produces the "unsorted" variants.
+"""
+
+from repro.points.datasets import (
+    Dataset,
+    BodySet,
+    plummer_bodies,
+    random_bodies,
+    covtype_like,
+    mnist_like,
+    random_points,
+    geocity_like,
+    dataset_by_name,
+    DATASET_NAMES,
+)
+from repro.points.sorting import morton_order, morton_codes, shuffled_order, tree_order
+
+__all__ = [
+    "Dataset",
+    "BodySet",
+    "plummer_bodies",
+    "random_bodies",
+    "covtype_like",
+    "mnist_like",
+    "random_points",
+    "geocity_like",
+    "dataset_by_name",
+    "DATASET_NAMES",
+    "morton_order",
+    "morton_codes",
+    "shuffled_order",
+    "tree_order",
+]

@@ -1,0 +1,196 @@
+"""Synthetic evaluation inputs (Section 6.1.2).
+
+The paper's inputs and our stand-ins:
+
+* **Plummer** — 1M bodies from the Plummer model (Lonestar's class C
+  input). We sample the Plummer sphere exactly (it is a closed-form
+  distribution), scaled down in count.
+* **Random** (BH) — bodies with uniform random position and velocity.
+* **Covtype** — the UCI forest-cover dataset (580k x 54d) reduced to
+  200k x 7d by random projection. Stand-in: a 7-component Gaussian
+  mixture in 54d with anisotropic covariances (cover types form
+  elongated clusters), random-projected to 7d.
+* **Mnist** — 8.1M x 784d handwritten digits reduced to 200k x 7d by
+  random projection. Stand-in: a 10-component mixture on a low-rank
+  manifold in 784d (digit classes vary along few factors),
+  random-projected to 7d.
+* **Geocity** — 200k 2-d city locations. Stand-in: Zipf-weighted city
+  clusters with tight Gaussian spread — the heavy clustering and low
+  dimension are exactly what makes Geocity the paper's consistent
+  outlier (very short traversals, CPU-friendly).
+
+All generators take explicit seeds and sizes; defaults are laptop-scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A point set traversing a tree built over (usually) itself."""
+
+    name: str
+    points: np.ndarray  # (n, d) float64
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+
+@dataclass(frozen=True)
+class BodySet:
+    """Bodies for Barnes-Hut: positions, velocities, masses."""
+
+    name: str
+    pos: np.ndarray  # (n, 3)
+    vel: np.ndarray  # (n, 3)
+    mass: np.ndarray  # (n,)
+
+    @property
+    def n(self) -> int:
+        return len(self.pos)
+
+
+def _unit_vectors(rng: np.random.Generator, n: int) -> np.ndarray:
+    v = rng.normal(size=(n, 3))
+    norm = np.linalg.norm(v, axis=1, keepdims=True)
+    norm[norm == 0] = 1.0
+    return v / norm
+
+
+def plummer_bodies(n: int = 4096, seed: int = 42) -> BodySet:
+    """Sample the Plummer model (Aarseth, Henon & Wielen '74 recipe).
+
+    Radii follow ``r = (u^{-2/3} - 1)^{-1/2}``; velocities are drawn by
+    von Neumann rejection from the isotropic distribution
+    ``g(q) = q^2 (1 - q^2)^{7/2}`` scaled by the local escape velocity.
+    Masses are equal, as in the Lonestar class C input.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(1e-10, 1.0 - 1e-10, size=n)
+    r = (u ** (-2.0 / 3.0) - 1.0) ** -0.5
+    r = np.minimum(r, 10.0)  # standard practice: clip the far tail
+    pos = _unit_vectors(rng, n) * r[:, None]
+
+    q = np.empty(n)
+    remaining = np.arange(n)
+    while len(remaining):
+        x = rng.uniform(0.0, 1.0, size=len(remaining))
+        y = rng.uniform(0.0, 0.1, size=len(remaining))
+        ok = y < x * x * (1.0 - x * x) ** 3.5
+        q[remaining[ok]] = x[ok]
+        remaining = remaining[~ok]
+    v_escape = np.sqrt(2.0) * (1.0 + r * r) ** -0.25
+    vel = _unit_vectors(rng, n) * (q * v_escape)[:, None]
+    mass = np.full(n, 1.0 / n)
+    return BodySet(name="plummer", pos=pos, vel=vel, mass=mass)
+
+
+def random_bodies(n: int = 4096, seed: int = 43) -> BodySet:
+    """Bodies of equal mass with random position and velocity."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-1.0, 1.0, size=(n, 3))
+    vel = rng.uniform(-0.1, 0.1, size=(n, 3))
+    mass = np.full(n, 1.0 / n)
+    return BodySet(name="random", pos=pos, vel=vel, mass=mass)
+
+
+def _random_projection(
+    rng: np.random.Generator, data: np.ndarray, out_dim: int
+) -> np.ndarray:
+    proj = rng.normal(size=(data.shape[1], out_dim)) / np.sqrt(data.shape[1])
+    low = data @ proj
+    # Normalize to the unit cube so radii are comparable across inputs.
+    low -= low.min(axis=0)
+    span = low.max(axis=0)
+    span[span == 0] = 1.0
+    return low / span
+
+
+def covtype_like(n: int = 4096, dim: int = 7, seed: int = 44) -> Dataset:
+    """Covtype stand-in: anisotropic 7-cluster mixture in 54d, random-
+    projected to ``dim`` dimensions (the paper's reduction method)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    full_dim, k = 54, 7
+    centers = rng.normal(size=(k, full_dim)) * 3.0
+    # Elongated covariances: a few dominant directions per cover type.
+    labels = rng.integers(0, k, size=n)
+    factors = rng.normal(size=(k, full_dim, 5))
+    z = rng.normal(size=(n, 5))
+    noise = rng.normal(size=(n, full_dim)) * 0.2
+    data = centers[labels] + np.einsum("nf,ndf->nd", z, factors[labels]) + noise
+    return Dataset(name="covtype", points=_random_projection(rng, data, dim))
+
+
+def mnist_like(n: int = 4096, dim: int = 7, seed: int = 45) -> Dataset:
+    """MNIST stand-in: 10-class low-rank manifold mixture in 784d,
+    random-projected to ``dim`` dimensions."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    full_dim, k, rank = 784, 10, 12
+    centers = rng.normal(size=(k, full_dim)) * 2.0
+    basis = rng.normal(size=(k, full_dim, rank)) / np.sqrt(rank)
+    labels = rng.integers(0, k, size=n)
+    coeff = rng.normal(size=(n, rank))
+    noise = rng.normal(size=(n, full_dim)) * 0.05
+    data = centers[labels] + np.einsum("nr,ndr->nd", coeff, basis[labels]) + noise
+    return Dataset(name="mnist", points=_random_projection(rng, data, dim))
+
+
+def random_points(n: int = 4096, dim: int = 7, seed: int = 46) -> Dataset:
+    """Uniform random coordinates in the unit cube (the paper's Random
+    input for PC/kNN/NN/VP)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    return Dataset(name="random", points=rng.uniform(0.0, 1.0, size=(n, dim)))
+
+
+def geocity_like(n: int = 4096, seed: int = 47, n_cities: Optional[int] = None) -> Dataset:
+    """Geocity stand-in: 2-d city locations with Zipf-distributed city
+    populations and tight per-city spread — highly clustered, which
+    makes traversals very short and variable (the paper's outlier)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    if n_cities is None:
+        n_cities = max(8, n // 64)
+    centers = rng.uniform(0.0, 1.0, size=(n_cities, 2))
+    weights = 1.0 / np.arange(1, n_cities + 1) ** 1.1
+    weights /= weights.sum()
+    city = rng.choice(n_cities, size=n, p=weights)
+    sigma = 0.004
+    pts = centers[city] + rng.normal(scale=sigma, size=(n, 2))
+    return Dataset(name="geocity", points=pts)
+
+
+DATASET_NAMES = ("covtype", "mnist", "random", "geocity")
+
+
+def dataset_by_name(name: str, n: int, seed: int = 0, dim: int = 7) -> Dataset:
+    """Factory used by the experiment harness."""
+    makers: Dict[str, object] = {
+        "covtype": lambda: covtype_like(n, dim=dim, seed=44 + seed),
+        "mnist": lambda: mnist_like(n, dim=dim, seed=45 + seed),
+        "random": lambda: random_points(n, dim=dim, seed=46 + seed),
+        "geocity": lambda: geocity_like(n, seed=47 + seed),
+    }
+    if name not in makers:
+        raise KeyError(f"unknown dataset {name!r}; options: {DATASET_NAMES}")
+    return makers[name]()  # type: ignore[operator]

@@ -1,0 +1,26 @@
+"""Tree substrates the benchmarks traverse.
+
+The paper's benchmarks build four spatial structures: the Barnes-Hut
+oct-tree, two kd-tree variants (a leaf-bucket tree for point
+correlation / kNN and an internal-point tree for the NN benchmark), and
+a vantage-point tree. All are built host-side, then *linearized* with
+the left-biased depth-first layout of Section 5.2 and split into
+hot/cold field groups so the simulator can charge partial-node loads.
+"""
+
+from repro.trees.node import FieldGroup, RawTree
+from repro.trees.linearize import LinearTree, linearize_left_biased
+from repro.trees.kdtree import build_kdtree_buckets, build_kdtree_points
+from repro.trees.octree import build_octree
+from repro.trees.vptree import build_vptree
+
+__all__ = [
+    "FieldGroup",
+    "RawTree",
+    "LinearTree",
+    "linearize_left_biased",
+    "build_kdtree_buckets",
+    "build_kdtree_points",
+    "build_octree",
+    "build_vptree",
+]

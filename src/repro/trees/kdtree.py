@@ -1,0 +1,187 @@
+"""kd-tree builders.
+
+Two variants, matching the paper's benchmark inventory:
+
+* :func:`build_kdtree_buckets` — a bounding-box kd-tree with points
+  stored in leaf buckets, used by Point Correlation (after Moore et
+  al.'s n-point correlation trees) and by the kNN benchmark.
+* :func:`build_kdtree_points` — a classic kd-tree storing one data
+  point per *internal* node, "a variation of nearest neighbor search
+  with a different implementation of the kd-tree structure" (the NN
+  benchmark).
+
+Builders are deterministic (median splits, ties broken by index) and
+iterative, so input size is bounded by memory rather than Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trees.node import FieldGroup, RawTree
+
+_F4 = 4  # simulated sizeof(float)
+_PTR = 4  # simulated child index size (int32 on the device)
+
+
+@dataclass
+class BucketTreeBuild:
+    """Result of a leaf-bucket build: the tree plus the point order.
+
+    ``point_order[i]`` is the original index of the i-th point in
+    bucket-contiguous storage; leaf nodes reference ``[leaf_start,
+    leaf_start + leaf_count)`` ranges of that storage.
+    """
+
+    tree: RawTree
+    point_order: np.ndarray
+
+
+def build_kdtree_buckets(
+    data: np.ndarray, leaf_size: int = 8, max_depth: int = 64
+) -> BucketTreeBuild:
+    """Median-split bounding-box kd-tree with leaf buckets.
+
+    Splits on the widest dimension of each node's bounding box at the
+    median coordinate, which keeps the tree balanced for the clustered
+    inputs the evaluation uses.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or len(data) == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    n, d = data.shape
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be >= 1")
+
+    point_order = np.arange(n, dtype=np.int64)
+    left, right = [], []
+    bbox_min, bbox_max = [], []
+    is_leaf, leaf_start, leaf_count = [], [], []
+    split_dim, split_val = [], []
+
+    def new_node(lo: int, hi: int) -> int:
+        idx = len(left)
+        sub = data[point_order[lo:hi]]
+        bbox_min.append(sub.min(axis=0))
+        bbox_max.append(sub.max(axis=0))
+        left.append(-1)
+        right.append(-1)
+        is_leaf.append(False)
+        leaf_start.append(lo)
+        leaf_count.append(hi - lo)
+        split_dim.append(-1)
+        split_val.append(0.0)
+        return idx
+
+    root = new_node(0, n)
+    stack = [(root, 0, n, 0)]
+    while stack:
+        node, lo, hi, depth = stack.pop()
+        count = hi - lo
+        widths = bbox_max[node] - bbox_min[node]
+        if count <= leaf_size or depth >= max_depth or widths.max() == 0.0:
+            is_leaf[node] = True
+            continue
+        dim = int(np.argmax(widths))
+        seg = point_order[lo:hi]
+        mid = count // 2
+        # argpartition gives a median split; ties are fine because both
+        # halves stay non-empty (count > leaf_size >= 1 implies mid >= 1).
+        part = np.argpartition(data[seg, dim], mid)
+        point_order[lo:hi] = seg[part]
+        split_dim[node] = dim
+        split_val[node] = float(data[point_order[lo + mid], dim])
+        l = new_node(lo, lo + mid)
+        r = new_node(lo + mid, hi)
+        left[node], right[node] = l, r
+        stack.append((l, lo, lo + mid, depth + 1))
+        stack.append((r, lo + mid, hi, depth + 1))
+
+    groups = (
+        # bbox + leaf flag + split info: loaded by the truncation test.
+        FieldGroup("hot", 2 * d * _F4 + 3 * _F4),
+        # child indices: loaded only when descending.
+        FieldGroup("cold", 2 * _PTR),
+        # leaf bucket payload: loaded by leaf updates.
+        FieldGroup("leafdata", leaf_size * d * _F4),
+    )
+    tree = RawTree(
+        child_names=("left", "right"),
+        children={
+            "left": np.array(left, dtype=np.int64),
+            "right": np.array(right, dtype=np.int64),
+        },
+        arrays={
+            "bbox_min": np.array(bbox_min),
+            "bbox_max": np.array(bbox_max),
+            "is_leaf": np.array(is_leaf, dtype=bool),
+            "leaf_start": np.array(leaf_start, dtype=np.int64),
+            "leaf_count": np.array(leaf_count, dtype=np.int64),
+            "split_dim": np.array(split_dim, dtype=np.int64),
+            "split_val": np.array(split_val, dtype=np.float64),
+        },
+        groups=groups,
+    ).validate()
+    return BucketTreeBuild(tree=tree, point_order=point_order)
+
+
+def build_kdtree_points(data: np.ndarray, max_depth: int = 64) -> RawTree:
+    """Classic kd-tree: one point per node, split dimension cycles with
+    depth, the median point becomes the node."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or len(data) == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    n, d = data.shape
+
+    point = np.zeros((n, d), dtype=np.float64)
+    point_id = np.full(n, -1, dtype=np.int64)
+    node_split_dim = np.zeros(n, dtype=np.int64)
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+
+    next_node = [0]
+
+    def build(ids: np.ndarray, depth: int) -> int:
+        node = next_node[0]
+        next_node[0] += 1
+        dim = depth % d
+        mid = len(ids) // 2
+        order = np.argsort(data[ids, dim], kind="stable")
+        ids = ids[order]
+        chosen = ids[mid]
+        point[node] = data[chosen]
+        point_id[node] = chosen
+        node_split_dim[node] = dim
+        lo, hi = ids[:mid], ids[mid + 1 :]
+        if len(lo):
+            left[node] = build(lo, depth + 1)
+        if len(hi):
+            right[node] = build(hi, depth + 1)
+        return node
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 2 * max_depth + n.bit_length() * 64 + 1000))
+    try:
+        build(np.arange(n, dtype=np.int64), 0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    groups = (
+        FieldGroup("hot", d * _F4 + 2 * _F4),  # point coords + split dim
+        FieldGroup("cold", 2 * _PTR),
+    )
+    return RawTree(
+        child_names=("left", "right"),
+        children={"left": left, "right": right},
+        arrays={
+            "point": point,
+            "point_id": point_id,
+            "split_dim": node_split_dim,
+        },
+        groups=groups,
+    ).validate()

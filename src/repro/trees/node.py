@@ -1,0 +1,91 @@
+"""Tree node storage: structure-of-arrays pools and field groups.
+
+Section 5.2: *"We have found that the optimal way to organize nodes is
+to split the original structure into sets of fields based on usage
+patterns in the traversal"* — e.g. the transformed Barnes-Hut kernel
+first loads a partial node with just position and type, and only loads
+the child-index record if the truncation test fails. A
+:class:`FieldGroup` names one such partial record and its byte size;
+the simulator charges one (possibly coalesced) load per group actually
+touched at a visit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FieldGroup:
+    """One split-out partial node record.
+
+    ``itemsize`` is the bytes loaded per node when any field in the
+    group is read (the unit of the coalescing model).
+    """
+
+    name: str
+    itemsize: int
+
+    def __post_init__(self) -> None:
+        if self.itemsize <= 0:
+            raise ValueError(f"field group {self.name!r} has itemsize <= 0")
+
+
+@dataclass
+class RawTree:
+    """A freshly-built tree, in builder order, before linearization.
+
+    Attributes
+    ----------
+    child_names:
+        ordered child slots (``('left', 'right')`` for binary trees,
+        ``('c0', ..., 'c7')`` for the oct-tree); the order defines the
+        canonical (left-biased) linearization.
+    children:
+        per-slot int64 arrays of child node ids, ``-1`` for null.
+    arrays:
+        per-node payload arrays (first axis = node id). These are what
+        application callbacks read.
+    groups:
+        the hot/cold field split for memory accounting.
+    """
+
+    child_names: Tuple[str, ...]
+    children: Dict[str, np.ndarray]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    groups: Tuple[FieldGroup, ...] = ()
+    root: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.children[self.child_names[0]])
+
+    def validate(self) -> "RawTree":
+        """Structural sanity checks: child ids in range, single root,
+        no node with two parents."""
+        n = self.n_nodes
+        if set(self.children) != set(self.child_names):
+            raise ValueError("children dict keys must equal child_names")
+        indegree = np.zeros(n, dtype=np.int64)
+        for name in self.child_names:
+            arr = self.children[name]
+            if len(arr) != n:
+                raise ValueError(f"child array {name!r} has wrong length")
+            bad = (arr < -1) | (arr >= n)
+            if bad.any():
+                raise ValueError(f"child array {name!r} has out-of-range ids")
+            valid = arr[arr >= 0]
+            np.add.at(indegree, valid, 1)
+        if not 0 <= self.root < n:
+            raise ValueError("root out of range")
+        if indegree[self.root] != 0:
+            raise ValueError("root has a parent")
+        if (indegree > 1).any():
+            raise ValueError("a node has multiple parents")
+        for name, arr in self.arrays.items():
+            if len(arr) != n:
+                raise ValueError(f"payload array {name!r} has wrong length")
+        return self

@@ -1,0 +1,76 @@
+"""Static rope installation (the hand-coded baseline of Section 3).
+
+Prior GPU traversals installed *ropes* into the tree ahead of time:
+extra pointers from each node "to the next new node that a point would
+visit if its children are not visited" (Fig. 2). That approach is fast
+— no stack at all — but works only when there is a single, canonical
+traversal order, and it requires a preprocessing pass over the tree;
+autoropes exists precisely to generalize it.
+
+We implement the baseline to quantify what autoropes' generality costs.
+In the left-biased preorder layout of
+:func:`repro.trees.linearize.linearize_left_biased` the rope structure
+is particularly clean:
+
+* descending to the first (existing) child means moving to ``n + 1``;
+* the rope of ``n`` is ``n + subtree_size(n)`` — the next node in
+  preorder once ``n``'s subtree is skipped — with ``-1`` past the end.
+
+Following ropes then reproduces exactly the canonical unguided
+traversal order, truncations included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.linearize import LinearTree
+
+
+def subtree_sizes(tree: LinearTree) -> np.ndarray:
+    """Number of nodes in each node's subtree (preorder layout).
+
+    One reverse sweep suffices: in preorder, children have larger ids
+    than their parent, so by the time a parent is processed all its
+    children's sizes are final.
+    """
+    n = tree.n_nodes
+    sizes = np.ones(n, dtype=np.int64)
+    kid_arrays = [tree.children[name] for name in tree.child_names]
+    for node in range(n - 1, -1, -1):
+        for kids in kid_arrays:
+            c = kids[node]
+            if c >= 0:
+                sizes[node] += sizes[c]
+    return sizes
+
+
+def install_ropes(tree: LinearTree) -> np.ndarray:
+    """Compute the canonical-order rope pointer of every node.
+
+    ``rope[n]`` is the node a traversal jumps to when it truncates at
+    (or finishes) ``n``; ``-1`` means the traversal is complete. The
+    array is also attached to the tree as ``tree.arrays['rope']`` so
+    executors can treat it as node payload (it lives in the same child-
+    pointer record the cold field group models).
+    """
+    sizes = subtree_sizes(tree)
+    n = tree.n_nodes
+    rope = np.arange(n, dtype=np.int64) + sizes
+    rope[rope >= n] = -1
+    tree.arrays["rope"] = rope
+    return rope
+
+
+def first_children(tree: LinearTree) -> np.ndarray:
+    """First existing child of each node (-1 for leaves).
+
+    In the left-biased preorder layout this is ``n + 1`` whenever any
+    child exists; computed explicitly so the invariant can be asserted.
+    """
+    n = tree.n_nodes
+    first = np.full(n, -1, dtype=np.int64)
+    for name in reversed(tree.child_names):
+        kids = tree.children[name]
+        first = np.where(kids >= 0, kids, first)
+    return first

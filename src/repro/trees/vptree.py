@@ -1,0 +1,124 @@
+"""Vantage-point tree builder (Yianilos, SODA '93).
+
+The VP benchmark is "a variation of nearest neighbor search using a
+vantage point tree": each node holds a vantage point and a radius
+``tau`` (the median distance of its subset to the vantage point);
+points closer than ``tau`` go to the *inside* child, the rest to the
+*outside* child. Search descends the side that contains the query
+first — a guided, two-call-set traversal — and prunes the other side
+with the triangle inequality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trees.node import FieldGroup, RawTree
+
+_F4 = 4
+_PTR = 4
+
+
+@dataclass
+class VPTreeBuild:
+    tree: RawTree
+    point_order: np.ndarray
+
+
+def build_vptree(
+    data: np.ndarray, leaf_size: int = 8, max_depth: int = 64
+) -> VPTreeBuild:
+    """Build a VP-tree with deterministic vantage selection.
+
+    The vantage point of each subset is the point farthest from the
+    subset centroid (a common spread heuristic that needs no RNG);
+    leaves hold up to ``leaf_size`` points in bucket-contiguous order.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or len(data) == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    n, d = data.shape
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be >= 1")
+
+    point_order = np.arange(n, dtype=np.int64)
+    inside, outside = [], []
+    vantage, vantage_id, tau = [], [], []
+    is_leaf, leaf_start, leaf_count = [], [], []
+
+    def new_node(lo: int, hi: int) -> int:
+        idx = len(inside)
+        inside.append(-1)
+        outside.append(-1)
+        vantage.append(np.zeros(d))
+        vantage_id.append(-1)
+        tau.append(0.0)
+        is_leaf.append(False)
+        leaf_start.append(lo)
+        leaf_count.append(hi - lo)
+        return idx
+
+    root = new_node(0, n)
+    stack = [(root, 0, n, 0)]
+    while stack:
+        node, lo, hi, depth = stack.pop()
+        count = hi - lo
+        if count <= leaf_size or depth >= max_depth:
+            is_leaf[node] = True
+            continue
+        seg = point_order[lo:hi]
+        sub = data[seg]
+        centroid = sub.mean(axis=0)
+        vp_local = int(np.argmax(((sub - centroid) ** 2).sum(axis=1)))
+        # Move the vantage point to the front of the segment; it stays
+        # stored at this node (not in any child subset).
+        seg[0], seg[vp_local] = seg[vp_local], seg[0]
+        vp = seg[0]
+        rest = seg[1:]
+        dist = np.sqrt(((data[rest] - data[vp]) ** 2).sum(axis=1))
+        if dist.max() == 0.0:
+            is_leaf[node] = True  # all coincident with the vantage point
+            continue
+        mid = len(rest) // 2
+        part = np.argpartition(dist, mid)
+        rest_sorted = rest[part]
+        point_order[lo + 1 : hi] = rest_sorted
+        vantage[node] = data[vp]
+        vantage_id[node] = vp
+        tau[node] = float(dist[part][mid])
+        i_lo, i_hi = lo + 1, lo + 1 + mid
+        o_lo, o_hi = lo + 1 + mid, hi
+        if i_lo < i_hi:
+            c = new_node(i_lo, i_hi)
+            inside[node] = c
+            stack.append((c, i_lo, i_hi, depth + 1))
+        if o_lo < o_hi:
+            c = new_node(o_lo, o_hi)
+            outside[node] = c
+            stack.append((c, o_lo, o_hi, depth + 1))
+
+    groups = (
+        FieldGroup("hot", d * _F4 + 2 * _F4),  # vantage coords + tau + flag
+        FieldGroup("cold", 2 * _PTR),
+        FieldGroup("leafdata", leaf_size * d * _F4),
+    )
+    tree = RawTree(
+        child_names=("inside", "outside"),
+        children={
+            "inside": np.array(inside, dtype=np.int64),
+            "outside": np.array(outside, dtype=np.int64),
+        },
+        arrays={
+            "vantage": np.array(vantage),
+            "vantage_id": np.array(vantage_id, dtype=np.int64),
+            "tau": np.array(tau, dtype=np.float64),
+            "is_leaf": np.array(is_leaf, dtype=bool),
+            "leaf_start": np.array(leaf_start, dtype=np.int64),
+            "leaf_count": np.array(leaf_count, dtype=np.int64),
+        },
+        groups=groups,
+        root=root,
+    ).validate()
+    return VPTreeBuild(tree=tree, point_order=point_order)

@@ -1,0 +1,100 @@
+"""Shared fixtures: tiny devices, datasets, apps, compiled kernels.
+
+Expensive app builds are module-scoped; tests must treat them as
+immutable (always call ``app.make_ctx()`` for fresh result arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.barneshut import build_barneshut_app
+from repro.apps.knn import build_knn_app
+from repro.apps.nn import build_nn_app
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.apps.vptree_nn import build_vptree_app
+from repro.core.pipeline import TransformPipeline
+from repro.gpusim.device import TESLA_C2070, small_test_device
+from repro.points.datasets import plummer_bodies, random_points
+from repro.points.sorting import morton_order, shuffled_order
+
+N_SMALL = 220  # small enough for brute-force oracles, > several warps
+
+
+@pytest.fixture(scope="session")
+def device4():
+    """A 4-lane-warp test device (readable warp fixtures)."""
+    return small_test_device(warp_size=4)
+
+
+@pytest.fixture(scope="session")
+def device32():
+    return TESLA_C2070
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return TransformPipeline()
+
+
+@pytest.fixture(scope="session")
+def points3d():
+    return random_points(n=N_SMALL, dim=3, seed=101).points
+
+
+@pytest.fixture(scope="session")
+def points7d():
+    return random_points(n=N_SMALL, dim=7, seed=102).points
+
+
+@pytest.fixture(scope="session")
+def sorted_order3(points3d):
+    return morton_order(points3d)
+
+
+@pytest.fixture(scope="session")
+def shuffled_order3(points3d):
+    return shuffled_order(len(points3d), seed=103)
+
+
+@pytest.fixture(scope="session")
+def pc_app(points3d, sorted_order3):
+    return build_pointcorr_app(points3d, sorted_order3, radius=0.25, leaf_size=4)
+
+
+@pytest.fixture(scope="session")
+def knn_app(points3d, sorted_order3):
+    return build_knn_app(points3d, sorted_order3, k=3, leaf_size=4)
+
+
+@pytest.fixture(scope="session")
+def nn_app(points3d, sorted_order3):
+    return build_nn_app(points3d, sorted_order3)
+
+
+@pytest.fixture(scope="session")
+def vp_app(points3d, sorted_order3):
+    return build_vptree_app(points3d, sorted_order3, leaf_size=4)
+
+
+@pytest.fixture(scope="session")
+def bh_app():
+    bodies = plummer_bodies(n=180, seed=104)
+    order = morton_order(bodies.pos)
+    return build_barneshut_app(bodies, order, theta=0.5, leaf_size=2)
+
+
+@pytest.fixture(scope="session")
+def all_apps(pc_app, knn_app, nn_app, vp_app, bh_app):
+    return {"pc": pc_app, "knn": knn_app, "nn": nn_app, "vp": vp_app, "bh": bh_app}
+
+
+@pytest.fixture(scope="session")
+def compiled_apps(all_apps, pipeline):
+    return {name: pipeline.compile(app.spec) for name, app in all_apps.items()}
+
+
+@pytest.fixture(scope="session")
+def oracles(all_apps):
+    return {name: app.brute_force() for name, app in all_apps.items()}

@@ -1,0 +1,208 @@
+"""Application-level tests: oracles, self-exclusion, parameters,
+and physics sanity for Barnes-Hut."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barneshut import build_barneshut_app, exact_forces
+from repro.apps.base import QuerySet, chunked_sq_dists, pairwise_sq_dists, sq_dist_rows
+from repro.apps.knn import build_knn_app
+from repro.apps.nn import build_nn_app
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.apps.vptree_nn import build_vptree_app
+from repro.core.pipeline import TransformPipeline
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.gpusim.executors import AutoropesExecutor, TraversalLaunch
+from repro.points.datasets import plummer_bodies, random_points
+from repro.points.sorting import morton_order, shuffled_order
+
+
+class TestBaseHelpers:
+    def test_queryset_alignment_checked(self):
+        with pytest.raises(ValueError, match="align"):
+            QuerySet(coords=np.zeros((3, 2)), orig_ids=np.arange(4))
+
+    def test_queryset_from_order(self):
+        data = np.arange(10, dtype=float).reshape(5, 2)
+        q = QuerySet.from_order(data, np.array([3, 1]))
+        np.testing.assert_array_equal(q.coords, data[[3, 1]])
+        np.testing.assert_array_equal(q.orig_ids, [3, 1])
+
+    def test_distance_helpers_agree(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(7, 3)), rng.normal(size=(9, 3))
+        full = pairwise_sq_dists(a, b)
+        chunked = chunked_sq_dists(a, b, chunk=2)
+        np.testing.assert_allclose(full, chunked)
+        rows = sq_dist_rows(a, a)
+        np.testing.assert_allclose(rows, 0.0, atol=1e-15)
+
+
+class TestPointCorrelation:
+    def test_counts_via_interpreter(self, pc_app, oracles):
+        """The recursive spec itself (no GPU) matches brute force."""
+        ctx = pc_app.make_ctx()
+        interp = RecursiveInterpreter(pc_app.spec, pc_app.tree, ctx)
+        for p in range(pc_app.n_points):
+            interp.run_point(p)
+        pc_app.check(ctx.out, oracles["pc"])
+
+    def test_self_excluded(self, points3d):
+        app = build_pointcorr_app(points3d, np.arange(len(points3d)),
+                                  radius=1e-9, leaf_size=4)
+        want = app.brute_force()
+        assert (want["count"] == 0).all()
+
+    def test_radius_zero_boundary(self, points3d):
+        # radius large enough to include everything
+        app = build_pointcorr_app(points3d, np.arange(len(points3d)),
+                                  radius=10.0, leaf_size=4)
+        want = app.brute_force()
+        assert (want["count"] == len(points3d) - 1).all()
+
+
+class TestKNN:
+    def test_k_results_sorted_ascending(self, knn_app, compiled_apps, device4):
+        L = TraversalLaunch(
+            kernel=compiled_apps["knn"].autoropes, tree=knn_app.tree,
+            ctx=knn_app.make_ctx(), n_points=knn_app.n_points, device=device4,
+        )
+        AutoropesExecutor(L).run()
+        d = L.ctx.out["knn_dist"]
+        assert (np.diff(d, axis=1) >= -1e-12).all()
+        assert np.isfinite(d).all()
+
+    def test_ids_are_valid_and_distinct(self, knn_app, compiled_apps, device4):
+        L = TraversalLaunch(
+            kernel=compiled_apps["knn"].autoropes, tree=knn_app.tree,
+            ctx=knn_app.make_ctx(), n_points=knn_app.n_points, device=device4,
+        )
+        AutoropesExecutor(L).run()
+        ids = L.ctx.out["knn_id"]
+        assert (ids >= 0).all()
+        for row, mine in zip(ids, knn_app.queries.orig_ids):
+            assert len(set(row.tolist())) == len(row)
+            assert mine not in row
+
+    def test_k_bounds_checked(self, points3d):
+        with pytest.raises(ValueError, match="k must be"):
+            build_knn_app(points3d, np.arange(len(points3d)), k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            build_knn_app(points3d, np.arange(len(points3d)), k=len(points3d))
+
+    def test_k1_equals_nn(self, points3d, device4):
+        order = np.arange(len(points3d))
+        knn1 = build_knn_app(points3d, order, k=1, leaf_size=4)
+        nn = build_nn_app(points3d, order)
+        w_knn = knn1.brute_force()
+        w_nn = nn.brute_force()
+        np.testing.assert_allclose(w_knn["knn_dist"][:, 0], w_nn["nn_dist"])
+
+
+class TestNN:
+    def test_subtree_bboxes_cover(self, nn_app, points3d):
+        t = nn_app.tree
+        # every point lies inside the root bbox
+        assert (points3d >= t.arrays["bbox_min"][0] - 1e-12).all()
+        assert (points3d <= t.arrays["bbox_max"][0] + 1e-12).all()
+
+    def test_interpreter_matches_oracle(self, nn_app, oracles):
+        ctx = nn_app.make_ctx()
+        interp = RecursiveInterpreter(nn_app.spec, nn_app.tree, ctx)
+        for p in range(nn_app.n_points):
+            interp.run_point(p)
+        nn_app.check(ctx.out, oracles["nn"])
+
+    def test_nn_id_is_not_self(self, nn_app, compiled_apps, device4):
+        L = TraversalLaunch(
+            kernel=compiled_apps["nn"].autoropes, tree=nn_app.tree,
+            ctx=nn_app.make_ctx(), n_points=nn_app.n_points, device=device4,
+        )
+        AutoropesExecutor(L).run()
+        assert (L.ctx.out["nn_id"] != nn_app.queries.orig_ids).all()
+
+
+class TestVP:
+    def test_vp_uses_true_distances(self, vp_app, oracles):
+        """VP results are real (not squared) distances."""
+        want = oracles["vp"]
+        assert want["nn_dist"].max() < 2.0  # unit cube diameter ~ 1.7
+
+    def test_interpreter_matches_oracle(self, vp_app, oracles):
+        ctx = vp_app.make_ctx()
+        interp = RecursiveInterpreter(vp_app.spec, vp_app.tree, ctx)
+        for p in range(vp_app.n_points):
+            interp.run_point(p)
+        vp_app.check(ctx.out, oracles["vp"])
+
+    def test_vp_and_nn_agree(self, vp_app, nn_app):
+        """Two different metric trees, same nearest neighbors."""
+        d_vp = vp_app.brute_force()["nn_dist"]
+        d_nn = np.sqrt(nn_app.brute_force()["nn_dist"])
+        np.testing.assert_allclose(d_vp, d_nn, rtol=1e-9)
+
+
+class TestBarnesHut:
+    def test_oracle_matches_interpreter(self, bh_app, oracles):
+        ctx = bh_app.make_ctx()
+        interp = RecursiveInterpreter(bh_app.spec, bh_app.tree, ctx)
+        for p in range(bh_app.n_points):
+            interp.run_point(p)
+        bh_app.check(ctx.out, oracles["bh"])
+
+    def test_physics_close_to_direct_sum(self, bh_app):
+        bodies_pos = np.empty_like(bh_app.queries.coords)
+        # brute_force is the algorithmic oracle; exact_forces the physics
+        got = bh_app.brute_force()["acc"]
+        bodies = plummer_bodies(n=180, seed=104)
+        exact = exact_forces(
+            bh_app.queries, bodies.pos, bodies.mass, bh_app.params["eps_sq"]
+        )["acc"]
+        rel = np.linalg.norm(got - exact, axis=1) / np.maximum(
+            np.linalg.norm(exact, axis=1), 1e-12
+        )
+        assert np.median(rel) < 0.05
+
+    def test_smaller_theta_is_more_accurate(self):
+        bodies = plummer_bodies(n=150, seed=7)
+        order = morton_order(bodies.pos)
+
+        def median_err(theta):
+            app = build_barneshut_app(bodies, order, theta=theta, leaf_size=2)
+            got = app.brute_force()["acc"]
+            exact = exact_forces(
+                app.queries, bodies.pos, bodies.mass, app.params["eps_sq"]
+            )["acc"]
+            rel = np.linalg.norm(got - exact, axis=1) / np.maximum(
+                np.linalg.norm(exact, axis=1), 1e-12
+            )
+            return np.median(rel)
+
+        assert median_err(0.25) < median_err(1.0)
+
+    def test_momentum_conservation_direct_sum(self):
+        """Pairwise forces cancel in the exact sum (sanity of the force
+        law implementation)."""
+        bodies = plummer_bodies(n=60, seed=8)
+        q = QuerySet(coords=bodies.pos, orig_ids=np.arange(60))
+        acc = exact_forces(q, bodies.pos, bodies.mass, 1e-4)["acc"]
+        total = (acc * bodies.mass[:, None]).sum(axis=0)
+        np.testing.assert_allclose(total, 0.0, atol=1e-12)
+
+
+class TestOrderIndependence:
+    """Sorted and shuffled query orders give the same per-point results
+    (after aligning by original id)."""
+
+    def test_pc_order_independent(self, points3d):
+        n = len(points3d)
+        a = build_pointcorr_app(points3d, morton_order(points3d), radius=0.25,
+                                leaf_size=4)
+        b = build_pointcorr_app(points3d, shuffled_order(n, 3), radius=0.25,
+                                leaf_size=4)
+        ca, cb = a.brute_force()["count"], b.brute_force()["count"]
+        by_id_a = np.empty(n, dtype=int)
+        by_id_a[a.queries.orig_ids] = ca
+        by_id_b = np.empty(n, dtype=int)
+        by_id_b[b.queries.orig_ids] = cb
+        np.testing.assert_array_equal(by_id_a, by_id_b)

@@ -1,0 +1,176 @@
+"""Autoropes transformation tests (Section 3.2.2, Figures 6/7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoropes import (
+    Continue,
+    PushGroup,
+    apply_autoropes,
+)
+from repro.core.ir import (
+    ArgDecl,
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.core.pseudotail import NotPseudoTailRecursive
+
+
+def _true(ctx, node, pt, args):
+    return np.ones(len(node), dtype=bool)
+
+
+def _noop(ctx, node, pt, args):
+    return None
+
+
+def _spec(body, **kw):
+    defaults = dict(conditions={"c": _true, "c2": _true}, updates={"u": _noop})
+    defaults.update(kw)
+    return TraversalSpec(name="t", body=body, **defaults)
+
+
+def fig4_spec():
+    return _spec(
+        Seq(
+            If(CondRef("c"), Return()),
+            If(
+                CondRef("c2", point_dependent=False),
+                Seq(Update(UpdateRef("u")), Return()),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+            ),
+        )
+    )
+
+
+def fig5_spec():
+    return _spec(
+        Seq(
+            If(CondRef("c"), Return()),
+            If(
+                CondRef("c2"),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+            ),
+        )
+    )
+
+
+class TestRewriteShapes:
+    def test_returns_become_continue(self):
+        kernel = apply_autoropes(fig4_spec())
+        kinds = [type(s).__name__ for s in kernel.body.walk()]
+        assert "Return" not in kinds
+        assert "Continue" in kinds
+
+    def test_recursions_become_one_push_group(self):
+        kernel = apply_autoropes(fig4_spec())
+        groups = kernel.push_groups()
+        assert len(groups) == 1
+        assert len(groups[0].calls) == 2
+
+    def test_push_order_is_reversed(self):
+        """Fig. 6: recurse(left); recurse(right) pushes right, then left."""
+        kernel = apply_autoropes(fig4_spec())
+        (group,) = kernel.push_groups()
+        assert [c.child.name for c in group.calls] == ["left", "right"]
+        assert [c.child.name for c in group.push_order] == ["right", "left"]
+
+    def test_guided_two_groups(self):
+        kernel = apply_autoropes(fig5_spec())
+        groups = kernel.push_groups()
+        assert len(groups) == 2
+        orders = [tuple(c.child.name for c in g.calls) for g in groups]
+        assert orders == [("left", "right"), ("right", "left")]
+
+    def test_eight_way_group(self):
+        spec = _spec(
+            If(
+                CondRef("c"),
+                Update(UpdateRef("u")),
+                Seq(*[Recurse(ChildRef(f"c{i}")) for i in range(8)]),
+            )
+        )
+        kernel = apply_autoropes(spec)
+        (group,) = kernel.push_groups()
+        assert [c.child.name for c in group.push_order] == [
+            f"c{i}" for i in range(7, -1, -1)
+        ]
+        assert kernel.max_pushes_per_visit == 8
+
+    def test_kernel_flags(self):
+        kernel = apply_autoropes(fig4_spec())
+        assert kernel.unguided
+        assert not kernel.lockstep
+        assert kernel.vote_conditions == frozenset()
+
+    def test_trailing_call_after_branch_handled_via_tail_duplication(self):
+        spec = _spec(
+            Seq(
+                If(CondRef("c"), Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                Recurse(ChildRef("left")),
+            )
+        )
+        kernel = apply_autoropes(spec)
+        # Two groups (one per arm), each with two calls.
+        groups = kernel.push_groups()
+        assert [len(g.calls) for g in groups] == [2, 2]
+
+
+class TestRewriteErrors:
+    def test_non_pseudo_tail_rejected(self):
+        spec = _spec(Seq(Recurse(ChildRef("left")), Update(UpdateRef("u"))))
+        with pytest.raises(NotPseudoTailRecursive):
+            apply_autoropes(spec)
+
+    def test_update_between_calls_rejected(self):
+        spec = _spec(
+            Seq(
+                Recurse(ChildRef("left")),
+                Update(UpdateRef("u")),
+                Recurse(ChildRef("right")),
+            )
+        )
+        with pytest.raises(NotPseudoTailRecursive):
+            apply_autoropes(spec)
+
+
+class TestArgHandling:
+    def test_variant_args_recorded(self):
+        spec = _spec(
+            Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+            args=(ArgDecl("dsq", 4.0, update="q"), ArgDecl("c", 1.0)),
+            arg_rules={"q": lambda c, n, p, a: a["dsq"] * 0.25},
+        )
+        kernel = apply_autoropes(spec)
+        assert [a.name for a in kernel.spec.variant_args] == ["dsq"]
+        assert [a.name for a in kernel.spec.invariant_args] == ["c"]
+
+
+class TestCompiledApps:
+    """The five benchmark specs all transform cleanly (integration)."""
+
+    def test_all_apps_compile(self, all_apps, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            assert compiled.analysis.pseudo_tail_recursive, name
+            assert compiled.autoropes.push_groups(), name
+
+    def test_guided_classification_matches_apps(self, all_apps, compiled_apps):
+        for name, app in all_apps.items():
+            assert compiled_apps[name].analysis.guided == app.expect_guided, name
+
+    def test_bh_has_eight_call_sites(self, compiled_apps):
+        bh = compiled_apps["bh"]
+        assert len(bh.analysis.call_sets) == 1
+        assert len(bh.analysis.call_sets[0]) == 8
+
+    def test_guided_apps_have_two_call_sets(self, compiled_apps):
+        for name in ("knn", "nn", "vp"):
+            assert len(compiled_apps[name].analysis.call_sets) == 2, name

@@ -1,0 +1,177 @@
+"""Static call-set analysis tests (Section 3.2.1), including the
+paper's Fig. 4 (unguided, one call set) and Fig. 5 (guided, two call
+sets) examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.callset import (
+    BranchEvent,
+    CallEvent,
+    ReturnEvent,
+    UpdateEvent,
+    analyze_call_sets,
+    enumerate_paths,
+)
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    Update,
+    UpdateRef,
+    number_call_sites,
+)
+
+
+def fig4_body():
+    """Fig. 4: point correlation — one call set (left, right)."""
+    return number_call_sites(
+        Seq(
+            If(CondRef("cant_correlate"), Return()),
+            If(
+                CondRef("is_leaf", point_dependent=False),
+                Seq(Update(UpdateRef("update_correlation")), Return()),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+            ),
+        )
+    )
+
+
+def fig5_body():
+    """Fig. 5: nearest neighbor — two call sets in different orders."""
+    return number_call_sites(
+        Seq(
+            If(CondRef("cant_correlate"), Return()),
+            If(
+                CondRef("is_leaf", point_dependent=False),
+                Seq(Update(UpdateRef("update_closest")), Return()),
+                If(
+                    CondRef("closer_to_left"),
+                    Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                    Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+                ),
+            ),
+        )
+    )
+
+
+class TestPathEnumeration:
+    def test_fig4_paths(self):
+        paths = enumerate_paths(fig4_body())
+        # truncation, leaf-update, and the recursive path
+        assert len(paths) == 3
+        call_paths = [p for p in paths if any(isinstance(e, CallEvent) for e in p)]
+        assert len(call_paths) == 1
+
+    def test_fig5_paths(self):
+        paths = enumerate_paths(fig5_body())
+        assert len(paths) == 4
+
+    def test_return_terminates_path(self):
+        paths = enumerate_paths(Seq(Return(), Update(UpdateRef("dead"))))
+        assert paths == [(ReturnEvent(),)]
+
+    def test_events_in_execution_order(self):
+        body = Seq(Update(UpdateRef("u")), Recurse(ChildRef("left"), site_id=0))
+        (path,) = enumerate_paths(body)
+        assert isinstance(path[0], UpdateEvent)
+        assert isinstance(path[1], CallEvent)
+
+    def test_branch_events_record_direction(self):
+        body = If(CondRef("c"), Return(), Update(UpdateRef("u")))
+        paths = enumerate_paths(body)
+        takens = {p[0].taken for p in paths}
+        assert takens == {True, False}
+
+    def test_path_explosion_guard(self):
+        body = Return()
+        for _ in range(14):
+            body = Seq(If(CondRef("c"), Update(UpdateRef("u"))), body)
+        with pytest.raises(ValueError, match="more than"):
+            enumerate_paths(body, max_paths=100)
+
+
+class TestCallSets:
+    def test_fig4_single_call_set_unguided(self):
+        a = analyze_call_sets(fig4_body())
+        assert len(a.call_sets) == 1
+        assert a.call_sets[0].sites == (0, 1)
+        assert a.single_call_set and a.unguided and not a.guided
+        assert a.pseudo_tail_recursive
+        assert a.n_truncating_paths == 2
+
+    def test_fig5_two_call_sets_guided(self):
+        a = analyze_call_sets(fig5_body())
+        assert len(a.call_sets) == 2
+        assert a.call_sets[0].sites == (0, 1)
+        assert a.call_sets[1].sites == (2, 3)
+        names = [tuple(c.name for c in cs.children) for cs in a.call_sets]
+        assert names == [("left", "right"), ("right", "left")]
+        assert a.guided and not a.unguided
+        assert a.pseudo_tail_recursive
+
+    def test_call_set_lookup(self):
+        a = analyze_call_sets(fig5_body())
+        assert a.call_set_for_sites((0, 1)) == 0
+        assert a.call_set_for_sites((2, 3)) == 1
+        assert a.call_set_for_sites((9,)) is None
+
+    def test_point_dependent_child_makes_guided(self):
+        body = number_call_sites(Recurse(ChildRef("next", point_dependent=True)))
+        a = analyze_call_sets(body)
+        assert a.single_call_set and not a.unguided
+
+    def test_octree_eight_calls_one_set(self):
+        body = number_call_sites(
+            If(
+                CondRef("far"),
+                Update(UpdateRef("u")),
+                Seq(*[Recurse(ChildRef(f"c{i}")) for i in range(8)]),
+            )
+        )
+        a = analyze_call_sets(body)
+        assert len(a.call_sets) == 1
+        assert len(a.call_sets[0]) == 8
+        assert a.unguided
+
+
+class TestPseudoTailDetection:
+    def test_update_after_call_not_pseudo_tail(self):
+        body = number_call_sites(
+            Seq(Recurse(ChildRef("left")), Update(UpdateRef("u")))
+        )
+        assert not analyze_call_sets(body).pseudo_tail_recursive
+
+    def test_update_between_calls_not_pseudo_tail(self):
+        body = number_call_sites(
+            Seq(
+                Recurse(ChildRef("left")),
+                Update(UpdateRef("u")),
+                Recurse(ChildRef("right")),
+            )
+        )
+        assert not analyze_call_sets(body).pseudo_tail_recursive
+
+    def test_trailing_return_is_allowed(self):
+        body = number_call_sites(
+            Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right")), Return())
+        )
+        assert analyze_call_sets(body).pseudo_tail_recursive
+
+    def test_branch_after_call_not_pseudo_tail(self):
+        body = number_call_sites(
+            Seq(
+                Recurse(ChildRef("left")),
+                If(CondRef("c"), Recurse(ChildRef("right"))),
+            )
+        )
+        assert not analyze_call_sets(body).pseudo_tail_recursive
+
+    def test_no_calls_at_all(self):
+        a = analyze_call_sets(Seq(Update(UpdateRef("u")), Return()))
+        assert a.call_sets == ()
+        assert a.pseudo_tail_recursive  # vacuously
+        assert a.unguided is False  # no call set -> not single_call_set

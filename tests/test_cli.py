@@ -1,0 +1,55 @@
+"""CLI driver tests (python -m repro.harness)."""
+
+import pathlib
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--scale", "tiny", "--bench", "pc"]) == 0
+        out = capsys.readouterr().out
+        assert "Point Correlation" in out
+        assert "done in" in out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--scale", "tiny", "--bench", "pc"]) == 0
+        out = capsys.readouterr().out
+        assert "Sorted" in out
+
+    def test_fig10_subset(self, capsys):
+        assert main(["fig10", "--scale", "tiny", "--bench", "pc"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out and "crossover" in out
+
+    def test_fig11_subset(self, capsys):
+        assert main(["fig11", "--scale", "tiny", "--bench", "pc"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+    def test_all_writes_report(self, tmp_path, capsys, monkeypatch):
+        """`all` writes the report file (restricted matrix for speed)."""
+        from unittest import mock
+
+        restricted = {"pc": ("random",)}
+        out = tmp_path / "EXP.md"
+        with mock.patch.dict(
+            "repro.harness.config.BENCHMARKS", restricted, clear=True
+        ), mock.patch("repro.harness.table1.BENCHMARKS", restricted), mock.patch(
+            "repro.harness.table2.BENCHMARKS", restricted
+        ), mock.patch(
+            "repro.harness.figures.BENCHMARKS", restricted
+        ):
+            assert main(["all", "--scale", "tiny", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Table 2 (measured)" in text

@@ -1,0 +1,141 @@
+"""CPU baseline tests: cache model, thread scaling, scalar interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpusim.cache import CacheConfig, classify_reuse, reuse_gaps
+from repro.cpusim.threads import CPUConfig, OPTERON_6176, cpu_time_ms
+
+
+def brute_force_gaps(stream):
+    last = {}
+    gaps = []
+    for i, v in enumerate(stream):
+        gaps.append(i - last[v] if v in last else np.iinfo(np.int64).max)
+        last[v] = i
+    return np.array(gaps, dtype=np.int64)
+
+
+class TestReuseGaps:
+    def test_simple_stream(self):
+        stream = np.array([1, 2, 1, 1, 3, 2])
+        np.testing.assert_array_equal(reuse_gaps(stream), brute_force_gaps(stream))
+
+    def test_all_distinct(self):
+        gaps = reuse_gaps(np.arange(10))
+        assert (gaps == np.iinfo(np.int64).max).all()
+
+    def test_all_same(self):
+        gaps = reuse_gaps(np.zeros(5, dtype=np.int64))
+        assert gaps[0] == np.iinfo(np.int64).max
+        assert (gaps[1:] == 1).all()
+
+    def test_empty(self):
+        assert len(reuse_gaps(np.empty(0, dtype=np.int64))) == 0
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=200).map(np.array)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, stream):
+        np.testing.assert_array_equal(reuse_gaps(stream), brute_force_gaps(stream))
+
+
+class TestClassifyReuse:
+    def setup_method(self):
+        self.cfg = CacheConfig(
+            l1_window=4, l2_window=16, l3_window=64,
+            l1_cycles=1, l2_cycles=10, l3_cycles=40, dram_cycles=200,
+        )
+
+    def test_levels_partition_accesses(self):
+        stream = np.random.default_rng(0).integers(0, 50, size=500)
+        hits = classify_reuse(stream, self.cfg)
+        assert hits["l1"] + hits["l2"] + hits["l3"] + hits["dram"] == 500
+
+    def test_tight_loop_hits_l1(self):
+        stream = np.tile(np.arange(3), 50)
+        hits = classify_reuse(stream, self.cfg)
+        assert hits["dram"] == 3  # only compulsory misses
+        assert hits["l1"] == 147
+
+    def test_huge_strides_miss(self):
+        stream = np.arange(100)
+        hits = classify_reuse(stream, self.cfg)
+        assert hits["dram"] == 100
+
+    def test_cycles_monotone_in_misses(self):
+        good = classify_reuse(np.tile(np.arange(2), 50), self.cfg)
+        bad = classify_reuse(np.arange(100), self.cfg)
+        assert bad["cycles"] > good["cycles"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            CacheConfig(l1_window=10, l2_window=10, l3_window=20).validate()
+
+
+class TestCpuTime:
+    def _seqs(self, n_points=64, length=50, shared=True, seed=0):
+        rng = np.random.default_rng(seed)
+        if shared:
+            base = rng.integers(0, 30, size=length)
+            return [base.copy() for _ in range(n_points)]
+        return [
+            rng.integers(p * 1000, p * 1000 + 500, size=length)
+            for p in range(n_points)
+        ]
+
+    def test_more_threads_not_slower(self):
+        seqs = self._seqs()
+        t1 = cpu_time_ms(seqs, 1).time_ms
+        t8 = cpu_time_ms(seqs, 8).time_ms
+        t32 = cpu_time_ms(seqs, 32).time_ms
+        assert t8 <= t1 and t32 <= t8
+
+    def test_compute_bound_scales_nearly_linearly(self):
+        # big enough that the fork-join constant does not dominate
+        seqs = self._seqs(n_points=128, length=800, shared=True)
+        t1 = cpu_time_ms(seqs, 1)
+        t8 = cpu_time_ms(seqs, 8)
+        speedup = t1.time_ms / t8.time_ms
+        assert speedup > 4  # decent scaling before saturation
+
+    def test_locality_matters(self):
+        """Shared (sorted-like) streams run faster than scattered ones."""
+        fast = cpu_time_ms(self._seqs(shared=True), 1).time_ms
+        slow = cpu_time_ms(self._seqs(shared=False), 1).time_ms
+        assert slow > fast
+
+    def test_visit_cost_scale(self):
+        seqs = self._seqs()
+        base = cpu_time_ms(seqs, 1, visit_cost_scale=1.0)
+        heavy = cpu_time_ms(seqs, 1, visit_cost_scale=3.0)
+        assert heavy.time_ms > base.time_ms
+
+    def test_total_visits_counted(self):
+        seqs = [np.arange(5), np.arange(7)]
+        assert cpu_time_ms(seqs, 2).total_visits == 12
+
+    def test_threads_clamped_to_points(self):
+        seqs = [np.arange(5)]
+        t = cpu_time_ms(seqs, 16)
+        assert t.threads == 1
+
+    def test_imbalance_penalizes(self):
+        """One giant traversal among tiny ones bounds the parallel time."""
+        seqs = [np.arange(5)] * 31 + [np.arange(50000)]
+        t32 = cpu_time_ms(seqs, 32)
+        t1 = cpu_time_ms(seqs, 1)
+        # the long chunk dominates: scaling far from linear
+        assert t1.time_ms / t32.time_ms < 4
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            cpu_time_ms([np.arange(3)], 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CPUConfig(n_cores=0).validate()
+        assert OPTERON_6176.n_cores == 48

@@ -1,0 +1,107 @@
+"""Edge-case tests across modules: degenerate devices, disabled L2,
+context isolation, tiny inputs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import small_test_device
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+
+
+def _launch(app, kernel, device, **kw):
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=device,
+        **kw,
+    )
+
+
+class TestDegenerateDevices:
+    def test_warp_size_one(self, pc_app, compiled_apps, oracles):
+        """1-wide warps: lockstep degenerates to per-thread traversal."""
+        dev = small_test_device(warp_size=1)
+        L = _launch(pc_app, compiled_apps["pc"].lockstep, dev)
+        res = LockstepExecutor(L).run()
+        pc_app.check(L.ctx.out, oracles["pc"])
+        np.testing.assert_allclose(res.work_expansion_per_warp(), 1.0)
+
+    def test_warp_size_two_guided(self, knn_app, compiled_apps, oracles):
+        dev = small_test_device(warp_size=2)
+        L = _launch(knn_app, compiled_apps["knn"].lockstep, dev)
+        LockstepExecutor(L).run()
+        knn_app.check(L.ctx.out, oracles["knn"])
+
+    def test_tiny_block_device(self, pc_app, compiled_apps, oracles):
+        """Devices whose max block is below the default 256 threads."""
+        dev = dataclasses.replace(
+            small_test_device(warp_size=4), max_threads_per_block=8
+        ).validate()
+        L = _launch(pc_app, compiled_apps["pc"].autoropes, dev)
+        assert L.launch.block_size == 8
+        AutoropesExecutor(L).run()
+        pc_app.check(L.ctx.out, oracles["pc"])
+
+    def test_single_sm(self, pc_app, compiled_apps, oracles):
+        dev = small_test_device(warp_size=4, num_sms=1)
+        L = _launch(pc_app, compiled_apps["pc"].lockstep, dev)
+        res = LockstepExecutor(L).run()
+        pc_app.check(L.ctx.out, oracles["pc"])
+        assert res.time_ms > 0
+
+
+class TestL2Disabled:
+    def test_results_unchanged_costs_higher(self, pc_app, compiled_apps,
+                                            oracles, device4):
+        Lon = _launch(pc_app, compiled_apps["pc"].lockstep, device4)
+        on = LockstepExecutor(Lon).run()
+        pc_app.check(Lon.ctx.out, oracles["pc"])
+        Loff = _launch(
+            pc_app, compiled_apps["pc"].lockstep, device4, l2_enabled=False
+        )
+        off = LockstepExecutor(Loff).run()
+        pc_app.check(Loff.ctx.out, oracles["pc"])
+        assert off.stats.l2_hit_transactions == 0
+        assert off.stats.dram_bytes >= on.stats.dram_bytes
+        assert off.timing.memory_cycles >= on.timing.memory_cycles
+
+
+class TestContextIsolation:
+    def test_make_ctx_gives_fresh_out(self, pc_app):
+        a, b = pc_app.make_ctx(), pc_app.make_ctx()
+        a.out["count"][:] = 99
+        assert (b.out["count"] == 0).all()
+
+    def test_make_ctx_gives_fresh_params(self, pc_app):
+        a, b = pc_app.make_ctx(), pc_app.make_ctx()
+        a.params["radius_sq"] = -1.0
+        assert b.params["radius_sq"] > 0
+
+    def test_repeat_launches_deterministic(self, pc_app, compiled_apps, device4):
+        def run():
+            L = _launch(pc_app, compiled_apps["pc"].lockstep, device4)
+            return LockstepExecutor(L).run()
+
+        r1, r2 = run(), run()
+        assert r1.time_ms == r2.time_ms
+        assert r1.stats.global_transactions == r2.stats.global_transactions
+        np.testing.assert_array_equal(r1.nodes_per_warp, r2.nodes_per_warp)
+
+
+class TestStackDepthCap:
+    def test_shallow_cap_raises(self, pc_app, compiled_apps, device4):
+        from repro.gpusim.stack import StackOverflowError
+
+        L = _launch(
+            pc_app, compiled_apps["pc"].autoropes, device4, max_stack_depth=1
+        )
+        with pytest.raises(StackOverflowError):
+            AutoropesExecutor(L).run()

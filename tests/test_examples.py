@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are sized for human consumption, not CI, so each is executed
+in-process with its entry point patched to smaller inputs where the
+module structure allows it; otherwise we accept the example's own size
+(they all finish in tens of seconds).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "custom_traversal.py"],
+)
+def test_fast_examples_run(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "transformation" in out or "range sums" in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", ["barneshut_demo.py", "knn_search.py", "divergence_profile.py"]
+)
+def test_slow_examples_run(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100

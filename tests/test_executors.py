@@ -1,0 +1,276 @@
+"""Executor tests: correctness of all four GPU variants on all five
+benchmarks, visit-order preservation, union/mask properties, and stats
+plausibility."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    RecursiveExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.executors.recursive_exec import (
+    RecursiveMaskedExecutor,
+    RecursiveUnmaskedExecutor,
+)
+from repro.gpusim.stack import RopeStackLayout
+
+APP_NAMES = ("pc", "knn", "nn", "vp", "bh")
+
+
+def launch(app, kernel, device, **kw):
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=device,
+        **kw,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_autoropes_matches_oracle(self, name, all_apps, compiled_apps,
+                                      oracles, device4):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].autoropes, device4)
+        AutoropesExecutor(L).run()
+        app.check(L.ctx.out, oracles[name])
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_lockstep_matches_oracle(self, name, all_apps, compiled_apps,
+                                     oracles, device4):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].lockstep, device4)
+        LockstepExecutor(L).run()
+        app.check(L.ctx.out, oracles[name])
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_recursive_masked_matches_oracle(self, name, all_apps,
+                                             compiled_apps, oracles, device4):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].lockstep, device4)
+        RecursiveExecutor(L, masking=True).run()
+        app.check(L.ctx.out, oracles[name])
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_recursive_unmasked_matches_oracle(self, name, all_apps,
+                                               compiled_apps, oracles, device4):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].autoropes, device4)
+        RecursiveExecutor(L, masking=False).run()
+        app.check(L.ctx.out, oracles[name])
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_warp32_also_correct(self, name, all_apps, compiled_apps,
+                                 oracles, device32):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].lockstep, device32)
+        LockstepExecutor(L).run()
+        app.check(L.ctx.out, oracles[name])
+
+    @pytest.mark.parametrize(
+        "layout",
+        [RopeStackLayout.INTERLEAVED_GLOBAL, RopeStackLayout.CONTIGUOUS_GLOBAL,
+         RopeStackLayout.SHARED],
+    )
+    def test_results_independent_of_stack_layout(self, layout, pc_app,
+                                                 compiled_apps, oracles, device4):
+        L = launch(pc_app, compiled_apps["pc"].autoropes, device4,
+                   stack_layout=layout)
+        AutoropesExecutor(L).run()
+        pc_app.check(L.ctx.out, oracles["pc"])
+
+
+class TestVisitOrderPreservation:
+    """Section 3.3: autoropes preserves the recursive visit order."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_order_matches_scalar_recursion(self, name, all_apps,
+                                            compiled_apps, device4):
+        app = all_apps[name]
+        L = launch(app, compiled_apps[name].autoropes, device4,
+                   record_visits=True)
+        res = AutoropesExecutor(L).run()
+        seqs = res.per_point_sequences()
+        interp = RecursiveInterpreter(app.spec, app.tree, app.make_ctx())
+        for p in range(0, app.n_points, 37):
+            np.testing.assert_array_equal(interp.run_point(p), seqs[p], err_msg=name)
+
+
+class TestLockstepProperties:
+    def test_useful_visits_equal_own_traversal(self, pc_app, compiled_apps,
+                                               device4):
+        """A lane's mask-set visits are exactly its own traversal's
+        visit set (unguided: same order too)."""
+        Ll = launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                    record_visits=True)
+        lock = LockstepExecutor(Ll).run()
+        lock_seqs = lock.per_point_sequences()
+        La = launch(pc_app, compiled_apps["pc"].autoropes, device4,
+                    record_visits=True)
+        auto_seqs = AutoropesExecutor(La).run().per_point_sequences()
+        for p in range(0, pc_app.n_points, 23):
+            np.testing.assert_array_equal(lock_seqs[p], auto_seqs[p])
+
+    def test_warp_visits_cover_union(self, pc_app, compiled_apps, device4):
+        Ll = launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                    record_visits=True)
+        res = LockstepExecutor(Ll).run()
+        seqs = res.per_point_sequences()
+        ws = device4.warp_size
+        for w in range(0, Ll.n_warps, 7):
+            members = range(w * ws, min((w + 1) * ws, pc_app.n_points))
+            union = set()
+            for p in members:
+                union.update(seqs[p].tolist())
+            assert res.nodes_per_warp[w] >= len(union)
+
+    def test_work_expansion_at_least_one(self, all_apps, compiled_apps, device4):
+        for name in APP_NAMES:
+            L = launch(all_apps[name], compiled_apps[name].lockstep, device4)
+            res = LockstepExecutor(L).run()
+            assert (res.work_expansion_per_warp() >= 1.0 - 1e-9).all(), name
+
+    def test_lockstep_visits_more_nodes_per_point(self, all_apps,
+                                                  compiled_apps, device4):
+        for name in ("pc", "bh"):
+            app = all_apps[name]
+            rl = LockstepExecutor(
+                launch(app, compiled_apps[name].lockstep, device4)
+            ).run()
+            ra = AutoropesExecutor(
+                launch(app, compiled_apps[name].autoropes, device4)
+            ).run()
+            assert rl.avg_nodes_per_point >= ra.avg_nodes_per_point, name
+
+    def test_executor_kind_checks(self, pc_app, compiled_apps, device4):
+        with pytest.raises(ValueError, match="non-lockstep"):
+            AutoropesExecutor(launch(pc_app, compiled_apps["pc"].lockstep, device4))
+        with pytest.raises(ValueError, match="lockstep kernel"):
+            LockstepExecutor(launch(pc_app, compiled_apps["pc"].autoropes, device4))
+        with pytest.raises(ValueError, match="autoropes kernel"):
+            RecursiveExecutor(
+                launch(pc_app, compiled_apps["pc"].lockstep, device4), masking=False
+            )
+
+
+class TestRecursiveBaseline:
+    def test_factory_dispatch(self, pc_app, compiled_apps, device4):
+        m = RecursiveExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4), masking=True
+        )
+        u = RecursiveExecutor(
+            launch(pc_app, compiled_apps["pc"].autoropes, device4), masking=False
+        )
+        assert isinstance(m, RecursiveMaskedExecutor)
+        assert isinstance(u, RecursiveUnmaskedExecutor)
+
+    def test_recursion_pays_calls_and_frames(self, pc_app, compiled_apps, device4):
+        L = launch(pc_app, compiled_apps["pc"].lockstep, device4)
+        res = RecursiveExecutor(L, masking=True).run()
+        assert res.stats.recursive_calls > 0
+        assert res.stats.stack_ops == 0  # frames, not rope-stack traffic
+
+    def test_masked_recursive_slower_than_lockstep(self, pc_app,
+                                                   compiled_apps, device4):
+        rec = RecursiveExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4), masking=True
+        ).run()
+        lock = LockstepExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4)
+        ).run()
+        assert rec.time_ms > lock.time_ms
+
+    def test_unmasked_pays_divergence_penalty(self, pc_app, compiled_apps,
+                                              device4):
+        masked = RecursiveExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4), masking=True
+        ).run()
+        unmasked = RecursiveExecutor(
+            launch(pc_app, compiled_apps["pc"].autoropes, device4), masking=False
+        ).run()
+        assert unmasked.timing.compute_cycles > masked.timing.compute_cycles
+
+
+class TestStatsPlausibility:
+    def test_stats_populated(self, pc_app, compiled_apps, oracles, device4):
+        L = launch(pc_app, compiled_apps["pc"].autoropes, device4)
+        res = AutoropesExecutor(L).run()
+        s = res.stats
+        assert s.warp_instructions > 0
+        assert s.global_transactions > 0
+        assert s.node_visits > 0
+        assert s.steps > 0
+        assert res.time_ms > 0
+
+    def test_visit_counts_consistent(self, pc_app, compiled_apps, device4):
+        L = launch(pc_app, compiled_apps["pc"].autoropes, device4)
+        res = AutoropesExecutor(L).run()
+        assert res.stats.node_visits == res.nodes_per_point.sum()
+
+    def test_per_point_sequences_requires_recording(self, pc_app,
+                                                    compiled_apps, device4):
+        L = launch(pc_app, compiled_apps["pc"].autoropes, device4)
+        res = AutoropesExecutor(L).run()
+        with pytest.raises(ValueError, match="record"):
+            res.per_point_sequences()
+
+    def test_lockstep_coalesces_better(self, pc_app, compiled_apps, device32):
+        """The whole point of Section 4: lockstep needs fewer
+        transactions per useful visit."""
+        la = launch(pc_app, compiled_apps["pc"].autoropes, device32)
+        ra = AutoropesExecutor(la).run()
+        ll = launch(pc_app, compiled_apps["pc"].lockstep, device32)
+        rl = LockstepExecutor(ll).run()
+        per_visit_a = ra.stats.global_transactions / max(ra.stats.node_visits, 1)
+        per_visit_l = rl.stats.global_transactions / max(rl.stats.node_visits, 1)
+        assert per_visit_l < per_visit_a
+
+    def test_shared_stack_occupancy_effect(self, pc_app, compiled_apps, device4):
+        shared = LockstepExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                   stack_layout=RopeStackLayout.SHARED)
+        ).run()
+        glob = LockstepExecutor(
+            launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                   stack_layout=RopeStackLayout.INTERLEAVED_GLOBAL)
+        ).run()
+        assert shared.occupancy <= glob.occupancy
+        assert shared.stats.shared_accesses > 0
+        assert glob.stats.shared_accesses == 0
+
+
+class TestPadding:
+    def test_nonwarp_multiple_points(self, points3d, device4, pipeline):
+        """n_points not a multiple of warp size: padding lanes idle."""
+        from repro.apps.pointcorr import build_pointcorr_app
+
+        n = 37
+        app = build_pointcorr_app(
+            points3d[:n], np.arange(n), radius=0.3, leaf_size=2
+        )
+        compiled = pipeline.compile(app.spec)
+        want = app.brute_force()
+        for kernel, exe in (
+            (compiled.autoropes, AutoropesExecutor),
+            (compiled.lockstep, LockstepExecutor),
+        ):
+            L = launch(app, kernel, device4)
+            exe(L).run()
+            app.check(L.ctx.out, want)
+
+    def test_single_point(self, points3d, device4, pipeline):
+        from repro.apps.pointcorr import build_pointcorr_app
+
+        app = build_pointcorr_app(
+            points3d[:8], np.array([0]), radius=0.4, leaf_size=2
+        )
+        compiled = pipeline.compile(app.spec)
+        L = launch(app, compiled.lockstep, device4)
+        LockstepExecutor(L).run()
+        app.check(L.ctx.out, app.brute_force())

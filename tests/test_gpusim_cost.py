@@ -1,0 +1,171 @@
+"""Cost model and launch geometry tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import CostModel
+from repro.gpusim.device import TESLA_C2070, small_test_device
+from repro.gpusim.kernel import LaunchConfig, occupancy_for
+from repro.gpusim.stats import KernelStats
+
+
+def stats_with(**kw):
+    s = KernelStats()
+    for k, v in kw.items():
+        setattr(s, k, v)
+    return s
+
+
+class TestLaunchConfig:
+    def test_threads_padded_to_warp(self):
+        lc = LaunchConfig(n_points=100, device=TESLA_C2070)
+        assert lc.n_threads == 128
+        assert lc.n_warps == 4
+
+    def test_exact_multiple(self):
+        lc = LaunchConfig(n_points=256, device=TESLA_C2070)
+        assert lc.n_threads == 256
+
+    def test_waves(self):
+        resident = TESLA_C2070.max_resident_threads
+        lc = LaunchConfig(n_points=resident + 1, device=TESLA_C2070)
+        assert lc.waves == 2
+
+    def test_warp_lane_mapping(self):
+        lc = LaunchConfig(n_points=64, device=TESLA_C2070)
+        assert lc.lane_of_thread(np.array([0, 33])).tolist() == [0, 1]
+        assert lc.warp_of_thread(np.array([0, 33])).tolist() == [0, 1]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(n_points=0, device=TESLA_C2070)
+        with pytest.raises(ValueError):
+            LaunchConfig(n_points=8, device=TESLA_C2070, block_size=100)
+        with pytest.raises(ValueError):
+            LaunchConfig(n_points=8, device=TESLA_C2070, block_size=2048)
+
+
+class TestOccupancy:
+    def test_no_shared_full_occupancy(self):
+        assert occupancy_for(TESLA_C2070, 0) == 1.0
+
+    def test_shared_limits_occupancy(self):
+        dev = TESLA_C2070
+        per_warp = dev.shared_mem_per_sm // (dev.max_warps_per_sm // 2)
+        assert occupancy_for(dev, per_warp) == pytest.approx(0.5, abs=0.05)
+
+    def test_huge_shared_floors_at_one_warp(self):
+        dev = TESLA_C2070
+        occ = occupancy_for(dev, dev.shared_mem_per_sm * 2)
+        assert occ == pytest.approx(1 / dev.max_warps_per_sm)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_for(TESLA_C2070, -1)
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.dev = small_test_device(warp_size=4)
+        self.cm = CostModel(self.dev)
+
+    def test_compute_cycles_scale_with_instructions(self):
+        a = self.cm.compute_cycles(stats_with(warp_instructions=1000.0))
+        b = self.cm.compute_cycles(stats_with(warp_instructions=2000.0))
+        assert b == pytest.approx(2 * a)
+
+    def test_recursion_tax(self):
+        base = self.cm.compute_cycles(stats_with(warp_instructions=100.0))
+        taxed = self.cm.compute_cycles(
+            stats_with(warp_instructions=100.0, recursive_calls=10)
+        )
+        assert taxed == pytest.approx(
+            base + 10 * self.dev.call_overhead_cycles / self.dev.num_sms
+        )
+
+    def test_l2_hits_cheaper_than_misses(self):
+        misses = self.cm.memory_cycles(stats_with(global_transactions=100))
+        hits = self.cm.memory_cycles(
+            stats_with(global_transactions=100, l2_hit_transactions=100)
+        )
+        assert hits < misses
+
+    def test_roofline_max_at_full_overlap(self):
+        s = stats_with(warp_instructions=1400.0, global_transactions=10)
+        t = self.cm.timing(s, occupancy=1.0)
+        assert t.total_cycles == pytest.approx(
+            max(t.compute_cycles, t.memory_cycles)
+            + self.dev.launch_overhead_cycles
+        )
+
+    def test_low_occupancy_serializes(self):
+        s = stats_with(warp_instructions=1400.0, global_transactions=1000)
+        full = self.cm.timing(s, occupancy=1.0)
+        low = self.cm.timing(s, occupancy=0.05)
+        assert low.total_cycles > full.total_cycles
+
+    def test_bound_label(self):
+        compute = self.cm.timing(stats_with(warp_instructions=1e6))
+        memory = self.cm.timing(stats_with(global_transactions=10**6))
+        assert compute.bound == "compute"
+        assert memory.bound == "memory"
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValueError):
+            self.cm.timing(KernelStats(), occupancy=0.0)
+        with pytest.raises(ValueError):
+            self.cm.timing(KernelStats(), occupancy=1.5)
+
+    def test_invalid_imbalance(self):
+        with pytest.raises(ValueError, match="imbalance"):
+            self.cm.timing(KernelStats(), imbalance=0.5)
+
+
+class TestImbalance:
+    def setup_method(self):
+        self.cm = CostModel(small_test_device(warp_size=4, num_sms=2))
+
+    def test_uniform_work_is_balanced(self):
+        assert self.cm.imbalance_factor(np.full(64, 10)) == pytest.approx(1.0)
+
+    def test_skewed_work_raises_factor(self):
+        work = np.zeros(64)
+        work[0] = 1000.0
+        assert self.cm.imbalance_factor(work) == pytest.approx(2.0)
+
+    def test_empty_is_one(self):
+        assert self.cm.imbalance_factor(np.array([])) == 1.0
+        assert self.cm.imbalance_factor(np.zeros(8)) == 1.0
+
+    def test_imbalance_scales_compute_time(self):
+        s = stats_with(warp_instructions=1e5)
+        t1 = self.cm.timing(s, imbalance=1.0)
+        t2 = self.cm.timing(s, imbalance=2.0)
+        assert t2.compute_cycles == pytest.approx(2 * t1.compute_cycles)
+
+
+class TestStats:
+    def test_merge_sums_and_maxes(self):
+        a = stats_with(warp_instructions=10.0, global_transactions=5)
+        a.steps = 7
+        a.extra["x"] = 1.0
+        b = stats_with(warp_instructions=3.0, global_transactions=2)
+        b.steps = 9
+        b.extra["x"] = 2.0
+        a.merge(b)
+        assert a.warp_instructions == 13.0
+        assert a.global_transactions == 7
+        assert a.steps == 9
+        assert a.extra["x"] == 3.0
+
+    def test_l2_hit_rate(self):
+        s = stats_with(global_transactions=10, l2_hit_transactions=4)
+        assert s.l2_hit_rate == pytest.approx(0.4)
+        assert KernelStats().l2_hit_rate == 0.0
+
+    def test_as_dict_flattens(self):
+        s = KernelStats()
+        s.extra["foo"] = 2.5
+        d = s.as_dict()
+        assert d["extra.foo"] == 2.5
+        assert "warp_instructions" in d

@@ -1,0 +1,45 @@
+"""Device configuration tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.device import DeviceConfig, TESLA_C2070, small_test_device
+
+
+class TestValidation:
+    def test_default_is_valid_c2070(self):
+        assert TESLA_C2070.num_sms == 14
+        assert TESLA_C2070.warp_size == 32
+        assert TESLA_C2070.segment_bytes == 128
+
+    def test_bad_warp_size(self):
+        with pytest.raises(ValueError, match="warp_size"):
+            dataclasses.replace(TESLA_C2070, warp_size=0).validate()
+
+    def test_bad_num_sms(self):
+        with pytest.raises(ValueError, match="num_sms"):
+            dataclasses.replace(TESLA_C2070, num_sms=0).validate()
+
+    def test_segment_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            dataclasses.replace(TESLA_C2070, segment_bytes=100).validate()
+
+    def test_overlap_occupancy_range(self):
+        with pytest.raises(ValueError, match="full_overlap_occupancy"):
+            dataclasses.replace(TESLA_C2070, full_overlap_occupancy=0.0).validate()
+
+
+class TestDerived:
+    def test_max_resident_threads(self):
+        assert TESLA_C2070.max_resident_threads == 14 * 48 * 32
+
+    def test_with_warp_size(self):
+        d = TESLA_C2070.with_warp_size(8)
+        assert d.warp_size == 8
+        assert d.num_sms == TESLA_C2070.num_sms
+
+    def test_small_test_device(self):
+        d = small_test_device(warp_size=4, num_sms=2)
+        assert d.warp_size == 4 and d.num_sms == 2
+        assert d.launch_overhead_cycles == 0.0

@@ -1,0 +1,151 @@
+"""Memory model tests: allocator, coalescing, and the L2 approximation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import small_test_device
+from repro.gpusim.memory import DeviceAllocator, GlobalMemory
+from repro.gpusim.stats import KernelStats
+
+
+@pytest.fixture
+def device():
+    return small_test_device(warp_size=4)
+
+
+def make_memory(device, l2=True, regions=((("a", 8, 1000),))):
+    alloc = DeviceAllocator(device)
+    regs = {}
+    for name, itemsize, count in regions:
+        regs[name] = alloc.alloc(name, itemsize, count)
+    stats = KernelStats()
+    mem = GlobalMemory(device, alloc, stats, l2_enabled=l2)
+    return alloc, regs, stats, mem
+
+
+class TestAllocator:
+    def test_regions_are_segment_aligned_and_disjoint(self, device):
+        alloc = DeviceAllocator(device)
+        a = alloc.alloc("a", 8, 10)
+        b = alloc.alloc("b", 8, 10)
+        seg = device.segment_bytes
+        assert a.base % seg == 0 and b.base % seg == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_duplicate_name_rejected(self, device):
+        alloc = DeviceAllocator(device)
+        alloc.alloc("a", 8, 10)
+        with pytest.raises(ValueError, match="already allocated"):
+            alloc.alloc("a", 8, 10)
+
+    def test_bad_sizes_rejected(self, device):
+        alloc = DeviceAllocator(device)
+        with pytest.raises(ValueError):
+            alloc.alloc("z", 0, 10)
+
+    def test_addresses(self, device):
+        alloc = DeviceAllocator(device)
+        r = alloc.alloc("a", 16, 10)
+        np.testing.assert_array_equal(
+            r.addresses(np.array([0, 1, 2])), r.base + np.array([0, 16, 32])
+        )
+
+    def test_region_lookup(self, device):
+        alloc = DeviceAllocator(device)
+        r = alloc.alloc("a", 8, 10)
+        assert alloc.region("a") is r
+
+
+class TestCoalescing:
+    def test_same_segment_is_one_transaction(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        addrs = regs["a"].addresses(np.array([[0, 1, 2, 3]]))
+        n = mem.warp_access(addrs, 8, None, step=1)
+        assert n == 1
+        assert stats.global_transactions == 1
+
+    def test_scattered_lanes_cost_one_each(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        # 8-byte items, 128-byte segments: stride 16 items apart.
+        idx = np.array([[0, 16, 32, 48]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, None, step=1)
+        assert n == 4
+
+    def test_inactive_lanes_do_not_count(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        idx = np.array([[0, 16, 32, 48]])
+        active = np.array([[True, False, False, True]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, active, step=1)
+        assert n == 2
+
+    def test_all_inactive_is_free(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        idx = np.array([[0, 1, 2, 3]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, np.zeros((1, 4), bool), 1)
+        assert n == 0
+        assert stats.global_transactions == 0
+
+    def test_access_straddling_two_segments(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        # one 8-byte item starting 4 bytes before a segment boundary
+        addr = np.array([[regs["a"].base + 124]])
+        n = mem.warp_access(addr, 8, None, step=1)
+        assert n == 2
+
+    def test_multiple_warps_accounted_independently(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        idx = np.array([[0, 1, 2, 3], [0, 1, 2, 3]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, None, step=1)
+        assert n == 2  # one transaction per warp
+
+    def test_warp_uniform_lockstep_load(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        idx = np.array([[5], [7], [5]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, None, step=1)
+        assert n == 3
+
+    def test_rejects_bad_shapes(self, device):
+        _, regs, stats, mem = make_memory(device)
+        with pytest.raises(ValueError, match="n_warps"):
+            mem.warp_access(np.array([1, 2, 3]), 8, None, 1)
+        with pytest.raises(ValueError, match="nbytes"):
+            mem.warp_access(np.array([[1]]), 0, None, 1)
+
+
+class TestL2:
+    def test_immediate_reuse_hits(self, device):
+        _, regs, stats, mem = make_memory(device, l2=True)
+        addrs = regs["a"].addresses(np.array([[0, 1, 2, 3]]))
+        mem.warp_access(addrs, 8, None, step=1)
+        mem.warp_access(addrs, 8, None, step=2)
+        assert stats.l2_hit_transactions >= 1
+        assert stats.global_transactions == 2
+
+    def test_distant_reuse_misses(self, device):
+        _, regs, stats, mem = make_memory(
+            device, l2=True, regions=(("a", 128, 100000),)
+        )
+        first = regs["a"].addresses(np.array([[0, 1, 2, 3]]))
+        mem.warp_access(first, 128, None, step=1)
+        # Touch a large, distinct working set to age the first line out.
+        for step in range(2, 60):
+            idx = np.arange(4)[None, :] + step * 500
+            mem.warp_access(regs["a"].addresses(idx), 128, None, step=step)
+        before = stats.l2_hit_transactions
+        mem.warp_access(first, 128, None, step=100)
+        hits_on_return = stats.l2_hit_transactions - before
+        assert hits_on_return == 0
+
+    def test_duplicate_segments_within_call_hit(self, device):
+        _, regs, stats, mem = make_memory(device, l2=True)
+        # two warps touch the same segment in the same call: second is
+        # still a transaction but serviced from L2.
+        idx = np.array([[0], [0]])
+        n = mem.warp_access(regs["a"].addresses(idx), 8, None, step=1)
+        assert n == 2
+        assert stats.l2_hit_transactions >= 1
+
+    def test_dram_bytes_tracks_misses(self, device):
+        _, regs, stats, mem = make_memory(device, l2=False)
+        mem.warp_access(regs["a"].addresses(np.array([[0]])), 8, None, 1)
+        assert stats.dram_bytes == device.segment_bytes

@@ -1,0 +1,102 @@
+"""Warp primitive tests: masks, votes, divergence accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.warp import (
+    WarpIssueAccountant,
+    majority_vote,
+    pack_mask,
+    unpack_mask,
+    warp_all,
+    warp_any,
+)
+
+
+class TestMaskPacking:
+    def test_known_values(self):
+        bits = np.array([[True, False, True, False]])
+        assert pack_mask(bits)[0] == 0b0101
+
+    def test_all_set(self):
+        bits = np.ones((2, 4), dtype=bool)
+        np.testing.assert_array_equal(pack_mask(bits), [15, 15])
+
+    @given(
+        hnp.arrays(dtype=bool, shape=st.tuples(st.integers(1, 6), st.integers(1, 64)))
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, bits):
+        words = pack_mask(bits)
+        np.testing.assert_array_equal(unpack_mask(words, bits.shape[1]), bits)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="64"):
+            pack_mask(np.ones((1, 65), dtype=bool))
+        with pytest.raises(ValueError, match="64"):
+            unpack_mask(np.zeros(1, np.uint64), 65)
+
+
+class TestVotes:
+    def test_warp_any_all(self):
+        bits = np.array([[True, False], [False, False], [True, True]])
+        np.testing.assert_array_equal(warp_any(bits), [True, False, True])
+        np.testing.assert_array_equal(warp_all(bits), [False, False, True])
+
+    def test_majority_basic(self):
+        choice = np.array([[1, 1, 0, 0], [1, 1, 1, 0]])
+        active = np.ones((2, 4), dtype=bool)
+        np.testing.assert_array_equal(majority_vote(choice, active), [False, True])
+
+    def test_tie_resolves_to_first_call_set(self):
+        choice = np.array([[1, 0]])
+        active = np.ones((1, 2), dtype=bool)
+        assert not majority_vote(choice, active)[0]
+
+    def test_inactive_lanes_do_not_vote(self):
+        choice = np.array([[1, 1, 1, 0]])
+        active = np.array([[False, False, True, True]])
+        assert not majority_vote(choice, active)[0]  # 1-1 tie -> call set 0
+
+    def test_no_active_lanes(self):
+        assert not majority_vote(np.array([[1, 1]]), np.zeros((1, 2), bool))[0]
+
+
+class TestIssueAccounting:
+    def test_full_warp_no_divergence(self):
+        stats = KernelStats()
+        acc = WarpIssueAccountant(4, stats)
+        acc.issue(np.ones((3, 4), dtype=bool), 2.0)
+        assert stats.warp_instructions == 6.0
+        assert stats.divergent_instructions == 0.0
+        assert stats.wasted_lane_fraction == 0.0
+
+    def test_partial_warp_counts_divergence(self):
+        stats = KernelStats()
+        acc = WarpIssueAccountant(4, stats)
+        acc.issue(np.array([[True, True, False, False]]), 1.0)
+        assert stats.warp_instructions == 1.0
+        assert stats.divergent_instructions == 1.0
+        assert stats.wasted_lane_fraction == pytest.approx(0.5)
+
+    def test_idle_warps_issue_nothing(self):
+        stats = KernelStats()
+        acc = WarpIssueAccountant(4, stats)
+        acc.issue(np.zeros((5, 4), dtype=bool))
+        assert stats.warp_instructions == 0.0
+
+    def test_warp_uniform_single_lane_column(self):
+        stats = KernelStats()
+        acc = WarpIssueAccountant(4, stats)
+        acc.issue(np.array([[True], [False], [True]]), 1.0)
+        assert stats.warp_instructions == 2.0
+        assert stats.divergent_instructions == 0.0
+
+    def test_rejects_1d(self):
+        acc = WarpIssueAccountant(4, KernelStats())
+        with pytest.raises(ValueError, match="2-D"):
+            acc.issue(np.ones(4, dtype=bool))

@@ -1,0 +1,167 @@
+"""Experiment harness tests (configs, runner, tables, figures, report).
+
+Uses the tiny scale and a restricted benchmark set so the suite stays
+fast; the full matrix is exercised by the benchmarks/ directory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import (
+    BENCHMARKS,
+    CPU_THREAD_SWEEP,
+    SCALES,
+    TINY,
+    scale_from_env,
+)
+from repro.harness.figures import figure_series, format_figures
+from repro.harness.report import generate_report
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import format_table1, table1_rows
+from repro.harness.table2 import format_table2, table2_rows
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=TINY)
+
+
+@pytest.fixture(scope="module")
+def pc_result(runner):
+    return runner.run("pc", "random", sorted_points=True)
+
+
+class TestConfig:
+    def test_benchmark_matrix_is_papers(self):
+        assert set(BENCHMARKS) == {"bh", "pc", "knn", "nn", "vp"}
+        assert BENCHMARKS["bh"] == ("plummer", "random")
+        total_pairs = sum(len(v) for v in BENCHMARKS.values())
+        assert total_pairs == 18  # Section 6.1.2: 18 benchmark/input pairs
+
+    def test_thread_sweep_matches_figures(self):
+        assert CPU_THREAD_SWEEP == (1, 2, 4, 8, 12, 16, 20, 24, 32)
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env().name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env().name == "small"
+
+    def test_pc_radius_by_input(self):
+        assert SCALES["small"].pc_radius("geocity") != SCALES["small"].pc_radius("random")
+
+
+class TestRunner:
+    def test_result_structure(self, pc_result):
+        assert pc_result.lockstep is not None
+        assert pc_result.nonlockstep.time_ms > 0
+        assert pc_result.recursive_lockstep.time_ms > 0
+        assert set(pc_result.cpu_ms) == set(CPU_THREAD_SWEEP)
+        assert pc_result.work_expansion_mean >= 1.0
+
+    def test_caching(self, runner, pc_result):
+        again = runner.run("pc", "random", sorted_points=True)
+        assert again is pc_result
+
+    def test_speedup_and_improvement_accessors(self, pc_result):
+        v1 = pc_result.speedup_vs_cpu(True, 1)
+        v32 = pc_result.speedup_vs_cpu(True, 32)
+        assert v1 > v32 > 0
+        assert np.isfinite(pc_result.improvement_vs_recursive(True))
+        assert np.isfinite(pc_result.improvement_vs_recursive(False))
+
+    def test_best_time(self, pc_result):
+        assert pc_result.best_time_ms <= pc_result.nonlockstep.time_ms
+
+    def test_unknown_bench_rejected(self, runner):
+        with pytest.raises(KeyError):
+            runner.run("nope", "random", True)
+        with pytest.raises(KeyError):
+            runner.run("bh", "covtype", True)
+
+
+class TestTable1:
+    def test_rows_for_subset(self, runner):
+        rows = table1_rows(runner, benches=["pc"])
+        assert len(rows) == 2 * len(BENCHMARKS["pc"])  # L and N per input
+        types = {r.traversal_type for r in rows}
+        assert types == {"L", "N"}
+        for r in rows:
+            assert r.s_time_ms > 0 and r.u_time_ms > 0
+            assert np.isfinite(r.s_speedup_vs1)
+
+    def test_format_contains_columns(self, runner):
+        text = format_table1(table1_rows(runner, benches=["pc"]))
+        assert "Point Correlation" in text
+        assert "Sorted" in text and "Unsorted" in text
+        assert "%" in text
+
+
+class TestTable2:
+    def test_rows(self, runner):
+        rows = table2_rows(runner, benches=["pc"])
+        assert len(rows) == len(BENCHMARKS["pc"])
+        for r in rows:
+            assert r.sorted_mean >= 1.0
+            assert r.unsorted_mean >= 1.0
+            assert r.sorted_std >= 0.0
+
+    def test_format(self, runner):
+        text = format_table2(table2_rows(runner, benches=["pc"]))
+        assert "Sorted" in text and "Unsorted" in text
+
+
+class TestFigures:
+    def test_series_shape(self, runner):
+        series = figure_series(runner, sorted_points=True, benches=["pc"])
+        assert len(series) == 2 * len(BENCHMARKS["pc"])
+        for s in series:
+            assert len(s.cpu_over_gpu) == len(CPU_THREAD_SWEEP)
+            # CPU relative performance grows (weakly) with threads
+            assert s.cpu_over_gpu[-1] >= s.cpu_over_gpu[0]
+
+    def test_crossover_detection(self, runner):
+        series = figure_series(runner, sorted_points=True, benches=["pc"])
+        for s in series:
+            x = s.crossover_threads
+            if x is not None:
+                assert any(
+                    v >= 1.0 and t == x
+                    for t, v in zip(s.threads, s.cpu_over_gpu)
+                )
+
+    def test_format(self, runner):
+        series = figure_series(runner, sorted_points=False, benches=["pc"])
+        text = format_figures(series, "Figure 11")
+        assert "Figure 11" in text and "Lockstep" in text
+
+
+class TestReport:
+    def test_report_generates(self):
+        r = ExperimentRunner(scale=TINY)
+        # restrict via monkeypatched matrix for speed
+        import repro.harness.config as cfg
+        import repro.harness.table1 as t1
+        report = generate_report_restricted(r)
+        assert "# EXPERIMENTS" in report
+        assert "Table 1 (measured)" in report
+        assert "Figure 10" in report
+
+
+def generate_report_restricted(runner):
+    """Full report over the two cheapest benchmarks only."""
+    import repro.harness.report as report_mod
+    from unittest import mock
+
+    restricted = {"pc": ("random",), "knn": ("random",)}
+    with mock.patch.dict(
+        "repro.harness.config.BENCHMARKS", restricted, clear=True
+    ), mock.patch("repro.harness.table1.BENCHMARKS", restricted), mock.patch(
+        "repro.harness.table2.BENCHMARKS", restricted
+    ), mock.patch(
+        "repro.harness.figures.BENCHMARKS", restricted
+    ):
+        return report_mod.generate_report(runner)

@@ -1,0 +1,120 @@
+"""Structure identification tests (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import Annotation
+from repro.core.identify import StructureError, identify_structure
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+    for_each_child,
+)
+
+
+class TestForEachChild:
+    def test_unrolls_to_recursions(self):
+        seq = for_each_child("c0", "c1", "c2")
+        assert len(seq.stmts) == 3
+        assert all(isinstance(s, Recurse) for s in seq.stmts)
+        assert [s.child.name for s in seq.stmts] == ["c0", "c1", "c2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            for_each_child()
+
+    def test_matches_bh_body(self, bh_app):
+        """BH's eight Recurse statements are what for_each_child makes."""
+        names = [
+            s.child.name
+            for s in bh_app.spec.body.walk()
+            if isinstance(s, Recurse)
+        ]
+        sugar = [s.child.name for s in for_each_child(*[f"c{i}" for i in range(8)]).stmts]
+        assert names == sugar
+
+
+class TestIdentify:
+    def test_pc_report(self, pc_app):
+        rep = identify_structure(pc_app.spec, pc_app.tree)
+        assert rep.recursive_fields == ("left", "right")
+        assert rep.n_call_sites == 2
+        assert "cannot_correlate" in rep.point_dependent_conditions
+        assert "is_leaf" in rep.structural_conditions
+        assert rep.updates == ("count_bucket",)
+        assert not rep.point_loop_annotated_independent
+
+    def test_bh_report(self, bh_app):
+        rep = identify_structure(bh_app.spec, bh_app.tree)
+        assert rep.n_call_sites == 8
+        assert rep.traversal_args == ("dsq",)
+        assert set(rep.recursive_fields) == {f"c{i}" for i in range(8)}
+
+    def test_all_apps_identify(self, all_apps):
+        for name, app in all_apps.items():
+            rep = identify_structure(app.spec, app.tree)
+            assert rep.n_call_sites >= 2, name
+            assert rep.updates, name
+
+    def test_no_recursion_rejected(self, pc_app):
+        spec = TraversalSpec(name="flat", body=Return())
+        with pytest.raises(StructureError, match="no recursive call"):
+            identify_structure(spec, pc_app.tree)
+
+    def test_unknown_child_slot_rejected(self, pc_app):
+        spec = TraversalSpec(
+            name="bad", body=Recurse(ChildRef("middle"))
+        )
+        with pytest.raises(StructureError, match="child slots"):
+            identify_structure(spec, pc_app.tree)
+
+    def test_unknown_field_group_rejected(self, pc_app):
+        def t(ctx, node, pt, args):
+            return np.ones(len(node), dtype=bool)
+
+        spec = TraversalSpec(
+            name="bad",
+            body=Seq(
+                If(CondRef("c", reads=("warm",)), Return()),
+                Recurse(ChildRef("left")),
+            ),
+            conditions={"c": t},
+        )
+        with pytest.raises(KeyError, match="warm"):
+            identify_structure(spec, pc_app.tree)
+
+    def test_annotation_requirement(self, pc_app):
+        with pytest.raises(StructureError, match="POINT_LOOP_INDEPENDENT"):
+            identify_structure(pc_app.spec, pc_app.tree, require_annotation=True)
+
+        annotated = TraversalSpec(
+            name="pc2",
+            body=pc_app.spec.body,
+            args=pc_app.spec.args,
+            conditions=pc_app.spec.conditions,
+            updates=pc_app.spec.updates,
+            arg_rules=pc_app.spec.arg_rules,
+            annotations=frozenset({Annotation.POINT_LOOP_INDEPENDENT}),
+        )
+        rep = identify_structure(annotated, pc_app.tree, require_annotation=True)
+        assert rep.point_loop_annotated_independent
+
+    def test_notes_flag_oddities(self, pc_app):
+        def t(ctx, node, pt, args):
+            return np.ones(len(node), dtype=bool)
+
+        spec = TraversalSpec(
+            name="odd",
+            body=Seq(Recurse(ChildRef("left"))),  # no update, no truncation
+        )
+        rep = identify_structure(spec, pc_app.tree)
+        assert any("no updates" in n for n in rep.notes)
+        assert any("no truncating path" in n for n in rep.notes)
+        assert any("never descended" in n for n in rep.notes)

@@ -1,0 +1,127 @@
+"""Lockstep transformation tests (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import Annotation
+from repro.core.autoropes import apply_autoropes
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.core.lockstep import (
+    LockstepNotApplicable,
+    apply_lockstep,
+    find_vote_conditions,
+)
+
+
+def _true(ctx, node, pt, args):
+    return np.ones(len(node), dtype=bool)
+
+
+def _noop(ctx, node, pt, args):
+    return None
+
+
+def _guided_spec(annotated: bool):
+    return TraversalSpec(
+        name="g",
+        body=Seq(
+            If(CondRef("prune"), Return()),
+            If(
+                CondRef("closer"),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+            ),
+        ),
+        conditions={"prune": _true, "closer": _true},
+        annotations=frozenset({Annotation.CALLSETS_EQUIVALENT}) if annotated else frozenset(),
+    )
+
+
+def _unguided_spec():
+    return TraversalSpec(
+        name="u",
+        body=Seq(
+            If(CondRef("prune"), Return()),
+            If(
+                CondRef("leaf", point_dependent=False),
+                Seq(Update(UpdateRef("u")), Return()),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+            ),
+        ),
+        conditions={"prune": _true, "leaf": _true},
+        updates={"u": _noop},
+    )
+
+
+class TestLegality:
+    def test_unguided_applies_without_votes(self):
+        kernel = apply_lockstep(apply_autoropes(_unguided_spec()))
+        assert kernel.lockstep
+        assert kernel.vote_conditions == frozenset()
+
+    def test_guided_unannotated_rejected(self):
+        with pytest.raises(LockstepNotApplicable, match="CALLSETS_EQUIVALENT"):
+            apply_lockstep(apply_autoropes(_guided_spec(annotated=False)))
+
+    def test_guided_annotated_gets_vote(self):
+        kernel = apply_lockstep(apply_autoropes(_guided_spec(annotated=True)))
+        assert kernel.lockstep
+        assert kernel.vote_conditions == frozenset({"closer"})
+
+    def test_idempotent(self):
+        kernel = apply_lockstep(apply_autoropes(_unguided_spec()))
+        assert apply_lockstep(kernel) is kernel
+
+
+class TestVoteIdentification:
+    def test_truncation_branch_is_not_a_vote(self):
+        kernel = apply_autoropes(_unguided_spec())
+        votes = find_vote_conditions(kernel.body)
+        # leaf's THEN arm has no pushes -> not a call-set selector
+        assert votes == set()
+
+    def test_call_set_selector_is_a_vote(self):
+        kernel = apply_autoropes(_guided_spec(annotated=True))
+        assert find_vote_conditions(kernel.body) == {"closer"}
+
+    def test_point_independent_selector_needs_no_vote(self):
+        spec = TraversalSpec(
+            name="s",
+            body=If(
+                CondRef("structural", point_dependent=False),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+            ),
+            conditions={"structural": _true},
+            annotations=frozenset({Annotation.CALLSETS_EQUIVALENT}),
+        )
+        kernel = apply_lockstep(apply_autoropes(spec))
+        # It selects call sets, but the node is warp-uniform under
+        # lockstep, so no majority vote is required.
+        assert kernel.vote_conditions == frozenset()
+
+
+class TestCompiledApps:
+    def test_guided_apps_have_expected_votes(self, compiled_apps):
+        expect = {"knn": {"closer_to_left"}, "nn": {"closer_to_left"},
+                  "vp": {"closer_inside"}}
+        for name, votes in expect.items():
+            assert set(compiled_apps[name].lockstep.vote_conditions) == votes, name
+
+    def test_unguided_apps_have_no_votes(self, compiled_apps):
+        for name in ("bh", "pc"):
+            assert compiled_apps[name].lockstep.vote_conditions == frozenset()
+
+    def test_all_apps_get_lockstep_variant(self, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            assert compiled.lockstep is not None, name

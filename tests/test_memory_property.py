@@ -1,0 +1,81 @@
+"""Property-based tests for the coalescing model: transactions must
+equal a brute-force count of distinct touched segments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpusim.device import small_test_device
+from repro.gpusim.memory import DeviceAllocator, GlobalMemory
+from repro.gpusim.stats import KernelStats
+
+
+def brute_force_transactions(addresses, nbytes, active, seg):
+    total = 0
+    for warp_addr, warp_act in zip(addresses, active):
+        segs = set()
+        for a, on in zip(warp_addr, warp_act):
+            if not on:
+                continue
+            segs.add(a // seg)
+            segs.add((a + nbytes - 1) // seg)
+        total += len(segs)
+    return total
+
+
+@given(
+    addresses=hnp.arrays(
+        dtype=np.int64,
+        shape=st.tuples(st.integers(1, 6), st.integers(1, 8)),
+        elements=st.integers(0, 5000),
+    ),
+    nbytes=st.integers(1, 200),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_transactions_match_brute_force(addresses, nbytes, data):
+    device = small_test_device(warp_size=4)
+    active = data.draw(
+        hnp.arrays(dtype=bool, shape=addresses.shape), label="active"
+    )
+    alloc = DeviceAllocator(device)
+    alloc.alloc("span", 1, 6000)
+    stats = KernelStats()
+    mem = GlobalMemory(device, alloc, stats, l2_enabled=False)
+    got = mem.warp_access(addresses, nbytes, active, step=1)
+    want = brute_force_transactions(
+        addresses, nbytes, active, device.segment_bytes
+    )
+    assert got == want
+    assert stats.global_transactions == want
+    assert stats.dram_bytes == want * device.segment_bytes
+
+
+@given(
+    idx=hnp.arrays(
+        dtype=np.int64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 8)),
+        elements=st.integers(0, 500),
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_l2_never_creates_transactions(idx):
+    """Enabling the L2 changes hit/miss splits, never the transaction
+    count (hardware: the request still happens)."""
+    device = small_test_device(warp_size=4)
+
+    def run(l2):
+        alloc = DeviceAllocator(device)
+        region = alloc.alloc("a", 8, 1000)
+        stats = KernelStats()
+        mem = GlobalMemory(device, alloc, stats, l2_enabled=l2)
+        for step in (1, 2, 3):
+            mem.warp_access(region.addresses(idx), 8, None, step)
+        return stats
+
+    on, off = run(True), run(False)
+    assert on.global_transactions == off.global_transactions
+    assert on.l2_hit_transactions >= off.l2_hit_transactions == 0
+    assert on.dram_bytes <= off.dram_bytes

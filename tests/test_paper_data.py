@@ -1,0 +1,93 @@
+"""Sanity tests over the transcribed paper data and the comparison
+machinery in the report generator."""
+
+import pytest
+
+from repro.harness.config import BENCHMARKS
+from repro.harness.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    paper_entry,
+    paper_wexp,
+)
+
+
+class TestTable1Data:
+    def test_complete_matrix(self):
+        """36 rows: 18 benchmark/input pairs x {L, N}."""
+        assert len(PAPER_TABLE1) == 36
+        for bench, inputs in BENCHMARKS.items():
+            for inp in inputs:
+                for t in ("L", "N"):
+                    assert (bench, inp, t) in PAPER_TABLE1
+
+    def test_lockstep_visits_at_least_nonlockstep(self):
+        """The paper's own headline shape holds in its data (excluding
+        the garbled PC/Geocity row)."""
+        for bench, inputs in BENCHMARKS.items():
+            for inp in inputs:
+                L = paper_entry(bench, inp, "L")
+                N = paper_entry(bench, inp, "N")
+                if L.suspect or N.suspect:
+                    continue
+                assert L.sorted.avg_nodes >= N.sorted.avg_nodes, (bench, inp)
+                assert L.unsorted.avg_nodes >= N.unsorted.avg_nodes, (bench, inp)
+
+    def test_nonlockstep_nodes_independent_of_sorting(self):
+        """Non-lockstep traversals visit the same nodes regardless of
+        point order — visible in the paper's table (N rows have equal
+        sorted/unsorted Avg. # Nodes)."""
+        for key, entry in PAPER_TABLE1.items():
+            if key[2] == "N":
+                assert entry.sorted.avg_nodes == entry.unsorted.avg_nodes, key
+
+    def test_positive_times(self):
+        for entry in PAPER_TABLE1.values():
+            assert entry.sorted.time_ms > 0
+            assert entry.unsorted.time_ms > 0
+
+    def test_lookup_missing(self):
+        assert paper_entry("bh", "covtype", "L") is None
+
+
+class TestTable2Data:
+    def test_complete(self):
+        assert len(PAPER_TABLE2) == 18
+
+    def test_expansion_at_least_one(self):
+        for entry in PAPER_TABLE2.values():
+            assert entry.sorted_mean >= 1.0
+            assert entry.unsorted_mean >= 1.0
+
+    def test_unsorted_grows_except_suspect(self):
+        for key, entry in PAPER_TABLE2.items():
+            if entry.suspect:
+                continue
+            assert entry.unsorted_mean >= entry.sorted_mean, key
+
+    def test_suspect_marked(self):
+        assert paper_wexp("pc", "geocity").suspect
+        assert not paper_wexp("pc", "covtype").suspect
+
+
+class TestComparison:
+    def test_compare_with_paper_renders(self):
+        """Run the comparison over a tiny measured subset."""
+        from unittest import mock
+
+        from repro.harness.config import TINY
+        from repro.harness.report import compare_with_paper
+        from repro.harness.runner import ExperimentRunner
+        from repro.harness.table1 import table1_rows
+        from repro.harness.table2 import table2_rows
+
+        runner = ExperimentRunner(scale=TINY)
+        restricted = {"pc": ("random",)}
+        with mock.patch("repro.harness.table1.BENCHMARKS", restricted), mock.patch(
+            "repro.harness.table2.BENCHMARKS", restricted
+        ):
+            rows1 = table1_rows(runner)
+            rows2 = table2_rows(runner)
+        text = compare_with_paper(rows1, rows2)
+        assert "agreement" in text
+        assert "pc/random" in text

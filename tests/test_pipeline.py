@@ -1,0 +1,94 @@
+"""Pipeline driver tests (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lockstep import LockstepNotApplicable
+from repro.core.ir import (
+    ChildRef,
+    CondRef,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.core.pipeline import TransformPipeline
+from repro.core.profiling import TraversalSimilarity
+
+
+def _true(ctx, node, pt, args):
+    return np.ones(len(node), dtype=bool)
+
+
+def _noop(ctx, node, pt, args):
+    return None
+
+
+@pytest.fixture
+def guided_unannotated():
+    return TransformPipeline().compile(
+        TraversalSpec(
+            name="g",
+            body=If(
+                CondRef("closer"),
+                Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+                Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+            ),
+            conditions={"closer": _true},
+        )
+    )
+
+
+class TestCompile:
+    def test_log_records_stages(self, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            text = " / ".join(compiled.log)
+            assert "autoropes applied" in text, name
+            assert "call sets" in text, name
+
+    def test_normalization_logged_for_inorder(self):
+        spec = TraversalSpec(
+            name="inorder",
+            body=Seq(
+                Recurse(ChildRef("left")),
+                Update(UpdateRef("u")),
+                Recurse(ChildRef("right")),
+            ),
+            updates={"u": _noop},
+        )
+        compiled = TransformPipeline().compile(spec)
+        assert any("normalized" in line for line in compiled.log)
+        assert compiled.normalized is not compiled.original
+
+    def test_lockstep_unavailable_reason(self, guided_unannotated):
+        assert guided_unannotated.lockstep is None
+        assert "CALLSETS_EQUIVALENT" in guided_unannotated.lockstep_unavailable_reason
+
+
+class TestVariantChoice:
+    def test_kernel_accessor(self, compiled_apps):
+        pc = compiled_apps["pc"]
+        assert pc.kernel(lockstep=False) is pc.autoropes
+        assert pc.kernel(lockstep=True) is pc.lockstep
+
+    def test_kernel_accessor_raises_when_unavailable(self, guided_unannotated):
+        with pytest.raises(LockstepNotApplicable):
+            guided_unannotated.kernel(lockstep=True)
+
+    def test_choose_by_similarity(self, compiled_apps):
+        pc = compiled_apps["pc"]
+        similar = TraversalSimilarity(0.9, 0.8, 4, threshold=0.5)
+        dissimilar = TraversalSimilarity(0.1, 0.0, 4, threshold=0.5)
+        assert pc.choose_variant(similar).lockstep
+        assert not pc.choose_variant(dissimilar).lockstep
+
+    def test_choose_without_profile_defaults_by_guidance(self, compiled_apps):
+        assert compiled_apps["pc"].choose_variant(None).lockstep  # unguided
+        assert not compiled_apps["knn"].choose_variant(None).lockstep  # guided
+
+    def test_choose_falls_back_when_no_lockstep(self, guided_unannotated):
+        similar = TraversalSimilarity(0.9, 0.8, 4, threshold=0.5)
+        assert guided_unannotated.choose_variant(similar) is guided_unannotated.autoropes

@@ -1,0 +1,163 @@
+"""Dataset generator and point-sorting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.points.datasets import (
+    DATASET_NAMES,
+    covtype_like,
+    dataset_by_name,
+    geocity_like,
+    mnist_like,
+    plummer_bodies,
+    random_bodies,
+    random_points,
+)
+from repro.points.sorting import (
+    morton_codes,
+    morton_order,
+    shuffled_order,
+    tree_order,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shapes_and_determinism(self, name):
+        a = dataset_by_name(name, 128)
+        b = dataset_by_name(name, 128)
+        assert a.n == 128
+        np.testing.assert_array_equal(a.points, b.points)
+        assert np.isfinite(a.points).all()
+
+    def test_dimensions(self):
+        assert covtype_like(64).dim == 7
+        assert mnist_like(64).dim == 7
+        assert random_points(64).dim == 7
+        assert geocity_like(64).dim == 2
+
+    def test_seed_changes_data(self):
+        a = random_points(64, seed=1).points
+        b = random_points(64, seed=2).points
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_by_name("nope", 10)
+
+    def test_bad_sizes_rejected(self):
+        for fn in (covtype_like, mnist_like, random_points, geocity_like):
+            with pytest.raises(ValueError):
+                fn(0)
+        with pytest.raises(ValueError):
+            plummer_bodies(0)
+
+    def test_geocity_is_clustered(self):
+        """Clustered data has far smaller mean nearest-neighbor distance
+        than uniform data of the same size."""
+        geo = geocity_like(400, seed=3).points
+        uni = np.random.default_rng(3).uniform(0, 1, size=(400, 2))
+
+        def mean_nn(pts):
+            d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+
+        assert mean_nn(geo) < mean_nn(uni) / 3
+
+    def test_projected_datasets_normalized_to_unit_cube(self):
+        for ds in (covtype_like(256), mnist_like(256)):
+            assert ds.points.min() >= -1e-12
+            assert ds.points.max() <= 1 + 1e-12
+
+
+class TestPlummer:
+    def test_equal_masses_sum_to_one(self):
+        b = plummer_bodies(500, seed=1)
+        assert b.mass.sum() == pytest.approx(1.0)
+        assert (b.mass == b.mass[0]).all()
+
+    def test_radial_profile(self):
+        """Half-mass radius of the Plummer model is ~1.3 a."""
+        b = plummer_bodies(20000, seed=2)
+        r = np.linalg.norm(b.pos, axis=1)
+        half_mass_radius = np.median(r)
+        assert 1.0 < half_mass_radius < 1.7
+
+    def test_velocities_bounded_by_escape(self):
+        b = plummer_bodies(2000, seed=3)
+        r = np.linalg.norm(b.pos, axis=1)
+        v = np.linalg.norm(b.vel, axis=1)
+        v_esc = np.sqrt(2.0) * (1.0 + r * r) ** -0.25
+        assert (v <= v_esc + 1e-9).all()
+
+    def test_random_bodies(self):
+        b = random_bodies(100, seed=4)
+        assert b.pos.shape == (100, 3) and b.vel.shape == (100, 3)
+
+
+class TestMorton:
+    def test_codes_deterministic_and_bounded(self):
+        pts = np.random.default_rng(0).uniform(0, 1, size=(100, 3))
+        codes = morton_codes(pts)
+        assert (codes >= 0).all()
+        np.testing.assert_array_equal(codes, morton_codes(pts))
+
+    def test_order_is_permutation(self):
+        pts = np.random.default_rng(1).uniform(0, 1, size=(100, 7))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_1d_morton_is_plain_sort(self):
+        pts = np.random.default_rng(2).uniform(0, 1, size=(50, 1))
+        order = morton_order(pts)
+        assert (np.diff(pts[order, 0]) >= 0).all()
+
+    def test_sorting_improves_neighbor_distance(self):
+        """Consecutive Morton-sorted points are spatially closer, on
+        average, than consecutive shuffled points."""
+        pts = np.random.default_rng(3).uniform(0, 1, size=(512, 3))
+        sorted_pts = pts[morton_order(pts)]
+        shuffled_pts = pts[shuffled_order(512, 4)]
+
+        def step(p):
+            return np.linalg.norm(np.diff(p, axis=0), axis=1).mean()
+
+        assert step(sorted_pts) < step(shuffled_pts) / 2
+
+    def test_bits_overflow_guard(self):
+        pts = np.zeros((4, 8))
+        with pytest.raises(ValueError, match="63 bits"):
+            morton_codes(pts, bits_per_dim=8)
+
+    def test_degenerate_axis_ok(self):
+        pts = np.zeros((10, 3))
+        pts[:, 0] = np.arange(10)
+        codes = morton_codes(pts)
+        assert len(np.unique(codes)) == 10
+
+    @given(seed=st.integers(0, 100), n=st.integers(2, 64), d=st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_order_permutation_property(self, seed, n, d):
+        pts = np.random.default_rng(seed).uniform(-5, 5, size=(n, d))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(n))
+
+
+class TestOrders:
+    def test_shuffled_is_seeded_permutation(self):
+        a = shuffled_order(50, seed=1)
+        b = shuffled_order(50, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert sorted(a.tolist()) == list(range(50))
+
+    def test_tree_order_checks_permutation(self):
+        assert tree_order(np.array([2, 0, 1])).tolist() == [2, 0, 1]
+        with pytest.raises(ValueError, match="permutation"):
+            tree_order(np.array([0, 0, 1]))
+
+    def test_shuffled_rejects_empty(self):
+        with pytest.raises(ValueError):
+            shuffled_order(0)

@@ -1,0 +1,95 @@
+"""Traversal-similarity profiling tests (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import jaccard, sample_similarity
+
+
+class TestJaccard:
+    def test_identical(self):
+        a = np.array([1, 2, 3])
+        assert jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard(np.array([1, 2, 3]), np.array([2, 3, 4])) == pytest.approx(0.5)
+
+    def test_duplicates_ignored(self):
+        assert jaccard(np.array([1, 1, 2, 2]), np.array([1, 2])) == 1.0
+
+    def test_both_empty(self):
+        assert jaccard(np.empty(0, int), np.empty(0, int)) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(np.empty(0, int), np.array([1])) == 0.0
+
+
+class TestSampleSimilarity:
+    def test_identical_traversals_recommend_lockstep(self):
+        sim = sample_similarity(lambda p: np.arange(50), n_points=100)
+        assert sim.mean_jaccard == 1.0
+        assert sim.recommend_lockstep
+
+    def test_disjoint_traversals_recommend_nonlockstep(self):
+        sim = sample_similarity(
+            lambda p: np.arange(p * 100, p * 100 + 10), n_points=100
+        )
+        assert sim.mean_jaccard == 0.0
+        assert not sim.recommend_lockstep
+
+    def test_threshold_boundary(self):
+        sim = sample_similarity(
+            lambda p: np.arange(50), n_points=10, threshold=1.0
+        )
+        assert sim.recommend_lockstep  # mean == threshold passes (>=)
+
+    def test_neighbor_distance(self):
+        # Points i and i+2 share nothing; i and i+1 share everything.
+        def visit(p):
+            return np.arange((p // 2) * 100, (p // 2) * 100 + 10)
+
+        near = sample_similarity(visit, n_points=100, neighbor_distance=2, seed=1)
+        assert near.mean_jaccard == 0.0
+
+    def test_deterministic_given_seed(self):
+        def visit(p):
+            return np.arange(p % 7)
+
+        a = sample_similarity(visit, n_points=50, seed=3)
+        b = sample_similarity(visit, n_points=50, seed=3)
+        assert a == b
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="two points"):
+            sample_similarity(lambda p: np.arange(3), n_points=1)
+        with pytest.raises(ValueError, match="threshold"):
+            sample_similarity(lambda p: np.arange(3), n_points=10, threshold=2.0)
+        with pytest.raises(ValueError, match="neighbor_distance"):
+            sample_similarity(lambda p: np.arange(3), n_points=5, neighbor_distance=9)
+
+    def test_sorted_vs_shuffled_real_app(self, pc_app, points3d):
+        """Morton-sorted PC points look similar; shuffled do not (on
+        average, by a wide margin)."""
+        from repro.cpusim.recursive import RecursiveInterpreter
+        from repro.points.sorting import shuffled_order
+        from repro.apps.pointcorr import build_pointcorr_app
+
+        interp_sorted = RecursiveInterpreter(
+            pc_app.spec, pc_app.tree, pc_app.make_ctx()
+        )
+        sim_sorted = sample_similarity(
+            interp_sorted.run_point, pc_app.n_points, n_samples=6, seed=2
+        )
+        app_shuf = build_pointcorr_app(
+            points3d, shuffled_order(len(points3d), 9), radius=0.25, leaf_size=4
+        )
+        interp_shuf = RecursiveInterpreter(
+            app_shuf.spec, app_shuf.tree, app_shuf.make_ctx()
+        )
+        sim_shuf = sample_similarity(
+            interp_shuf.run_point, app_shuf.n_points, n_samples=6, seed=2
+        )
+        assert sim_sorted.mean_jaccard > sim_shuf.mean_jaccard

@@ -1,0 +1,221 @@
+"""Pseudo-tail-recursion normalization tests (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import QuerySet
+from repro.core.autoropes import apply_autoropes
+from repro.core.callset import analyze_call_sets
+from repro.core.ir import (
+    ChildRef,
+    number_call_sites,
+    CondRef,
+    EvalContext,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.core.pseudotail import (
+    NotPseudoTailRecursive,
+    PEND_ARG,
+    PARENT_ARG,
+    is_pseudo_tail_recursive,
+    normalize_to_pseudo_tail,
+    tail_duplicate,
+)
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.trees.node import FieldGroup, RawTree
+from repro.trees.linearize import linearize_left_biased
+
+
+def _full_binary_tree(depth: int):
+    """A complete binary tree with per-node payload = node id."""
+    n = 2**depth - 1
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        l, r = 2 * i + 1, 2 * i + 2
+        if l < n:
+            left[i] = l
+        if r < n:
+            right[i] = r
+    raw = RawTree(
+        child_names=("left", "right"),
+        children={"left": left, "right": right},
+        arrays={"val": np.arange(n, dtype=np.float64)},
+        groups=(FieldGroup("hot", 8), FieldGroup("cold", 8)),
+    ).validate()
+    return linearize_left_biased(raw)
+
+
+def _never(ctx, node, pt, args):
+    return np.zeros(len(node), dtype=bool)
+
+
+def _record(ctx, node, pt, args):
+    for n, p in zip(node, pt):
+        ctx.out["log"].append((int(p), int(n)))
+
+
+class TestTailDuplicate:
+    def test_pushes_tail_into_branch_arms(self):
+        body = number_call_sites(
+            Seq(
+                If(
+                    CondRef("c"),
+                    Recurse(ChildRef("left")),
+                    Recurse(ChildRef("right")),
+                ),
+                Recurse(ChildRef("left")),
+            )
+        )
+        # Pseudo-tail by the CFG definition (only calls follow calls on
+        # every path) — but structurally the trailing call is outside
+        # the branch, which tail duplication canonicalizes away.
+        assert is_pseudo_tail_recursive(body)
+        dup = number_call_sites(tail_duplicate(body))
+        assert is_pseudo_tail_recursive(dup)
+        # Paths (and hence call sets) are preserved.
+        a_orig = analyze_call_sets(body)
+        a_dup = analyze_call_sets(dup)
+        orig_children = sorted(
+            tuple(c.name for c in cs.children) for cs in a_orig.call_sets
+        )
+        dup_children = sorted(
+            tuple(c.name for c in cs.children) for cs in a_dup.call_sets
+        )
+        assert orig_children == dup_children == [
+            ("left", "left"),
+            ("right", "left"),
+        ]
+
+    def test_no_change_needed_is_stable(self):
+        body = Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right")))
+        dup = number_call_sites(tail_duplicate(body))
+        a = analyze_call_sets(dup)
+        assert a.pseudo_tail_recursive
+        assert a.call_sets[0].sites == (0, 1)
+
+    def test_unreachable_tail_after_return_dropped(self):
+        body = Seq(Return(), Update(UpdateRef("dead")))
+        dup = tail_duplicate(body)
+        assert all(not isinstance(s, Update) for s in dup.walk())
+
+
+class TestNormalizeErrors:
+    def test_update_after_last_call_rejected(self):
+        spec = TraversalSpec(
+            name="bad",
+            body=Seq(Recurse(ChildRef("left")), Update(UpdateRef("u"))),
+            updates={"u": _record},
+        )
+        with pytest.raises(NotPseudoTailRecursive, match="after the last"):
+            normalize_to_pseudo_tail(spec)
+
+    def test_already_pseudo_tail_gains_no_synthetic_args(self):
+        spec = TraversalSpec(
+            name="ok",
+            body=Seq(
+                If(CondRef("never"), Return()),
+                Recurse(ChildRef("left")),
+                Recurse(ChildRef("right")),
+            ),
+            conditions={"never": _never},
+        )
+        norm = normalize_to_pseudo_tail(spec)
+        assert [a.name for a in norm.args] == []
+        assert not norm.visits_null_children
+
+
+class TestInOrderPushDown:
+    """The in-order traversal (update between calls) must produce
+    identical updates — for every point, in the same order — after
+    normalization."""
+
+    def _make_spec(self, body):
+        return TraversalSpec(
+            name="inorder",
+            body=body,
+            conditions={"never": _never},
+            updates={"u": _record},
+        )
+
+    def _run(self, spec, tree, n_pts=3):
+        ctx = EvalContext(
+            tree=tree,
+            points=QuerySet(coords=np.zeros((n_pts, 1)), orig_ids=np.arange(n_pts)),
+            out={"log": []},
+        )
+        interp = RecursiveInterpreter(spec, tree, ctx)
+        for p in range(n_pts):
+            interp.run_point(p)
+        return ctx.out["log"]
+
+    def test_inorder_update_order_preserved(self):
+        tree = _full_binary_tree(4)
+        body = Seq(
+            If(CondRef("never"), Return()),
+            Recurse(ChildRef("left")),
+            Update(UpdateRef("u")),
+            Recurse(ChildRef("right")),
+        )
+        spec = self._make_spec(body)
+        assert not is_pseudo_tail_recursive(spec)
+        norm = normalize_to_pseudo_tail(spec)
+        assert is_pseudo_tail_recursive(norm)
+        assert norm.visits_null_children
+        arg_names = {a.name for a in norm.args}
+        assert {PEND_ARG, PARENT_ARG} <= arg_names
+
+        log_orig = self._run(spec, tree)
+        log_norm = self._run(norm, tree)
+        assert log_orig == log_norm
+        # in-order over a complete tree = sorted node ids in DFS layout?
+        # Left-biased linearization is preorder, so just check every node
+        # appears exactly once per point.
+        n = tree.n_nodes
+        per_point = [n_ for (p, n_) in log_orig if p == 0]
+        assert sorted(per_point) == list(range(n))
+
+    def test_normalized_autoropes_applies(self):
+        tree = _full_binary_tree(3)
+        body = Seq(
+            Recurse(ChildRef("left")),
+            Update(UpdateRef("u")),
+            Recurse(ChildRef("right")),
+        )
+        norm = normalize_to_pseudo_tail(self._make_spec(body))
+        kernel = apply_autoropes(norm)
+        assert kernel.analysis.pseudo_tail_recursive
+
+    def test_multiple_intervening_updates_rejected(self):
+        body = Seq(
+            Recurse(ChildRef("left")),
+            Update(UpdateRef("u")),
+            Update(UpdateRef("u")),
+            Recurse(ChildRef("right")),
+        )
+        with pytest.raises(NotPseudoTailRecursive, match="multiple intervening"):
+            normalize_to_pseudo_tail(self._make_spec(body))
+
+    def test_inorder_under_guard_condition(self):
+        """Push-down inside an If arm."""
+        tree = _full_binary_tree(4)
+        body = Seq(
+            If(
+                CondRef("never"),
+                Return(),
+                Seq(
+                    Recurse(ChildRef("left")),
+                    Update(UpdateRef("u")),
+                    Recurse(ChildRef("right")),
+                ),
+            )
+        )
+        spec = self._make_spec(body)
+        norm = normalize_to_pseudo_tail(spec)
+        assert self._run(spec, tree) == self._run(norm, tree)

@@ -1,0 +1,176 @@
+"""Scalar recursive interpreter tests (the ground-truth oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import QuerySet
+from repro.core.ir import (
+    ArgDecl,
+    ChildRef,
+    CondRef,
+    EvalContext,
+    If,
+    Recurse,
+    Return,
+    Seq,
+    TraversalSpec,
+    Update,
+    UpdateRef,
+)
+from repro.cpusim.recursive import RecursiveInterpreter, ReferenceRun
+from repro.trees.node import FieldGroup, RawTree
+from repro.trees.linearize import linearize_left_biased
+
+
+@pytest.fixture
+def tiny_tree():
+    """Complete binary tree of depth 3 (7 nodes), already in DFS order."""
+    left = np.array([1, 2, -1, -1, 5, -1, -1])
+    right = np.array([4, 3, -1, -1, 6, -1, -1])
+    raw = RawTree(
+        child_names=("left", "right"),
+        children={"left": left, "right": right},
+        arrays={"val": np.arange(7, dtype=np.float64)},
+        groups=(FieldGroup("hot", 8),),
+    )
+    return linearize_left_biased(raw)
+
+
+def ctx_for(tree, n_pts=2):
+    return EvalContext(
+        tree=tree,
+        points=QuerySet(coords=np.zeros((n_pts, 1)), orig_ids=np.arange(n_pts)),
+        out={"log": [], "sum": np.zeros(n_pts)},
+    )
+
+
+def _never(ctx, node, pt, args):
+    return np.zeros(len(node), dtype=bool)
+
+
+def _log(ctx, node, pt, args):
+    ctx.out["log"].append((int(pt[0]), int(node[0])))
+
+
+class TestVisitOrder:
+    def test_full_preorder(self, tiny_tree):
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+        )
+        ctx = ctx_for(tiny_tree)
+        visits = RecursiveInterpreter(spec, tiny_tree, ctx).run_point(0)
+        np.testing.assert_array_equal(visits, np.arange(7))
+
+    def test_right_first_order(self, tiny_tree):
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(Recurse(ChildRef("right")), Recurse(ChildRef("left"))),
+        )
+        ctx = ctx_for(tiny_tree)
+        visits = RecursiveInterpreter(spec, tiny_tree, ctx).run_point(0)
+        np.testing.assert_array_equal(visits, [0, 4, 6, 5, 1, 3, 2])
+
+    def test_truncation_cuts_subtree(self, tiny_tree):
+        def prune_node_1(ctx, node, pt, args):
+            return node == 1
+
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(
+                If(CondRef("p"), Return()),
+                Recurse(ChildRef("left")),
+                Recurse(ChildRef("right")),
+            ),
+            conditions={"p": prune_node_1},
+        )
+        ctx = ctx_for(tiny_tree)
+        visits = RecursiveInterpreter(spec, tiny_tree, ctx).run_point(0)
+        np.testing.assert_array_equal(visits, [0, 1, 4, 5, 6])
+
+    def test_update_runs_per_visit(self, tiny_tree):
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(
+                Update(UpdateRef("log")),
+                Recurse(ChildRef("left")),
+                Recurse(ChildRef("right")),
+            ),
+            updates={"log": _log},
+        )
+        ctx = ctx_for(tiny_tree)
+        RecursiveInterpreter(spec, tiny_tree, ctx).run_point(1)
+        assert [n for (p, n) in ctx.out["log"]] == list(range(7))
+        assert all(p == 1 for (p, n) in ctx.out["log"])
+
+
+class TestArgSemantics:
+    def test_decl_rule_once_per_visit(self, tiny_tree):
+        """dsq*0.5 per level: both children of a node see the same value
+        (Fig. 9's dsq*0.25 semantics)."""
+        seen = []
+
+        def record(ctx, node, pt, args):
+            seen.append((int(node[0]), float(args["d"][0])))
+
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(
+                Update(UpdateRef("rec")),
+                Recurse(ChildRef("left")),
+                Recurse(ChildRef("right")),
+            ),
+            args=(ArgDecl("d", 8.0, update="halve"),),
+            updates={"rec": record},
+            arg_rules={"halve": lambda c, n, p, a: a["d"] * 0.5},
+        )
+        ctx = ctx_for(tiny_tree)
+        RecursiveInterpreter(spec, tiny_tree, ctx).run_point(0)
+        values = dict(seen)
+        assert values[0] == 8.0
+        assert values[1] == values[4] == 4.0
+        assert values[2] == values[3] == values[5] == values[6] == 2.0
+
+    def test_invariant_arg_constant(self, tiny_tree):
+        seen = []
+
+        def record(ctx, node, pt, args):
+            seen.append(float(args["c"][0]))
+
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(
+                Update(UpdateRef("rec")),
+                Recurse(ChildRef("left")),
+                Recurse(ChildRef("right")),
+            ),
+            args=(ArgDecl("c", 3.0),),
+            updates={"rec": record},
+        )
+        ctx = ctx_for(tiny_tree)
+        RecursiveInterpreter(spec, tiny_tree, ctx).run_point(0)
+        assert set(seen) == {3.0}
+
+
+class TestGuards:
+    def test_max_visits_guard(self, tiny_tree):
+        spec = TraversalSpec(
+            name="t",
+            body=Seq(Recurse(ChildRef("left")), Recurse(ChildRef("right"))),
+        )
+        interp = RecursiveInterpreter(spec, tiny_tree, ctx_for(tiny_tree), max_visits=3)
+        with pytest.raises(RuntimeError, match="max_visits"):
+            interp.run_point(0)
+
+
+class TestReferenceRun:
+    def test_stream_and_counts(self, tiny_tree):
+        run = ReferenceRun(
+            sequences=[np.array([0, 1]), np.array([0, 4, 5])],
+            ctx=ctx_for(tiny_tree),
+        )
+        np.testing.assert_array_equal(run.visits_per_point, [2, 3])
+        np.testing.assert_array_equal(
+            run.stream_for_points(np.array([1, 0])), [0, 4, 5, 0, 1]
+        )
+        assert len(run.stream_for_points(np.array([], dtype=int))) == 0

@@ -1,0 +1,132 @@
+"""Static preinstalled ropes: installation invariants and the
+stackless executor (the hand-coded baseline of Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    StaticRopesExecutor,
+    TraversalLaunch,
+)
+from repro.trees.kdtree import build_kdtree_buckets
+from repro.trees.linearize import linearize_left_biased
+from repro.trees.ropes import first_children, install_ropes, subtree_sizes
+
+
+def _tree(n=80, d=3, seed=0, leaf=4):
+    data = np.random.default_rng(seed).uniform(0, 1, size=(n, d))
+    return linearize_left_biased(build_kdtree_buckets(data, leaf_size=leaf).tree)
+
+
+class TestInstallation:
+    def test_subtree_sizes_sum(self):
+        tree = _tree()
+        sizes = subtree_sizes(tree)
+        assert sizes[tree.root] == tree.n_nodes
+        leaves = tree.arrays["is_leaf"]
+        assert (sizes[leaves] == 1).all()
+
+    def test_rope_is_next_preorder_after_subtree(self):
+        tree = _tree()
+        rope = install_ropes(tree)
+        sizes = subtree_sizes(tree)
+        for node in range(tree.n_nodes):
+            expect = node + sizes[node]
+            assert rope[node] == (expect if expect < tree.n_nodes else -1)
+
+    def test_rope_chain_from_root_is_empty_tree_skip(self):
+        tree = _tree()
+        rope = install_ropes(tree)
+        assert rope[tree.root] == -1  # skipping the root skips everything
+
+    def test_fig2_property_following_ropes_visits_each_node_once(self):
+        """Descend-everywhere traversal via ropes = preorder."""
+        tree = _tree()
+        rope = install_ropes(tree)
+        first = first_children(tree)
+        seq = []
+        node = tree.root
+        while node >= 0:
+            seq.append(node)
+            node = int(first[node] if first[node] >= 0 else rope[node])
+        assert seq == list(range(tree.n_nodes))
+
+    def test_first_child_is_next_in_preorder_layout(self):
+        tree = _tree()
+        first = first_children(tree)
+        interior = first >= 0
+        np.testing.assert_array_equal(
+            first[interior], np.nonzero(interior)[0] + 1
+        )
+
+    @given(seed=st.integers(0, 300), n=st.integers(2, 100), leaf=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_rope_skip_property(self, seed, n, leaf):
+        """Truncating at any node and following its rope reaches a node
+        outside its subtree (or the end)."""
+        tree = _tree(n=n, seed=seed, leaf=leaf)
+        rope = install_ropes(tree)
+        sizes = subtree_sizes(tree)
+        for node in range(tree.n_nodes):
+            r = rope[node]
+            if r >= 0:
+                assert not (node <= r < node + sizes[node]) or r == node + sizes[node]
+
+
+class TestStacklessExecutor:
+    def test_matches_autoropes_exactly(self, pc_app, compiled_apps, oracles,
+                                        device4):
+        launch = TraversalLaunch(
+            kernel=compiled_apps["pc"].autoropes, tree=pc_app.tree,
+            ctx=pc_app.make_ctx(), n_points=pc_app.n_points, device=device4,
+            record_visits=True,
+        )
+        res = StaticRopesExecutor(launch).run()
+        pc_app.check(launch.ctx.out, oracles["pc"])
+
+        launch2 = TraversalLaunch(
+            kernel=compiled_apps["pc"].autoropes, tree=pc_app.tree,
+            ctx=pc_app.make_ctx(), n_points=pc_app.n_points, device=device4,
+            record_visits=True,
+        )
+        ref = AutoropesExecutor(launch2).run()
+        s1, s2 = res.per_point_sequences(), ref.per_point_sequences()
+        for p in range(0, pc_app.n_points, 13):
+            np.testing.assert_array_equal(s1[p], s2[p])
+
+    def test_no_stack_traffic(self, pc_app, compiled_apps, device4):
+        launch = TraversalLaunch(
+            kernel=compiled_apps["pc"].autoropes, tree=pc_app.tree,
+            ctx=pc_app.make_ctx(), n_points=pc_app.n_points, device=device4,
+        )
+        res = StaticRopesExecutor(launch).run()
+        assert res.stats.stack_ops == 0
+
+        launch2 = TraversalLaunch(
+            kernel=compiled_apps["pc"].autoropes, tree=pc_app.tree,
+            ctx=pc_app.make_ctx(), n_points=pc_app.n_points, device=device4,
+        )
+        ref = AutoropesExecutor(launch2).run()
+        assert res.stats.global_transactions < ref.stats.global_transactions
+
+    def test_guided_rejected(self, knn_app, compiled_apps, device4):
+        launch = TraversalLaunch(
+            kernel=compiled_apps["knn"].autoropes, tree=knn_app.tree,
+            ctx=knn_app.make_ctx(), n_points=knn_app.n_points, device=device4,
+        )
+        with pytest.raises(ValueError, match="unguided"):
+            StaticRopesExecutor(launch)
+
+    def test_variant_args_rejected(self, bh_app, compiled_apps, device4):
+        """BH carries dsq on the stack; the stackless baseline cannot —
+        exactly the application-specific tweak the paper says hand-coded
+        rope implementations rely on."""
+        launch = TraversalLaunch(
+            kernel=compiled_apps["bh"].autoropes, tree=bh_app.tree,
+            ctx=bh_app.make_ctx(), n_points=bh_app.n_points, device=device4,
+        )
+        with pytest.raises(ValueError, match="variant arguments"):
+            StaticRopesExecutor(launch)

@@ -1,0 +1,109 @@
+"""Integration shape tests: the qualitative claims of Section 6 that
+must hold at any scale (run here at tiny scale).
+
+These mirror the "shape expectations" listed in DESIGN.md; EXPERIMENTS.md
+records the quantitative versions at the full experiment scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import TINY
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=TINY)
+
+
+@pytest.fixture(scope="module")
+def pc(runner):
+    return {
+        True: runner.run("pc", "covtype", True),
+        False: runner.run("pc", "covtype", False),
+    }
+
+
+@pytest.fixture(scope="module")
+def knn(runner):
+    return {
+        True: runner.run("knn", "covtype", True),
+        False: runner.run("knn", "covtype", False),
+    }
+
+
+class TestLockstepVsNonLockstep:
+    def test_lockstep_visits_more_nodes(self, pc, knn):
+        for res in (*pc.values(), *knn.values()):
+            assert res.lockstep.avg_nodes >= res.nonlockstep.avg_nodes
+
+    def test_sorted_lockstep_wins_for_unguided(self, pc):
+        assert pc[True].lockstep.time_ms < pc[True].nonlockstep.time_ms
+
+    def test_sorting_helps_lockstep(self, pc, knn):
+        for d in (pc, knn):
+            assert d[True].lockstep.time_ms <= d[False].lockstep.time_ms
+
+
+class TestWorkExpansion:
+    def test_expansion_grows_when_unsorted(self, pc, knn):
+        # small tolerance: at tiny scale the union can saturate at the
+        # whole (tiny) tree, compressing the gap.
+        for d in (pc, knn):
+            assert (
+                d[False].work_expansion_mean
+                >= d[True].work_expansion_mean * 0.95
+            )
+
+    def test_expansion_bounded_below_by_one(self, pc):
+        assert pc[True].work_expansion_mean >= 1.0
+
+
+class TestRecursiveBaseline:
+    def test_lockstep_beats_recursive_everywhere(self, pc, knn):
+        for d in (pc, knn):
+            for srt in (True, False):
+                assert d[srt].improvement_vs_recursive(True) > 0
+
+    def test_unsorted_nonlockstep_beats_recursive(self, pc):
+        """Shuffled inputs blow up the recursive union walk."""
+        assert pc[False].improvement_vs_recursive(False) > 0
+
+    def test_recursive_masked_not_slower_than_unmasked(self, pc):
+        for srt in (True, False):
+            assert (
+                pc[srt].recursive_lockstep.time_ms
+                <= pc[srt].recursive_nonlockstep.time_ms * 1.001
+            )
+
+
+class TestCpuComparison:
+    def test_gpu_beats_single_thread_cpu(self, pc, knn):
+        for d in (pc, knn):
+            for srt in (True, False):
+                assert d[srt].speedup_vs_cpu(True, 1) > 1
+
+    def test_cpu_scaling_monotone(self, pc):
+        times = [pc[True].cpu_ms[t] for t in (1, 8, 32)]
+        assert times[0] > times[1] >= times[2]
+
+    def test_sorted_cpu_faster_than_unsorted(self, pc):
+        """Point sorting improves CPU locality too (Section 4.4).
+
+        At tiny scale the whole tree fits the modeled L1 window either
+        way, so allow a small tolerance; the full-scale gap is recorded
+        in EXPERIMENTS.md."""
+        assert pc[True].cpu_ms[1] <= pc[False].cpu_ms[1] * 1.05
+
+
+class TestGeocityOutlier:
+    def test_geocity_traversals_are_short(self, runner):
+        geo = runner.run("knn", "geocity", True)
+        cov = runner.run("knn", "covtype", True)
+        assert geo.nonlockstep.avg_nodes < cov.nonlockstep.avg_nodes
+
+    def test_geocity_unsorted_expansion_blows_up(self, runner):
+        geo_s = runner.run("knn", "geocity", True)
+        geo_u = runner.run("knn", "geocity", False)
+        assert geo_u.work_expansion_mean > geo_s.work_expansion_mean

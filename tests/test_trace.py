@@ -1,0 +1,92 @@
+"""Per-step trace tests (repro.gpusim.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.trace import StepTrace
+
+
+def _launch(app, kernel, device, **kw):
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=device,
+        **kw,
+    )
+
+
+class TestStepTrace:
+    def test_record_and_arrays(self):
+        tr = StepTrace()
+        tr.record(4, 12, 7)
+        tr.record(2, 3, 1)
+        arrays = tr.as_arrays()
+        np.testing.assert_array_equal(arrays["active_warps"], [4, 2])
+        np.testing.assert_array_equal(arrays["live_lanes"], [12, 3])
+        np.testing.assert_array_equal(arrays["transactions"], [7, 1])
+        assert len(tr) == 2
+
+    def test_lane_utilization(self):
+        tr = StepTrace()
+        tr.record(2, 8, 0)  # 2 warps x 4 lanes, all live
+        tr.record(2, 4, 0)  # half live
+        tr.record(0, 0, 0)  # drained
+        util = tr.lane_utilization(warp_size=4)
+        np.testing.assert_allclose(util, [1.0, 0.5, 0.0])
+
+    def test_tail_fraction(self):
+        tr = StepTrace()
+        for _ in range(8):
+            tr.record(100, 100, 0)
+        for _ in range(2):
+            tr.record(3, 3, 0)
+        assert tr.tail_fraction(threshold=0.1) == pytest.approx(0.2)
+
+    def test_empty_trace(self):
+        tr = StepTrace()
+        assert tr.tail_fraction() == 0.0
+        assert len(tr.lane_utilization(4)) == 0
+
+
+class TestExecutorTraces:
+    def test_off_by_default(self, pc_app, compiled_apps, device4):
+        res = AutoropesExecutor(
+            _launch(pc_app, compiled_apps["pc"].autoropes, device4)
+        ).run()
+        assert res.trace is None
+
+    def test_autoropes_trace_consistent(self, pc_app, compiled_apps, device4):
+        res = AutoropesExecutor(
+            _launch(pc_app, compiled_apps["pc"].autoropes, device4, trace=True)
+        ).run()
+        tr = res.trace
+        assert len(tr) == res.stats.steps
+        assert sum(tr.live_lanes) == res.stats.node_visits
+        assert max(tr.active_warps) <= pc_app.n_points // device4.warp_size + 1
+
+    def test_lockstep_trace_consistent(self, pc_app, compiled_apps, device4):
+        res = LockstepExecutor(
+            _launch(pc_app, compiled_apps["pc"].lockstep, device4, trace=True)
+        ).run()
+        tr = res.trace
+        assert len(tr) == res.stats.steps
+        assert sum(tr.active_warps) == res.stats.warp_node_visits
+        assert sum(tr.live_lanes) == res.stats.node_visits
+
+    def test_utilization_decays_over_traversal(self, pc_app, compiled_apps,
+                                               device4):
+        """Masks thin out as the warp descends: late-step utilization
+        cannot beat the launch step."""
+        res = LockstepExecutor(
+            _launch(pc_app, compiled_apps["pc"].lockstep, device4, trace=True)
+        ).run()
+        util = res.trace.lane_utilization(device4.warp_size)
+        assert util[0] >= util[-1]
+        assert util.max() <= 1.0 + 1e-9

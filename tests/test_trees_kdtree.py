@@ -1,0 +1,143 @@
+"""kd-tree builder invariants (both variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.kdtree import build_kdtree_buckets, build_kdtree_points
+from repro.trees.linearize import linearize_left_biased
+
+
+def random_data(n, d, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(n, d))
+
+
+class TestBucketTree:
+    def test_point_order_is_permutation(self):
+        b = build_kdtree_buckets(random_data(200, 3), leaf_size=4)
+        assert sorted(b.point_order.tolist()) == list(range(200))
+
+    def test_leaves_partition_points(self):
+        data = random_data(300, 3, seed=1)
+        b = build_kdtree_buckets(data, leaf_size=8)
+        t = b.tree
+        covered = np.zeros(300, dtype=int)
+        for node in range(t.n_nodes):
+            if t.arrays["is_leaf"][node]:
+                s, c = t.arrays["leaf_start"][node], t.arrays["leaf_count"][node]
+                covered[b.point_order[s : s + c]] += 1
+        assert (covered == 1).all()
+
+    def test_leaf_size_respected(self):
+        b = build_kdtree_buckets(random_data(500, 2, seed=2), leaf_size=8)
+        t = b.tree
+        leaf_counts = t.arrays["leaf_count"][t.arrays["is_leaf"]]
+        assert leaf_counts.max() <= 8
+        assert leaf_counts.min() >= 1
+
+    def test_bbox_contains_subtree_points(self):
+        data = random_data(256, 3, seed=3)
+        b = build_kdtree_buckets(data, leaf_size=4)
+        t = b.tree
+        for node in range(t.n_nodes):
+            s, c = t.arrays["leaf_start"][node], t.arrays["leaf_count"][node]
+            sub = data[b.point_order[s : s + c]]
+            assert (sub >= t.arrays["bbox_min"][node] - 1e-12).all()
+            assert (sub <= t.arrays["bbox_max"][node] + 1e-12).all()
+
+    def test_split_separates_children(self):
+        data = random_data(256, 3, seed=4)
+        b = build_kdtree_buckets(data, leaf_size=4)
+        t = b.tree
+        for node in range(t.n_nodes):
+            if t.arrays["is_leaf"][node]:
+                continue
+            dim = t.arrays["split_dim"][node]
+            val = t.arrays["split_val"][node]
+            l, r = t.children["left"][node], t.children["right"][node]
+            assert t.arrays["bbox_max"][l][dim] <= val + 1e-12
+            assert t.arrays["bbox_min"][r][dim] >= val - 1e-12
+
+    def test_internal_nodes_have_both_children(self):
+        b = build_kdtree_buckets(random_data(100, 2, seed=5), leaf_size=2)
+        t = b.tree
+        internal = ~t.arrays["is_leaf"]
+        assert (t.children["left"][internal] >= 0).all()
+        assert (t.children["right"][internal] >= 0).all()
+
+    def test_duplicate_points_terminate(self):
+        data = np.zeros((50, 3))
+        b = build_kdtree_buckets(data, leaf_size=4)
+        assert b.tree.arrays["is_leaf"][0]  # zero-width box -> one leaf
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_kdtree_buckets(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            build_kdtree_buckets(np.zeros(5))
+        with pytest.raises(ValueError):
+            build_kdtree_buckets(random_data(10, 2), leaf_size=0)
+
+    @given(
+        n=st.integers(2, 120),
+        d=st.integers(1, 5),
+        leaf=st.integers(1, 9),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_structure_property(self, n, d, leaf, seed):
+        data = random_data(n, d, seed)
+        b = build_kdtree_buckets(data, leaf_size=leaf)
+        b.tree.validate()
+        lin = linearize_left_biased(b.tree)
+        assert lin.n_nodes == b.tree.n_nodes
+        assert sorted(b.point_order.tolist()) == list(range(n))
+
+
+class TestPointTree:
+    def test_every_point_is_one_node(self):
+        raw = build_kdtree_points(random_data(127, 3, seed=6))
+        assert raw.n_nodes == 127
+        assert sorted(raw.arrays["point_id"].tolist()) == list(range(127))
+
+    def test_bst_invariant_along_split_dims(self):
+        data = random_data(200, 2, seed=7)
+        raw = build_kdtree_points(data)
+
+        def check(node):
+            dim = raw.arrays["split_dim"][node]
+            val = raw.arrays["point"][node, dim]
+            l, r = raw.children["left"][node], raw.children["right"][node]
+            if l >= 0:
+                sub = _subtree_points(raw, l)
+                assert (sub[:, dim] <= val + 1e-12).all()
+                check(l)
+            if r >= 0:
+                sub = _subtree_points(raw, r)
+                assert (sub[:, dim] >= val - 1e-12).all()
+                check(r)
+
+        check(0)
+
+    def test_balanced_depth(self):
+        raw = build_kdtree_points(random_data(255, 3, seed=8))
+        lin = linearize_left_biased(raw)
+        assert lin.depth <= 9  # perfectly balanced would be 8
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_kdtree_points(np.empty((0, 2)))
+
+
+def _subtree_points(raw, node):
+    out = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        out.append(raw.arrays["point"][cur])
+        for name in ("left", "right"):
+            c = raw.children[name][cur]
+            if c >= 0:
+                stack.append(int(c))
+    return np.array(out)

@@ -1,0 +1,152 @@
+"""Left-biased linearization tests (Section 5.2 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.trees.linearize import linearize_left_biased
+from repro.trees.node import FieldGroup, RawTree
+
+
+def chain_tree():
+    """root -> right -> right (a degenerate chain)."""
+    return RawTree(
+        child_names=("left", "right"),
+        children={
+            "left": np.array([-1, -1, -1]),
+            "right": np.array([1, 2, -1]),
+        },
+        arrays={"val": np.array([10.0, 20.0, 30.0])},
+        groups=(FieldGroup("hot", 8),),
+    )
+
+
+def shuffled_binary_tree():
+    """A small tree built in non-DFS id order:
+
+             4
+            / \\
+           2   0
+          / \\
+         3   1
+    """
+    left = np.array([-1, -1, 3, -1, 2])
+    right = np.array([-1, -1, 1, -1, 0])
+    return RawTree(
+        child_names=("left", "right"),
+        children={"left": left, "right": right},
+        arrays={"val": np.arange(5, dtype=np.float64)},
+        groups=(FieldGroup("hot", 8), FieldGroup("cold", 8)),
+        root=4,
+    )
+
+
+class TestOrdering:
+    def test_root_becomes_zero(self):
+        lin = linearize_left_biased(shuffled_binary_tree())
+        assert lin.root == 0
+        assert lin.arrays["val"][0] == 4.0
+
+    def test_preorder_left_biased(self):
+        lin = linearize_left_biased(shuffled_binary_tree())
+        # DFS preorder: 4, 2, 3, 1, 0 -> payloads in that order.
+        np.testing.assert_array_equal(lin.arrays["val"], [4, 2, 3, 1, 0])
+
+    def test_left_child_is_adjacent(self):
+        """Left-biased layout: a node's first child is the next node."""
+        lin = linearize_left_biased(shuffled_binary_tree())
+        for node in range(lin.n_nodes):
+            l = lin.children["left"][node]
+            if l >= 0:
+                assert l == node + 1
+
+    def test_children_remapped_consistently(self):
+        raw = shuffled_binary_tree()
+        lin = linearize_left_biased(raw)
+        # old edge 2 -(left)-> 3 must survive under new ids.
+        new2, new3 = lin.new_id_of[2], lin.new_id_of[3]
+        assert lin.children["left"][new2] == new3
+
+    def test_depth(self):
+        assert linearize_left_biased(shuffled_binary_tree()).depth == 3
+        assert linearize_left_biased(chain_tree()).depth == 3
+
+    def test_chain(self):
+        lin = linearize_left_biased(chain_tree())
+        np.testing.assert_array_equal(lin.arrays["val"], [10, 20, 30])
+
+
+class TestChildLookup:
+    def test_vectorized_child(self):
+        lin = linearize_left_biased(shuffled_binary_tree())
+        nodes = np.array([0, 1, -1])
+        out = lin.child("left", nodes)
+        assert out[2] == -1
+        assert out[0] == lin.children["left"][0]
+
+    def test_group_lookup(self):
+        lin = linearize_left_biased(shuffled_binary_tree())
+        assert lin.group("hot").itemsize == 8
+        with pytest.raises(KeyError):
+            lin.group("nope")
+
+
+class TestValidation:
+    def test_unreachable_node_rejected(self):
+        raw = RawTree(
+            child_names=("left", "right"),
+            children={
+                "left": np.array([-1, -1]),
+                "right": np.array([-1, -1]),
+            },
+            arrays={},
+            groups=(),
+        )
+        with pytest.raises(ValueError, match="unreachable"):
+            linearize_left_biased(raw)
+
+    def test_double_parent_rejected(self):
+        raw = RawTree(
+            child_names=("left", "right"),
+            children={
+                "left": np.array([1, -1]),
+                "right": np.array([1, -1]),
+            },
+            arrays={},
+            groups=(),
+        )
+        with pytest.raises(ValueError, match="multiple parents"):
+            linearize_left_biased(raw)
+
+    def test_out_of_range_child_rejected(self):
+        raw = RawTree(
+            child_names=("left",),
+            children={"left": np.array([7])},
+            arrays={},
+            groups=(),
+        )
+        with pytest.raises(ValueError, match="out-of-range"):
+            raw.validate()
+
+    def test_cycle_to_root_rejected(self):
+        raw = RawTree(
+            child_names=("left",),
+            children={"left": np.array([1, 0])},
+            arrays={},
+            groups=(),
+        )
+        with pytest.raises(ValueError, match="root has a parent"):
+            raw.validate()
+
+    def test_mismatched_payload_rejected(self):
+        raw = RawTree(
+            child_names=("left",),
+            children={"left": np.array([-1, -1])},
+            arrays={"v": np.zeros(3)},
+            groups=(),
+        )
+        with pytest.raises(ValueError, match="wrong length"):
+            raw.validate()
+
+    def test_zero_itemsize_group_rejected(self):
+        with pytest.raises(ValueError, match="itemsize"):
+            FieldGroup("bad", 0)

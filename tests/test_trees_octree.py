@@ -1,0 +1,127 @@
+"""Oct-tree builder invariants (Barnes-Hut substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.points.datasets import plummer_bodies
+from repro.trees.octree import INTERNAL, LEAF, build_octree
+
+
+def random_bodies(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1, 1, size=(n, 3)), rng.uniform(0.5, 2.0, size=n)
+
+
+class TestStructure:
+    def test_body_order_is_permutation(self):
+        pos, mass = random_bodies(200)
+        b = build_octree(pos, mass, leaf_size=1)
+        assert sorted(b.body_order.tolist()) == list(range(200))
+
+    def test_leaves_partition_bodies(self):
+        pos, mass = random_bodies(150, seed=1)
+        b = build_octree(pos, mass, leaf_size=2)
+        t = b.tree
+        covered = np.zeros(150, dtype=int)
+        for node in range(t.n_nodes):
+            if t.arrays["type"][node] == LEAF:
+                s = t.arrays["body_start"][node]
+                c = t.arrays["body_count"][node]
+                covered[b.body_order[s : s + c]] += 1
+        assert (covered == 1).all()
+
+    def test_leaf_size_respected(self):
+        pos, mass = random_bodies(300, seed=2)
+        b = build_octree(pos, mass, leaf_size=4)
+        t = b.tree
+        leaves = t.arrays["type"] == LEAF
+        assert t.arrays["body_count"][leaves].max() <= 4
+
+    def test_internal_nodes_have_children(self):
+        pos, mass = random_bodies(100, seed=3)
+        b = build_octree(pos, mass)
+        t = b.tree
+        kid_arrays = [t.children[f"c{i}"] for i in range(8)]
+        for node in range(t.n_nodes):
+            has_kids = any(k[node] >= 0 for k in kid_arrays)
+            assert has_kids == (t.arrays["type"][node] == INTERNAL)
+
+    def test_validates(self):
+        pos, mass = random_bodies(64, seed=4)
+        build_octree(pos, mass).tree.validate()
+
+
+class TestCenterOfMass:
+    def test_root_com_and_mass(self):
+        pos, mass = random_bodies(128, seed=5)
+        b = build_octree(pos, mass)
+        t = b.tree
+        expected_com = (pos * mass[:, None]).sum(axis=0) / mass.sum()
+        np.testing.assert_allclose(t.arrays["com"][0], expected_com, rtol=1e-12)
+        assert t.arrays["mass"][0] == pytest.approx(mass.sum())
+
+    def test_every_node_com_matches_its_bodies(self):
+        pos, mass = random_bodies(100, seed=6)
+        b = build_octree(pos, mass, leaf_size=2)
+        t = b.tree
+        for node in range(t.n_nodes):
+            s = t.arrays["body_start"][node]
+            c = t.arrays["body_count"][node]
+            ids = b.body_order[s : s + c]
+            m = mass[ids]
+            com = (pos[ids] * m[:, None]).sum(axis=0) / m.sum()
+            np.testing.assert_allclose(t.arrays["com"][node], com, rtol=1e-9)
+            assert t.arrays["mass"][node] == pytest.approx(m.sum())
+
+    def test_half_width_halves_per_level(self):
+        pos, mass = random_bodies(256, seed=7)
+        b = build_octree(pos, mass)
+        t = b.tree
+        for node in range(t.n_nodes):
+            for i in range(8):
+                c = t.children[f"c{i}"][node]
+                if c >= 0:
+                    assert t.arrays["half_width"][c] == pytest.approx(
+                        t.arrays["half_width"][node] / 2
+                    )
+
+
+class TestEdgeCases:
+    def test_coincident_bodies(self):
+        pos = np.zeros((20, 3))
+        mass = np.ones(20)
+        b = build_octree(pos, mass, leaf_size=1, max_depth=8)
+        # max_depth stops infinite subdivision; all bodies in leaves.
+        t = b.tree
+        leaves = t.arrays["type"] == LEAF
+        assert t.arrays["body_count"][leaves].sum() == 20
+
+    def test_single_body(self):
+        b = build_octree(np.array([[1.0, 2.0, 3.0]]), np.array([5.0]))
+        assert b.tree.n_nodes == 1
+        assert b.tree.arrays["type"][0] == LEAF
+
+    def test_plummer_input_builds(self):
+        bodies = plummer_bodies(n=300, seed=8)
+        b = build_octree(bodies.pos, bodies.mass)
+        assert b.tree.n_nodes > 300  # interior structure exists
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_octree(np.empty((0, 3)), np.empty(0))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((5, 2)), np.ones(5))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((5, 3)), np.ones(4))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((5, 3)), np.ones(5), leaf_size=0)
+
+    @given(n=st.integers(1, 150), leaf=st.integers(1, 5), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_property(self, n, leaf, seed):
+        pos, mass = random_bodies(n, seed)
+        b = build_octree(pos, mass, leaf_size=leaf)
+        assert b.tree.arrays["mass"][b.tree.root] == pytest.approx(mass.sum())
+        assert sorted(b.body_order.tolist()) == list(range(n))

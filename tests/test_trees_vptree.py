@@ -1,0 +1,99 @@
+"""VP-tree builder invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.vptree_nn import add_covering_balls
+from repro.trees.vptree import build_vptree
+
+
+def random_data(n, d=3, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, size=(n, d))
+
+
+def _subset(build, node):
+    t = build.tree
+    s = t.arrays["leaf_start"][node]
+    c = t.arrays["leaf_count"][node]
+    return build.point_order[s : s + c]
+
+
+class TestStructure:
+    def test_point_order_is_permutation(self):
+        b = build_vptree(random_data(200), leaf_size=4)
+        assert sorted(b.point_order.tolist()) == list(range(200))
+
+    def test_validates(self):
+        build_vptree(random_data(100, seed=1)).tree.validate()
+
+    def test_inside_outside_radius_invariant(self):
+        data = random_data(300, seed=2)
+        b = build_vptree(data, leaf_size=4)
+        t = b.tree
+        for node in range(t.n_nodes):
+            if t.arrays["is_leaf"][node]:
+                continue
+            v = t.arrays["vantage"][node]
+            tau = t.arrays["tau"][node]
+            i, o = t.children["inside"][node], t.children["outside"][node]
+            if i >= 0:
+                din = np.linalg.norm(data[_subset(b, i)] - v, axis=1)
+                assert (din <= tau + 1e-9).all()
+            if o >= 0:
+                dout = np.linalg.norm(data[_subset(b, o)] - v, axis=1)
+                assert (dout >= tau - 1e-9).all()
+
+    def test_vantage_is_member_not_in_children(self):
+        data = random_data(120, seed=3)
+        b = build_vptree(data, leaf_size=2)
+        t = b.tree
+        for node in range(t.n_nodes):
+            if t.arrays["is_leaf"][node]:
+                continue
+            vid = t.arrays["vantage_id"][node]
+            assert vid >= 0
+            np.testing.assert_allclose(t.arrays["vantage"][node], data[vid])
+            for cname in ("inside", "outside"):
+                c = t.children[cname][node]
+                if c >= 0:
+                    assert vid not in _subset(b, c)
+
+    def test_leaf_size_respected(self):
+        b = build_vptree(random_data(400, seed=4), leaf_size=8)
+        t = b.tree
+        leaves = t.arrays["is_leaf"]
+        assert t.arrays["leaf_count"][leaves].max() <= 8
+
+    def test_coincident_points(self):
+        b = build_vptree(np.zeros((30, 3)), leaf_size=4)
+        assert b.tree.arrays["is_leaf"].sum() >= 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_vptree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            build_vptree(random_data(10), leaf_size=0)
+
+
+class TestCoveringBalls:
+    def test_balls_cover_subtrees(self):
+        data = random_data(200, seed=5)
+        b = build_vptree(data, leaf_size=4)
+        add_covering_balls(b, data)
+        t = b.tree
+        for node in range(t.n_nodes):
+            sub = data[_subset(b, node)]
+            d = np.linalg.norm(sub - t.arrays["center"][node], axis=1)
+            assert (d <= t.arrays["radius"][node] + 1e-9).all()
+
+    @given(n=st.integers(2, 120), leaf=st.integers(1, 8), seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_cover_property(self, n, leaf, seed):
+        data = random_data(n, d=2, seed=seed)
+        b = build_vptree(data, leaf_size=leaf)
+        add_covering_balls(b, data)
+        t = b.tree
+        root_d = np.linalg.norm(data - t.arrays["center"][t.root], axis=1)
+        assert (root_d <= t.arrays["radius"][t.root] + 1e-9).all()
