@@ -1,0 +1,84 @@
+"""Keyed cache of compiled traversal plans.
+
+Compiling a :class:`~repro.core.ir.TraversalSpec` (call-set analysis,
+pseudo-tail normalization, autoropes, lockstep derivation) is pure in
+the spec, so the resulting :class:`~repro.core.pipeline.CompiledTraversal`
+can be compiled once per (application, tree) pair and reused for every
+launch over that tree.  Both consumers share this cache:
+
+* the offline experiment harness (:mod:`repro.harness.runner`), which
+  revisits the same (benchmark, input, sorted?) triple across tables
+  and figures, and
+* the online query service (:mod:`repro.service`), whose sessions
+  serve many small batches against one long-lived tree and must not
+  pay the compile on the request path.
+
+Hit/miss counters are part of the public surface — the service exposes
+them in its stats snapshot and tests assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.ir import TraversalSpec
+from repro.core.pipeline import CompiledTraversal, TransformPipeline
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Immutable snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Compile-once cache of :class:`CompiledTraversal` plans.
+
+    Keys are caller-chosen hashables identifying the (app, tree) pair;
+    the cache never inspects them.  The same spec object registered
+    under two keys compiles twice — keys, not specs, define identity,
+    because two trees built over different datasets need separate
+    plans even when their traversal bodies coincide.
+    """
+
+    def __init__(self, pipeline: Optional[TransformPipeline] = None) -> None:
+        self.pipeline = pipeline or TransformPipeline()
+        self._plans: Dict[Hashable, CompiledTraversal] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(self, key: Hashable, spec: TraversalSpec) -> CompiledTraversal:
+        """Return the cached plan for ``key``, compiling on first use."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = self.pipeline.compile(spec)
+        self._plans[key] = plan
+        return plan
+
+    def get(self, key: Hashable) -> Optional[CompiledTraversal]:
+        """Peek without compiling (no counter changes)."""
+        return self._plans.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._plans
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(hits=self.hits, misses=self.misses, size=len(self._plans))

@@ -77,7 +77,14 @@ class TraversalLaunch:
         self.memory = GlobalMemory(
             self.device, self.allocator, self.stats, l2_enabled=self.l2_enabled
         )
-        self.issue = WarpIssueAccountant(self.device.warp_size, self.stats)
+        valid_lanes = (
+            (self.thread_points() >= 0)
+            .reshape(self.n_warps, self.device.warp_size)
+            .sum(axis=1)
+        )
+        self.issue = WarpIssueAccountant(
+            self.device.warp_size, self.stats, valid_lanes=valid_lanes
+        )
 
     @property
     def n_threads(self) -> int:

@@ -43,6 +43,31 @@ class StackOverflowError(RuntimeError):
     """A traversal exceeded the stack capacity cap."""
 
 
+#: shared-memory stacks are used when the estimated per-warp stack
+#: footprint stays below this (Section 5.2: "if the depth of the tree
+#: is reasonably small then the fast shared memory can be used").
+SHARED_STACK_BUDGET_BYTES = 4096
+
+
+def lockstep_stack_layout(
+    tree, spec, budget_bytes: int = SHARED_STACK_BUDGET_BYTES
+) -> RopeStackLayout:
+    """Pick the rope-stack layout for a lockstep launch over ``tree``.
+
+    Estimates the worst-case per-warp stack footprint (one entry holds
+    node + mask + the traversal-variant arguments; each visit can push
+    ``fanout`` entries while popping one) and chooses shared memory
+    only when it fits the budget.  Shared by the experiment harness and
+    the online query service so both price the same launch identically.
+    """
+    entry_bytes = 16 + 8 * len(spec.variant_args)
+    fanout = max(1, len(tree.child_names) - 1)
+    est_depth = tree.depth * fanout + 2
+    if est_depth * entry_bytes <= budget_bytes:
+        return RopeStackLayout.SHARED
+    return RopeStackLayout.INTERLEAVED_GLOBAL
+
+
 class StackStorage:
     """A set of parallel stacks with layout-aware traffic accounting.
 

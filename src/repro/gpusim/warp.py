@@ -75,11 +75,26 @@ class WarpIssueAccountant:
     off represent wasted execution slots, which is exactly the
     divergence penalty the paper's naive-recursive baseline suffers
     from and that autoropes' loop re-convergence avoids.
+
+    Ragged launches (``n_points`` not a multiple of the warp size) pad
+    the trailing warp with lanes that never carry a point.  Those
+    padding lanes are idle by construction, not by divergence, so
+    ``valid_lanes`` — the per-warp count of populated lanes — caps the
+    denominator of the waste accounting: a partial warp whose real
+    lanes all agree issues zero divergent instructions.
     """
 
-    def __init__(self, warp_size: int, stats: KernelStats) -> None:
+    def __init__(
+        self,
+        warp_size: int,
+        stats: KernelStats,
+        valid_lanes: "np.ndarray | None" = None,
+    ) -> None:
         self.warp_size = warp_size
         self.stats = stats
+        self.valid_lanes = (
+            None if valid_lanes is None else np.asarray(valid_lanes, dtype=np.int64)
+        )
 
     def issue(self, lane_active: np.ndarray, n_inst: float = 1.0) -> None:
         """Charge ``n_inst`` instructions to each warp with active lanes.
@@ -98,8 +113,12 @@ class WarpIssueAccountant:
         self.stats.warp_instructions += n_inst * n_issuing
         lanes = lane_active.shape[1]
         if lanes > 1:
-            partial = issuing & (active_count < lanes)
+            if self.valid_lanes is not None and lanes == self.warp_size:
+                valid = self.valid_lanes
+            else:
+                valid = np.full(lane_active.shape[0], lanes, dtype=np.int64)
+            partial = issuing & (active_count < valid)
             n_partial = int(partial.sum())
             self.stats.divergent_instructions += n_inst * n_partial
-            wasted = (lanes - active_count[issuing]).sum() / lanes
+            wasted = np.maximum(valid - active_count, 0)[issuing].sum() / lanes
             self.stats.wasted_lane_fraction += n_inst * float(wasted)

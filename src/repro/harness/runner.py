@@ -21,7 +21,8 @@ from repro.apps.knn import build_knn_app
 from repro.apps.nn import build_nn_app
 from repro.apps.pointcorr import build_pointcorr_app
 from repro.apps.vptree_nn import build_vptree_app
-from repro.core.pipeline import CompiledTraversal, TransformPipeline
+from repro.core.pipeline import CompiledTraversal
+from repro.core.plancache import PlanCache
 from repro.cpusim.threads import CPUConfig, OPTERON_6176, cpu_time_ms
 from repro.gpusim.device import DeviceConfig, TESLA_C2070
 from repro.gpusim.executors import (
@@ -31,15 +32,14 @@ from repro.gpusim.executors import (
     TraversalLaunch,
 )
 from repro.gpusim.executors.common import LaunchResult
-from repro.gpusim.stack import RopeStackLayout
+from repro.gpusim.stack import (
+    SHARED_STACK_BUDGET_BYTES,
+    RopeStackLayout,
+    lockstep_stack_layout,
+)
 from repro.harness.config import CPU_THREAD_SWEEP, ExperimentScale, scale_from_env
 from repro.points.datasets import dataset_by_name, plummer_bodies, random_bodies
 from repro.points.sorting import morton_order, shuffled_order
-
-#: shared-memory stacks are used when the estimated per-warp stack
-#: footprint stays below this (Section 5.2: "if the depth of the tree
-#: is reasonably small then the fast shared memory can be used").
-SHARED_STACK_BUDGET_BYTES = 4096
 
 
 @dataclass
@@ -116,7 +116,7 @@ class ExperimentRunner:
         self.device = device
         self.cpu = cpu
         self.seed = seed
-        self.pipeline = TransformPipeline()
+        self.plans = PlanCache()
         self._cache: Dict[Tuple[str, str, bool], ExperimentResult] = {}
         self._apps: Dict[Tuple[str, str, bool], Tuple[TraversalApp, CompiledTraversal]] = {}
 
@@ -163,19 +163,16 @@ class ExperimentRunner:
                 app = build_vptree_app(ds.points, order, leaf_size=s.leaf_size)
             else:
                 raise KeyError(f"unknown benchmark {bench!r}")
-        compiled = self.pipeline.compile(app.spec)
+        compiled = self.plans.get_or_compile(key, app.spec)
         self._apps[key] = (app, compiled)
         return app, compiled
 
     # -- launching ---------------------------------------------------------
 
     def _lockstep_layout(self, app: TraversalApp, compiled: CompiledTraversal):
-        entry_bytes = 16 + 8 * len(app.spec.variant_args)
-        fanout = max(1, len(app.tree.child_names) - 1)
-        est_depth = app.tree.depth * fanout + 2
-        if est_depth * entry_bytes <= SHARED_STACK_BUDGET_BYTES:
-            return RopeStackLayout.SHARED
-        return RopeStackLayout.INTERLEAVED_GLOBAL
+        return lockstep_stack_layout(
+            app.tree, app.spec, budget_bytes=SHARED_STACK_BUDGET_BYTES
+        )
 
     def _launch(
         self,

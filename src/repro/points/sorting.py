@@ -79,3 +79,50 @@ def shuffled_order(n: int, seed: int = 123) -> np.ndarray:
     if n < 1:
         raise ValueError("n must be >= 1")
     return np.random.default_rng(seed).permutation(n)
+
+
+def kd_bucket_order(tree, coords: np.ndarray) -> np.ndarray:
+    """Sort a batch of query points by the kd-tree leaf they land in.
+
+    The online-batch analogue of :func:`tree_order`: instead of reusing
+    a builder permutation, each query descends the already-built tree's
+    splitting planes (vectorized, one level of the whole batch at a
+    time) until it reaches a leaf bucket, and the batch is stably
+    sorted by left-biased leaf id.  Queries reaching the same bucket —
+    whose traversals overlap the most — become index-adjacent and hence
+    land in the same warp.
+
+    ``tree`` is a linearized kd tree exposing ``arrays['split_dim']``,
+    ``arrays['split_val']``, ``arrays['is_leaf']`` and ``left``/``right``
+    children (:class:`~repro.trees.linearize.LinearTree` duck type).
+    Raises :class:`KeyError` for trees without those arrays (callers
+    fall back to :func:`morton_order`).
+    """
+    pts = np.asarray(coords, dtype=np.float64)
+    if pts.ndim != 2 or len(pts) == 0:
+        raise ValueError("coords must be a non-empty (n, d) array")
+    split_dim = tree.arrays["split_dim"]
+    split_val = tree.arrays["split_val"]
+    is_leaf = np.asarray(tree.arrays["is_leaf"], dtype=bool)
+    left, right = tree.children["left"], tree.children["right"]
+    node = np.full(len(pts), tree.root, dtype=np.int64)
+    # Each iteration descends every still-interior query one level;
+    # bounded by the node count in case of a degenerate chain.
+    for _ in range(tree.n_nodes + 1):
+        active = ~is_leaf[node]
+        if not active.any():
+            break
+        cur = node[active]
+        dim = np.maximum(split_dim[cur], 0)
+        go_left = pts[active, dim] < split_val[cur]
+        nxt = np.where(go_left, left[cur], right[cur])
+        # A missing child means the query's side is empty; the present
+        # node is the deepest bucket we can assign.
+        stuck = nxt < 0
+        nxt = np.where(stuck, cur, nxt)
+        progressed = node.copy()
+        progressed[active] = nxt
+        if np.array_equal(progressed, node):
+            break
+        node = progressed
+    return np.argsort(node, kind="stable")

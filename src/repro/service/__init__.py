@@ -1,0 +1,41 @@
+"""Online traversal query service (dynamic warp batching + plan cache).
+
+The offline harness proves the paper's transformations on whole
+datasets at once; this subsystem turns them into a *serving*
+architecture: long-lived tree sessions with compiled-plan caching,
+dynamic batching of single-point queries under a latency window,
+per-batch spatial reordering so warp membership matches tree locality,
+and run-time similarity profiling that routes each batch to the
+lockstep, non-lockstep, or CPU backend.
+
+* :mod:`repro.service.sessions` — tree/session registry + plan cache.
+* :mod:`repro.service.batcher` — dynamic batching (full/timeout flush).
+* :mod:`repro.service.dispatch` — adaptive variant dispatch + backends.
+* :mod:`repro.service.stats` — per-backend stats and snapshots.
+* :mod:`repro.service.service` — the :class:`TraversalService` facade.
+* ``python -m repro.service`` — demo / load-generator CLI.
+"""
+
+from repro.service.batcher import Batch, DynamicBatcher, QueryTicket
+from repro.service.dispatch import BACKENDS, AdaptiveDispatcher, DispatchDecision
+from repro.service.service import SORT_MODES, ServiceConfig, TraversalService
+from repro.service.sessions import ADAPTERS, SessionRegistry, TreeSession
+from repro.service.stats import BackendSnapshot, BackendStats, ServiceStats
+
+__all__ = [
+    "ADAPTERS",
+    "BACKENDS",
+    "SORT_MODES",
+    "AdaptiveDispatcher",
+    "Batch",
+    "BackendSnapshot",
+    "BackendStats",
+    "DispatchDecision",
+    "DynamicBatcher",
+    "QueryTicket",
+    "ServiceConfig",
+    "ServiceStats",
+    "SessionRegistry",
+    "TraversalService",
+    "TreeSession",
+]

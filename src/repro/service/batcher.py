@@ -1,0 +1,157 @@
+"""Dynamic warp batching: accumulate single-point queries into batches.
+
+The paper wins traversal throughput by making *warp membership match
+tree locality* (point sorting, Section 4.4).  An online service cannot
+sort a dataset up front — queries arrive one at a time — so the batcher
+recreates the effect dynamically: queries accumulate per session until
+the batch is full (``max_batch``) or the oldest query's latency window
+expires (``max_wait_ms``), and the dispatcher spatially reorders each
+flushed batch before launch so that the 32 queries sharing a warp are
+spatial neighbors, not arrival neighbors.
+
+Everything runs on the service's *logical clock* (modeled milliseconds,
+monotone, caller-advanced): no wall-clock, no threads, fully
+deterministic — the same discipline the GPU simulator itself follows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class QueryTicket:
+    """One in-flight query: submitted coordinates plus its resolution.
+
+    Tickets double as the service's synchronous return value — after
+    the owning batch executes, ``result`` holds the per-query output
+    row(s) and the latency fields are filled in.
+    """
+
+    id: int
+    session: str
+    coords: np.ndarray
+    t_submit: float
+    result: Optional[Dict[str, np.ndarray]] = None
+    backend: Optional[str] = None
+    batch_id: int = -1
+    batch_size: int = 0
+    wait_ms: float = 0.0
+    exec_ms: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+    @property
+    def latency_ms(self) -> float:
+        """Queue wait plus modeled execution time."""
+        return self.wait_ms + self.exec_ms
+
+
+@dataclass
+class Batch:
+    """A flushed group of tickets headed for one kernel launch."""
+
+    id: int
+    session: str
+    tickets: List[QueryTicket]
+    t_flush: float
+    reason: str  # "full" | "timeout" | "forced"
+
+    @property
+    def size(self) -> int:
+        return len(self.tickets)
+
+    @property
+    def coords(self) -> np.ndarray:
+        return np.stack([t.coords for t in self.tickets])
+
+
+@dataclass
+class BatcherCounters:
+    """Flush bookkeeping one :class:`DynamicBatcher` accumulates."""
+
+    flush_full: int = 0
+    flush_timeout: int = 0
+    flush_forced: int = 0
+    batches: int = 0
+    queries: int = 0
+
+    @property
+    def flushes(self) -> int:
+        return self.flush_full + self.flush_timeout + self.flush_forced
+
+
+class DynamicBatcher:
+    """Per-session accumulation queue with full/timeout flush triggers.
+
+    The batcher only *groups* tickets; executing a flushed group (and
+    assigning batch ids) is the service's job.  ``max_wait_ms`` bounds
+    the queue wait of the oldest query in a batch: a timeout flush is
+    stamped at ``oldest.t_submit + max_wait_ms`` — the moment the
+    window actually expired — even if the clock is polled later, so
+    modeled waits never inflate with the polling cadence.
+    """
+
+    def __init__(self, max_batch: int = 64, max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0 or math.isnan(max_wait_ms):
+            raise ValueError("max_wait_ms must be >= 0")
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._pending: List[QueryTicket] = []
+        self.counters = BatcherCounters()
+
+    # -- queue state ----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def oldest_submit(self) -> Optional[float]:
+        return self._pending[0].t_submit if self._pending else None
+
+    def timeout_deadline(self) -> Optional[float]:
+        """Logical time at which the pending queue must flush."""
+        oldest = self.oldest_submit()
+        return None if oldest is None else oldest + self.max_wait_ms
+
+    # -- operations -----------------------------------------------------
+
+    def add(self, ticket: QueryTicket) -> bool:
+        """Enqueue one ticket; True when the queue just became full."""
+        self._pending.append(ticket)
+        return len(self._pending) >= self.max_batch
+
+    def take_full(self, now: float) -> List[QueryTicket]:
+        """Flush exactly one max-batch group (flush-on-full)."""
+        return self._take(self.max_batch, now, "full")
+
+    def poll(self, now: float) -> Optional[List[QueryTicket]]:
+        """Flush the pending queue if its latency window expired."""
+        deadline = self.timeout_deadline()
+        if deadline is None or now < deadline:
+            return None
+        return self._take(len(self._pending), deadline, "timeout")
+
+    def take_all(self, now: float) -> Optional[List[QueryTicket]]:
+        """Force-flush whatever is pending (synchronous query paths)."""
+        if not self._pending:
+            return None
+        return self._take(len(self._pending), now, "forced")
+
+    def _take(self, n: int, t_flush: float, reason: str) -> List[QueryTicket]:
+        taken, self._pending = self._pending[:n], self._pending[n:]
+        c = self.counters
+        c.batches += 1
+        c.queries += len(taken)
+        setattr(c, f"flush_{reason}", getattr(c, f"flush_{reason}") + 1)
+        for t in taken:
+            t.wait_ms = max(0.0, t_flush - t.t_submit)
+        return taken

@@ -1,0 +1,182 @@
+"""Adaptive variant dispatch: route each batch to its best backend.
+
+Section 4.4's run-time story, applied per batch instead of per
+dataset: after the batcher flushes and the batch is spatially
+reordered, the dispatcher samples the similarity of *index-adjacent*
+queries (the pairs that will share a warp) with
+:func:`repro.core.profiling.sample_similarity` and routes the batch —
+
+* ``lockstep``  — similar neighboring traversals: the warp-level union
+  stays close to each member's own traversal, so perfectly coalesced
+  lockstep wins (GPU, per-warp mask stacks, shared memory when the
+  tree is shallow enough);
+* ``nonlockstep`` — dissimilar traversals: work expansion would
+  swamp the coalescing benefit, so each thread traverses independently
+  (GPU, per-thread interleaved rope stacks);
+* ``cpu`` — batches below ``min_gpu_batch``: a kernel launch cannot
+  amortize over a handful of points, so the recursive interpreter
+  serves them directly, priced by the CPU model.
+
+Ragged batches launch as-is: the executors pad the trailing warp and
+(since the padding fix in :mod:`repro.gpusim.warp`) charge no phantom
+divergence for lanes that never held a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.profiling import TraversalSimilarity, sample_similarity
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.cpusim.threads import cpu_time_ms
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.stack import RopeStackLayout, lockstep_stack_layout
+from repro.service.sessions import TreeSession
+
+BACKENDS = ("lockstep", "nonlockstep", "cpu")
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Why a batch went where it went."""
+
+    backend: str
+    reason: str
+    similarity: Optional[TraversalSimilarity] = None
+
+
+@dataclass(frozen=True)
+class ExecOutcome:
+    """One executed batch: results plus the modeled cost facts."""
+
+    out: Dict[str, np.ndarray]
+    exec_ms: float
+    avg_nodes: float
+    work_expansion: float = float("nan")
+
+
+class AdaptiveDispatcher:
+    """Routes batches by run-time similarity profiling and executes them."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    # -- routing ---------------------------------------------------------
+
+    def decide(self, session: TreeSession, coords: np.ndarray) -> DispatchDecision:
+        cfg = self.config
+        if cfg.backend is not None:
+            if cfg.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {cfg.backend!r}; options: {BACKENDS}"
+                )
+            return DispatchDecision(cfg.backend, "forced by config")
+        n = len(coords)
+        if n < max(2, cfg.min_gpu_batch):
+            return DispatchDecision(
+                "cpu", f"batch of {n} below min_gpu_batch={cfg.min_gpu_batch}"
+            )
+        if session.plan.lockstep is None:
+            return DispatchDecision(
+                "nonlockstep",
+                session.plan.lockstep_unavailable_reason or "no lockstep variant",
+            )
+        sim = self.profile(session, coords)
+        if sim.recommend_lockstep:
+            return DispatchDecision(
+                "lockstep", f"mean neighbor Jaccard {sim.mean_jaccard:.2f}", sim
+            )
+        return DispatchDecision(
+            "nonlockstep", f"mean neighbor Jaccard {sim.mean_jaccard:.2f}", sim
+        )
+
+    def profile(self, session: TreeSession, coords: np.ndarray) -> TraversalSimilarity:
+        """Sample neighboring queries' traversal similarity (Section 4.4).
+
+        Probes run the recursive reference interpreter on a scratch
+        context, so profiling never touches the batch's real results.
+        """
+        cfg = self.config
+        scratch = session.make_batch_ctx(coords)
+        probe = RecursiveInterpreter(session.app.spec, session.tree, scratch)
+        n = len(coords)
+        return sample_similarity(
+            probe.run_point,
+            n_points=n,
+            n_samples=min(cfg.similarity_samples, n - 1),
+            threshold=cfg.similarity_threshold,
+            seed=cfg.seed,
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def execute(
+        self, session: TreeSession, coords: np.ndarray, backend: str
+    ) -> ExecOutcome:
+        if backend == "cpu":
+            return self._run_cpu(session, coords)
+        if backend == "lockstep":
+            layout = lockstep_stack_layout(session.tree, session.app.spec)
+            return self._run_gpu(
+                session, coords, session.plan.kernel(lockstep=True), layout, True
+            )
+        if backend == "nonlockstep":
+            return self._run_gpu(
+                session,
+                coords,
+                session.plan.kernel(lockstep=False),
+                RopeStackLayout.INTERLEAVED_GLOBAL,
+                False,
+            )
+        raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+
+    def _run_gpu(
+        self,
+        session: TreeSession,
+        coords: np.ndarray,
+        kernel,
+        layout: RopeStackLayout,
+        lockstep: bool,
+    ) -> ExecOutcome:
+        ctx = session.make_batch_ctx(coords)
+        launch = TraversalLaunch(
+            kernel=kernel,
+            tree=session.tree,
+            ctx=ctx,
+            n_points=len(coords),
+            device=self.config.device,
+            stack_layout=layout,
+        )
+        executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
+        result = executor.run()
+        wexp = (
+            float(result.work_expansion_per_warp().mean())
+            if lockstep
+            else float("nan")
+        )
+        return ExecOutcome(
+            out=ctx.out,
+            exec_ms=result.time_ms,
+            avg_nodes=result.avg_nodes_per_point,
+            work_expansion=wexp,
+        )
+
+    def _run_cpu(self, session: TreeSession, coords: np.ndarray) -> ExecOutcome:
+        ctx = session.make_batch_ctx(coords)
+        interp = RecursiveInterpreter(session.app.spec, session.tree, ctx)
+        sequences = interp.run_points(range(len(coords)))
+        timing = cpu_time_ms(
+            sequences,
+            threads=self.config.cpu_threads,
+            config=self.config.cpu,
+            visit_cost_scale=session.app.visit_cost_scale,
+        )
+        avg_nodes = float(np.mean([len(s) for s in sequences]))
+        return ExecOutcome(out=ctx.out, exec_ms=timing.time_ms, avg_nodes=avg_nodes)

@@ -1,0 +1,275 @@
+"""The online traversal query service: the synchronous client facade.
+
+:class:`TraversalService` ties the subsystem together — session
+registry (tree + plan, built once), per-session dynamic batchers,
+batch spatial reordering, and the adaptive dispatcher — behind a small
+synchronous API:
+
+* :meth:`register` — build a (app, dataset) session;
+* :meth:`submit` — enqueue one query, flushing on a full batch;
+* :meth:`advance` — move the logical clock, flushing expired windows;
+* :meth:`query` / :meth:`query_many` — synchronous wrappers that force
+  the answer out immediately (a degenerate flush when the batch is not
+  yet full);
+* :meth:`stats` — the :class:`~repro.service.stats.ServiceStats`
+  snapshot.
+
+The clock is logical and monotone, in modeled milliseconds; callers
+(or the load generator in ``python -m repro.service``) advance it with
+arrival timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpusim.threads import CPUConfig, OPTERON_6176
+from repro.gpusim.device import DeviceConfig, TESLA_C2070
+from repro.points.sorting import kd_bucket_order, morton_order
+from repro.service.batcher import Batch, DynamicBatcher, QueryTicket
+from repro.service.dispatch import BACKENDS, AdaptiveDispatcher
+from repro.service.sessions import SessionRegistry, TreeSession
+from repro.service.stats import BackendStats, ServiceStats
+
+SORT_MODES = ("arrival", "morton", "tree")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one :class:`TraversalService` instance."""
+
+    #: flush a session's queue at this many pending queries.
+    max_batch: int = 64
+    #: ... or when the oldest pending query has waited this long.
+    max_wait_ms: float = 2.0
+    #: batch spatial reorder: "arrival" (none), "morton", or "tree"
+    #: (kd-bucket descent; falls back to morton for non-kd trees).
+    sort: str = "morton"
+    #: force every batch to one backend ("lockstep" | "nonlockstep" |
+    #: "cpu"); None means adaptive similarity-profiled routing.
+    backend: Optional[str] = None
+    #: batches smaller than this skip the GPU entirely.
+    min_gpu_batch: int = 8
+    #: neighbor pairs sampled per batch by the similarity profiler.
+    similarity_samples: int = 4
+    #: mean-Jaccard threshold above which lockstep is chosen.
+    similarity_threshold: float = 0.5
+    #: CPU-backend thread count (the modeled Opteron's).
+    cpu_threads: int = 8
+    device: DeviceConfig = TESLA_C2070
+    cpu: CPUConfig = field(default_factory=lambda: OPTERON_6176)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.sort not in SORT_MODES:
+            raise ValueError(f"sort must be one of {SORT_MODES}, got {self.sort!r}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS} or None, got {self.backend!r}"
+            )
+
+    def with_(self, **changes) -> "ServiceConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class TraversalService:
+    """Online traversal query engine over the compiled-plan pipeline."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = SessionRegistry()
+        self.dispatcher = AdaptiveDispatcher(self.config)
+        self._batchers: Dict[str, DynamicBatcher] = {}
+        self._backend_stats: Dict[str, BackendStats] = {
+            b: BackendStats(b) for b in BACKENDS
+        }
+        self.now_ms = 0.0
+        self._next_ticket = 0
+        self._next_batch = 0
+        self._submitted = 0
+        self._completed = 0
+        self._all_latencies: List[float] = []
+
+    # -- sessions --------------------------------------------------------
+
+    def register(self, name: str, app: str, data: np.ndarray, **build_kwargs) -> TreeSession:
+        """Build (or reuse) a session and give it a batching queue."""
+        session = self.registry.register(name, app, data, **build_kwargs)
+        self._batchers[name] = DynamicBatcher(
+            max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms
+        )
+        return session
+
+    @property
+    def plan_cache(self):
+        return self.registry.plans
+
+    # -- clock -----------------------------------------------------------
+
+    def _tick(self, now: Optional[float]) -> float:
+        if now is not None:
+            if now < self.now_ms:
+                raise ValueError(
+                    f"clock must be monotone: now={now} < current {self.now_ms}"
+                )
+            self.now_ms = now
+        return self.now_ms
+
+    # -- query paths -------------------------------------------------------
+
+    def submit(
+        self, session: str, coord: Sequence[float], now: Optional[float] = None
+    ) -> QueryTicket:
+        """Enqueue one query; dispatches immediately on a full batch."""
+        t = self._tick(now)
+        sess = self.registry.get(session)
+        coord_arr = np.asarray(coord, dtype=np.float64).reshape(-1)
+        if coord_arr.shape != (sess.dim,):
+            raise ValueError(
+                f"query for {session!r} must have {sess.dim} coords, "
+                f"got shape {coord_arr.shape}"
+            )
+        ticket = QueryTicket(
+            id=self._next_ticket, session=session, coords=coord_arr, t_submit=t
+        )
+        self._next_ticket += 1
+        self._submitted += 1
+        batcher = self._batchers[session]
+        if batcher.add(ticket):
+            self._dispatch(session, batcher.take_full(t), t, "full")
+        return ticket
+
+    def advance(self, now: float) -> int:
+        """Advance the clock; flush every expired window. Returns the
+        number of batches dispatched."""
+        self._tick(now)
+        dispatched = 0
+        for name, batcher in self._batchers.items():
+            while True:
+                deadline = batcher.timeout_deadline()
+                taken = batcher.poll(now)
+                if taken is None:
+                    break
+                self._dispatch(name, taken, deadline, "timeout")
+                dispatched += 1
+        return dispatched
+
+    def flush(self, session: Optional[str] = None, now: Optional[float] = None) -> int:
+        """Force-flush pending queries (all sessions by default)."""
+        t = self._tick(now)
+        names = [session] if session is not None else list(self._batchers)
+        dispatched = 0
+        for name in names:
+            taken = self._batchers[name].take_all(t)
+            if taken is not None:
+                self._dispatch(name, taken, t, "forced")
+                dispatched += 1
+        return dispatched
+
+    def query(
+        self, session: str, coord: Sequence[float], now: Optional[float] = None
+    ) -> QueryTicket:
+        """Synchronous single query: submit, then force the answer out."""
+        ticket = self.submit(session, coord, now)
+        if not ticket.done:
+            self.flush(session)
+        return ticket
+
+    def query_many(
+        self, session: str, coords: np.ndarray, now: Optional[float] = None
+    ) -> List[QueryTicket]:
+        """Synchronous bulk path: full batches dispatch as they fill,
+        the ragged remainder is force-flushed."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2:
+            raise ValueError("query_many expects an (n, d) array")
+        tickets = [self.submit(session, c, now) for c in coords]
+        self.flush(session)
+        return tickets
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(b.queue_depth for b in self._batchers.values())
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _batch_order(self, sess: TreeSession, coords: np.ndarray) -> np.ndarray:
+        mode = self.config.sort
+        if mode == "arrival" or len(coords) < 2:
+            return np.arange(len(coords))
+        if mode == "tree":
+            try:
+                return kd_bucket_order(sess.tree, coords)
+            except KeyError:
+                return morton_order(coords)
+        return morton_order(coords)
+
+    def _dispatch(
+        self, session: str, tickets: List[QueryTicket], t_flush: float, reason: str
+    ) -> Batch:
+        sess = self.registry.get(session)
+        batch = Batch(
+            id=self._next_batch,
+            session=session,
+            tickets=tickets,
+            t_flush=t_flush,
+            reason=reason,
+        )
+        self._next_batch += 1
+        coords = batch.coords
+        # Spatial reorder: make warp membership match tree locality
+        # *before* similarity profiling and launch (Section 4.4).
+        order = self._batch_order(sess, coords)
+        coords = coords[order]
+        decision = self.dispatcher.decide(sess, coords)
+        outcome = self.dispatcher.execute(sess, coords, decision.backend)
+        # Resolve tickets: row i of the executed batch is the order[i]-th
+        # submitted ticket.
+        waits: List[float] = []
+        for row, tidx in enumerate(order):
+            ticket = tickets[int(tidx)]
+            ticket.result = sess.extract(outcome.out, row)
+            ticket.backend = decision.backend
+            ticket.batch_id = batch.id
+            ticket.batch_size = batch.size
+            ticket.exec_ms = outcome.exec_ms
+            waits.append(ticket.wait_ms)
+            self._all_latencies.append(ticket.latency_ms)
+        self._completed += batch.size
+        self._backend_stats[decision.backend].record_batch(
+            n_queries=batch.size,
+            exec_ms=outcome.exec_ms,
+            waits_ms=waits,
+            occupancy=batch.size / self.config.max_batch,
+            avg_nodes=outcome.avg_nodes,
+            work_expansion=outcome.work_expansion,
+        )
+        return batch
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        from repro.service.stats import percentile
+
+        counters = [b.counters for b in self._batchers.values()]
+        backends = {b: s.snapshot() for b, s in self._backend_stats.items()}
+        return ServiceStats(
+            sort=self.config.sort,
+            sessions=len(self.registry),
+            queries_submitted=self._submitted,
+            queries_completed=self._completed,
+            queue_depth=self.queue_depth,
+            batches=self._next_batch,
+            flush_full=sum(c.flush_full for c in counters),
+            flush_timeout=sum(c.flush_timeout for c in counters),
+            flush_forced=sum(c.flush_forced for c in counters),
+            plan_cache=self.registry.plans.stats(),
+            backends=backends,
+            total_exec_ms=sum(s.total_exec_ms for s in backends.values()),
+            p50_latency_ms=percentile(self._all_latencies, 50),
+            p95_latency_ms=percentile(self._all_latencies, 95),
+        )

@@ -1,0 +1,160 @@
+"""Service observability: per-backend accumulators and snapshots.
+
+Every dispatched batch reports into a :class:`BackendStats` accumulator
+(one per backend); :meth:`TraversalService.stats` freezes them — plus
+the batcher and plan-cache counters — into an immutable
+:class:`ServiceStats` snapshot that the CLI pretty-prints and tests
+assert on.  All times are *modeled* milliseconds from the simulator's
+cost models, on the service's logical clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.core.plancache import PlanCacheStats
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The q-th percentile (nearest-rank interpolation), NaN if empty."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+@dataclass
+class BackendStats:
+    """Mutable per-backend accumulator (one batch = one report)."""
+
+    backend: str
+    batches: int = 0
+    queries: int = 0
+    exec_ms: List[float] = field(default_factory=list)
+    latency_ms: List[float] = field(default_factory=list)
+    wait_ms: List[float] = field(default_factory=list)
+    #: batch fill fraction: batch size / configured max batch.
+    occupancy: List[float] = field(default_factory=list)
+    avg_nodes: List[float] = field(default_factory=list)
+    #: lockstep-only: mean per-warp work expansion of each batch.
+    work_expansion: List[float] = field(default_factory=list)
+
+    def record_batch(
+        self,
+        n_queries: int,
+        exec_ms: float,
+        waits_ms: List[float],
+        occupancy: float,
+        avg_nodes: float,
+        work_expansion: float = float("nan"),
+    ) -> None:
+        self.batches += 1
+        self.queries += n_queries
+        self.exec_ms.append(exec_ms)
+        self.wait_ms.extend(waits_ms)
+        self.latency_ms.extend(w + exec_ms for w in waits_ms)
+        self.occupancy.append(occupancy)
+        self.avg_nodes.append(avg_nodes)
+        if not math.isnan(work_expansion):
+            self.work_expansion.append(work_expansion)
+
+    def snapshot(self) -> "BackendSnapshot":
+        return BackendSnapshot(
+            backend=self.backend,
+            batches=self.batches,
+            queries=self.queries,
+            total_exec_ms=sum(self.exec_ms),
+            p50_exec_ms=percentile(self.exec_ms, 50),
+            p95_exec_ms=percentile(self.exec_ms, 95),
+            p50_latency_ms=percentile(self.latency_ms, 50),
+            p95_latency_ms=percentile(self.latency_ms, 95),
+            mean_wait_ms=_mean(self.wait_ms),
+            mean_occupancy=_mean(self.occupancy),
+            mean_avg_nodes=_mean(self.avg_nodes),
+            mean_work_expansion=_mean(self.work_expansion),
+        )
+
+
+@dataclass(frozen=True)
+class BackendSnapshot:
+    """Frozen view of one backend's accumulated service metrics."""
+
+    backend: str
+    batches: int
+    queries: int
+    total_exec_ms: float
+    p50_exec_ms: float
+    p95_exec_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    mean_wait_ms: float
+    mean_occupancy: float
+    mean_avg_nodes: float
+    mean_work_expansion: float
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One service-wide snapshot (see module docstring)."""
+
+    sort: str
+    sessions: int
+    queries_submitted: int
+    queries_completed: int
+    queue_depth: int
+    batches: int
+    flush_full: int
+    flush_timeout: int
+    flush_forced: int
+    plan_cache: PlanCacheStats
+    backends: Mapping[str, BackendSnapshot]
+    total_exec_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+
+    @property
+    def backends_exercised(self) -> int:
+        return sum(1 for b in self.backends.values() if b.batches > 0)
+
+    def format(self) -> str:
+        """Human-readable snapshot for the CLI."""
+        lines = [
+            f"service stats (sort={self.sort})",
+            f"  sessions={self.sessions}  submitted={self.queries_submitted}  "
+            f"completed={self.queries_completed}  pending={self.queue_depth}",
+            f"  batches={self.batches} (full={self.flush_full}, "
+            f"timeout={self.flush_timeout}, forced={self.flush_forced})",
+            f"  plan cache: hits={self.plan_cache.hits} "
+            f"misses={self.plan_cache.misses} size={self.plan_cache.size}",
+            f"  modeled exec total: {self.total_exec_ms:.4f} ms   "
+            f"latency p50/p95: {self.p50_latency_ms:.4f}/{self.p95_latency_ms:.4f} ms",
+            "  backend        batches  queries  fill   p50exec   p95exec   "
+            "p50lat    p95lat    wexp",
+        ]
+        for name in sorted(self.backends):
+            b = self.backends[name]
+            if b.batches == 0:
+                continue
+            wexp = (
+                f"{b.mean_work_expansion:.2f}"
+                if not math.isnan(b.mean_work_expansion)
+                else "-"
+            )
+            lines.append(
+                f"  {name:<13}  {b.batches:>7}  {b.queries:>7}  "
+                f"{b.mean_occupancy:4.0%}  {b.p50_exec_ms:8.4f}  {b.p95_exec_ms:8.4f}  "
+                f"{b.p50_latency_ms:8.4f}  {b.p95_latency_ms:8.4f}  {wexp:>5}"
+            )
+        return "\n".join(lines)

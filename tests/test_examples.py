@@ -27,7 +27,13 @@ def test_fast_examples_run(script, capsys):
 
 @pytest.mark.slow
 @pytest.mark.parametrize(
-    "script", ["barneshut_demo.py", "knn_search.py", "divergence_profile.py"]
+    "script",
+    [
+        "barneshut_demo.py",
+        "knn_search.py",
+        "divergence_profile.py",
+        "service_client.py",
+    ],
 )
 def test_slow_examples_run(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")

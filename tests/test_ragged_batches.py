@@ -1,0 +1,169 @@
+"""Ragged-batch regression tests: launches with n_points % warp_size
+!= 0 pad the trailing warp, and the padding lanes must be invisible in
+the stats — no phantom divergence, no skew in per-point node averages.
+
+Regression for a bug where `WarpIssueAccountant` compared the active
+lane count against the *full* warp width, so a partial warp of
+perfectly converged queries was charged divergence for lanes that never
+held a query."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import QuerySet
+from repro.apps.knn import build_knn_app
+from repro.apps.pointcorr import build_pointcorr_app
+from repro.core.ir import EvalContext
+from repro.core.pipeline import TransformPipeline
+from repro.cpusim.recursive import RecursiveInterpreter
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+from repro.points.datasets import random_points
+
+
+@pytest.fixture(scope="module")
+def knn_setup():
+    pts = random_points(n=96, dim=2, seed=31).points
+    app = build_knn_app(pts, np.arange(len(pts)), k=4, leaf_size=4)
+    return app, TransformPipeline().compile(app.spec)
+
+
+def run(app, kernel, device, n_points, lockstep, coords=None):
+    ctx = app.make_ctx()
+    if coords is not None:
+        # Fresh QuerySet: make_ctx shares the app's query arrays, and
+        # the app fixture is module-scoped.
+        new_coords = ctx.points.coords.copy()
+        new_coords[: len(coords)] = coords
+        ctx = EvalContext(
+            tree=ctx.tree,
+            points=QuerySet(new_coords, ctx.points.orig_ids.copy()),
+            out=ctx.out,
+            params=ctx.params,
+        )
+    launch = TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=ctx,
+        n_points=n_points,
+        device=device,
+        record_visits=True,
+    )
+    executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
+    return launch, executor.run()
+
+
+class TestPaddingLanesAreInvisible:
+    @pytest.mark.parametrize("lockstep", [False, True])
+    def test_identical_queries_in_partial_warp_do_not_diverge(
+        self, knn_setup, device32, lockstep
+    ):
+        """4 identical queries fill 4 of 32 lanes: with every live lane
+        taking the same path there is no divergence to charge."""
+        app, compiled = knn_setup
+        same = np.tile(app.queries.coords[0], (4, 1))
+        launch, _ = run(
+            app,
+            compiled.lockstep if lockstep else compiled.autoropes,
+            device32,
+            n_points=4,
+            lockstep=lockstep,
+            coords=same,
+        )
+        assert launch.stats.divergent_instructions == 0
+        assert launch.stats.wasted_lane_fraction == 0
+
+    @pytest.mark.parametrize("lockstep", [False, True])
+    def test_partial_warp_matches_full_warp_divergence(
+        self, knn_setup, device32, lockstep
+    ):
+        """The same 32 identical queries as 1 full warp vs padded into 2
+        warps: the padding must not add divergence."""
+        app, compiled = knn_setup
+        kernel = compiled.lockstep if lockstep else compiled.autoropes
+        same32 = np.tile(app.queries.coords[0], (32, 1))
+        full, _ = run(app, kernel, device32, 32, lockstep, coords=same32)
+        same40 = np.tile(app.queries.coords[0], (40, 1))
+        ragged, _ = run(app, kernel, device32, 40, lockstep, coords=same40)
+        assert full.stats.divergent_instructions == 0
+        assert ragged.stats.divergent_instructions == 0
+        assert ragged.stats.wasted_lane_fraction == 0
+
+
+class TestRaggedAccounting:
+    @pytest.mark.parametrize("n_points", [5, 33, 50])
+    @pytest.mark.parametrize("lockstep", [False, True])
+    def test_nodes_per_point_has_no_padding_entries(
+        self, knn_setup, device32, n_points, lockstep
+    ):
+        app, compiled = knn_setup
+        kernel = compiled.lockstep if lockstep else compiled.autoropes
+        _, result = run(app, kernel, device32, n_points, lockstep)
+        assert len(result.nodes_per_point) == n_points
+        assert (result.nodes_per_point > 0).all()
+
+    def test_avg_nodes_matches_recursive_ground_truth(self, knn_setup, device32):
+        """Non-lockstep avg_nodes_per_point for a ragged launch equals
+        the recursive interpreter's mean over the *real* points only —
+        padding lanes must not drag the average down."""
+        app, compiled = knn_setup
+        n = 50  # 2 warps, second one 18/32 full
+        _, result = run(app, compiled.autoropes, device32, n, lockstep=False)
+        interp = RecursiveInterpreter(app.spec, app.tree, app.make_ctx())
+        truth = np.mean([len(s) for s in interp.run_points(range(n))])
+        assert result.avg_nodes_per_point == pytest.approx(truth)
+
+    def test_lockstep_ragged_warp_ride_average(self, knn_setup, device32):
+        """Lockstep nodes_per_point is the warp-ride length (Table 1's
+        lockstep semantic); in a ragged launch the trailing warp's
+        length must be weighted by its 18 real points, not 32 lanes."""
+        app, compiled = knn_setup
+        n = 50
+        _, result = run(app, compiled.lockstep, device32, n, lockstep=True)
+        w = result.nodes_per_warp
+        want = (w[0] * 32 + w[1] * (n - 32)) / n
+        assert result.avg_nodes_per_point == pytest.approx(want)
+        np.testing.assert_array_equal(
+            result.nodes_per_point, np.repeat(w, 32)[:n]
+        )
+
+    def test_ragged_lockstep_work_expansion_finite(self, knn_setup, device32):
+        app, compiled = knn_setup
+        _, result = run(app, compiled.lockstep, device32, 50, lockstep=True)
+        wexp = result.work_expansion_per_warp()
+        assert len(wexp) == 2
+        assert np.isfinite(wexp).all() and (wexp >= 1.0).all()
+
+    @pytest.mark.parametrize("lockstep", [False, True])
+    def test_ragged_launch_still_correct(self, knn_setup, device32, lockstep):
+        """Padding must not corrupt results: ragged kNN matches brute
+        force on the live points."""
+        app, compiled = knn_setup
+        n = 50
+        kernel = compiled.lockstep if lockstep else compiled.autoropes
+        launch, _ = run(app, kernel, device32, n, lockstep)
+        coords = launch.ctx.points.coords
+        d = ((coords[:n, None, :] - app.queries.coords[None, :, :]) ** 2).sum(-1)
+        d[np.arange(n), launch.ctx.points.orig_ids[:n]] = np.inf  # self
+        want = np.sort(d, axis=1)[:, :4]
+        np.testing.assert_allclose(
+            np.sort(launch.ctx.out["knn_dist"][:n], axis=1), want
+        )
+
+
+class TestPointCorrRagged:
+    def test_partial_warp_wasted_fraction_bounded(self, device32):
+        """Wasted-lane fraction only counts populated lanes: it can
+        never exceed (valid - 1)/warp_size per instruction."""
+        pts = random_points(n=40, dim=2, seed=33).points
+        app = build_pointcorr_app(pts, np.arange(40), radius=0.2, leaf_size=4)
+        compiled = TransformPipeline().compile(app.spec)
+        launch, _ = run(app, compiled.lockstep, device32, 40, lockstep=True)
+        stats = launch.stats
+        assert stats.warp_instructions > 0
+        # 8 live lanes in the trailing warp: at most 7/32 of each issue
+        # can be wasted there, 31/32 in the full warp.
+        assert stats.wasted_lane_fraction <= stats.warp_instructions * (31 / 32)
