@@ -33,6 +33,7 @@ class PlanCacheStats:
     hits: int
     misses: int
     size: int
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +56,8 @@ class PlanCache:
         self._plans: Dict[Hashable, CompiledTraversal] = {}
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        self._failures: Dict[Hashable, int] = {}
 
     def get_or_compile(self, key: Hashable, spec: TraversalSpec) -> CompiledTraversal:
         """Return the cached plan for ``key``, compiling on first use."""
@@ -77,8 +80,51 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop the cached plan for ``key``; True if one was cached.
+
+        The next :meth:`get_or_compile` for the key recompiles from the
+        spec (a miss).  The service's resilience layer invalidates a
+        plan after repeated execution failures, on the theory that a
+        freshly compiled plan clears any poisoned cached state.
+        """
+        self._failures.pop(key, None)
+        if self._plans.pop(key, None) is None:
+            return False
+        self.invalidations += 1
+        return True
+
+    def record_failure(self, key: Hashable, threshold: int = 3) -> bool:
+        """Count one execution failure against ``key``'s plan.
+
+        After ``threshold`` *consecutive* failures the plan is
+        invalidated and True is returned; :meth:`record_success` (or a
+        hit recompile) resets the count.
+        """
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        n = self._failures.get(key, 0) + 1
+        if n >= threshold:
+            self.invalidate(key)
+            return True
+        self._failures[key] = n
+        return False
+
+    def record_success(self, key: Hashable) -> None:
+        """Reset ``key``'s consecutive-failure count."""
+        self._failures.pop(key, None)
+
+    def failure_count(self, key: Hashable) -> int:
+        return self._failures.get(key, 0)
+
     def clear(self) -> None:
         self._plans.clear()
+        self._failures.clear()
 
     def stats(self) -> PlanCacheStats:
-        return PlanCacheStats(hits=self.hits, misses=self.misses, size=len(self._plans))
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._plans),
+            invalidations=self.invalidations,
+        )

@@ -108,6 +108,24 @@ class DeviceConfig:
         """A copy with a different warp width (tests use tiny warps)."""
         return replace(self, warp_size=warp_size).validate()
 
+    def derate(self, factor: float) -> "DeviceConfig":
+        """A clock-derated copy: modeled times inflate by ``factor``.
+
+        The chaos layer's latency spikes run a launch on a derated
+        device (thermal throttling / a contended SM partition) rather
+        than patching the resulting time, so the inflation flows
+        through the cost model like any real slowdown would.
+        """
+        if factor < 1.0:
+            raise ValueError(f"derate factor must be >= 1, got {factor}")
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-derated-{factor:g}x",
+            clock_ghz=self.clock_ghz / factor,
+        ).validate()
+
 
 #: The paper's evaluation GPU (Section 6.1.1).
 TESLA_C2070 = DeviceConfig().validate()

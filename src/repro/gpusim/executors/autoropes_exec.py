@@ -23,7 +23,11 @@ import numpy as np
 from repro.core.autoropes import Continue, IterativeKernel, PushGroup
 from repro.core.ir import If, Seq, Stmt, Update
 from repro.gpusim.cost import CostModel
-from repro.gpusim.executors.common import LaunchResult, TraversalLaunch
+from repro.gpusim.executors.common import (
+    LaunchResult,
+    TraversalLaunch,
+    validate_popped_nodes,
+)
 from repro.gpusim.kernel import occupancy_for
 from repro.gpusim.stack import RopeStackLayout, StackStorage
 from repro.gpusim.trace import StepTrace
@@ -220,9 +224,11 @@ class AutoropesExecutor:
         while self.stack.any_nonempty():
             self._step += 1
             L.stats.steps += 1
+            L.guard(self._step, self.stack)
             live = self.stack.nonempty()
             popped = self.stack.pop(live, self._step)
             node = popped["node"]
+            validate_popped_nodes(node, live, self.tree.n_nodes, self._step)
             args = {a.name: popped[f"arg.{a.name}"] for a in spec.variant_args}
             args.update(self._invariant_args)
             # Book-keeping: every popped rope to a real node is a node

@@ -22,7 +22,8 @@ from repro.core.autoropes import IterativeKernel
 from repro.core.ir import EvalContext
 from repro.gpusim.cost import CostModel, KernelTiming
 from repro.gpusim.device import DeviceConfig
-from repro.gpusim.kernel import LaunchConfig, occupancy_for
+from repro.gpusim.faults import BatchFaultPlan
+from repro.gpusim.kernel import LaunchConfig, Watchdog, occupancy_for
 from repro.gpusim.memory import DeviceAllocator, GlobalMemory, Region
 from repro.gpusim.stack import RopeStackLayout
 from repro.gpusim.stats import KernelStats
@@ -46,6 +47,12 @@ class TraversalLaunch:
     trace: bool = False
     l2_enabled: bool = True
     max_stack_depth: int = 4096
+    #: operational step budget for the main loop (None = unbounded);
+    #: the service's resilience layer always sets one so a livelocked
+    #: traversal trips the watchdog instead of hanging a batch.
+    visit_budget: Optional[int] = None
+    #: armed chaos faults for this launch (see repro.gpusim.faults).
+    fault_plan: Optional[BatchFaultPlan] = None
 
     # populated in __post_init__
     launch: LaunchConfig = field(init=False)
@@ -85,6 +92,24 @@ class TraversalLaunch:
         self.issue = WarpIssueAccountant(
             self.device.warp_size, self.stats, valid_lanes=valid_lanes
         )
+        self.watchdog = (
+            Watchdog(self.visit_budget) if self.visit_budget is not None else None
+        )
+        if self.fault_plan is not None and not self.fault_plan.any_armed:
+            self.fault_plan = None
+
+    def guard(self, step: int, stack=None) -> None:
+        """Per-step execution guard, called from executor main loops.
+
+        Fires any armed chaos faults for this step, then lets the
+        watchdog enforce the visit budget.  A no-op in the common case
+        (no faults armed, no budget set) so offline harness runs pay
+        nothing.
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.apply(self, step, stack)
+        if self.watchdog is not None:
+            self.watchdog.tick(step)
 
     @property
     def n_threads(self) -> int:
@@ -99,6 +124,27 @@ class TraversalLaunch:
         pts = np.arange(self.n_threads, dtype=np.int64)
         pts[self.n_points :] = -1
         return pts
+
+
+def validate_popped_nodes(
+    node: np.ndarray, active: np.ndarray, n_nodes: int, step: int
+) -> None:
+    """Bounds-check node indices popped off a rope stack.
+
+    Valid entries are ``-1`` (null child, when the spec visits them)
+    through ``n_nodes - 1``; anything else means the stack was
+    corrupted and the launch must abort before chasing the pointer.
+    """
+    bad = active & ((node < -1) | (node >= n_nodes))
+    if bad.any():
+        from repro.gpusim.stack import CorruptedRopeStack
+
+        first = int(node[np.argmax(bad)])
+        raise CorruptedRopeStack(
+            f"popped node {first} outside tree bounds [0, {n_nodes}) "
+            f"at step {step}: rope stack corrupted",
+            step=step,
+        )
 
 
 @dataclass

@@ -26,7 +26,11 @@ import numpy as np
 from repro.core.autoropes import Continue, IterativeKernel, PushGroup
 from repro.core.ir import If, Seq, Stmt, Update
 from repro.gpusim.cost import CostModel
-from repro.gpusim.executors.common import LaunchResult, TraversalLaunch
+from repro.gpusim.executors.common import (
+    LaunchResult,
+    TraversalLaunch,
+    validate_popped_nodes,
+)
 from repro.gpusim.kernel import occupancy_for
 from repro.gpusim.stack import RopeStackLayout, StackStorage
 from repro.gpusim.trace import StepTrace
@@ -283,9 +287,11 @@ class LockstepExecutor:
         while self.stack.any_nonempty():
             self._step += 1
             L.stats.steps += 1
+            L.guard(self._step, self.stack)
             warp_on = self.stack.nonempty()
             popped = self.stack.pop(warp_on, self._step)
             node = popped["node"]
+            validate_popped_nodes(node, warp_on, self.tree.n_nodes, self._step)
             live = unpack_mask(popped["mask"], self.ws) & warp_on[:, None] & self.real
             args = {a.name: popped[f"arg.{a.name}"] for a in spec.variant_args}
             args.update(self._invariant_vals)

@@ -77,6 +77,7 @@ class StaticRopesExecutor(AutoropesExecutor):
         while active.any():
             self._step += 1
             L.stats.steps += 1
+            L.guard(self._step)  # stackless: watchdog/faults, no stack hook
             L.stats.node_visits += int(active.sum())
             warp_live = self._warpify(active).any(axis=1)
             L.stats.warp_node_visits += int(warp_live.sum())

@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the simulated GPU (chaos layer).
+
+The online service (:mod:`repro.service`) must keep answering queries
+when a backend misbehaves.  This module makes backends misbehave *on
+purpose*, deterministically, so resilience machinery (retries, circuit
+breakers, degraded-mode routing, watchdog budgets) can be exercised and
+regression-tested with reproducible failure schedules.
+
+Faults are planned per ``(batch, backend, attempt)`` from a seeded
+generator — the same :class:`ChaosConfig` seed yields the identical
+fault schedule across runs — and applied inside the executors' real
+main loops via :meth:`repro.gpusim.executors.common.TraversalLaunch
+.guard`, so an injected failure travels the same error path a genuine
+one would:
+
+* **backend error** — :class:`InjectedBackendError` raised mid-launch
+  (a device fault / kernel abort);
+* **latency spike** — the launch runs on a clock-derated copy of the
+  device (:meth:`repro.gpusim.device.DeviceConfig.derate`), inflating
+  modeled time by the spike factor;
+* **stuck warp** — the traversal stops making progress; the simulated
+  warp spins until the executor watchdog's visit budget trips
+  (:class:`repro.gpusim.kernel.VisitBudgetExceeded`);
+* **corrupted rope stack** — the top stack entry's node pointer is
+  overwritten with garbage (:meth:`repro.gpusim.stack.StackStorage
+  .corrupt_top`); the executor's node validation then raises
+  :class:`repro.gpusim.stack.CorruptedRopeStack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.kernel import VisitBudgetExceeded
+
+
+class InjectedBackendError(RuntimeError):
+    """A chaos-injected backend failure (device fault / kernel abort)."""
+
+    def __init__(self, message: str, step: int = 0) -> None:
+        super().__init__(message)
+        self.step = step
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection rates and targets; all rates are per (batch,
+    backend, attempt) probabilities in [0, 1]."""
+
+    seed: int = 0
+    p_backend_error: float = 0.0
+    p_latency_spike: float = 0.0
+    p_stuck_warp: float = 0.0
+    p_corrupt_stack: float = 0.0
+    #: modeled-time inflation of a latency spike.
+    latency_spike_factor: float = 8.0
+    #: backends eligible for injection (the modeled CPU is the safe
+    #: harbor of the degradation chain and is never targeted by
+    #: default).
+    targets: Tuple[str, ...] = ("lockstep",)
+    #: injected faults fire within the first this-many traversal steps.
+    max_fault_step: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_backend_error",
+            "p_latency_spike",
+            "p_stuck_warp",
+            "p_corrupt_stack",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.latency_spike_factor < 1.0:
+            raise ValueError("latency_spike_factor must be >= 1")
+        if self.max_fault_step < 1:
+            raise ValueError("max_fault_step must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.p_backend_error > 0
+            or self.p_latency_spike > 0
+            or self.p_stuck_warp > 0
+            or self.p_corrupt_stack > 0
+        )
+
+
+@dataclass(frozen=True)
+class BatchFaultPlan:
+    """The faults armed for one (batch, backend, attempt) execution."""
+
+    backend_error_at: Optional[int] = None
+    stuck_warp_at: Optional[int] = None
+    corrupt_stack_at: Optional[int] = None
+    latency_factor: float = 1.0
+
+    @property
+    def any_armed(self) -> bool:
+        return (
+            self.backend_error_at is not None
+            or self.stuck_warp_at is not None
+            or self.corrupt_stack_at is not None
+            or self.latency_factor != 1.0
+        )
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        """Names of the armed faults (stats/log keys)."""
+        out = []
+        if self.backend_error_at is not None:
+            out.append("backend_error")
+        if self.stuck_warp_at is not None:
+            out.append("stuck_warp")
+        if self.corrupt_stack_at is not None:
+            out.append("corrupt_stack")
+        if self.latency_factor != 1.0:
+            out.append("latency_spike")
+        return tuple(out)
+
+    def apply(self, launch, step: int, stack=None) -> None:
+        """Fire whatever is armed for traversal step ``step``.
+
+        Called from the executors' main loops (via ``launch.guard``);
+        ``stack`` is the executor's rope stack when it has one.
+        """
+        if self.corrupt_stack_at is not None and step == self.corrupt_stack_at:
+            if stack is not None:
+                # Garbage node pointer: past the end of the tree.
+                stack.corrupt_top("node", launch.tree.n_nodes + 7)
+        if self.backend_error_at is not None and step == self.backend_error_at:
+            raise InjectedBackendError(
+                f"injected backend error at step {step}", step=step
+            )
+        if self.stuck_warp_at is not None and step >= self.stuck_warp_at:
+            # The warp stops making progress.  With a watchdog armed it
+            # spins its whole visit budget away and the budget trips;
+            # with no watchdog the livelock is still surfaced (a real
+            # deployment would hang — the simulator refuses to).
+            budget = launch.visit_budget
+            if budget is not None:
+                launch.stats.steps += max(0, budget - step)
+            raise VisitBudgetExceeded(
+                f"stuck warp: traversal livelocked at step {step}"
+                + (f" (visit budget {budget} exhausted)" if budget else ""),
+                step=step,
+                budget=budget,
+            )
+
+
+#: the do-nothing plan (chaos disabled or batch not selected).
+NO_FAULTS = BatchFaultPlan()
+
+
+@dataclass
+class FaultInjector:
+    """Plans deterministic faults from a :class:`ChaosConfig`.
+
+    The schedule for a given ``(batch_id, backend, attempt)`` depends
+    only on the config seed, so two runs over the same trace see the
+    same failures at the same points — the property the chaos tests
+    assert.
+    """
+
+    config: ChaosConfig
+    #: log of (batch_id, backend, attempt, events) for armed plans.
+    injected: list = field(default_factory=list)
+
+    def plan(self, batch_id: int, backend: str, attempt: int = 0) -> BatchFaultPlan:
+        cfg = self.config
+        if not cfg.enabled or backend not in cfg.targets:
+            return NO_FAULTS
+        backend_key = sum(ord(c) for c in backend)
+        rng = np.random.default_rng(
+            [
+                np.uint64(cfg.seed),
+                np.uint64(abs(int(batch_id))),
+                np.uint64(backend_key),
+                np.uint64(attempt),
+            ]
+        )
+        # One draw per fault class, in a fixed order (determinism).
+        draws = rng.random(4)
+        step_of = lambda i: int(rng.integers(1, cfg.max_fault_step + 1))
+        plan = BatchFaultPlan(
+            backend_error_at=step_of(0) if draws[0] < cfg.p_backend_error else None,
+            stuck_warp_at=step_of(1) if draws[1] < cfg.p_stuck_warp else None,
+            corrupt_stack_at=step_of(2) if draws[2] < cfg.p_corrupt_stack else None,
+            latency_factor=(
+                cfg.latency_spike_factor
+                if draws[3] < cfg.p_latency_spike
+                else 1.0
+            ),
+        )
+        if plan.any_armed:
+            self.injected.append((batch_id, backend, attempt, plan.events))
+        return plan
+
+    def schedule(self) -> Tuple:
+        """The armed-fault log as a hashable value (for replay checks)."""
+        return tuple(self.injected)

@@ -12,8 +12,52 @@ grow large, which is why the paper only places stacks in shared memory
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.gpusim.device import DeviceConfig
+
+
+class VisitBudgetExceeded(RuntimeError):
+    """A traversal ran past its visit budget (watchdog trip).
+
+    Raised by :class:`Watchdog` when a kernel's main loop exceeds the
+    per-launch step budget — a livelocked warp, a corrupted traversal,
+    or simply a pathological query whose work must be bounded
+    operationally (the service maps this to its ``BudgetExhausted``
+    error and retries on a degraded backend).
+    """
+
+    def __init__(self, message: str, step: int = 0, budget: Optional[int] = None):
+        super().__init__(message)
+        self.step = step
+        self.budget = budget
+
+
+@dataclass
+class Watchdog:
+    """Step-budget watchdog for an executor's main loop.
+
+    The paper's transformations bound per-query work *structurally*
+    (ropes never revisit a node); the watchdog bounds it
+    *operationally*: executors call :meth:`tick` once per traversal
+    step, and a launch that spins past ``budget`` steps is killed with
+    :class:`VisitBudgetExceeded` instead of hanging the service.
+    """
+
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("watchdog budget must be >= 1")
+
+    def tick(self, step: int) -> None:
+        if step > self.budget:
+            raise VisitBudgetExceeded(
+                f"traversal exceeded visit budget {self.budget} "
+                f"(step {step}); killed by watchdog",
+                step=step,
+                budget=self.budget,
+            )
 
 
 def occupancy_for(device: DeviceConfig, shared_bytes_per_warp: int) -> float:

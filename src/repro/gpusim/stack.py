@@ -43,6 +43,20 @@ class StackOverflowError(RuntimeError):
     """A traversal exceeded the stack capacity cap."""
 
 
+class CorruptedRopeStack(RuntimeError):
+    """A popped rope-stack entry failed validation (garbage node).
+
+    Executors validate every popped node index against the tree bounds;
+    an out-of-range pointer means the stack memory was corrupted (the
+    chaos layer injects exactly this) and the launch must be aborted
+    rather than chased into unrelated memory.
+    """
+
+    def __init__(self, message: str, step: int = 0) -> None:
+        super().__init__(message)
+        self.step = step
+
+
 #: shared-memory stacks are used when the estimated per-warp stack
 #: footprint stays below this (Section 5.2: "if the depth of the tree
 #: is reasonably small then the fast shared memory can be used").
@@ -245,6 +259,21 @@ class StackStorage:
         self._account(active, new_sp, step)
         self.sp = new_sp
         return out
+
+    def corrupt_top(self, channel: str, value) -> int:
+        """Overwrite the top entry of every non-empty stack (chaos hook).
+
+        Models a corrupted stack region: the next pop returns garbage
+        in ``channel``.  Returns how many stacks were corrupted; no
+        simulated traffic is charged (corruption is not a program
+        access).
+        """
+        if channel not in self._channels:
+            raise KeyError(f"no stack channel {channel!r}")
+        idx = np.nonzero(self.sp > 0)[0]
+        if idx.size:
+            self._channels[channel][idx, self.sp[idx] - 1] = value
+        return int(idx.size)
 
     def nonempty(self) -> np.ndarray:
         """Bool array: which stacks still hold entries."""

@@ -8,32 +8,85 @@ per-batch spatial reordering so warp membership matches tree locality,
 and run-time similarity profiling that routes each batch to the
 lockstep, non-lockstep, or CPU backend.
 
+A resilience layer (see ``docs/RESILIENCE.md``) hardens the serving
+path: typed :class:`ServiceError` failures, per-query deadlines and
+traversal budgets, retry with deterministic backoff, per-backend
+circuit breakers with degraded-mode failover along
+:data:`FALLBACK_CHAIN`, admission control at the batch queue, and a
+deterministic chaos-injection harness (:class:`ChaosConfig`).
+
 * :mod:`repro.service.sessions` — tree/session registry + plan cache.
 * :mod:`repro.service.batcher` — dynamic batching (full/timeout flush).
-* :mod:`repro.service.dispatch` — adaptive variant dispatch + backends.
+* :mod:`repro.service.dispatch` — adaptive variant dispatch + backends,
+  retries, breakers, failover.
+* :mod:`repro.service.resilience` — error taxonomy, retry policy,
+  circuit breaker.
 * :mod:`repro.service.stats` — per-backend stats and snapshots.
 * :mod:`repro.service.service` — the :class:`TraversalService` facade.
-* ``python -m repro.service`` — demo / load-generator CLI.
+* ``python -m repro.service`` — demo / load-generator CLI (``--chaos``).
 """
 
+from repro.gpusim.faults import ChaosConfig, FaultInjector
 from repro.service.batcher import Batch, DynamicBatcher, QueryTicket
-from repro.service.dispatch import BACKENDS, AdaptiveDispatcher, DispatchDecision
-from repro.service.service import SORT_MODES, ServiceConfig, TraversalService
+from repro.service.dispatch import (
+    BACKENDS,
+    FALLBACK_CHAIN,
+    AdaptiveDispatcher,
+    DispatchDecision,
+    ResilientOutcome,
+)
+from repro.service.resilience import (
+    BackendUnavailable,
+    BudgetExhausted,
+    CircuitBreaker,
+    DeadlineExceeded,
+    InvalidQuery,
+    Overloaded,
+    RetryPolicy,
+    ServiceError,
+)
+from repro.service.service import (
+    SHED_POLICIES,
+    SORT_MODES,
+    ServiceConfig,
+    TraversalService,
+)
 from repro.service.sessions import ADAPTERS, SessionRegistry, TreeSession
-from repro.service.stats import BackendSnapshot, BackendStats, ServiceStats
+from repro.service.stats import (
+    BackendSnapshot,
+    BackendStats,
+    ResilienceCounters,
+    ResilienceSnapshot,
+    ServiceStats,
+)
 
 __all__ = [
     "ADAPTERS",
     "BACKENDS",
+    "FALLBACK_CHAIN",
+    "SHED_POLICIES",
     "SORT_MODES",
     "AdaptiveDispatcher",
-    "Batch",
     "BackendSnapshot",
     "BackendStats",
+    "BackendUnavailable",
+    "Batch",
+    "BudgetExhausted",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "DispatchDecision",
     "DynamicBatcher",
+    "FaultInjector",
+    "InvalidQuery",
+    "Overloaded",
     "QueryTicket",
+    "ResilienceCounters",
+    "ResilienceSnapshot",
+    "ResilientOutcome",
+    "RetryPolicy",
     "ServiceConfig",
+    "ServiceError",
     "ServiceStats",
     "SessionRegistry",
     "TraversalService",

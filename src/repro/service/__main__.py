@@ -1,4 +1,4 @@
-"""Demo / load-generator CLI: ``python -m repro.service [--demo]``.
+"""Demo / load-generator CLI: ``python -m repro.service [--demo|--chaos]``.
 
 Simulates an online serving session end-to-end on the logical clock:
 
@@ -14,6 +14,15 @@ Simulates an online serving session end-to-end on the logical clock:
    an A/B line showing what the batch spatial reorder bought versus
    dispatching in arrival order.
 
+``--chaos`` arms the deterministic fault injector
+(:class:`~repro.gpusim.faults.ChaosConfig`; seed from ``--chaos-seed``
+or the ``REPRO_CHAOS_SEED`` environment variable) and verifies the
+resilience layer's contract after the run: every submitted query must
+resolve — with an oracle-checked result (brute force, ``np.allclose``)
+or a typed error — no matter how many injected failures, retries,
+breaker trips, and degraded-mode failovers it took.  The process exits
+non-zero if any query is lost or any served result is wrong.
+
 Everything is modeled (no wall-clock, no GPU): times come from the
 same cost models the experiment harness uses.
 """
@@ -21,13 +30,24 @@ same cost models the experiment harness uses.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from typing import List
 
 import numpy as np
 
+from repro.gpusim.faults import ChaosConfig
 from repro.points.datasets import dataset_by_name
 from repro.points.sorting import morton_order
-from repro.service.service import SORT_MODES, ServiceConfig, TraversalService
+from repro.service.batcher import QueryTicket
+from repro.service.resilience import ServiceError
+from repro.service.service import (
+    SHED_POLICIES,
+    SORT_MODES,
+    ServiceConfig,
+    TraversalService,
+)
 
 
 def build_service(cfg: ServiceConfig, n_data: int, seed: int) -> TraversalService:
@@ -39,8 +59,11 @@ def build_service(cfg: ServiceConfig, n_data: int, seed: int) -> TraversalServic
     return svc
 
 
-def generate_trace(svc: TraversalService, n_queries: int, seed: int) -> None:
-    """Replay the mixed arrival trace against ``svc``."""
+def generate_trace(
+    svc: TraversalService, n_queries: int, seed: int
+) -> List[QueryTicket]:
+    """Replay the mixed arrival trace against ``svc``; every admitted
+    query's ticket is returned so callers can audit the outcome."""
     rng = np.random.default_rng(seed)
     sessions = ["pc-geocity", "knn-random"]
     pools = {}
@@ -48,6 +71,16 @@ def generate_trace(svc: TraversalService, n_queries: int, seed: int) -> None:
         data = svc.registry.get(name).data
         jitter = rng.normal(scale=0.01, size=data.shape)
         pools[name] = np.clip(data + jitter, data.min(axis=0), data.max(axis=0))
+
+    tickets: List[QueryTicket] = []
+
+    def submit(name: str, coord, now: float) -> None:
+        try:
+            tickets.append(svc.submit(name, coord, now=now))
+        except ServiceError:
+            # Admission control refused it (reject-new at the queue
+            # cap): the client saw a typed error, nothing was queued.
+            pass
 
     now = 0.0
     per_session = n_queries // len(sessions)
@@ -60,16 +93,49 @@ def generate_trace(svc: TraversalService, n_queries: int, seed: int) -> None:
             for coord in stream:
                 now += float(rng.exponential(0.002))
                 svc.advance(now)
-                svc.submit(name, coord, now=now)
+                submit(name, coord, now)
     # Stragglers: sparse arrivals whose windows expire under-filled —
     # these exercise the CPU backend via timeout flushes.
     for i in range(6):
         name = sessions[i % len(sessions)]
         now += svc.config.max_wait_ms * 2.0
         svc.advance(now)
-        svc.submit(name, pools[name][rng.integers(len(pools[name]))], now=now)
+        submit(name, pools[name][rng.integers(len(pools[name]))], now)
     svc.advance(now + svc.config.max_wait_ms * 2.0)
     svc.flush()
+    return tickets
+
+
+def verify_tickets(svc: TraversalService, tickets: List[QueryTicket]):
+    """Audit the resilience contract over a finished trace.
+
+    Returns ``(lost, wrong, ok, failed)``: tickets that never resolved,
+    served results that disagree with the brute-force oracle, and the
+    ok/typed-error split.  Served results are grouped per session and
+    oracle-checked in one vectorized pass.
+    """
+    lost = [t for t in tickets if not t.done]
+    ok = [t for t in tickets if t.ok]
+    failed = [t for t in tickets if t.error is not None]
+    wrong: List[QueryTicket] = []
+    by_session = {}
+    for t in ok:
+        by_session.setdefault(t.session, []).append(t)
+    for name, group in by_session.items():
+        sess = svc.registry.get(name)
+        coords = np.stack([t.coords for t in group])
+        expected = sess.oracle(coords)
+        for i, t in enumerate(group):
+            for key, exp in expected.items():
+                got = t.result[key]
+                if np.issubdtype(np.asarray(exp[i]).dtype, np.floating):
+                    good = np.allclose(got, exp[i], rtol=1e-9, atol=1e-9)
+                else:
+                    good = np.array_equal(got, exp[i])
+                if not good:
+                    wrong.append(t)
+                    break
+    return lost, wrong, ok, failed
 
 
 def main(argv=None) -> int:
@@ -84,22 +150,112 @@ def main(argv=None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--sort", choices=SORT_MODES, default="morton")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the stats snapshot as JSON instead of the text report",
+    )
+    res = parser.add_argument_group("resilience")
+    res.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query latency deadline in modeled ms (default: off)",
+    )
+    res.add_argument(
+        "--visit-budget", type=int, default=100_000,
+        help="watchdog: max traversal steps per launch (0 = unbounded)",
+    )
+    res.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="admission control: per-session pending-queue cap",
+    )
+    res.add_argument("--shed-policy", choices=SHED_POLICIES, default="reject-new")
+    chaos = parser.add_argument_group("chaos (deterministic fault injection)")
+    chaos.add_argument(
+        "--chaos", action="store_true",
+        help="inject faults and verify zero lost queries afterwards",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int,
+        default=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+        help="fault-schedule seed (default: $REPRO_CHAOS_SEED or 0)",
+    )
+    chaos.add_argument("--p-backend-error", type=float, default=0.15)
+    chaos.add_argument("--p-latency-spike", type=float, default=0.10)
+    chaos.add_argument("--p-stuck-warp", type=float, default=0.05)
+    chaos.add_argument("--p-corrupt-stack", type=float, default=0.10)
+    chaos.add_argument(
+        "--chaos-targets", default="lockstep,nonlockstep",
+        help="comma-separated backends eligible for injection",
+    )
     args = parser.parse_args(argv)
+
+    chaos_cfg = None
+    if args.chaos:
+        chaos_cfg = ChaosConfig(
+            seed=args.chaos_seed,
+            p_backend_error=args.p_backend_error,
+            p_latency_spike=args.p_latency_spike,
+            p_stuck_warp=args.p_stuck_warp,
+            p_corrupt_stack=args.p_corrupt_stack,
+            targets=tuple(t for t in args.chaos_targets.split(",") if t),
+        )
 
     cfg = ServiceConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         sort=args.sort,
         seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        visit_budget=args.visit_budget or None,
+        max_queue_depth=args.max_queue_depth,
+        shed_policy=args.shed_policy,
+        chaos=chaos_cfg,
     )
 
-    print(f"== online traversal service demo (sort={cfg.sort}) ==")
+    mode = "chaos" if args.chaos else "demo"
+    if not args.as_json:
+        print(f"== online traversal service {mode} (sort={cfg.sort}) ==")
+        if chaos_cfg is not None:
+            print(
+                f"chaos: seed={chaos_cfg.seed} targets={chaos_cfg.targets} "
+                f"p=(err {chaos_cfg.p_backend_error}, lat {chaos_cfg.p_latency_spike}, "
+                f"stuck {chaos_cfg.p_stuck_warp}, corrupt {chaos_cfg.p_corrupt_stack})"
+            )
     svc = build_service(cfg, args.data, args.seed)
-    generate_trace(svc, args.queries, args.seed)
+    tickets = generate_trace(svc, args.queries, args.seed)
     stats = svc.stats()
-    print(stats.format())
 
-    # A/B: the identical trace dispatched in arrival order.
+    if args.as_json:
+        print(json.dumps(stats.to_dict(), indent=2, default=str))
+    else:
+        print(stats.format())
+
+    if args.chaos:
+        lost, wrong, ok, failed = verify_tickets(svc, tickets)
+        r = stats.resilience
+        if not args.as_json:
+            print(
+                f"\nchaos audit: {len(tickets)} admitted, {len(ok)} served, "
+                f"{len(failed)} typed errors, {len(lost)} lost, "
+                f"{len(wrong)} oracle mismatches"
+            )
+            print(
+                f"resilience activity: retries={r.retries} "
+                f"degraded_batches={r.degraded_batches} "
+                f"breaker_trips={r.breaker_trips} "
+                f"injected={sum(r.injected_faults.values())}"
+            )
+        if lost or wrong:
+            print(
+                f"CHAOS FAILURE: lost={len(lost)} wrong={len(wrong)}",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.as_json:
+            print("chaos audit passed: zero lost queries, all results correct")
+        return 0
+
+    # A/B: the identical trace dispatched in arrival order.  (Skipped
+    # under chaos: injected latency spikes would pollute the timing.)
     base = build_service(cfg.with_(sort="arrival"), args.data, args.seed)
     generate_trace(base, args.queries, args.seed)
     base_stats = base.stats()

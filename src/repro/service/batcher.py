@@ -37,20 +37,34 @@ class QueryTicket:
     coords: np.ndarray
     t_submit: float
     result: Optional[Dict[str, np.ndarray]] = None
+    #: typed failure (ServiceError) when the query could not be served;
+    #: a ticket always resolves to exactly one of result / error.
+    error: Optional[Exception] = None
     backend: Optional[str] = None
     batch_id: int = -1
     batch_size: int = 0
     wait_ms: float = 0.0
     exec_ms: float = 0.0
+    #: modeled backoff delay accumulated by retries of the owning batch.
+    retry_ms: float = 0.0
+    #: total execution tries the owning batch needed (1 = first try).
+    attempts: int = 0
+    #: answered by a backend other than the dispatcher's first choice.
+    degraded: bool = False
 
     @property
     def done(self) -> bool:
+        """Resolved: either a result or a typed error is attached."""
+        return self.result is not None or self.error is not None
+
+    @property
+    def ok(self) -> bool:
         return self.result is not None
 
     @property
     def latency_ms(self) -> float:
-        """Queue wait plus modeled execution time."""
-        return self.wait_ms + self.exec_ms
+        """Queue wait plus retry backoff plus modeled execution time."""
+        return self.wait_ms + self.retry_ms + self.exec_ms
 
 
 @dataclass
@@ -81,6 +95,10 @@ class BatcherCounters:
     flush_forced: int = 0
     batches: int = 0
     queries: int = 0
+    #: admission control: queries rejected at submit (reject-new policy).
+    shed_rejected: int = 0
+    #: admission control: queued queries dropped (drop-oldest policy).
+    shed_dropped: int = 0
 
     @property
     def flushes(self) -> int:
@@ -145,6 +163,19 @@ class DynamicBatcher:
         if not self._pending:
             return None
         return self._take(len(self._pending), now, "forced")
+
+    def drop_oldest(self, now: float) -> Optional[QueryTicket]:
+        """Shed the oldest pending ticket (drop-oldest admission policy).
+
+        The ticket leaves the queue unanswered; the caller resolves it
+        with a typed ``Overloaded`` error so it is not silently lost.
+        """
+        if not self._pending:
+            return None
+        dropped = self._pending.pop(0)
+        dropped.wait_ms = max(0.0, now - dropped.t_submit)
+        self.counters.shed_dropped += 1
+        return dropped
 
     def _take(self, n: int, t_flush: float, reason: str) -> List[QueryTicket]:
         taken, self._pending = self._pending[:n], self._pending[n:]

@@ -24,8 +24,8 @@ divergence for lanes that never held a query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,10 +37,35 @@ from repro.gpusim.executors import (
     LockstepExecutor,
     TraversalLaunch,
 )
-from repro.gpusim.stack import RopeStackLayout, lockstep_stack_layout
+from repro.gpusim.faults import BatchFaultPlan, FaultInjector, InjectedBackendError
+from repro.gpusim.kernel import VisitBudgetExceeded
+from repro.gpusim.stack import (
+    CorruptedRopeStack,
+    RopeStackLayout,
+    StackOverflowError,
+    lockstep_stack_layout,
+)
+from repro.service.resilience import (
+    STATE_OPEN,
+    BackendUnavailable,
+    BudgetExhausted,
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServiceError,
+)
 from repro.service.sessions import TreeSession
 
 BACKENDS = ("lockstep", "nonlockstep", "cpu")
+
+#: graceful-degradation order: who serves a batch when its first-choice
+#: backend fails or is breaker-open.  Ends at the modeled CPU, which
+#: has no GPU failure modes and is never a chaos target by default.
+FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "lockstep": ("lockstep", "nonlockstep", "cpu"),
+    "nonlockstep": ("nonlockstep", "cpu"),
+    "cpu": ("cpu",),
+}
 
 
 @dataclass(frozen=True)
@@ -59,14 +84,78 @@ class ExecOutcome:
     out: Dict[str, np.ndarray]
     exec_ms: float
     avg_nodes: float
-    work_expansion: float = float("nan")
+    work_expansion: Optional[float] = None
+
+
+@dataclass
+class ResilientOutcome:
+    """One batch's journey through the resilience layer."""
+
+    outcome: ExecOutcome
+    #: the backend that finally answered.
+    backend: str
+    #: the dispatcher's first choice (decision.backend).
+    requested: str
+    #: total execution tries across all backends.
+    attempts: int = 1
+    #: modeled backoff delay accumulated before the answer (ms).
+    delay_ms: float = 0.0
+    #: (backend, ServiceError) per failed try, in order.
+    failures: List[Tuple[str, ServiceError]] = field(default_factory=list)
+    #: armed chaos fault names seen along the way.
+    injected: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.backend != self.requested
+
+
+def classify_fault(exc: Exception, backend: str, batch_id: int) -> ServiceError:
+    """Map a raw executor exception onto the service error taxonomy."""
+    if isinstance(exc, ServiceError):
+        return exc
+    if isinstance(exc, VisitBudgetExceeded):
+        return BudgetExhausted(str(exc), backend=backend, batch_id=batch_id)
+    if isinstance(exc, (InjectedBackendError, CorruptedRopeStack, StackOverflowError)):
+        return BackendUnavailable(str(exc), backend=backend, batch_id=batch_id)
+    # Anything else is an unexpected backend failure: contained, typed,
+    # and routed to the fallback chain instead of wedging the batcher.
+    return BackendUnavailable(
+        f"{type(exc).__name__}: {exc}", backend=backend, batch_id=batch_id
+    )
 
 
 class AdaptiveDispatcher:
-    """Routes batches by run-time similarity profiling and executes them."""
+    """Routes batches by run-time similarity profiling and executes them.
+
+    Beyond routing, the dispatcher owns the resilience machinery for
+    the execution path: per-backend circuit breakers, retry with
+    exponential backoff on the logical clock, deterministic chaos
+    injection, and degraded-mode failover along ``FALLBACK_CHAIN``.
+    """
 
     def __init__(self, config) -> None:
         self.config = config
+        chaos = getattr(config, "chaos", None)
+        self.injector = (
+            FaultInjector(chaos) if chaos is not None and chaos.enabled else None
+        )
+        self.retry = RetryPolicy(
+            max_attempts=getattr(config, "retry_max_attempts", 1),
+            backoff_base_ms=getattr(config, "retry_backoff_ms", 0.5),
+            backoff_multiplier=getattr(config, "retry_backoff_multiplier", 2.0),
+            jitter=getattr(config, "retry_jitter", 0.25),
+            seed=getattr(config, "seed", 7),
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            b: CircuitBreaker(
+                b,
+                failure_threshold=getattr(config, "breaker_threshold", 3),
+                cooldown_ms=getattr(config, "breaker_cooldown_ms", 20.0),
+                half_open_trials=getattr(config, "breaker_half_open_trials", 1),
+            )
+            for b in BACKENDS
+        }
 
     # -- routing ---------------------------------------------------------
 
@@ -118,14 +207,20 @@ class AdaptiveDispatcher:
     # -- execution -------------------------------------------------------
 
     def execute(
-        self, session: TreeSession, coords: np.ndarray, backend: str
+        self,
+        session: TreeSession,
+        coords: np.ndarray,
+        backend: str,
+        fault_plan: Optional[BatchFaultPlan] = None,
     ) -> ExecOutcome:
+        """Run one batch on ``backend`` (a single try, no failover)."""
         if backend == "cpu":
             return self._run_cpu(session, coords)
         if backend == "lockstep":
             layout = lockstep_stack_layout(session.tree, session.app.spec)
             return self._run_gpu(
-                session, coords, session.plan.kernel(lockstep=True), layout, True
+                session, coords, session.plan.kernel(lockstep=True), layout, True,
+                fault_plan,
             )
         if backend == "nonlockstep":
             return self._run_gpu(
@@ -134,8 +229,100 @@ class AdaptiveDispatcher:
                 session.plan.kernel(lockstep=False),
                 RopeStackLayout.INTERLEAVED_GLOBAL,
                 False,
+                fault_plan,
             )
         raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+
+    def execute_resilient(
+        self,
+        session: TreeSession,
+        coords: np.ndarray,
+        decision: DispatchDecision,
+        batch_id: int,
+        now: float,
+        deadline: Optional[float] = None,
+    ) -> ResilientOutcome:
+        """Execute with retries, breakers, and degraded-mode failover.
+
+        Walks ``FALLBACK_CHAIN`` from the decision's backend; on each
+        backend, tries up to ``retry.max_attempts`` times with
+        exponential backoff (modeled delay on the logical clock).
+        Breaker-open backends are skipped; every failure is recorded
+        against its backend's breaker.  ``deadline`` is an absolute
+        logical time: once backoff would cross it, the batch fails with
+        :class:`DeadlineExceeded` rather than retrying into a lost
+        cause.  Raises the last :class:`ServiceError` when the whole
+        chain is exhausted (the caller resolves tickets with it).
+        """
+        requested = decision.backend
+        failures: List[Tuple[str, ServiceError]] = []
+        injected: List[str] = []
+        attempts = 0
+        delay = 0.0
+        backend_idx = {b: i for i, b in enumerate(BACKENDS)}
+        for backend in FALLBACK_CHAIN.get(requested, (requested,)):
+            breaker = self.breakers[backend]
+            if not breaker.allow(now + delay):
+                failures.append(
+                    (
+                        backend,
+                        BackendUnavailable(
+                            f"circuit breaker open for {backend}",
+                            backend=backend,
+                            batch_id=batch_id,
+                        ),
+                    )
+                )
+                continue
+            for attempt in range(self.retry.max_attempts):
+                plan = None
+                if self.injector is not None:
+                    plan = self.injector.plan(batch_id, backend, attempt)
+                    injected.extend(plan.events)
+                attempts += 1
+                try:
+                    outcome = self.execute(session, coords, backend, fault_plan=plan)
+                except Exception as exc:  # contained: typed + failover
+                    err = classify_fault(exc, backend, batch_id)
+                    failures.append((backend, err))
+                    breaker.record_failure(now + delay)
+                    if breaker.state == STATE_OPEN:
+                        break  # tripped mid-batch: move down the chain
+                    if attempt + 1 >= self.retry.max_attempts:
+                        break
+                    backoff = self.retry.backoff_ms(
+                        attempt, key=(batch_id, backend_idx[backend])
+                    )
+                    if deadline is not None and now + delay + backoff >= deadline:
+                        raise DeadlineExceeded(
+                            f"deadline passed after {attempts} tries "
+                            f"({len(failures)} failures); last: {err.message}",
+                            backend=backend,
+                            batch_id=batch_id,
+                        ) from err
+                    delay += backoff
+                else:
+                    breaker.record_success(now + delay)
+                    return ResilientOutcome(
+                        outcome=outcome,
+                        backend=backend,
+                        requested=requested,
+                        attempts=attempts,
+                        delay_ms=delay,
+                        failures=failures,
+                        injected=injected,
+                    )
+        last = failures[-1][1] if failures else None
+        raise BackendUnavailable(
+            f"all backends exhausted for batch {batch_id} "
+            f"({attempts} tries, {len(failures)} failures)"
+            + (f"; last: {last.message}" if last else ""),
+            backend=requested,
+            batch_id=batch_id,
+        )
+
+    def breaker_snapshots(self):
+        return {b: brk.snapshot() for b, brk in self.breakers.items()}
 
     def _run_gpu(
         self,
@@ -144,22 +331,26 @@ class AdaptiveDispatcher:
         kernel,
         layout: RopeStackLayout,
         lockstep: bool,
+        fault_plan: Optional[BatchFaultPlan] = None,
     ) -> ExecOutcome:
         ctx = session.make_batch_ctx(coords)
+        device = self.config.device
+        if fault_plan is not None and fault_plan.latency_factor != 1.0:
+            device = device.derate(fault_plan.latency_factor)
         launch = TraversalLaunch(
             kernel=kernel,
             tree=session.tree,
             ctx=ctx,
             n_points=len(coords),
-            device=self.config.device,
+            device=device,
             stack_layout=layout,
+            visit_budget=getattr(self.config, "visit_budget", None),
+            fault_plan=fault_plan,
         )
         executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
         result = executor.run()
         wexp = (
-            float(result.work_expansion_per_warp().mean())
-            if lockstep
-            else float("nan")
+            float(result.work_expansion_per_warp().mean()) if lockstep else None
         )
         return ExecOutcome(
             out=ctx.out,

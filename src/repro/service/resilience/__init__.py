@@ -1,0 +1,55 @@
+"""Resilience layer for the online traversal service.
+
+The paper's transformations assume every traversal runs to completion
+on a healthy device; a serving system cannot.  This package is the
+safety net between the service facade and the simulated backends:
+
+* :mod:`repro.service.resilience.errors` — the typed
+  :class:`~repro.service.resilience.errors.ServiceError` taxonomy every
+  failure resolves to (a query is never silently lost);
+* :mod:`repro.service.resilience.retry` — exponential backoff with
+  deterministic jitter on the logical clock;
+* :mod:`repro.service.resilience.breaker` — per-backend circuit
+  breakers (closed / open / half-open) feeding graceful degradation
+  along the lockstep → nonlockstep → modeled-CPU fallback chain.
+
+Fault *injection* lives on the simulator side
+(:mod:`repro.gpusim.faults`) so the chaos layer exercises the real
+executor code paths; this package is what turns those faults into
+retries, breaker trips, degraded routing, and typed errors.
+See ``docs/RESILIENCE.md`` for the full state machines.
+"""
+
+from repro.service.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerSnapshot,
+    CircuitBreaker,
+)
+from repro.service.resilience.errors import (
+    ERROR_CODES,
+    BackendUnavailable,
+    BudgetExhausted,
+    DeadlineExceeded,
+    InvalidQuery,
+    Overloaded,
+    ServiceError,
+)
+from repro.service.resilience.retry import RetryPolicy
+
+__all__ = [
+    "ERROR_CODES",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "BackendUnavailable",
+    "BreakerSnapshot",
+    "BudgetExhausted",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "InvalidQuery",
+    "Overloaded",
+    "RetryPolicy",
+    "ServiceError",
+]

@@ -1,0 +1,130 @@
+"""Per-backend circuit breaker on the service's logical clock.
+
+Standard three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted, and
+  ``failure_threshold`` of them in a row trips the breaker;
+* **open** — the backend is skipped outright (dispatch degrades to the
+  next backend in the fallback chain) until ``cooldown_ms`` of logical
+  time passes;
+* **half-open** — after the cooldown, up to ``half_open_trials`` probe
+  batches are let through: one success closes the breaker, one failure
+  re-opens it (and re-arms the cooldown).
+
+All transitions are driven by the caller-supplied logical ``now`` (the
+same clock the batcher uses), so breaker behavior is deterministic and
+replayable under a fixed trace + chaos seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Frozen view of one breaker, embedded in the stats snapshot."""
+
+    backend: str
+    state: str
+    consecutive_failures: int
+    failures: int
+    successes: int
+    trips: int
+    rejections: int
+    opened_at_ms: Optional[float]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(
+        self,
+        backend: str,
+        failure_threshold: int = 3,
+        cooldown_ms: float = 20.0,
+        half_open_trials: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be >= 0")
+        if half_open_trials < 1:
+            raise ValueError("half_open_trials must be >= 1")
+        self.backend = backend
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.half_open_trials = half_open_trials
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self.trips = 0
+        self.rejections = 0
+        self.opened_at_ms: Optional[float] = None
+        self._probes_left = 0
+
+    # -- gate ------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a batch be sent to this backend at logical time ``now``?"""
+        if self.state == STATE_OPEN:
+            if self.opened_at_ms is not None and (
+                now - self.opened_at_ms >= self.cooldown_ms
+            ):
+                self.state = STATE_HALF_OPEN
+                self._probes_left = self.half_open_trials
+            else:
+                self.rejections += 1
+                return False
+        if self.state == STATE_HALF_OPEN:
+            if self._probes_left <= 0:
+                self.rejections += 1
+                return False
+            self._probes_left -= 1
+        return True
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state != STATE_CLOSED:
+            self.state = STATE_CLOSED
+            self.opened_at_ms = None
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN:
+            self._trip(now)
+        elif (
+            self.state == STATE_CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = STATE_OPEN
+        self.opened_at_ms = now
+        self.trips += 1
+        self._probes_left = 0
+
+    # -- observability ---------------------------------------------------
+
+    def snapshot(self) -> BreakerSnapshot:
+        return BreakerSnapshot(
+            backend=self.backend,
+            state=self.state,
+            consecutive_failures=self.consecutive_failures,
+            failures=self.failures,
+            successes=self.successes,
+            trips=self.trips,
+            rejections=self.rejections,
+            opened_at_ms=self.opened_at_ms,
+        )

@@ -1,0 +1,111 @@
+"""Structured error taxonomy for the traversal service.
+
+Every failure the service surfaces to a client is a :class:`ServiceError`
+subclass with a stable ``code`` string and a ``retryable`` hint, instead
+of a raw ``ValueError``/``RuntimeError`` escaping from some layer of the
+simulator.  Tickets that cannot be answered resolve with one of these
+attached (``QueryTicket.error``), so a query is never silently lost: it
+either carries a result or a typed error.
+
+* :class:`InvalidQuery` — the request itself is malformed (NaN/inf
+  coordinates, dimension mismatch); rejected at the service boundary
+  before it can reach Morton ordering or an executor.  Also a
+  :class:`ValueError` for backward compatibility.
+* :class:`DeadlineExceeded` — the query's end-to-end latency budget
+  (queue wait + retries + modeled execution) ran out.
+* :class:`BudgetExhausted` — a traversal hit its visit budget (the
+  executor watchdog tripped: livelock, stuck warp, or a pathological
+  traversal); retryable on a degraded backend.
+* :class:`BackendUnavailable` — a backend raised or its circuit breaker
+  is open; retryable on the next backend in the fallback chain.
+* :class:`Overloaded` — admission control shed the query (queue depth
+  cap, see ``ServiceConfig.max_queue_depth``/``shed_policy``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ServiceError(Exception):
+    """Base class of the service's typed failure taxonomy."""
+
+    code: str = "service_error"
+    retryable: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        session: Optional[str] = None,
+        batch_id: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.session = session
+        self.batch_id = batch_id
+        self.backend = backend
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view (logged by the CLI, asserted in tests)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+            "session": self.session,
+            "batch_id": self.batch_id,
+            "backend": self.backend,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.message!r}, backend={self.backend!r})"
+
+
+class InvalidQuery(ServiceError, ValueError):
+    """Malformed request, rejected at the service boundary."""
+
+    code = "invalid_query"
+    retryable = False
+
+
+class DeadlineExceeded(ServiceError):
+    """The query's latency deadline expired before an answer existed."""
+
+    code = "deadline_exceeded"
+    retryable = False
+
+
+class BudgetExhausted(ServiceError):
+    """A traversal exceeded its visit budget (watchdog trip)."""
+
+    code = "budget_exhausted"
+    retryable = True
+
+
+class BackendUnavailable(ServiceError):
+    """A backend failed or is breaker-open; try the fallback chain."""
+
+    code = "backend_unavailable"
+    retryable = True
+
+
+class Overloaded(ServiceError):
+    """Admission control shed this query under queue pressure."""
+
+    code = "overloaded"
+    retryable = False
+
+
+#: code -> class, for reconstructing/classifying logged errors.
+ERROR_CODES = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        InvalidQuery,
+        DeadlineExceeded,
+        BudgetExhausted,
+        BackendUnavailable,
+        Overloaded,
+    )
+}

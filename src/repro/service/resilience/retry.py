@@ -1,0 +1,62 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Backoff runs on the service's *logical clock* (modeled milliseconds),
+consistent with the batcher: a retry does not block anything, it adds
+``backoff_ms`` to the batch's modeled delay, which flows into the
+retried queries' latencies.  Jitter is drawn from a seeded generator
+keyed by ``(policy seed, *key, attempt)``, so the same chaos seed
+reproduces the identical retry schedule run over run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, deterministic jitter."""
+
+    #: total tries per backend (1 = no retry).
+    max_attempts: int = 3
+    #: backoff before retry #1, in modeled milliseconds.
+    backoff_base_ms: float = 0.5
+    #: growth factor per retry.
+    backoff_multiplier: float = 2.0
+    #: fraction of the backoff randomized: delay in base * (1 +- jitter).
+    jitter: float = 0.25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_ms(self, attempt: int, key: Sequence[int] = ()) -> float:
+        """Backoff after failed try #``attempt`` (0-based), jittered.
+
+        ``key`` is deterministic material (batch id, backend index, ...)
+        so distinct batches de-synchronize without losing replayability.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        base = self.backoff_base_ms * self.backoff_multiplier**attempt
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        material = [np.uint64(self.seed)] + [
+            np.uint64(abs(int(k))) for k in key
+        ] + [np.uint64(attempt)]
+        rng = np.random.default_rng(material)
+        return float(base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+
+    def schedule_ms(self, key: Sequence[int] = ()) -> list:
+        """All backoffs this policy would take for ``key`` (for tests)."""
+        return [self.backoff_ms(a, key) for a in range(self.max_attempts - 1)]

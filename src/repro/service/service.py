@@ -2,11 +2,12 @@
 
 :class:`TraversalService` ties the subsystem together — session
 registry (tree + plan, built once), per-session dynamic batchers,
-batch spatial reordering, and the adaptive dispatcher — behind a small
-synchronous API:
+batch spatial reordering, the adaptive dispatcher, and the resilience
+layer — behind a small synchronous API:
 
-* :meth:`register` — build a (app, dataset) session;
-* :meth:`submit` — enqueue one query, flushing on a full batch;
+* :meth:`register` / :meth:`unregister` — session lifecycle;
+* :meth:`submit` — validate + admit + enqueue one query, flushing on a
+  full batch;
 * :meth:`advance` — move the logical clock, flushing expired windows;
 * :meth:`query` / :meth:`query_many` — synchronous wrappers that force
   the answer out immediately (a degenerate flush when the batch is not
@@ -17,6 +18,14 @@ synchronous API:
 The clock is logical and monotone, in modeled milliseconds; callers
 (or the load generator in ``python -m repro.service``) advance it with
 arrival timestamps.
+
+Failure semantics (see ``docs/RESILIENCE.md``): a submitted query is
+never lost.  Every ticket resolves — with a result, or with a typed
+:class:`~repro.service.resilience.ServiceError` (deadline, budget,
+backend exhaustion, load shedding).  Malformed queries (NaN/inf
+coordinates, wrong dimensionality) are rejected at the boundary with
+:class:`~repro.service.resilience.InvalidQuery` before they can reach
+Morton ordering or an executor.
 """
 
 from __future__ import annotations
@@ -28,13 +37,21 @@ import numpy as np
 
 from repro.cpusim.threads import CPUConfig, OPTERON_6176
 from repro.gpusim.device import DeviceConfig, TESLA_C2070
+from repro.gpusim.faults import ChaosConfig
 from repro.points.sorting import kd_bucket_order, morton_order
 from repro.service.batcher import Batch, DynamicBatcher, QueryTicket
 from repro.service.dispatch import BACKENDS, AdaptiveDispatcher
+from repro.service.resilience import (
+    DeadlineExceeded,
+    InvalidQuery,
+    Overloaded,
+    ServiceError,
+)
 from repro.service.sessions import SessionRegistry, TreeSession
-from repro.service.stats import BackendStats, ServiceStats
+from repro.service.stats import BackendStats, ResilienceCounters, ServiceStats
 
 SORT_MODES = ("arrival", "morton", "tree")
+SHED_POLICIES = ("reject-new", "drop-oldest")
 
 
 @dataclass(frozen=True)
@@ -63,6 +80,40 @@ class ServiceConfig:
     cpu: CPUConfig = field(default_factory=lambda: OPTERON_6176)
     seed: int = 7
 
+    # -- resilience ------------------------------------------------------
+
+    #: per-query end-to-end latency deadline in modeled ms (None = off);
+    #: a query whose wait + retries + execution exceed it resolves with
+    #: DeadlineExceeded instead of a late result.
+    deadline_ms: Optional[float] = None
+    #: executor watchdog: max traversal steps per launch before the
+    #: batch fails with BudgetExhausted (None = unbounded).
+    visit_budget: Optional[int] = 100_000
+    #: execution tries per backend before moving down the fallback chain.
+    retry_max_attempts: int = 3
+    #: backoff before the first retry, in modeled ms.
+    retry_backoff_ms: float = 0.5
+    retry_backoff_multiplier: float = 2.0
+    #: jitter fraction of each backoff (deterministic, seeded).
+    retry_jitter: float = 0.25
+    #: consecutive failures that trip a backend's circuit breaker.
+    breaker_threshold: int = 3
+    #: logical ms an open breaker waits before half-open probing.
+    breaker_cooldown_ms: float = 20.0
+    #: probe batches admitted in the half-open state.
+    breaker_half_open_trials: int = 1
+    #: per-session pending-queue cap (None = unbounded).
+    max_queue_depth: Optional[int] = None
+    #: what to shed at the cap: "reject-new" (refuse the submit with
+    #: Overloaded) or "drop-oldest" (oldest queued ticket resolves with
+    #: Overloaded, the new query is admitted).
+    shed_policy: str = "reject-new"
+    #: consecutive failing batches per session before the compiled plan
+    #: is invalidated and recompiled.
+    plan_failure_threshold: int = 3
+    #: deterministic fault injection (None = chaos off).
+    chaos: Optional[ChaosConfig] = None
+
     def __post_init__(self) -> None:
         if self.sort not in SORT_MODES:
             raise ValueError(f"sort must be one of {SORT_MODES}, got {self.sort!r}")
@@ -70,6 +121,19 @@ class ServiceConfig:
             raise ValueError(
                 f"backend must be one of {BACKENDS} or None, got {self.backend!r}"
             )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.visit_budget is not None and self.visit_budget < 1:
+            raise ValueError("visit_budget must be >= 1 (or None)")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.plan_failure_threshold < 1:
+            raise ValueError("plan_failure_threshold must be >= 1")
 
     def with_(self, **changes) -> "ServiceConfig":
         """A copy with the given fields replaced."""
@@ -87,11 +151,14 @@ class TraversalService:
         self._backend_stats: Dict[str, BackendStats] = {
             b: BackendStats(b) for b in BACKENDS
         }
+        self.resilience = ResilienceCounters()
         self.now_ms = 0.0
         self._next_ticket = 0
         self._next_batch = 0
         self._submitted = 0
         self._completed = 0
+        self._failed = 0
+        self._plan_failures: Dict[str, int] = {}
         self._all_latencies: List[float] = []
 
     # -- sessions --------------------------------------------------------
@@ -103,6 +170,22 @@ class TraversalService:
             max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms
         )
         return session
+
+    def unregister(self, name: str, now: Optional[float] = None) -> bool:
+        """Drain and remove a session; idempotent.
+
+        Pending queries are flushed first (drain-or-fail: they resolve
+        with results or typed errors, never silently vanish), then the
+        batcher and registry entry go away.  Returns False when the
+        session was already gone — calling twice is safe.
+        """
+        if name not in self._batchers:
+            return self.registry.unregister(name)
+        self.flush(name, now=now)
+        self._batchers.pop(name, None)
+        self._plan_failures.pop(name, None)
+        self.registry.unregister(name)
+        return True
 
     @property
     def plan_cache(self):
@@ -119,26 +202,71 @@ class TraversalService:
             self.now_ms = now
         return self.now_ms
 
+    # -- validation / admission ------------------------------------------
+
+    def _validate_coords(self, sess: TreeSession, coords) -> np.ndarray:
+        """Boundary validation: shape and finiteness, or InvalidQuery."""
+        coord_arr = np.asarray(coords, dtype=np.float64).reshape(-1)
+        if coord_arr.shape != (sess.dim,):
+            raise InvalidQuery(
+                f"query for {sess.name!r} must have {sess.dim} coords, "
+                f"got shape {coord_arr.shape}",
+                session=sess.name,
+            )
+        if not np.all(np.isfinite(coord_arr)):
+            raise InvalidQuery(
+                f"query for {sess.name!r} has non-finite coords "
+                f"{coord_arr.tolist()}",
+                session=sess.name,
+            )
+        return coord_arr
+
+    def _admit(self, session: str, batcher: DynamicBatcher, t: float) -> None:
+        """Admission control at the queue-depth cap (load shedding)."""
+        cap = self.config.max_queue_depth
+        if cap is None or batcher.queue_depth < cap:
+            return
+        if self.config.shed_policy == "reject-new":
+            batcher.counters.shed_rejected += 1
+            self.resilience.shed_rejected += 1
+            self.resilience.count_error(Overloaded.code)
+            raise Overloaded(
+                f"session {session!r} queue at cap {cap}; query rejected "
+                "(shed_policy=reject-new)",
+                session=session,
+            )
+        dropped = batcher.drop_oldest(t)
+        if dropped is not None:
+            dropped.error = Overloaded(
+                f"session {session!r} queue at cap {cap}; oldest query "
+                "shed (shed_policy=drop-oldest)",
+                session=session,
+            )
+            self.resilience.shed_dropped += 1
+            self.resilience.count_error(Overloaded.code)
+            self._failed += 1
+
     # -- query paths -------------------------------------------------------
 
     def submit(
         self, session: str, coord: Sequence[float], now: Optional[float] = None
     ) -> QueryTicket:
-        """Enqueue one query; dispatches immediately on a full batch."""
+        """Enqueue one query; dispatches immediately on a full batch.
+
+        Raises :class:`InvalidQuery` for malformed coordinates and
+        :class:`Overloaded` when admission control rejects the query
+        (``shed_policy="reject-new"`` at the queue cap).
+        """
         t = self._tick(now)
         sess = self.registry.get(session)
-        coord_arr = np.asarray(coord, dtype=np.float64).reshape(-1)
-        if coord_arr.shape != (sess.dim,):
-            raise ValueError(
-                f"query for {session!r} must have {sess.dim} coords, "
-                f"got shape {coord_arr.shape}"
-            )
+        coord_arr = self._validate_coords(sess, coord)
+        batcher = self._batchers[session]
+        self._admit(session, batcher, t)
         ticket = QueryTicket(
             id=self._next_ticket, session=session, coords=coord_arr, t_submit=t
         )
         self._next_ticket += 1
         self._submitted += 1
-        batcher = self._batchers[session]
         if batcher.add(ticket):
             self._dispatch(session, batcher.take_full(t), t, "full")
         return ticket
@@ -159,7 +287,12 @@ class TraversalService:
         return dispatched
 
     def flush(self, session: Optional[str] = None, now: Optional[float] = None) -> int:
-        """Force-flush pending queries (all sessions by default)."""
+        """Force-flush pending queries (all sessions by default).
+
+        Exception-safe: a batch that fails resolves its tickets with
+        typed errors and the remaining sessions still flush — queued
+        queries are never left stranded behind a poisoned batch.
+        """
         t = self._tick(now)
         names = [session] if session is not None else list(self._batchers)
         dispatched = 0
@@ -183,10 +316,32 @@ class TraversalService:
         self, session: str, coords: np.ndarray, now: Optional[float] = None
     ) -> List[QueryTicket]:
         """Synchronous bulk path: full batches dispatch as they fill,
-        the ragged remainder is force-flushed."""
+        the ragged remainder is force-flushed.
+
+        The whole array is validated up front: one bad row rejects the
+        call with :class:`InvalidQuery` before anything is enqueued, so
+        a malformed bulk request never half-submits.
+        """
         coords = np.asarray(coords, dtype=np.float64)
         if coords.ndim != 2:
-            raise ValueError("query_many expects an (n, d) array")
+            raise InvalidQuery(
+                f"query_many expects an (n, d) array, got shape {coords.shape}",
+                session=session,
+            )
+        sess = self.registry.get(session)
+        if coords.shape[1] != sess.dim:
+            raise InvalidQuery(
+                f"query_many for {session!r} must have {sess.dim} coords "
+                f"per row, got {coords.shape[1]}",
+                session=session,
+            )
+        bad = ~np.all(np.isfinite(coords), axis=1)
+        if bad.any():
+            raise InvalidQuery(
+                f"query_many for {session!r}: {int(bad.sum())} rows with "
+                f"non-finite coords (first at index {int(np.argmax(bad))})",
+                session=session,
+            )
         tickets = [self.submit(session, c, now) for c in coords]
         self.flush(session)
         return tickets
@@ -208,6 +363,38 @@ class TraversalService:
                 return morton_order(coords)
         return morton_order(coords)
 
+    def _batch_deadline(self, tickets: List[QueryTicket]) -> Optional[float]:
+        """Absolute logical time the earliest-submitted query expires."""
+        if self.config.deadline_ms is None:
+            return None
+        return min(t.t_submit for t in tickets) + self.config.deadline_ms
+
+    def _fail_batch(
+        self, tickets: List[QueryTicket], batch: Batch, err: ServiceError
+    ) -> None:
+        """Resolve every ticket of a failed batch with the typed error."""
+        for t in tickets:
+            t.error = err
+            t.batch_id = batch.id
+            t.batch_size = batch.size
+        self._failed += batch.size
+        self.resilience.failed_batches += 1
+        self.resilience.count_error(err.code, batch.size)
+
+    def _note_plan_failure(self, session: str, failures: int) -> None:
+        """Track consecutive failing batches; invalidate the plan past
+        the threshold (a recompile clears poisoned cached state)."""
+        if failures == 0:
+            self._plan_failures[session] = 0
+            return
+        n = self._plan_failures.get(session, 0) + 1
+        if n >= self.config.plan_failure_threshold:
+            self.registry.refresh_plan(session)
+            self.resilience.plan_invalidations += 1
+            self._plan_failures[session] = 0
+        else:
+            self._plan_failures[session] = n
+
     def _dispatch(
         self, session: str, tickets: List[QueryTicket], t_flush: float, reason: str
     ) -> Batch:
@@ -226,21 +413,54 @@ class TraversalService:
         order = self._batch_order(sess, coords)
         coords = coords[order]
         decision = self.dispatcher.decide(sess, coords)
-        outcome = self.dispatcher.execute(sess, coords, decision.backend)
+        try:
+            r = self.dispatcher.execute_resilient(
+                sess,
+                coords,
+                decision,
+                batch_id=batch.id,
+                now=t_flush,
+                deadline=self._batch_deadline(tickets),
+            )
+        except ServiceError as err:
+            self._fail_batch(tickets, batch, err)
+            self._record_resilience(session, attempts=0, failures=None, r=None)
+            return batch
+        outcome = r.outcome
         # Resolve tickets: row i of the executed batch is the order[i]-th
         # submitted ticket.
+        deadline_ms = self.config.deadline_ms
         waits: List[float] = []
+        n_ok = 0
         for row, tidx in enumerate(order):
             ticket = tickets[int(tidx)]
-            ticket.result = sess.extract(outcome.out, row)
-            ticket.backend = decision.backend
+            ticket.backend = r.backend
             ticket.batch_id = batch.id
             ticket.batch_size = batch.size
             ticket.exec_ms = outcome.exec_ms
+            ticket.retry_ms = r.delay_ms
+            ticket.attempts = r.attempts
+            ticket.degraded = r.degraded
+            if deadline_ms is not None and (
+                ticket.wait_ms + r.delay_ms + outcome.exec_ms > deadline_ms
+            ):
+                ticket.error = DeadlineExceeded(
+                    f"latency {ticket.wait_ms + r.delay_ms + outcome.exec_ms:.4f} ms "
+                    f"exceeded deadline {deadline_ms} ms",
+                    session=session,
+                    batch_id=batch.id,
+                    backend=r.backend,
+                )
+                self._failed += 1
+                self.resilience.deadline_misses += 1
+                self.resilience.count_error(DeadlineExceeded.code)
+            else:
+                ticket.result = sess.extract(outcome.out, row)
+                n_ok += 1
             waits.append(ticket.wait_ms)
             self._all_latencies.append(ticket.latency_ms)
-        self._completed += batch.size
-        self._backend_stats[decision.backend].record_batch(
+        self._completed += n_ok
+        self._backend_stats[r.backend].record_batch(
             n_queries=batch.size,
             exec_ms=outcome.exec_ms,
             waits_ms=waits,
@@ -248,7 +468,26 @@ class TraversalService:
             avg_nodes=outcome.avg_nodes,
             work_expansion=outcome.work_expansion,
         )
+        self._record_resilience(
+            session, attempts=r.attempts, failures=r.failures, r=r
+        )
         return batch
+
+    def _record_resilience(self, session, attempts, failures, r) -> None:
+        """Fold one batch's resilience facts into the counters."""
+        res = self.resilience
+        if r is None:
+            # Total batch failure: the chain was exhausted.
+            self._note_plan_failure(session, failures=1)
+            return
+        res.retries += max(0, attempts - 1)
+        if r.degraded:
+            res.degraded_batches += 1
+        for backend, err in r.failures:
+            res.count_backend_failure(backend)
+        for name in r.injected:
+            res.count_fault(name)
+        self._note_plan_failure(session, failures=len(r.failures))
 
     # -- observability ----------------------------------------------------
 
@@ -262,6 +501,7 @@ class TraversalService:
             sessions=len(self.registry),
             queries_submitted=self._submitted,
             queries_completed=self._completed,
+            queries_failed=self._failed,
             queue_depth=self.queue_depth,
             batches=self._next_batch,
             flush_full=sum(c.flush_full for c in counters),
@@ -269,6 +509,9 @@ class TraversalService:
             flush_forced=sum(c.flush_forced for c in counters),
             plan_cache=self.registry.plans.stats(),
             backends=backends,
+            resilience=self.resilience.snapshot(
+                self.dispatcher.breaker_snapshots()
+            ),
             total_exec_ms=sum(s.total_exec_ms for s in backends.values()),
             p50_latency_ms=percentile(self._all_latencies, 50),
             p95_latency_ms=percentile(self._all_latencies, 95),

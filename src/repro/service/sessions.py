@@ -114,6 +114,9 @@ class TreeSession:
     app: TraversalApp
     plan: CompiledTraversal
     data: np.ndarray
+    #: the plan-cache key this session's plan was compiled under (used
+    #: for failure-driven invalidation; see SessionRegistry.refresh_plan).
+    plan_key: Optional[Tuple] = None
 
     @property
     def dim(self) -> int:
@@ -188,9 +191,34 @@ class SessionRegistry:
             self._builds[key] = built
         plan = self.plans.get_or_compile(key, built.spec)
         session = TreeSession(
-            name=name, adapter=adapter, app=built, plan=plan, data=data
+            name=name, adapter=adapter, app=built, plan=plan, data=data,
+            plan_key=key,
         )
         self._sessions[name] = session
+        return session
+
+    def unregister(self, name: str) -> bool:
+        """Remove a session; idempotent (False if it was not there).
+
+        The built tree and compiled plan stay cached — a later
+        ``register`` of the same (app, data) pair reuses them.
+        """
+        return self._sessions.pop(name, None) is not None
+
+    def refresh_plan(self, name: str) -> TreeSession:
+        """Invalidate and recompile a session's plan (failure recovery).
+
+        Called by the service after repeated execution failures against
+        one plan: the cached entry is dropped and the spec recompiled,
+        clearing any poisoned cached state.  Other sessions sharing the
+        same key pick up the fresh plan on their next registration.
+        """
+        session = self.get(name)
+        if session.plan_key is not None:
+            self.plans.invalidate(session.plan_key)
+            session.plan = self.plans.get_or_compile(
+                session.plan_key, session.app.spec
+            )
         return session
 
     def get(self, name: str) -> TreeSession:

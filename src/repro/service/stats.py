@@ -2,25 +2,32 @@
 
 Every dispatched batch reports into a :class:`BackendStats` accumulator
 (one per backend); :meth:`TraversalService.stats` freezes them — plus
-the batcher and plan-cache counters — into an immutable
+the batcher, plan-cache, and resilience counters — into an immutable
 :class:`ServiceStats` snapshot that the CLI pretty-prints and tests
 assert on.  All times are *modeled* milliseconds from the simulator's
 cost models, on the service's logical clock.
+
+Missing aggregates (no samples yet) are ``None``, not ``float("nan")``:
+snapshots must survive a JSON round-trip (``json.dumps`` emits ``NaN``
+tokens no standards-compliant parser accepts), and
+:meth:`ServiceStats.to_dict` is the CLI's ``--json`` output.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.plancache import PlanCacheStats
+from repro.service.resilience.breaker import BreakerSnapshot
 
 
-def percentile(values: List[float], q: float) -> float:
-    """The q-th percentile (nearest-rank interpolation), NaN if empty."""
+def percentile(values: List[float], q: float) -> Optional[float]:
+    """The q-th percentile (nearest-rank interpolation), None if empty."""
     if not values:
-        return float("nan")
+        return None
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
@@ -31,8 +38,13 @@ def percentile(values: List[float], q: float) -> float:
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
-def _mean(values: List[float]) -> float:
-    return sum(values) / len(values) if values else float("nan")
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def _fmt(value: Optional[float], spec: str = "8.4f") -> str:
+    """Render an optional aggregate ('-' when there are no samples)."""
+    return format(value, spec) if value is not None else "-"
 
 
 @dataclass
@@ -58,7 +70,7 @@ class BackendStats:
         waits_ms: List[float],
         occupancy: float,
         avg_nodes: float,
-        work_expansion: float = float("nan"),
+        work_expansion: Optional[float] = None,
     ) -> None:
         self.batches += 1
         self.queries += n_queries
@@ -67,7 +79,7 @@ class BackendStats:
         self.latency_ms.extend(w + exec_ms for w in waits_ms)
         self.occupancy.append(occupancy)
         self.avg_nodes.append(avg_nodes)
-        if not math.isnan(work_expansion):
+        if work_expansion is not None and not math.isnan(work_expansion):
             self.work_expansion.append(work_expansion)
 
     def snapshot(self) -> "BackendSnapshot":
@@ -89,20 +101,94 @@ class BackendStats:
 
 @dataclass(frozen=True)
 class BackendSnapshot:
-    """Frozen view of one backend's accumulated service metrics."""
+    """Frozen view of one backend's accumulated service metrics.
+
+    Aggregates are ``None`` when no sample exists (e.g. work expansion
+    for a backend that never ran lockstep) — JSON-safe by design.
+    """
 
     backend: str
     batches: int
     queries: int
     total_exec_ms: float
-    p50_exec_ms: float
-    p95_exec_ms: float
-    p50_latency_ms: float
-    p95_latency_ms: float
-    mean_wait_ms: float
-    mean_occupancy: float
-    mean_avg_nodes: float
-    mean_work_expansion: float
+    p50_exec_ms: Optional[float]
+    p95_exec_ms: Optional[float]
+    p50_latency_ms: Optional[float]
+    p95_latency_ms: Optional[float]
+    mean_wait_ms: Optional[float]
+    mean_occupancy: Optional[float]
+    mean_avg_nodes: Optional[float]
+    mean_work_expansion: Optional[float]
+
+
+@dataclass
+class ResilienceCounters:
+    """Mutable resilience bookkeeping the service accumulates."""
+
+    retries: int = 0
+    degraded_batches: int = 0
+    failed_batches: int = 0
+    shed_rejected: int = 0
+    shed_dropped: int = 0
+    plan_invalidations: int = 0
+    deadline_misses: int = 0
+    #: failed execution tries per backend.
+    backend_failures: Dict[str, int] = field(default_factory=dict)
+    #: resolved typed errors per error code.
+    errors: Dict[str, int] = field(default_factory=dict)
+    #: armed chaos faults per fault name.
+    injected_faults: Dict[str, int] = field(default_factory=dict)
+
+    def count_error(self, code: str, n: int = 1) -> None:
+        self.errors[code] = self.errors.get(code, 0) + n
+
+    def count_backend_failure(self, backend: str) -> None:
+        self.backend_failures[backend] = self.backend_failures.get(backend, 0) + 1
+
+    def count_fault(self, name: str) -> None:
+        self.injected_faults[name] = self.injected_faults.get(name, 0) + 1
+
+    def snapshot(
+        self, breakers: Mapping[str, BreakerSnapshot]
+    ) -> "ResilienceSnapshot":
+        return ResilienceSnapshot(
+            retries=self.retries,
+            degraded_batches=self.degraded_batches,
+            failed_batches=self.failed_batches,
+            shed_rejected=self.shed_rejected,
+            shed_dropped=self.shed_dropped,
+            plan_invalidations=self.plan_invalidations,
+            deadline_misses=self.deadline_misses,
+            backend_failures=dict(self.backend_failures),
+            errors=dict(self.errors),
+            injected_faults=dict(self.injected_faults),
+            breakers=dict(breakers),
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceSnapshot:
+    """Frozen view of the resilience layer's activity."""
+
+    retries: int
+    degraded_batches: int
+    failed_batches: int
+    shed_rejected: int
+    shed_dropped: int
+    plan_invalidations: int
+    deadline_misses: int
+    backend_failures: Mapping[str, int]
+    errors: Mapping[str, int]
+    injected_faults: Mapping[str, int]
+    breakers: Mapping[str, BreakerSnapshot]
+
+    @property
+    def breaker_trips(self) -> int:
+        return sum(b.trips for b in self.breakers.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
 
 
 @dataclass(frozen=True)
@@ -113,6 +199,7 @@ class ServiceStats:
     sessions: int
     queries_submitted: int
     queries_completed: int
+    queries_failed: int
     queue_depth: int
     batches: int
     flush_full: int
@@ -120,26 +207,35 @@ class ServiceStats:
     flush_forced: int
     plan_cache: PlanCacheStats
     backends: Mapping[str, BackendSnapshot]
+    resilience: ResilienceSnapshot
     total_exec_ms: float
-    p50_latency_ms: float
-    p95_latency_ms: float
+    p50_latency_ms: Optional[float]
+    p95_latency_ms: Optional[float]
 
     @property
     def backends_exercised(self) -> int:
         return sum(1 for b in self.backends.values() if b.batches > 0)
 
+    def to_dict(self) -> dict:
+        """A JSON-round-trippable dict view of the whole snapshot."""
+        return dataclasses.asdict(self)
+
     def format(self) -> str:
         """Human-readable snapshot for the CLI."""
+        r = self.resilience
         lines = [
             f"service stats (sort={self.sort})",
             f"  sessions={self.sessions}  submitted={self.queries_submitted}  "
-            f"completed={self.queries_completed}  pending={self.queue_depth}",
+            f"completed={self.queries_completed}  failed={self.queries_failed}  "
+            f"pending={self.queue_depth}",
             f"  batches={self.batches} (full={self.flush_full}, "
             f"timeout={self.flush_timeout}, forced={self.flush_forced})",
             f"  plan cache: hits={self.plan_cache.hits} "
-            f"misses={self.plan_cache.misses} size={self.plan_cache.size}",
+            f"misses={self.plan_cache.misses} size={self.plan_cache.size} "
+            f"invalidations={self.plan_cache.invalidations}",
             f"  modeled exec total: {self.total_exec_ms:.4f} ms   "
-            f"latency p50/p95: {self.p50_latency_ms:.4f}/{self.p95_latency_ms:.4f} ms",
+            f"latency p50/p95: {_fmt(self.p50_latency_ms, '.4f')}/"
+            f"{_fmt(self.p95_latency_ms, '.4f')} ms",
             "  backend        batches  queries  fill   p50exec   p95exec   "
             "p50lat    p95lat    wexp",
         ]
@@ -147,14 +243,33 @@ class ServiceStats:
             b = self.backends[name]
             if b.batches == 0:
                 continue
-            wexp = (
-                f"{b.mean_work_expansion:.2f}"
-                if not math.isnan(b.mean_work_expansion)
-                else "-"
-            )
             lines.append(
                 f"  {name:<13}  {b.batches:>7}  {b.queries:>7}  "
-                f"{b.mean_occupancy:4.0%}  {b.p50_exec_ms:8.4f}  {b.p95_exec_ms:8.4f}  "
-                f"{b.p50_latency_ms:8.4f}  {b.p95_latency_ms:8.4f}  {wexp:>5}"
+                f"{_fmt(b.mean_occupancy, '4.0%')}  {_fmt(b.p50_exec_ms)}  "
+                f"{_fmt(b.p95_exec_ms)}  {_fmt(b.p50_latency_ms)}  "
+                f"{_fmt(b.p95_latency_ms)}  {_fmt(b.mean_work_expansion, '.2f'):>5}"
             )
+        lines.append(
+            f"  resilience: retries={r.retries} degraded={r.degraded_batches} "
+            f"failed_batches={r.failed_batches} "
+            f"shed(rejected={r.shed_rejected}, dropped={r.shed_dropped}) "
+            f"deadline_misses={r.deadline_misses} "
+            f"plan_invalidations={r.plan_invalidations}"
+        )
+        active = {
+            n: b
+            for n, b in sorted(r.breakers.items())
+            if b.trips or b.failures or b.state != "closed"
+        }
+        for name, b in active.items():
+            lines.append(
+                f"  breaker[{name}]: state={b.state} trips={b.trips} "
+                f"failures={b.failures} rejections={b.rejections}"
+            )
+        if r.errors:
+            err = " ".join(f"{k}={v}" for k, v in sorted(r.errors.items()))
+            lines.append(f"  errors: {err}")
+        if r.injected_faults:
+            inj = " ".join(f"{k}={v}" for k, v in sorted(r.injected_faults.items()))
+            lines.append(f"  chaos faults injected: {inj}")
         return "\n".join(lines)

@@ -271,7 +271,9 @@ class TestStatsSnapshot:
     def test_empty_service_snapshot(self):
         s = TraversalService(ServiceConfig()).stats()
         assert s.batches == 0 and s.queries_submitted == 0
-        assert np.isnan(s.p50_latency_ms)
+        # None, not NaN: empty aggregates must survive a JSON round-trip.
+        assert s.p50_latency_ms is None
+        assert s.p95_latency_ms is None
 
 
 class TestServiceConfig:
