@@ -1,0 +1,527 @@
+"""Wall-clock benchmark of the plan-compiled, frontier-compacted engine.
+
+Unlike the pytest benchmarks in ``benchmarks/`` — which compare the
+*simulated* costs of the paper's traversal variants — this harness
+times the simulator itself: the same launch executed by the original
+per-step AST interpreter (``engine="interp"``, per-step validation on,
+matching the seed executors) and by the plan-compiled engine with
+frontier compaction (``engine="compiled"``, the default).
+
+Every timed pair is also a differential test: the run aborts unless the
+two engines produce bit-identical simulated stats, identical per-point
+node counts, and (in ``--verify-visits`` mode) identical visit logs.
+Speed without equivalence is a bug, not a result.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf            # full trajectory
+    PYTHONPATH=src python -m benchmarks.perf --smoke    # CI-sized subset
+    PYTHONPATH=src python -m benchmarks.perf --check    # nonzero exit if
+                                                        # compiled loses
+
+Results land in ``BENCH_perf.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.stack import RopeStackLayout
+from repro.harness.config import SCALES, ExperimentScale
+from repro.harness.runner import ExperimentRunner
+
+#: the benchmark trajectory: (bench, input, scale, executors).  One
+#: representative input per application; clustered inputs (geocity,
+#: plummer) produce the long-tailed traversals where frontier
+#: compaction matters most, vp/random keeps an even-frontier
+#: counterexample in the mix.  The pc/geocity *flagship* runs at the
+#: xlarge tier — per-element work dominating per-call overhead is where
+#: the compiled engine's headline speedup lives — and times lockstep
+#: only (autoropes at 131k thread stacks would dominate the wall-clock
+#: budget without adding information).
+ALL_EXECUTORS: Tuple[str, ...] = ("autoropes", "lockstep")
+
+WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
+    ("pc", "geocity", "xlarge", ("lockstep",)),
+    ("pc", "geocity", "large", ALL_EXECUTORS),
+    ("knn", "geocity", "large", ALL_EXECUTORS),
+    ("nn", "geocity", "large", ALL_EXECUTORS),
+    ("vp", "random", "large", ALL_EXECUTORS),
+    ("bh", "plummer", "large", ALL_EXECUTORS),
+)
+
+#: CI-sized subset.  Medium scale: below it runs finish in well under a
+#: second and the interp/compiled comparison is timer noise; medium is
+#: the smallest tier where the compiled engine wins every cell with
+#: reliable margin.
+SMOKE_WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
+    ("pc", "geocity", "medium", ALL_EXECUTORS),
+    ("knn", "geocity", "medium", ALL_EXECUTORS),
+    ("nn", "geocity", "medium", ALL_EXECUTORS),
+)
+
+#: workloads also timed against the *seed* executors (the repository's
+#: root commit, extracted via ``git archive`` and run in a
+#: subprocess).  The seed predates the engine split, so its wall time
+#: is the true "before" of this trajectory; its simulated stats are
+#: cross-checked against the in-tree engines.  Restricted to the
+#: long-tail geocity family — the seed interpreter needs minutes per
+#: xlarge cell.
+SEED_WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
+    ("pc", "geocity", "xlarge", ("lockstep",)),
+    ("pc", "geocity", "large", ALL_EXECUTORS),
+    ("knn", "geocity", "large", ALL_EXECUTORS),
+    ("nn", "geocity", "large", ALL_EXECUTORS),
+)
+
+#: subprocess driver run against the seed checkout's ``src``.  Builds
+#: the same app the in-tree :class:`ExperimentRunner` builds (same
+#: datasets, same seeds, same tree parameters) and times one executor.
+_SEED_DRIVER = r"""
+import json, sys, time
+spec = json.loads(sys.argv[1])
+from repro.core.pipeline import TransformPipeline
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.executors import (
+    AutoropesExecutor, LockstepExecutor, TraversalLaunch,
+)
+from repro.gpusim.stack import RopeStackLayout
+from repro.points.sorting import morton_order
+
+bench = spec["bench"]
+if bench == "bh":
+    from repro.apps.barneshut import build_barneshut_app
+    from repro.points.datasets import plummer_bodies, random_bodies
+    maker = plummer_bodies if spec["input"] == "plummer" else random_bodies
+    bodies = maker(spec["n"], seed=spec["dataset_seed"])
+    order = morton_order(bodies.pos)
+    app = build_barneshut_app(
+        bodies, order, theta=spec["theta"], leaf_size=spec["bh_leaf_size"]
+    )
+else:
+    from repro.points.datasets import dataset_by_name
+    ds = dataset_by_name(spec["input"], spec["n"], seed=spec["dataset_seed"])
+    order = morton_order(ds.points)
+    if bench == "pc":
+        from repro.apps.pointcorr import build_pointcorr_app
+        app = build_pointcorr_app(
+            ds.points, order, radius=spec["radius"], leaf_size=spec["leaf_size"]
+        )
+    elif bench == "knn":
+        from repro.apps.knn import build_knn_app
+        app = build_knn_app(
+            ds.points, order, k=spec["k"], leaf_size=spec["leaf_size"]
+        )
+    elif bench == "nn":
+        from repro.apps.nn import build_nn_app
+        app = build_nn_app(ds.points, order)
+    elif bench == "vp":
+        from repro.apps.vptree_nn import build_vptree_app
+        app = build_vptree_app(ds.points, order, leaf_size=spec["leaf_size"])
+    else:
+        raise SystemExit(f"unknown bench {bench!r}")
+
+compiled = TransformPipeline().compile(app.spec)
+kernel = compiled.lockstep if spec["executor"] == "lockstep" else compiled.autoropes
+cls = LockstepExecutor if spec["executor"] == "lockstep" else AutoropesExecutor
+L = TraversalLaunch(
+    kernel=kernel, tree=app.tree, ctx=app.make_ctx(), n_points=app.n_points,
+    device=TESLA_C2070, stack_layout=RopeStackLayout.INTERLEAVED_GLOBAL,
+)
+t0 = time.perf_counter()
+cls(L).run()
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "wall_s": wall,
+    "steps": int(L.stats.steps),
+    "node_visits": int(L.stats.node_visits),
+    "warp_node_visits": int(L.stats.warp_node_visits),
+}))
+"""
+
+
+def _seed_checkout(log) -> Optional[Tuple[str, str]]:
+    """Extract the repo's root commit into a temp dir; (ref, src_path)."""
+    try:
+        ref = subprocess.run(
+            ["git", "rev-list", "--max-parents=0", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip().splitlines()[0]
+        dest = tempfile.mkdtemp(prefix="seed-baseline-")
+        archive = subprocess.run(
+            ["git", "archive", ref], capture_output=True, check=True
+        )
+        subprocess.run(
+            ["tar", "-x", "-C", dest], input=archive.stdout, check=True
+        )
+    except (subprocess.CalledProcessError, OSError) as exc:
+        log(f"seed baseline skipped: cannot extract seed checkout ({exc})")
+        return None
+    return ref, os.path.join(dest, "src")
+
+
+def measure_seed_baseline(
+    workloads: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...],
+    log=print,
+) -> Optional[dict]:
+    """Time the seed (root-commit) executors on ``workloads``.
+
+    Runs each cell in a subprocess whose ``PYTHONPATH`` points at a
+    pristine checkout of the seed, so the numbers are the actual
+    "before" of the trajectory, not the in-tree interpreter re-walking
+    the seed's footsteps with this PR's shared-library improvements.
+    """
+    checkout = _seed_checkout(log)
+    if checkout is None:
+        return None
+    ref, src = checkout
+    env = dict(os.environ, PYTHONPATH=src)
+    rows = []
+    for bench, input_name, scale_name, executors in workloads:
+        s = SCALES[scale_name]
+        for executor in executors:
+            spec = {
+                "bench": bench,
+                "input": input_name,
+                "executor": executor,
+                "n": s.n_bodies if bench == "bh" else s.n_points,
+                "dataset_seed": (42 if input_name == "plummer" else 43)
+                if bench == "bh" else 0,
+                "radius": s.pc_radius(input_name),
+                "leaf_size": s.leaf_size,
+                "bh_leaf_size": s.bh_leaf_size,
+                "k": s.knn_k,
+                "theta": s.theta,
+            }
+            proc = subprocess.run(
+                [sys.executable, "-c", _SEED_DRIVER, json.dumps(spec)],
+                capture_output=True, text=True, env=env,
+            )
+            if proc.returncode != 0:
+                log(
+                    f"seed baseline {bench}/{input_name}@{scale_name} "
+                    f"{executor} failed:\n{proc.stderr.strip()}"
+                )
+                continue
+            out = json.loads(proc.stdout.strip().splitlines()[-1])
+            rows.append(
+                {
+                    "app": bench,
+                    "input": input_name,
+                    "scale": scale_name,
+                    "executor": executor,
+                    "wall_s": round(out["wall_s"], 4),
+                    "steps": out["steps"],
+                    "node_visits": out["node_visits"],
+                    "warp_node_visits": out["warp_node_visits"],
+                }
+            )
+            log(
+                f"seed {bench}/{input_name}@{scale_name} {executor}: "
+                f"{out['wall_s']:.3f}s"
+            )
+    return {"git_ref": ref, "rows": rows}
+
+
+def _merge_seed_speedups(report: dict, seed: Optional[dict]) -> None:
+    """Attach seed wall times / speedups to the matching report rows.
+
+    Also cross-checks simulated stats: the seed run must agree with
+    the in-tree engines on steps and visit counts, or the trajectory
+    is comparing different computations.
+    """
+    if not seed or not seed.get("rows"):
+        return
+    report["seed_baseline"] = seed
+    by_cell = {
+        (r["app"], r["input"], r["scale"], r["executor"], r["engine"]): r
+        for r in report["rows"]
+    }
+    vs_seed = []
+    for srow in seed["rows"]:
+        key = (srow["app"], srow["input"], srow["scale"], srow["executor"])
+        crow = by_cell.get(key + ("compiled",))
+        if crow is None:
+            continue
+        for stat in ("steps", "node_visits", "warp_node_visits"):
+            if srow[stat] != crow[stat]:
+                raise AssertionError(
+                    f"seed baseline diverged on {key}: {stat} "
+                    f"{srow[stat]} != {crow[stat]}"
+                )
+        vs_seed.append(
+            {
+                "app": srow["app"],
+                "input": srow["input"],
+                "scale": srow["scale"],
+                "executor": srow["executor"],
+                "seed_s": srow["wall_s"],
+                "compiled_s": crow["wall_s"],
+                "speedup": round(srow["wall_s"] / crow["wall_s"], 2),
+            }
+        )
+    report["speedups_vs_seed"] = vs_seed
+    lockstep = [s["speedup"] for s in vs_seed if s["executor"] == "lockstep"]
+    report["max_lockstep_speedup_vs_seed"] = max(lockstep) if lockstep else None
+
+
+@dataclass
+class Row:
+    """One timed (workload, executor, engine) cell."""
+
+    app: str
+    input_name: str
+    scale: str
+    executor: str
+    engine: str
+    wall_s: float
+    steps: int
+    node_visits: int
+    warp_node_visits: int
+    model_time_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "input": self.input_name,
+            "scale": self.scale,
+            "executor": self.executor,
+            "engine": self.engine,
+            "wall_s": round(self.wall_s, 4),
+            "steps": self.steps,
+            "node_visits": self.node_visits,
+            "warp_node_visits": self.warp_node_visits,
+            "model_time_ms": round(self.model_time_ms, 3),
+        }
+
+
+def _launch(app, kernel, engine: str, verify_visits: bool) -> TraversalLaunch:
+    kw: Dict = {}
+    if engine == "interp":
+        # The seed executors validated every pop unconditionally; keep
+        # that behavior on the baseline side of the comparison.
+        kw["validate"] = True
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=TESLA_C2070,
+        stack_layout=RopeStackLayout.INTERLEAVED_GLOBAL,
+        record_visits=verify_visits,
+        engine=engine,
+        **kw,
+    )
+
+
+def _time_run(executor_cls, launches: List[TraversalLaunch]):
+    """Best-of wall time over fresh launches (stats are per-launch)."""
+    best = None
+    for L in launches:
+        t0 = time.perf_counter()
+        result = executor_cls(L).run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, result)
+    return best
+
+
+def _assert_equivalent(
+    app: str, executor: str, ri, rc, verify_visits: bool
+) -> None:
+    di, dc = ri.stats.as_dict(), rc.stats.as_dict()
+    if di != dc:
+        diff = {k: (di[k], dc[k]) for k in di if di[k] != dc[k]}
+        raise AssertionError(
+            f"{app}/{executor}: compiled engine changed simulated stats: {diff}"
+        )
+    if not np.array_equal(ri.nodes_per_point, rc.nodes_per_point):
+        raise AssertionError(
+            f"{app}/{executor}: compiled engine changed nodes_per_point"
+        )
+    if verify_visits:
+        vi = [(p.tolist(), n.tolist()) for p, n in ri.visits]
+        vc = [(p.tolist(), n.tolist()) for p, n in rc.visits]
+        if vi != vc:
+            raise AssertionError(
+                f"{app}/{executor}: compiled engine changed the visit log"
+            )
+
+
+def run_benchmark(
+    workloads: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...],
+    repeat: int = 1,
+    verify_visits: bool = False,
+    log=print,
+) -> dict:
+    runners: Dict[str, ExperimentRunner] = {}
+    rows: List[Row] = []
+    speedups: List[dict] = []
+    for bench, input_name, scale_name, executors in workloads:
+        runner = runners.setdefault(
+            scale_name, ExperimentRunner(scale=SCALES[scale_name])
+        )
+        app, compiled = runner.app_for(bench, input_name, sorted_points=True)
+        variants: List[Tuple[str, type, object]] = []
+        if "autoropes" in executors:
+            variants.append(("autoropes", AutoropesExecutor, compiled.autoropes))
+        if "lockstep" in executors and compiled.lockstep is not None:
+            variants.append(("lockstep", LockstepExecutor, compiled.lockstep))
+        for exec_name, exec_cls, kernel in variants:
+            per_engine: Dict[str, Tuple[float, object]] = {}
+            for engine in ("interp", "compiled"):
+                launches = [
+                    _launch(app, kernel, engine, verify_visits)
+                    for _ in range(repeat)
+                ]
+                wall, result = _time_run(exec_cls, launches)
+                per_engine[engine] = (wall, result)
+                rows.append(
+                    Row(
+                        app=bench,
+                        input_name=input_name,
+                        scale=scale_name,
+                        executor=exec_name,
+                        engine=engine,
+                        wall_s=wall,
+                        steps=result.stats.steps,
+                        node_visits=result.stats.node_visits,
+                        warp_node_visits=result.stats.warp_node_visits,
+                        model_time_ms=result.time_ms,
+                    )
+                )
+            wi, ri = per_engine["interp"]
+            wc, rc = per_engine["compiled"]
+            _assert_equivalent(bench, exec_name, ri, rc, verify_visits)
+            sp = wi / wc if wc > 0 else float("inf")
+            speedups.append(
+                {
+                    "app": bench,
+                    "input": input_name,
+                    "scale": scale_name,
+                    "executor": exec_name,
+                    "interp_s": round(wi, 4),
+                    "compiled_s": round(wc, 4),
+                    "speedup": round(sp, 2),
+                }
+            )
+            log(
+                f"{bench}/{input_name}@{scale_name} {exec_name}: "
+                f"interp {wi:.3f}s, compiled {wc:.3f}s -> {sp:.2f}x "
+                f"(stats identical)"
+            )
+    lockstep_sp = [s["speedup"] for s in speedups if s["executor"] == "lockstep"]
+    report = {
+        "meta": {
+            "scales": sorted({w[2] for w in workloads}),
+            "device": "TESLA_C2070 (simulated)",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repeat": repeat,
+            "generated_unix": int(time.time()),
+        },
+        "rows": [r.as_dict() for r in rows],
+        "speedups": speedups,
+        "max_lockstep_speedup": max(lockstep_sp) if lockstep_sp else None,
+        "min_speedup": min(s["speedup"] for s in speedups) if speedups else None,
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="Time interp vs compiled engines; write BENCH_perf.json",
+    )
+    ap.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="force every workload to this scale tier "
+        "(default: each workload's own tier)",
+    )
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="medium scale, three workloads (CI-sized)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the compiled engine is slower than the interpreter "
+        "on any workload",
+    )
+    ap.add_argument("--repeat", type=int, default=1, help="best-of-N timing")
+    ap.add_argument(
+        "--no-seed-baseline",
+        action="store_true",
+        help="skip timing the seed (root-commit) executors",
+    )
+    ap.add_argument(
+        "--verify-visits",
+        action="store_true",
+        help="also record and compare full visit logs (slower)",
+    )
+    ap.add_argument("--out", default="BENCH_perf.json")
+    args = ap.parse_args(argv)
+
+    workloads = SMOKE_WORKLOADS if args.smoke else WORKLOADS
+    if args.scale:
+        # Forcing one scale can collapse the flagship and breadth
+        # entries of the same workload into one; merge their executors.
+        merged: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        for bench, inp, _, execs in workloads:
+            key = (bench, inp, args.scale)
+            have = merged.get(key, ())
+            merged[key] = have + tuple(e for e in execs if e not in have)
+        workloads = tuple((b, i, s, e) for (b, i, s), e in merged.items())
+
+    report = run_benchmark(
+        workloads,
+        repeat=args.repeat,
+        verify_visits=args.verify_visits,
+    )
+    if not args.smoke and not args.no_seed_baseline:
+        timed = {(w[0], w[1], w[2]) for w in workloads}
+        seed_set = tuple(
+            w for w in SEED_WORKLOADS if (w[0], w[1], w[2]) in timed
+        )
+        _merge_seed_speedups(report, measure_seed_baseline(seed_set))
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if report["max_lockstep_speedup"] is not None:
+        print(f"max lockstep speedup: {report['max_lockstep_speedup']}x")
+    if report.get("max_lockstep_speedup_vs_seed") is not None:
+        print(
+            f"max lockstep speedup vs seed: "
+            f"{report['max_lockstep_speedup_vs_seed']}x"
+        )
+    if args.check and report["min_speedup"] is not None:
+        if report["min_speedup"] < 1.0:
+            print(
+                f"FAIL: compiled engine slower than interpreter "
+                f"(min speedup {report['min_speedup']}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0

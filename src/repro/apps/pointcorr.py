@@ -14,7 +14,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.apps.base import QuerySet, TraversalApp, chunked_sq_dists, sq_dist_rows
+from repro.apps.base import QuerySet, TraversalApp, chunked_sq_dists
 from repro.core.ir import (
     ChildRef,
     CondRef,
@@ -32,13 +32,19 @@ from repro.trees.linearize import linearize_left_biased
 
 def _bbox_cannot_intersect(ctx, node, pt, args):
     """Truncation test: min squared distance from query to the node's
-    bounding box exceeds the correlation radius."""
+    bounding box exceeds the correlation radius.
+
+    The gathered ``lo`` copy doubles as the output buffer for the clip
+    and the difference: at millions of calls per launch the two saved
+    temporaries are a measurable slice of the traversal.
+    """
     tree, q = ctx.tree, ctx.points
     lo = tree.arrays["bbox_min"][node]
     hi = tree.arrays["bbox_max"][node]
     p = q.coords[pt]
-    clamped = np.clip(p, lo, hi)
-    return sq_dist_rows(p, clamped) > ctx.params["radius_sq"]
+    np.clip(p, lo, hi, out=lo)
+    np.subtract(p, lo, out=lo)
+    return np.einsum("ij,ij->i", lo, lo) > ctx.params["radius_sq"]
 
 
 def _is_leaf(ctx, node, pt, args):
@@ -46,6 +52,15 @@ def _is_leaf(ctx, node, pt, args):
 
 
 def _make_count_bucket(bucket_coords: np.ndarray, bucket_ids: np.ndarray, leaf_size: int):
+    # Pad the bucket arrays by one leaf so `start + slot` never needs
+    # clamping; padded slots carry id -1 and are masked by the slot
+    # validity test anyway, so the hit counts are unchanged.
+    dim = bucket_coords.shape[1]
+    pad_coords = np.vstack([bucket_coords, np.zeros((leaf_size, dim))])
+    pad_ids = np.concatenate(
+        [bucket_ids, np.full(leaf_size, -1, dtype=bucket_ids.dtype)]
+    )
+
     def count_bucket(ctx, node, pt, args):
         tree, q = ctx.tree, ctx.points
         start = tree.arrays["leaf_start"][node]
@@ -55,10 +70,12 @@ def _make_count_bucket(bucket_coords: np.ndarray, bucket_ids: np.ndarray, leaf_s
         r_sq = ctx.params["radius_sq"]
         hits = np.zeros(len(node), dtype=np.int64)
         for slot in range(leaf_size):
-            valid = slot < count
-            cand = np.minimum(start + slot, len(bucket_coords) - 1)
-            d = sq_dist_rows(p, bucket_coords[cand])
-            hits += (valid & (d <= r_sq) & (bucket_ids[cand] != mine)).astype(np.int64)
+            cand = start + slot
+            diff = pad_coords[cand] - p
+            d = np.einsum("ij,ij->i", diff, diff)
+            hits += ((slot < count) & (d <= r_sq) & (pad_ids[cand] != mine)).astype(
+                np.int64
+            )
         np.add.at(ctx.out["count"], pt, hits)
 
     return count_bucket

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.core.autoropes import IterativeKernel, apply_autoropes
 from repro.core.callset import CallSetAnalysis, analyze_call_sets
+from repro.core.compile import program_for
 from repro.core.ir import TraversalSpec
 from repro.core.lockstep import LockstepNotApplicable, apply_lockstep
 from repro.core.profiling import TraversalSimilarity
@@ -103,6 +104,16 @@ class TransformPipeline:
         except LockstepNotApplicable as exc:
             lockstep, reason = None, str(exc)
             log.append(f"lockstep unavailable: {exc}")
+        # Plan compilation (repro.core.compile): flatten each kernel body
+        # into a linear program of pre-resolved ops, once, here — every
+        # launch over this plan then runs the program instead of
+        # re-walking the AST per step.  Memoized on the kernel instance,
+        # so plan-cache hits reuse the programs too.
+        prog = program_for(kernel)
+        log.append(f"program compiled: {prog.n_ops} ops (autoropes)")
+        if lockstep is not None:
+            prog_l = program_for(lockstep)
+            log.append(f"program compiled: {prog_l.n_ops} ops (lockstep)")
         return CompiledTraversal(
             original=spec,
             normalized=normalized,

@@ -13,6 +13,11 @@ launch over that tree.  Both consumers share this cache:
   serve many small batches against one long-lived tree and must not
   pay the compile on the request path.
 
+Since the executor-level plan compilation pass (:mod:`repro.core
+.compile`), a cached plan also carries the flattened op programs for
+both kernel variants (memoized on the kernel instances), so a cache hit
+skips the per-step AST walk *and* the one-time program build.
+
 Hit/miss counters are part of the public surface — the service exposes
 them in its stats snapshot and tests assert on them.
 """

@@ -74,7 +74,10 @@ class _RecursiveBase(LockstepExecutor):
         # the warp's current call depth (interleaved local memory).
         depth = np.minimum(self.stack.sp, self._frame_depth_cap - 1)
         lanes = np.arange(self.ws, dtype=np.int64)[None, :]
-        thread_ids = np.arange(L.n_warps, dtype=np.int64)[:, None] * self.ws + lanes
+        # Under frontier compaction the rows are a gathered subset of the
+        # warps; address frames by original warp id so the interleaved
+        # local-memory layout (and its coalescing) is unchanged.
+        thread_ids = self._warp_ids[:, None] * self.ws + lanes
         frame_idx = depth[:, None] * L.n_threads + thread_ids
         addrs = self._frames.addresses(frame_idx)
         for _ in range(2):

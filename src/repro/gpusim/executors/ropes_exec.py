@@ -15,6 +15,11 @@ directly:
   stack costs pushes and pops), quantifying the "slightly more
   overhead than the hand-coded version (due to stack manipulation)"
   the paper concedes for its general transformation.
+
+Like its parent, the default ``engine="compiled"`` walks the
+plan-compiled op program and compacts the frontier at warp granularity
+— here there is no stack to gather, only the node/active cursors, point
+ids, and the descend scratch.
 """
 
 from __future__ import annotations
@@ -24,8 +29,12 @@ from typing import Dict
 import numpy as np
 
 from repro.core.autoropes import PushGroup
+from repro.core.compile import PushGroupOp
 from repro.gpusim.cost import CostModel
-from repro.gpusim.executors.autoropes_exec import AutoropesExecutor
+from repro.gpusim.executors.autoropes_exec import (
+    MIN_COMPACT_GROUPS,
+    AutoropesExecutor,
+)
 from repro.gpusim.executors.common import LaunchResult, TraversalLaunch
 from repro.gpusim.kernel import occupancy_for
 from repro.trees.ropes import first_children, install_ropes
@@ -66,18 +75,74 @@ class StaticRopesExecutor(AutoropesExecutor):
         has_child = self._first_child[np.maximum(node, 0)] >= 0
         self._descend |= live & has_child
 
+    def _push_group_op(self, op: PushGroupOp, live, node, args, charged) -> None:
+        self._charge_groups(op.child_group, live, node, charged)
+        self.L.issue.issue(self._warpify(live), 1.0, warp_ids=self._issue_ids())
+        has_child = self._first_child[np.maximum(node, 0)] >= 0
+        self._descend |= live & has_child
+
+    # -- frontier compaction (no stack: gather the loop cursors) ------------
+
+    def _compact_ropes(self, node, active):
+        threshold = self.L.compact_threshold
+        groups = len(node) // self.ws
+        if threshold <= 0.0 or groups < MIN_COMPACT_GROUPS:
+            return node, active
+        grp_live = self._warpify(active).any(axis=1)
+        n_live = int(grp_live.sum())
+        if n_live >= groups * threshold:
+            return node, active
+        sel = np.nonzero(grp_live)[0]
+        rows = (sel[:, None] * self.ws + np.arange(self.ws)).ravel()
+        self.pt = self.pt[rows]
+        self._invariant_args = {
+            k: v[rows] for k, v in self._invariant_args.items()
+        }
+        self._warp_ids = self._warp_ids[sel]
+        self._descend = self._descend[rows]
+        self._compacted = True
+        return node[rows], active[rows]
+
+    # -- main loop -----------------------------------------------------------
+
     def run(self) -> LaunchResult:
         L = self.L
         real = self.pt >= 0
         node = np.full(L.n_threads, -1, dtype=np.int64)
         node[real] = self.tree.root
         active = real.copy()
-        args = dict(self._invariant_args)
 
+        if self.program is not None:
+            self._loop_compiled(node, active)
+        else:
+            self._loop_interp(node, active)
+
+        occ = occupancy_for(L.device, 0)
+        cm = CostModel(L.device)
+        imbalance = cm.imbalance_factor(self._warp_live_steps)
+        timing = cm.timing(L.stats, occ, imbalance)
+        per_point = self._visits_per_point
+        return LaunchResult(
+            stats=L.stats,
+            timing=timing,
+            occupancy=occ,
+            nodes_per_point=per_point,
+            nodes_per_warp=self._warp_live_steps,
+            longest_member_per_warp=self._longest_member_per_warp(per_point),
+            visits=self._visit_log,
+            trace=self._trace,
+        )
+
+    def _loop_interp(self, node: np.ndarray, active: np.ndarray) -> None:
+        """Original full-width AST-interpreting loop (baseline engine)."""
+        L = self.L
+        need_guard = L.needs_guard
+        args = dict(self._invariant_args)
         while active.any():
             self._step += 1
             L.stats.steps += 1
-            L.guard(self._step)  # stackless: watchdog/faults, no stack hook
+            if need_guard:
+                L.guard(self._step)  # stackless: watchdog/faults, no stack hook
             L.stats.node_visits += int(active.sum())
             warp_live = self._warpify(active).any(axis=1)
             L.stats.warp_node_visits += int(warp_live.sum())
@@ -111,18 +176,63 @@ class StaticRopesExecutor(AutoropesExecutor):
                 )
             active = active & (node >= 0)
 
-        occ = occupancy_for(L.device, 0)
-        cm = CostModel(L.device)
-        imbalance = cm.imbalance_factor(self._warp_live_steps)
-        timing = cm.timing(L.stats, occ, imbalance)
-        per_point = self._visits_per_point
-        return LaunchResult(
-            stats=L.stats,
-            timing=timing,
-            occupancy=occ,
-            nodes_per_point=per_point,
-            nodes_per_warp=self._warp_live_steps,
-            longest_member_per_warp=self._longest_member_per_warp(per_point),
-            visits=self._visit_log,
-            trace=self._trace,
-        )
+    def _loop_compiled(self, node: np.ndarray, active: np.ndarray) -> None:
+        """Plan-compiled loop: frontier compaction + batched counters."""
+        L = self.L
+        stats = L.stats
+        need_guard = L.needs_guard
+        trace = self._trace
+        ops = self.program.ops
+        steps = 0
+        node_visits = np.int64(0)
+        warp_node_visits = np.int64(0)
+        try:
+            while active.any():
+                self._step += 1
+                steps += 1
+                if need_guard:
+                    stats.steps += steps
+                    steps = 0
+                    L.guard(self._step)
+                node, active = self._compact_ropes(node, active)
+                n_active = active.sum()
+                node_visits += n_active
+                warp_live = self._warpify(active).any(axis=1)
+                warp_node_visits += warp_live.sum()
+                if self._compacted:
+                    self._warp_live_steps[self._warp_ids] += warp_live
+                else:
+                    self._warp_live_steps += warp_live
+                np.add.at(self._visits_per_point, self.pt[active], 1)
+                if self._visit_log is not None:
+                    idx = np.nonzero(active)[0]
+                    self._visit_log.append(
+                        (self.pt[idx].copy(), node[idx].copy())
+                    )
+                if trace is not None:
+                    trans_before = stats.global_transactions
+
+                charged: Dict[str, np.ndarray] = {}
+                self._descend[:] = False
+                self._run_ops(ops, active, node, dict(self._invariant_args), charged)
+
+                nxt = np.where(
+                    self._descend,
+                    self._first_child[np.maximum(node, 0)],
+                    self._rope[np.maximum(node, 0)],
+                )
+                self.L.issue.issue(
+                    self._warpify(active), 1.0, warp_ids=self._issue_ids()
+                )
+                node = np.where(active, nxt, -1)
+                if trace is not None:
+                    trace.record(
+                        int(warp_live.sum()),
+                        int(n_active),
+                        stats.global_transactions - trans_before,
+                    )
+                active = active & (node >= 0)
+        finally:
+            stats.steps += steps
+            stats.node_visits += int(node_visits)
+            stats.warp_node_visits += int(warp_node_visits)

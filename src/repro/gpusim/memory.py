@@ -51,7 +51,7 @@ class Region:
 
     def addresses(self, indices: np.ndarray) -> np.ndarray:
         """Byte address of each element index (vectorized)."""
-        return self.base + indices.astype(np.int64) * self.itemsize
+        return self.base + indices.astype(np.int64, copy=False) * self.itemsize
 
 
 class DeviceAllocator:
@@ -109,6 +109,11 @@ class GlobalMemory:
         self.stats = stats
         self.l2_enabled = l2_enabled
         n_segments = allocator.heap_bytes // device.segment_bytes + 2
+        seg = device.segment_bytes
+        #: segment size as a shift when it is a power of two (it always
+        #: is on real devices): ``addr >> shift`` replaces the int64
+        #: floor-division, which numpy cannot vectorize nearly as well.
+        self._seg_shift = seg.bit_length() - 1 if seg & (seg - 1) == 0 else None
         self._last_touch = np.full(n_segments, _FAR_PAST, dtype=np.int64)
         self._ema_unique_per_step = 1.0
         self._capacity_lines = max(1, device.l2_bytes // device.l2_line_bytes)
@@ -163,31 +168,65 @@ class GlobalMemory:
             act = np.ones(addr.shape, dtype=bool)
         else:
             act = active
-        seg_lo = addr // seg_size
-        seg_hi = (addr + (nbytes - 1)) // seg_size
-        if np.any(seg_hi > seg_lo):
-            segs = np.concatenate([seg_lo, seg_hi], axis=1)
-            act2 = np.concatenate([act, act & (seg_hi > seg_lo)], axis=1)
+        shift = self._seg_shift
+        if shift is not None:
+            seg_lo = addr >> shift
+            seg_hi = (addr + (nbytes - 1)) >> shift
         else:
-            segs, act2 = seg_lo, act
-
-        masked = np.where(act2, segs, _SENTINEL)
-        masked.sort(axis=1)
-        first_valid = masked[:, 0] < _SENTINEL
-        if masked.shape[1] > 1:
-            fresh = (masked[:, 1:] != masked[:, :-1]) & (masked[:, 1:] < _SENTINEL)
-            per_warp = first_valid.astype(np.int64) + fresh.sum(axis=1)
+            seg_lo = addr // seg_size
+            seg_hi = (addr + (nbytes - 1)) // seg_size
+        if addr.shape[1] == 1:
+            # One lane per access group (per-warp lockstep loads and
+            # warp-stack entries): a row's transactions are just its
+            # own segment(s), no cross-lane dedup needed.  Same counts
+            # and L2 touches as the general path, far fewer array ops.
+            lo, hi, on = seg_lo[:, 0], seg_hi[:, 0], act[:, 0]
+            straddle = on & (hi > lo)
+            n_straddle = int(np.count_nonzero(straddle))
+            n_trans = int(np.count_nonzero(on)) + n_straddle
+            if n_trans == 0:
+                return 0
+            self.stats.global_transactions += n_trans
+            if n_straddle:
+                flat = np.concatenate([lo[on], hi[straddle]])
+            else:
+                flat = lo[on]
         else:
-            per_warp = first_valid.astype(np.int64)
-        n_trans = int(per_warp.sum())
-        if n_trans == 0:
-            return 0
+            if np.any(seg_hi > seg_lo):
+                segs = np.concatenate([seg_lo, seg_hi], axis=1)
+                act2 = np.concatenate([act, act & (seg_hi > seg_lo)], axis=1)
+            else:
+                segs, act2 = seg_lo, act
 
-        self.stats.global_transactions += n_trans
+            masked = np.where(act2, segs, _SENTINEL)
+            masked.sort(axis=1)
+            first_valid = masked[:, 0] < _SENTINEL
+            if masked.shape[1] > 1:
+                fresh = (masked[:, 1:] != masked[:, :-1]) & (
+                    masked[:, 1:] < _SENTINEL
+                )
+                per_warp = first_valid.astype(np.int64) + fresh.sum(axis=1)
+            else:
+                per_warp = first_valid.astype(np.int64)
+            n_trans = int(per_warp.sum())
+            if n_trans == 0:
+                return 0
+
+            self.stats.global_transactions += n_trans
+            flat = masked[masked < _SENTINEL]
 
         # L2: device-wide reuse-window filter over distinct segments.
-        flat = masked[masked < _SENTINEL]
-        unique_segs = np.unique(flat)
+        # Sort-based dedup instead of np.unique: same values, but it
+        # skips unique's dispatch/reshape overhead, which at millions
+        # of small per-step calls is a measurable slice of a launch.
+        flat.sort()
+        if len(flat) > 1:
+            keep = np.empty(len(flat), dtype=bool)
+            keep[0] = True
+            np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+            unique_segs = flat[keep]
+        else:
+            unique_segs = flat
         self._ensure_capacity(int(unique_segs[-1]))
         if self.l2_enabled:
             window = self._l2_window()

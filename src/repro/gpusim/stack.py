@@ -125,6 +125,16 @@ class StackStorage:
         self.stats = stats
         self.lanes_per_access = lanes_per_access
         self.max_depth = max_depth
+        #: original stack id of each current row.  Frontier compaction
+        #: (:meth:`compact`) gathers rows but keeps these ids, so entry
+        #: addressing — and therefore the coalescing/L2 accounting — is
+        #: identical to the uncompacted run.
+        self.stack_ids = np.arange(n_stacks, dtype=np.int64)
+        #: the allocation-time stack count; the INTERLEAVED layout's
+        #: address arithmetic must keep using it after compaction.
+        self._n_stacks_alloc = n_stacks
+        #: cached row indices (pop uses them every step).
+        self._rows = np.arange(n_stacks, dtype=np.int64)
         self._channels: Dict[str, np.ndarray] = {}
         self._widths: Dict[str, int] = {}
         entry_bytes = 0
@@ -186,7 +196,7 @@ class StackStorage:
     def _entry_addresses(self, stack_ids: np.ndarray, depths: np.ndarray) -> np.ndarray:
         assert self.region is not None
         if self.layout is RopeStackLayout.INTERLEAVED_GLOBAL:
-            entry_idx = depths * self.n_stacks + stack_ids
+            entry_idx = depths * self._n_stacks_alloc + stack_ids
         else:  # CONTIGUOUS_GLOBAL
             entry_idx = stack_ids * self.max_depth + depths
         return self.region.addresses(entry_idx)
@@ -195,7 +205,7 @@ class StackStorage:
         """Charge the traffic of touching ``(stack, depth)`` entries."""
         if not self.account:
             return
-        n_active = int(active.sum())
+        n_active = int(np.count_nonzero(active))
         if n_active == 0:
             return
         self.stats.stack_ops += n_active
@@ -206,8 +216,7 @@ class StackStorage:
             return
         if self.memory is None:
             return
-        stack_ids = np.arange(self.n_stacks, dtype=np.int64)
-        addrs = self._entry_addresses(stack_ids, depths).reshape(
+        addrs = self._entry_addresses(self.stack_ids, depths).reshape(
             groups, self.lanes_per_access
         )
         self.memory.warp_access(
@@ -229,7 +238,7 @@ class StackStorage:
         if not active.any():
             return
         depths = self.sp
-        max_needed = int(depths[active].max()) + 1
+        max_needed = int(depths.max(initial=0, where=active)) + 1
         if max_needed > self._capacity:
             self._grow(max_needed)
         idx = np.nonzero(active)[0]
@@ -254,11 +263,33 @@ class StackStorage:
                 out[cname] = arr[:, 0].copy()
             return out
         new_sp = np.where(active, self.sp - 1, self.sp)
+        top = np.maximum(new_sp, 0)
+        rows = self._rows
         for cname, arr in self._channels.items():
-            out[cname] = arr[np.arange(self.n_stacks), np.maximum(new_sp, 0)].copy()
+            out[cname] = arr[rows, top]  # fancy indexing already copies
         self._account(active, new_sp, step)
         self.sp = new_sp
         return out
+
+    def compact(self, group_sel: np.ndarray) -> None:
+        """Gather the stacks of the selected warp-access groups.
+
+        ``group_sel`` indexes groups of ``lanes_per_access`` adjacent
+        stacks (warps): frontier compaction keeps whole groups so the
+        coalescing model still sees the same warp-access shapes.  Rows
+        keep their original :attr:`stack_ids`, so the simulated traffic
+        of every subsequent push/pop is bit-identical to the
+        uncompacted run — only the host-side array widths shrink.
+        """
+        group_sel = np.asarray(group_sel, dtype=np.int64)
+        lpa = self.lanes_per_access
+        rows = (group_sel[:, None] * lpa + np.arange(lpa, dtype=np.int64)).ravel()
+        for cname, arr in self._channels.items():
+            self._channels[cname] = arr[rows]
+        self.sp = self.sp[rows]
+        self.stack_ids = self.stack_ids[rows]
+        self.n_stacks = len(rows)
+        self._rows = np.arange(self.n_stacks, dtype=np.int64)
 
     def corrupt_top(self, channel: str, value) -> int:
         """Overwrite the top entry of every non-empty stack (chaos hook).

@@ -10,9 +10,38 @@ bookkeeping that attributes instruction-issue waste to divergence.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from repro.gpusim.stats import KernelStats
+
+
+#: per-warp-size lane weights / lane indices, built once (pack/unpack
+#: run on every traversal step — the allocations added up).
+_PACK_WEIGHTS: dict = {}
+_LANE_INDICES: dict = {}
+
+#: ``packbits(bitorder="little")`` + a byte-level uint64 view computes
+#: the same mask words as the multiply-sum but ~5x faster; the view
+#: trick assumes the machine is little-endian (everything we run on).
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _pack_weights(warp_size: int) -> np.ndarray:
+    w = _PACK_WEIGHTS.get(warp_size)
+    if w is None:
+        w = np.uint64(1) << np.arange(warp_size, dtype=np.uint64)
+        _PACK_WEIGHTS[warp_size] = w
+    return w
+
+
+def _lane_indices(warp_size: int) -> np.ndarray:
+    l = _LANE_INDICES.get(warp_size)
+    if l is None:
+        l = np.arange(warp_size, dtype=np.uint64)
+        _LANE_INDICES[warp_size] = l
+    return l
 
 
 def pack_mask(bits: np.ndarray) -> np.ndarray:
@@ -24,7 +53,15 @@ def pack_mask(bits: np.ndarray) -> np.ndarray:
     n_warps, warp_size = bits.shape
     if warp_size > 64:
         raise ValueError("warp_size > 64 cannot pack into a uint64 mask")
-    weights = (np.uint64(1) << np.arange(warp_size, dtype=np.uint64))
+    if _LITTLE_ENDIAN:
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        nbytes = packed.shape[1]
+        if nbytes == 8:
+            return packed.view(np.uint64)[:, 0]
+        out = np.zeros((n_warps, 8), dtype=np.uint8)
+        out[:, :nbytes] = packed
+        return out.view(np.uint64)[:, 0]
+    weights = _pack_weights(warp_size)
     return (bits.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
 
 
@@ -32,7 +69,12 @@ def unpack_mask(words: np.ndarray, warp_size: int) -> np.ndarray:
     """Inverse of :func:`pack_mask`."""
     if warp_size > 64:
         raise ValueError("warp_size > 64 cannot unpack from a uint64 mask")
-    lanes = np.arange(warp_size, dtype=np.uint64)
+    if _LITTLE_ENDIAN:
+        u8 = np.ascontiguousarray(words).view(np.uint8).reshape(-1, 8)
+        nbytes = (warp_size + 7) // 8
+        lane_bits = np.unpackbits(u8[:, :nbytes], axis=1, bitorder="little")
+        return lane_bits[:, :warp_size].astype(bool)
+    lanes = _lane_indices(warp_size)
     return ((words[:, None] >> lanes) & np.uint64(1)).astype(bool)
 
 
@@ -96,15 +138,31 @@ class WarpIssueAccountant:
             None if valid_lanes is None else np.asarray(valid_lanes, dtype=np.int64)
         )
 
-    def issue(self, lane_active: np.ndarray, n_inst: float = 1.0) -> None:
+    def issue(
+        self,
+        lane_active: np.ndarray,
+        n_inst: float = 1.0,
+        warp_ids: "np.ndarray | None" = None,
+    ) -> None:
         """Charge ``n_inst`` instructions to each warp with active lanes.
 
         ``lane_active`` is ``(n_warps, lanes)`` where ``lanes`` is the
         true warp width for per-thread execution or 1 for warp-uniform
-        (lockstep control) instructions.
+        (lockstep control) instructions.  Under frontier compaction the
+        rows are a gathered subset of the launch's warps; ``warp_ids``
+        then maps each row back to its original warp so the
+        ragged-trailing-warp ``valid_lanes`` cap stays attributed
+        correctly.
         """
         if lane_active.ndim != 2:
             raise ValueError("lane_active must be 2-D (n_warps, lanes)")
+        if lane_active.shape[1] == 1:
+            # Warp-uniform (control) instructions: no divergence to
+            # attribute, just count the issuing warps.
+            n_issuing = int(np.count_nonzero(lane_active))
+            if n_issuing:
+                self.stats.warp_instructions += n_inst * n_issuing
+            return
         active_count = lane_active.sum(axis=1)
         issuing = active_count > 0
         n_issuing = int(issuing.sum())
@@ -114,7 +172,11 @@ class WarpIssueAccountant:
         lanes = lane_active.shape[1]
         if lanes > 1:
             if self.valid_lanes is not None and lanes == self.warp_size:
-                valid = self.valid_lanes
+                valid = (
+                    self.valid_lanes
+                    if warp_ids is None
+                    else self.valid_lanes[warp_ids]
+                )
             else:
                 valid = np.full(lane_active.shape[0], lanes, dtype=np.int64)
             partial = issuing & (active_count < valid)

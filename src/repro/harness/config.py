@@ -93,7 +93,25 @@ LARGE = ExperimentScale(
     theta=0.5,
 )
 
-SCALES = {s.name: s for s in (TINY, SMALL, MEDIUM, LARGE)}
+# The xlarge tier exists for wall-clock benchmarking (benchmarks/perf):
+# big enough that per-element work dominates per-call overhead.  The 2-d
+# correlation radius is half the geocity cluster sigma, and the small
+# leaf bucket pushes work into tree *traversal* rather than leaf scans —
+# a deep-traversal regime where per-step engine overhead, the thing the
+# compiled engine removes, is the dominant cost.
+XLARGE = ExperimentScale(
+    name="xlarge",
+    n_bodies=131072,
+    n_points=131072,
+    pc_radius_7d=0.30,
+    pc_radius_2d=0.002,
+    knn_k=4,
+    leaf_size=2,
+    bh_leaf_size=1,
+    theta=0.5,
+)
+
+SCALES = {s.name: s for s in (TINY, SMALL, MEDIUM, LARGE, XLARGE)}
 
 
 def scale_from_env(default: str = "small") -> ExperimentScale:

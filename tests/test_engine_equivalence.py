@@ -1,0 +1,275 @@
+"""Differential tests for the plan-compiled engine.
+
+``TraversalLaunch(engine="compiled")`` (the default) runs the
+plan-compiled op program with frontier compaction;
+``engine="interp"`` keeps the original per-step AST interpreter.  The
+two must be *bit-identical* on everything the simulator measures:
+simulated stats, per-point/per-warp traversal lengths, visit logs, and
+application outputs.  Speed without equivalence is a bug, not a result
+— these tests are the proof side of ``benchmarks/perf``.
+
+Also covers the compile pass itself (repro.core.compile), the
+compaction trigger, and the validate gating (per-step pop validation
+defaults on exactly when chaos faults are armed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compile import (
+    BRANCH_PREDICATE,
+    BRANCH_VOTE,
+    TAG_COND,
+    TAG_CONTINUE,
+    TAG_PUSH,
+    TAG_UPDATE,
+    compile_kernel,
+    program_for,
+)
+from repro.gpusim.faults import BatchFaultPlan
+from repro.gpusim.executors import (
+    AutoropesExecutor,
+    LockstepExecutor,
+    StaticRopesExecutor,
+    TraversalLaunch,
+)
+from repro.gpusim.stack import CorruptedRopeStack
+
+APP_NAMES = ("pc", "knn", "nn", "vp", "bh")
+
+
+def _launch(app, kernel, device, engine, **kw):
+    return TraversalLaunch(
+        kernel=kernel,
+        tree=app.tree,
+        ctx=app.make_ctx(),
+        n_points=app.n_points,
+        device=device,
+        record_visits=True,
+        engine=engine,
+        **kw,
+    )
+
+
+def _run_pair(app, kernel, exec_cls, device, **kw):
+    """Run interp and compiled engines on fresh launches; return both."""
+    Li = _launch(app, kernel, device, "interp", **kw)
+    ri = exec_cls(Li).run()
+    Lc = _launch(app, kernel, device, "compiled", **kw)
+    rc = exec_cls(Lc).run()
+    return (Li, ri), (Lc, rc)
+
+
+def _assert_identical(name, pair_i, pair_c):
+    Li, ri = pair_i
+    Lc, rc = pair_c
+    di, dc = ri.stats.as_dict(), rc.stats.as_dict()
+    diff = {k: (di[k], dc[k]) for k in di if di[k] != dc[k]}
+    assert not diff, f"{name}: compiled engine changed simulated stats: {diff}"
+    np.testing.assert_array_equal(
+        ri.nodes_per_point, rc.nodes_per_point, err_msg=name
+    )
+    np.testing.assert_array_equal(
+        ri.nodes_per_warp, rc.nodes_per_warp, err_msg=name
+    )
+    np.testing.assert_array_equal(
+        ri.longest_member_per_warp, rc.longest_member_per_warp, err_msg=name
+    )
+    assert ri.timing.time_ms == rc.timing.time_ms, name
+    # Same steps, same visits, in the same order.
+    assert len(ri.visits) == len(rc.visits), name
+    for (pi, ni), (pc_, nc) in zip(ri.visits, rc.visits):
+        np.testing.assert_array_equal(pi, pc_, err_msg=name)
+        np.testing.assert_array_equal(ni, nc, err_msg=name)
+    # Application outputs, bit for bit.
+    for key in Li.ctx.out:
+        np.testing.assert_array_equal(
+            Li.ctx.out[key], Lc.ctx.out[key], err_msg=f"{name}:{key}"
+        )
+
+
+class TestAutoropesEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_engines_identical(self, name, all_apps, compiled_apps, device4):
+        app = all_apps[name]
+        pi, pc_ = _run_pair(
+            app, compiled_apps[name].autoropes, AutoropesExecutor, device4
+        )
+        _assert_identical(f"autoropes/{name}", pi, pc_)
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_engines_identical(self, name, all_apps, compiled_apps, device4):
+        app = all_apps[name]
+        pi, pc_ = _run_pair(
+            app, compiled_apps[name].lockstep, LockstepExecutor, device4
+        )
+        _assert_identical(f"lockstep/{name}", pi, pc_)
+
+    @pytest.mark.parametrize("name", ("pc", "knn"))
+    def test_engines_identical_warp32(
+        self, name, all_apps, compiled_apps, device32
+    ):
+        app = all_apps[name]
+        pi, pc_ = _run_pair(
+            app, compiled_apps[name].lockstep, LockstepExecutor, device32
+        )
+        _assert_identical(f"lockstep32/{name}", pi, pc_)
+
+
+class TestStaticRopesEquivalence:
+    def test_engines_identical(self, pc_app, compiled_apps, device4):
+        # Static ropes only accept unguided traversals; pc qualifies.
+        pi, pc_ = _run_pair(
+            pc_app, compiled_apps["pc"].autoropes, StaticRopesExecutor, device4
+        )
+        _assert_identical("ropes/pc", pi, pc_)
+
+
+class TestCompaction:
+    """Frontier compaction must be invisible to everything measured."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_disabled_vs_enabled(self, name, all_apps, compiled_apps, device4):
+        app = all_apps[name]
+        kernel = compiled_apps[name].lockstep
+        Lo = _launch(app, kernel, device4, "compiled", compact_threshold=0.0)
+        ro = LockstepExecutor(Lo).run()
+        Lc = _launch(app, kernel, device4, "compiled", compact_threshold=0.9)
+        rc = LockstepExecutor(Lc).run()
+        _assert_identical(f"compact/{name}", (Lo, ro), (Lc, rc))
+
+    def test_compaction_actually_fires(self, pc_app, compiled_apps, device4,
+                                       monkeypatch):
+        L = _launch(pc_app, compiled_apps["pc"].lockstep, device4, "compiled",
+                    compact_threshold=0.9)
+        ex = LockstepExecutor(L)
+        compactions = []
+        real = type(ex)._compact_rows
+
+        def spy(self, sel):
+            compactions.append(int(sel.sum()))
+            return real(self, sel)
+
+        monkeypatch.setattr(type(ex), "_compact_rows", spy)
+        ex.run()
+        assert compactions, "long-tailed pc traversal never compacted"
+        # Each compaction strictly narrows the live row set.
+        assert all(c >= 1 for c in compactions)
+
+    def test_threshold_validation(self, pc_app, compiled_apps, device4):
+        with pytest.raises(ValueError):
+            _launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                    "compiled", compact_threshold=1.5)
+
+
+class TestCompiledProgram:
+    def test_program_memoized_on_kernel(self, compiled_apps):
+        k = compiled_apps["pc"].autoropes
+        assert program_for(k) is program_for(k)
+
+    def test_every_kernel_compiles(self, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            for kernel in (compiled.autoropes, compiled.lockstep):
+                if kernel is None:
+                    continue
+                prog = compile_kernel(kernel)
+                assert prog.n_ops == sum(1 for _ in prog.walk()), name
+                assert prog.lockstep == kernel.lockstep
+                for op in prog.walk():
+                    assert op.tag in (
+                        TAG_COND, TAG_UPDATE, TAG_PUSH, TAG_CONTINUE
+                    )
+                    if op.tag in (TAG_COND, TAG_UPDATE):
+                        assert callable(op.fn), name
+
+    def test_vote_conditions_tagged(self, compiled_apps):
+        """Call-set-selecting conditions become vote branches under
+        lockstep (Section 4.3); the autoropes kernel predicates them."""
+        k = compiled_apps["knn"].lockstep
+        votes = [
+            op for op in program_for(k).walk()
+            if op.tag == TAG_COND and op.branch == BRANCH_VOTE
+        ]
+        assert votes, "guided knn lockstep kernel must vote"
+        k_auto = compiled_apps["knn"].autoropes
+        assert all(
+            op.branch != BRANCH_VOTE
+            for op in program_for(k_auto).walk()
+            if op.tag == TAG_COND
+        )
+
+    def test_push_order_matches_ast(self, compiled_apps):
+        """Compiled push calls preserve the kernel's LIFO push order."""
+        from repro.core.autoropes import PushGroup
+
+        for name, compiled in compiled_apps.items():
+            k = compiled.autoropes
+            ast_pushes = []
+
+            def walk_stmt(s):
+                if isinstance(s, PushGroup):
+                    ast_pushes.append([c.child.name for c in s.push_order])
+                for child in getattr(s, "stmts", ()):
+                    walk_stmt(child)
+                for attr in ("then", "orelse"):
+                    sub = getattr(s, attr, None)
+                    if sub is not None:
+                        walk_stmt(sub)
+
+            walk_stmt(k.body)
+            prog_pushes = [
+                [c.child for c in op.calls]
+                for op in program_for(k).walk()
+                if op.tag == TAG_PUSH
+            ]
+            assert prog_pushes == ast_pushes, name
+
+
+class TestValidateGating:
+    """Per-step pop validation defaults on exactly when chaos is armed."""
+
+    def test_clean_launch_skips_validation(self, pc_app, compiled_apps,
+                                           device4):
+        L = _launch(pc_app, compiled_apps["pc"].autoropes, device4, "compiled")
+        assert L.validate is False
+
+    def test_armed_chaos_enables_validation(self, pc_app, compiled_apps,
+                                            device4):
+        L = _launch(
+            pc_app, compiled_apps["pc"].autoropes, device4, "compiled",
+            fault_plan=BatchFaultPlan(corrupt_stack_at=3),
+        )
+        assert L.validate is True
+
+    def test_explicit_override_wins(self, pc_app, compiled_apps, device4):
+        L = _launch(pc_app, compiled_apps["pc"].autoropes, device4,
+                    "compiled", validate=True)
+        assert L.validate is True
+
+    @pytest.mark.parametrize("engine", ("interp", "compiled"))
+    def test_chaos_run_still_catches_corruption(self, engine, pc_app,
+                                                compiled_apps, device4):
+        """The optimized engine must not outrun the safety net: a
+        corrupted stack under chaos aborts cleanly on both engines."""
+        L = _launch(
+            pc_app, compiled_apps["pc"].autoropes, device4, engine,
+            fault_plan=BatchFaultPlan(corrupt_stack_at=2),
+        )
+        with pytest.raises(CorruptedRopeStack):
+            AutoropesExecutor(L).run()
+
+    @pytest.mark.parametrize("engine", ("interp", "compiled"))
+    def test_chaos_corruption_lockstep(self, engine, pc_app, compiled_apps,
+                                       device4):
+        L = _launch(
+            pc_app, compiled_apps["pc"].lockstep, device4, engine,
+            fault_plan=BatchFaultPlan(corrupt_stack_at=2),
+        )
+        with pytest.raises(CorruptedRopeStack):
+            LockstepExecutor(L).run()
+
+    def test_engine_name_validated(self, pc_app, compiled_apps, device4):
+        with pytest.raises(ValueError):
+            _launch(pc_app, compiled_apps["pc"].autoropes, device4, "jit")
