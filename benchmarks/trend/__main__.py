@@ -1,0 +1,7 @@
+"""``python -m benchmarks.trend`` entry point."""
+
+import sys
+
+from benchmarks.trend import main
+
+sys.exit(main())

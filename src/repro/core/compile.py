@@ -170,6 +170,35 @@ class CompiledProgram:
 
         yield from rec(self.ops)
 
+    def op_histogram(self) -> dict:
+        """Op counts by kind (and branch kind for conditions).
+
+        Static shape facts for one compiled variant — the telemetry
+        layer publishes them as per-plan gauges, so a recompile that
+        changes the program (e.g. different dominated-read pruning) is
+        visible in the metrics without diffing op tuples.
+        """
+        tag_names = {
+            TAG_COND: "cond",
+            TAG_UPDATE: "update",
+            TAG_PUSH: "push",
+            TAG_CONTINUE: "continue",
+        }
+        branch_names = {
+            BRANCH_VOTE: "branch_vote",
+            BRANCH_UNIFORM: "branch_uniform",
+            BRANCH_PREDICATE: "branch_predicate",
+        }
+        hist: dict = {}
+        for op in self.walk():
+            kind = tag_names[op.tag]
+            hist[kind] = hist.get(kind, 0) + 1
+            if op.tag == TAG_COND:
+                bk = branch_names[op.branch]
+                hist[bk] = hist.get(bk, 0) + 1
+        hist["total"] = self.n_ops
+        return hist
+
 
 def _applier(spec: TraversalSpec, arg_name: str, rule_name: Optional[str]) -> ArgApplier:
     decl = next(a for a in spec.args if a.name == arg_name)

@@ -63,14 +63,22 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self._failures: Dict[Hashable, int] = {}
+        #: optional observer called with "hit" / "miss" / "invalidate"
+        #: on each cache event (the telemetry layer hangs a counter
+        #: here); None — the default — costs one attribute check.
+        self.on_event = None
 
     def get_or_compile(self, key: Hashable, spec: TraversalSpec) -> CompiledTraversal:
         """Return the cached plan for ``key``, compiling on first use."""
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
+            if self.on_event is not None:
+                self.on_event("hit")
             return plan
         self.misses += 1
+        if self.on_event is not None:
+            self.on_event("miss")
         plan = self.pipeline.compile(spec)
         self._plans[key] = plan
         return plan
@@ -97,6 +105,8 @@ class PlanCache:
         if self._plans.pop(key, None) is None:
             return False
         self.invalidations += 1
+        if self.on_event is not None:
+            self.on_event("invalidate")
         return True
 
     def record_failure(self, key: Hashable, threshold: int = 3) -> bool:

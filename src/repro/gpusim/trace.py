@@ -53,6 +53,35 @@ class StepTrace:
         out[running] = l[running] / (w[running] * warp_size)
         return out
 
+    def sample_events(self, max_events: int) -> List[Dict[str, int]]:
+        """Decimate the trace to at most ``max_events`` samples.
+
+        Used by the telemetry layer to attach per-step dynamics to a
+        launch span without exploding long traces: samples are taken at
+        evenly spaced steps, always including the first and last step,
+        each as ``{"step", "active_warps", "live_lanes",
+        "transactions"}``.  Returns ``[]`` for an empty trace or
+        ``max_events <= 0``.
+        """
+        n = len(self.active_warps)
+        if n == 0 or max_events <= 0:
+            return []
+        if n <= max_events:
+            idx = range(n)
+        else:
+            idx = sorted(
+                {round(i * (n - 1) / (max_events - 1)) for i in range(max_events)}
+            )
+        return [
+            {
+                "step": int(i),
+                "active_warps": self.active_warps[i],
+                "live_lanes": self.live_lanes[i],
+                "transactions": self.transactions[i],
+            }
+            for i in idx
+        ]
+
     def tail_fraction(self, threshold: float = 0.1) -> float:
         """Fraction of steps spent in the 'tail' where fewer than
         ``threshold`` of the peak warps remain active — the load-

@@ -28,6 +28,7 @@ deterministic chaos-injection harness (:class:`ChaosConfig`).
 
 from repro.gpusim.faults import ChaosConfig, FaultInjector
 from repro.service.batcher import Batch, DynamicBatcher, QueryTicket
+from repro.service.memo import MemoSnapshot, TraversalMemo
 from repro.service.dispatch import (
     BACKENDS,
     FALLBACK_CHAIN,
@@ -46,10 +47,17 @@ from repro.service.resilience import (
     ServiceError,
 )
 from repro.service.service import (
+    ENGINES,
     SHED_POLICIES,
     SORT_MODES,
     ServiceConfig,
     TraversalService,
+)
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryConfig,
+    TelemetrySnapshot,
 )
 from repro.service.sessions import ADAPTERS, SessionRegistry, TreeSession
 from repro.service.stats import (
@@ -63,7 +71,9 @@ from repro.service.stats import (
 __all__ = [
     "ADAPTERS",
     "BACKENDS",
+    "ENGINES",
     "FALLBACK_CHAIN",
+    "NULL_TELEMETRY",
     "SHED_POLICIES",
     "SORT_MODES",
     "AdaptiveDispatcher",
@@ -79,6 +89,7 @@ __all__ = [
     "DynamicBatcher",
     "FaultInjector",
     "InvalidQuery",
+    "MemoSnapshot",
     "Overloaded",
     "QueryTicket",
     "ResilienceCounters",
@@ -89,6 +100,10 @@ __all__ = [
     "ServiceError",
     "ServiceStats",
     "SessionRegistry",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "TraversalMemo",
     "TraversalService",
     "TreeSession",
 ]

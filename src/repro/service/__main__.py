@@ -43,11 +43,13 @@ from repro.points.sorting import morton_order
 from repro.service.batcher import QueryTicket
 from repro.service.resilience import ServiceError
 from repro.service.service import (
+    ENGINES,
     SHED_POLICIES,
     SORT_MODES,
     ServiceConfig,
     TraversalService,
 )
+from repro.telemetry import TelemetryConfig
 
 
 def build_service(cfg: ServiceConfig, n_data: int, seed: int) -> TraversalService:
@@ -138,6 +140,41 @@ def verify_tickets(svc: TraversalService, tickets: List[QueryTicket]):
     return lost, wrong, ok, failed
 
 
+def write_telemetry_outputs(svc: TraversalService, args) -> None:
+    """Write the --trace-out/--metrics-out/--flight-out artifacts."""
+    tel = svc.telemetry
+    if not tel.enabled:
+        return
+    if args.trace_out and tel.tracer is not None:
+        trace = tel.tracer.chrome_trace(close_open_at=svc.now_ms)
+        with open(args.trace_out, "w") as f:
+            json.dump(trace, f)
+        if not args.as_json:
+            print(
+                f"chrome trace: {len(trace['traceEvents'])} events "
+                f"-> {args.trace_out}"
+            )
+    if args.metrics_out and tel.registry is not None:
+        if args.metrics_out.endswith(".json"):
+            payload = json.dumps(tel.registry.to_dict(), indent=2) + "\n"
+        else:
+            payload = tel.registry.expose_text()
+        with open(args.metrics_out, "w") as f:
+            f.write(payload)
+        if not args.as_json:
+            print(
+                f"metrics: {len(tel.registry)} instruments -> {args.metrics_out}"
+            )
+    if args.flight_out and tel.flight is not None:
+        with open(args.flight_out, "w") as f:
+            json.dump(tel.flight.to_dict(), f, indent=2)
+        if not args.as_json:
+            print(
+                f"flight recorder: {len(tel.flight.dumps)} dumps "
+                f"-> {args.flight_out}"
+            )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.service")
     parser.add_argument(
@@ -153,6 +190,45 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the stats snapshot as JSON instead of the text report",
+    )
+    eng = parser.add_argument_group("execution engine")
+    eng.add_argument(
+        "--engine", choices=ENGINES, default="compiled",
+        help="GPU execution engine for dispatched batches",
+    )
+    eng.add_argument(
+        "--compact-threshold", type=float, default=0.9,
+        help="frontier-compaction trigger for GPU launches",
+    )
+    eng.add_argument(
+        "--memo-capacity", type=int, default=256,
+        help="per-session traversal-result memo size (0 = off)",
+    )
+    eng.add_argument(
+        "--memo-quantum", type=float, default=0.0,
+        help="memo coordinate quantization grid (0 = exact match)",
+    )
+    tel = parser.add_argument_group("telemetry (see docs/OBSERVABILITY.md)")
+    tel.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the telemetry layer (implied by the --*-out flags)",
+    )
+    tel.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write spans as Chrome trace_event JSON (chrome://tracing)",
+    )
+    tel.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metrics registry (.json -> JSON export, "
+        "anything else -> Prometheus text exposition)",
+    )
+    tel.add_argument(
+        "--flight-out", metavar="PATH",
+        help="write flight-recorder rings + failure dumps as JSON",
+    )
+    tel.add_argument(
+        "--step-events", type=int, default=32,
+        help="max StepTrace samples attached per launch span",
     )
     res = parser.add_argument_group("resilience")
     res.add_argument(
@@ -199,6 +275,9 @@ def main(argv=None) -> int:
             targets=tuple(t for t in args.chaos_targets.split(",") if t),
         )
 
+    telemetry_on = bool(
+        args.telemetry or args.trace_out or args.metrics_out or args.flight_out
+    )
     cfg = ServiceConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -209,6 +288,13 @@ def main(argv=None) -> int:
         max_queue_depth=args.max_queue_depth,
         shed_policy=args.shed_policy,
         chaos=chaos_cfg,
+        engine=args.engine,
+        compact_threshold=args.compact_threshold,
+        memo_capacity=args.memo_capacity,
+        memo_quantum=args.memo_quantum,
+        telemetry=TelemetryConfig(
+            enabled=telemetry_on, step_events=args.step_events
+        ),
     )
 
     mode = "chaos" if args.chaos else "demo"
@@ -228,6 +314,7 @@ def main(argv=None) -> int:
         print(json.dumps(stats.to_dict(), indent=2, default=str))
     else:
         print(stats.format())
+    write_telemetry_outputs(svc, args)
 
     if args.chaos:
         lost, wrong, ok, failed = verify_tickets(svc, tickets)
@@ -244,6 +331,14 @@ def main(argv=None) -> int:
                 f"breaker_trips={r.breaker_trips} "
                 f"injected={sum(r.injected_faults.values())}"
             )
+            flight = svc.telemetry.flight
+            if flight is not None:
+                print(
+                    f"flight recorder: {len(flight.dumps)} fault timelines "
+                    f"captured ({flight.dumps_dropped} beyond the dump cap)"
+                )
+                for dump in flight.dumps[:2]:
+                    print(flight.format_dump(dump))
         if lost or wrong:
             print(
                 f"CHAOS FAILURE: lost={len(lost)} wrong={len(wrong)}",

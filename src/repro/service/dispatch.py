@@ -54,7 +54,9 @@ from repro.service.resilience import (
     RetryPolicy,
     ServiceError,
 )
+from repro.gpusim.trace import StepTrace
 from repro.service.sessions import TreeSession
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 BACKENDS = ("lockstep", "nonlockstep", "cpu")
 
@@ -85,6 +87,10 @@ class ExecOutcome:
     exec_ms: float
     avg_nodes: float
     work_expansion: Optional[float] = None
+    #: per-step divergence/traffic trace (telemetry-enabled GPU runs).
+    trace: Optional["StepTrace"] = None
+    #: folded kernel counters for the metrics registry (telemetry only).
+    kernel_stats: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -134,8 +140,17 @@ class AdaptiveDispatcher:
     injection, and degraded-mode failover along ``FALLBACK_CHAIN``.
     """
 
-    def __init__(self, config) -> None:
+    def __init__(self, config, telemetry: Telemetry = NULL_TELEMETRY) -> None:
         self.config = config
+        self.telemetry = telemetry
+        #: whether GPU launches record StepTrace for span step events
+        #: (hoisted out of the batch path; False keeps launches exactly
+        #: as before, so the off path stays byte-identical).
+        self._want_trace = bool(
+            telemetry.enabled
+            and telemetry.tracer is not None
+            and telemetry.config.step_events > 0
+        )
         chaos = getattr(config, "chaos", None)
         self.injector = (
             FaultInjector(chaos) if chaos is not None and chaos.enabled else None
@@ -156,6 +171,27 @@ class AdaptiveDispatcher:
             )
             for b in BACKENDS
         }
+        if telemetry.enabled and telemetry.registry is not None:
+            self._m_transitions = telemetry.registry.counter(
+                "service_breaker_transitions_total",
+                "circuit-breaker state changes",
+                labels=("backend", "to"),
+            )
+            for brk in self.breakers.values():
+                brk.on_transition = self._on_breaker_transition
+        else:
+            self._m_transitions = None
+
+    def _on_breaker_transition(
+        self, backend: str, old: str, new: str, now: float
+    ) -> None:
+        if self._m_transitions is not None:
+            self._m_transitions.inc(backend=backend, to=new)
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.instant(
+                "breaker", "service", now, backend=backend, frm=old, to=new
+            )
 
     # -- routing ---------------------------------------------------------
 
@@ -294,13 +330,26 @@ class AdaptiveDispatcher:
                         attempt, key=(batch_id, backend_idx[backend])
                     )
                     if deadline is not None and now + delay + backoff >= deadline:
-                        raise DeadlineExceeded(
+                        deadline_err = DeadlineExceeded(
                             f"deadline passed after {attempts} tries "
                             f"({len(failures)} failures); last: {err.message}",
                             backend=backend,
                             batch_id=batch_id,
-                        ) from err
+                        )
+                        # Carried so the caller can dump a flight
+                        # timeline per injected fault even when the
+                        # batch never produced a ResilientOutcome.
+                        deadline_err.injected = list(injected)
+                        raise deadline_err from err
                     delay += backoff
+                    tracer = self.telemetry.tracer
+                    if tracer is not None:
+                        tracer.instant(
+                            "retry", "batch", now + delay,
+                            batch=batch_id, backend=backend,
+                            attempt=attempt + 1, backoff_ms=backoff,
+                            error=err.code,
+                        )
                 else:
                     breaker.record_success(now + delay)
                     return ResilientOutcome(
@@ -313,13 +362,15 @@ class AdaptiveDispatcher:
                         injected=injected,
                     )
         last = failures[-1][1] if failures else None
-        raise BackendUnavailable(
+        exhausted = BackendUnavailable(
             f"all backends exhausted for batch {batch_id} "
             f"({attempts} tries, {len(failures)} failures)"
             + (f"; last: {last.message}" if last else ""),
             backend=requested,
             batch_id=batch_id,
         )
+        exhausted.injected = list(injected)
+        raise exhausted
 
     def breaker_snapshots(self):
         return {b: brk.snapshot() for b, brk in self.breakers.items()}
@@ -337,6 +388,13 @@ class AdaptiveDispatcher:
         device = self.config.device
         if fault_plan is not None and fault_plan.latency_factor != 1.0:
             device = device.derate(fault_plan.latency_factor)
+        # Engine knobs resolve session override -> service config, so
+        # the dispatch path is *explicitly* on the compiled engine (or
+        # the interp baseline) instead of inheriting launch defaults.
+        engine = session.engine or getattr(self.config, "engine", "compiled")
+        compact = session.compact_threshold
+        if compact is None:
+            compact = getattr(self.config, "compact_threshold", 0.9)
         launch = TraversalLaunch(
             kernel=kernel,
             tree=session.tree,
@@ -346,17 +404,36 @@ class AdaptiveDispatcher:
             stack_layout=layout,
             visit_budget=getattr(self.config, "visit_budget", None),
             fault_plan=fault_plan,
+            engine=engine,
+            compact_threshold=compact,
+            trace=self._want_trace,
         )
         executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
         result = executor.run()
         wexp = (
             float(result.work_expansion_per_warp().mean()) if lockstep else None
         )
+        kernel_stats = None
+        if self.telemetry.enabled:
+            s = result.stats
+            kernel_stats = {
+                "steps": float(s.steps),
+                "node_visits": float(s.node_visits),
+                "warp_node_visits": float(s.warp_node_visits),
+                "warp_instructions": float(s.warp_instructions),
+                "divergent_instructions": float(s.divergent_instructions),
+                "global_transactions": float(s.global_transactions),
+                "l2_hit_transactions": float(s.l2_hit_transactions),
+                "dram_bytes": float(s.dram_bytes),
+                "stack_ops": float(s.stack_ops),
+            }
         return ExecOutcome(
             out=ctx.out,
             exec_ms=result.time_ms,
             avg_nodes=result.avg_nodes_per_point,
             work_expansion=wexp,
+            trace=result.trace,
+            kernel_stats=kernel_stats,
         )
 
     def _run_cpu(self, session: TreeSession, coords: np.ndarray) -> ExecOutcome:

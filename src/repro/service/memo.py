@@ -1,0 +1,124 @@
+"""Per-session traversal-result memoization.
+
+Online serving traffic repeats itself — the same client re-queries the
+same coordinate, hot spots cluster — and a traversal is pure in (plan,
+query coords), so a repeated query can be answered from a bounded
+per-session cache without a dispatch, a batch slot, or any modeled
+execution time.
+
+Keys are ``(plan_epoch, quantized coords bytes)``:
+
+* ``plan_epoch`` comes from :class:`~repro.service.sessions.TreeSession`
+  and is bumped by ``refresh_plan`` — a failure-driven recompile
+  invalidates every memoized answer for the session without touching
+  the cache (stale epochs just stop matching and age out FIFO);
+* coords are matched *bitwise* by default (``quantum=0.0``); a positive
+  ``quantum`` snaps them to a grid first, trading exactness for hit
+  rate (appropriate for radius-style apps, not for exact-NN answers at
+  cell boundaries — hence off by default).
+
+Results are copied on store and on serve, so a caller mutating a
+served result cannot poison the cache.  Hit/miss counts surface both
+here (:class:`MemoSnapshot`, embedded in ``ServiceStats``) and through
+the telemetry metrics registry when one is attached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+MemoKey = Tuple[int, bytes]
+
+
+@dataclass(frozen=True)
+class MemoSnapshot:
+    """Frozen view of one (or a merged set of) memo cache(s)."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    capacity: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merged(self, other: "MemoSnapshot") -> "MemoSnapshot":
+        return MemoSnapshot(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+            capacity=self.capacity + other.capacity,
+            evictions=self.evictions + other.evictions,
+            stores=self.stores + other.stores,
+        )
+
+
+class TraversalMemo:
+    """Bounded FIFO cache of one session's traversal results."""
+
+    def __init__(self, capacity: int = 256, quantum: float = 0.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if quantum < 0 or not np.isfinite(quantum):
+            raise ValueError(f"quantum must be finite and >= 0, got {quantum}")
+        self.capacity = int(capacity)
+        self.quantum = float(quantum)
+        self._entries: "OrderedDict[MemoKey, Dict[str, np.ndarray]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, plan_epoch: int, coords: np.ndarray) -> MemoKey:
+        coords = np.ascontiguousarray(coords, dtype=np.float64)
+        if self.quantum > 0.0:
+            coords = np.round(coords / self.quantum).astype(np.int64)
+        return (int(plan_epoch), coords.tobytes())
+
+    def lookup(
+        self, plan_epoch: int, coords: np.ndarray
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """A *copy* of the memoized result, or None (counts hit/miss)."""
+        entry = self._entries.get(self.key(plan_epoch, coords))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {k: np.copy(v) for k, v in entry.items()}
+
+    def store(
+        self, plan_epoch: int, coords: np.ndarray, result: Dict[str, np.ndarray]
+    ) -> None:
+        """Memoize one query's result (copied; FIFO-evicts at capacity)."""
+        key = self.key(plan_epoch, coords)
+        if key in self._entries:
+            return  # first answer wins; identical by purity anyway
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = {k: np.copy(v) for k, v in result.items()}
+        self.stores += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> MemoSnapshot:
+        return MemoSnapshot(
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self._entries),
+            capacity=self.capacity,
+            evictions=self.evictions,
+            stores=self.stores,
+        )

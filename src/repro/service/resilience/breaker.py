@@ -68,6 +68,16 @@ class CircuitBreaker:
         self.rejections = 0
         self.opened_at_ms: Optional[float] = None
         self._probes_left = 0
+        #: optional observer called as ``(backend, old_state, new_state,
+        #: now)`` on every state change (telemetry records transitions
+        #: as counters + trace instants); None costs one check.
+        self.on_transition = None
+
+    def _set_state(self, new_state: str, now: float) -> None:
+        old = self.state
+        self.state = new_state
+        if self.on_transition is not None and old != new_state:
+            self.on_transition(self.backend, old, new_state, now)
 
     # -- gate ------------------------------------------------------------
 
@@ -77,7 +87,7 @@ class CircuitBreaker:
             if self.opened_at_ms is not None and (
                 now - self.opened_at_ms >= self.cooldown_ms
             ):
-                self.state = STATE_HALF_OPEN
+                self._set_state(STATE_HALF_OPEN, now)
                 self._probes_left = self.half_open_trials
             else:
                 self.rejections += 1
@@ -95,7 +105,7 @@ class CircuitBreaker:
         self.successes += 1
         self.consecutive_failures = 0
         if self.state != STATE_CLOSED:
-            self.state = STATE_CLOSED
+            self._set_state(STATE_CLOSED, now)
             self.opened_at_ms = None
 
     def record_failure(self, now: float) -> None:
@@ -110,7 +120,7 @@ class CircuitBreaker:
             self._trip(now)
 
     def _trip(self, now: float) -> None:
-        self.state = STATE_OPEN
+        self._set_state(STATE_OPEN, now)
         self.opened_at_ms = now
         self.trips += 1
         self._probes_left = 0

@@ -47,11 +47,14 @@ from repro.service.resilience import (
     Overloaded,
     ServiceError,
 )
+from repro.service.memo import MemoSnapshot, TraversalMemo
 from repro.service.sessions import SessionRegistry, TreeSession
 from repro.service.stats import BackendStats, ResilienceCounters, ServiceStats
+from repro.telemetry import DEFAULT_SIZE_BUCKETS, Telemetry, TelemetryConfig
 
 SORT_MODES = ("arrival", "morton", "tree")
 SHED_POLICIES = ("reject-new", "drop-oldest")
+ENGINES = ("compiled", "interp")
 
 
 @dataclass(frozen=True)
@@ -114,6 +117,33 @@ class ServiceConfig:
     #: deterministic fault injection (None = chaos off).
     chaos: Optional[ChaosConfig] = None
 
+    # -- execution engine ------------------------------------------------
+
+    #: GPU execution engine for dispatched batches: ``"compiled"`` (the
+    #: plan-compiled op programs with frontier compaction) or
+    #: ``"interp"`` (the per-step AST interpreter baseline).  Individual
+    #: sessions may override this at register time.
+    engine: str = "compiled"
+    #: frontier-compaction trigger passed to every GPU launch (see
+    #: TraversalLaunch.compact_threshold); session-overridable.
+    compact_threshold: float = 0.9
+
+    # -- memoization -----------------------------------------------------
+
+    #: per-session memo of traversal results keyed by (plan epoch,
+    #: quantized coords); 0 disables memoization entirely.
+    memo_capacity: int = 256
+    #: memo coordinate quantization grid (0 = exact bitwise match, the
+    #: safe default: no radius/NN boundary effects).
+    memo_quantum: float = 0.0
+
+    # -- telemetry -------------------------------------------------------
+
+    #: telemetry layer (metrics registry + span tracing + flight
+    #: recorder); disabled by default — the off path costs one branch
+    #: per batch and nothing per step.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+
     def __post_init__(self) -> None:
         if self.sort not in SORT_MODES:
             raise ValueError(f"sort must be one of {SORT_MODES}, got {self.sort!r}")
@@ -134,6 +164,16 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1 (or None)")
         if self.plan_failure_threshold < 1:
             raise ValueError("plan_failure_threshold must be >= 1")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if not 0.0 <= self.compact_threshold <= 1.0:
+            raise ValueError("compact_threshold must be in [0, 1]")
+        if self.memo_capacity < 0:
+            raise ValueError("memo_capacity must be >= 0")
+        if self.memo_quantum < 0:
+            raise ValueError("memo_quantum must be >= 0")
 
     def with_(self, **changes) -> "ServiceConfig":
         """A copy with the given fields replaced."""
@@ -146,8 +186,10 @@ class TraversalService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.registry = SessionRegistry()
-        self.dispatcher = AdaptiveDispatcher(self.config)
+        self.telemetry = Telemetry.from_config(self.config.telemetry)
+        self.dispatcher = AdaptiveDispatcher(self.config, self.telemetry)
         self._batchers: Dict[str, DynamicBatcher] = {}
+        self._memos: Dict[str, TraversalMemo] = {}
         self._backend_stats: Dict[str, BackendStats] = {
             b: BackendStats(b) for b in BACKENDS
         }
@@ -160,15 +202,140 @@ class TraversalService:
         self._failed = 0
         self._plan_failures: Dict[str, int] = {}
         self._all_latencies: List[float] = []
+        self._register_instruments()
+
+    # -- telemetry plumbing ----------------------------------------------
+
+    def _register_instruments(self) -> None:
+        """Register the service's metric families (telemetry only).
+
+        ``self._m`` is None when telemetry/metrics are off — every
+        update site guards on that one check, so the disabled path does
+        no label-tuple or dict work at all.
+        """
+        tel = self.telemetry
+        if not tel.enabled or tel.registry is None:
+            self._m = None
+            return
+        reg = tel.registry
+        self._m = {
+            "queries": reg.counter(
+                "service_queries_total", "queries admitted", labels=("session",)
+            ),
+            "results": reg.counter(
+                "service_query_results_total",
+                "query resolutions by outcome (ok or error code)",
+                labels=("outcome",),
+            ),
+            "batches": reg.counter(
+                "service_batches_total", "dispatched batches",
+                labels=("session", "reason"),
+            ),
+            "batch_size": reg.histogram(
+                "service_batch_size", "queries per dispatched batch",
+                buckets=DEFAULT_SIZE_BUCKETS, labels=("backend",),
+            ),
+            "exec_ms": reg.histogram(
+                "service_exec_ms", "modeled batch execution time (ms)",
+                labels=("backend",),
+            ),
+            "wait_ms": reg.histogram(
+                "service_wait_ms", "queue wait per query (ms)"
+            ),
+            "queue_depth": reg.gauge(
+                "service_queue_depth", "pending queries", labels=("session",)
+            ),
+            "retries": reg.counter(
+                "service_retries_total", "execution retries", labels=("backend",)
+            ),
+            "degraded": reg.counter(
+                "service_degraded_batches_total",
+                "batches served by a fallback backend",
+            ),
+            "faults": reg.counter(
+                "service_faults_injected_total", "chaos faults armed",
+                labels=("fault",),
+            ),
+            "plan_events": reg.counter(
+                "plan_cache_events_total",
+                "plan-cache hits / misses / invalidations",
+                labels=("event",),
+            ),
+            "plan_ops": reg.gauge(
+                "plan_ops", "compiled-program op counts per session plan",
+                labels=("session", "variant", "op"),
+            ),
+            "memo": reg.counter(
+                "memo_lookups_total", "traversal-memo lookups",
+                labels=("session", "outcome"),
+            ),
+            "kernel": reg.counter(
+                "kernel_counters_total",
+                "kernel counters folded per backend (visits, traffic, ...)",
+                labels=("backend", "counter"),
+            ),
+        }
+        self.registry.plans.on_event = (
+            lambda event: self._m["plan_events"].inc(event=event)
+        )
+
+    def _publish_plan_gauges(self, session: TreeSession) -> None:
+        """Static per-plan shape gauges (op histogram per variant)."""
+        from repro.core.compile import program_for
+
+        gauge = self._m["plan_ops"]
+        variants = [("autoropes", False)]
+        if session.plan.lockstep is not None:
+            variants.append(("lockstep", True))
+        for variant, lockstep in variants:
+            prog = program_for(session.plan.kernel(lockstep=lockstep))
+            for op, n in prog.op_histogram().items():
+                gauge.set(n, session=session.name, variant=variant, op=op)
+
+    def _tel_query_end(
+        self, ticket: QueryTicket, t_end: float, status: str, **args
+    ) -> None:
+        """Finish a ticket's query span and feed the flight ring."""
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return
+        span = tracer.get_open(f"q{ticket.id}")
+        if span is None:
+            return
+        self.telemetry.finish_span(ticket.session, span, t_end, status, **args)
 
     # -- sessions --------------------------------------------------------
 
-    def register(self, name: str, app: str, data: np.ndarray, **build_kwargs) -> TreeSession:
-        """Build (or reuse) a session and give it a batching queue."""
-        session = self.registry.register(name, app, data, **build_kwargs)
+    def register(
+        self,
+        name: str,
+        app: str,
+        data: np.ndarray,
+        *,
+        engine: Optional[str] = None,
+        compact_threshold: Optional[float] = None,
+        **build_kwargs,
+    ) -> TreeSession:
+        """Build (or reuse) a session and give it a batching queue.
+
+        ``engine`` / ``compact_threshold`` override the service-wide
+        execution knobs for this session only (None = inherit config).
+        """
+        session = self.registry.register(
+            name, app, data,
+            engine=engine, compact_threshold=compact_threshold,
+            **build_kwargs,
+        )
         self._batchers[name] = DynamicBatcher(
             max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms
         )
+        if self.config.memo_capacity > 0:
+            self._memos[name] = TraversalMemo(
+                capacity=self.config.memo_capacity,
+                quantum=self.config.memo_quantum,
+            )
+        if self._m is not None:
+            self._publish_plan_gauges(session)
         return session
 
     def unregister(self, name: str, now: Optional[float] = None) -> bool:
@@ -183,6 +350,7 @@ class TraversalService:
             return self.registry.unregister(name)
         self.flush(name, now=now)
         self._batchers.pop(name, None)
+        self._memos.pop(name, None)
         self._plan_failures.pop(name, None)
         self.registry.unregister(name)
         return True
@@ -245,6 +413,10 @@ class TraversalService:
             self.resilience.shed_dropped += 1
             self.resilience.count_error(Overloaded.code)
             self._failed += 1
+            if self.telemetry.enabled:
+                self._tel_query_end(dropped, t, Overloaded.code, shed=True)
+                if self._m is not None:
+                    self._m["results"].inc(outcome=Overloaded.code)
 
     # -- query paths -------------------------------------------------------
 
@@ -260,6 +432,16 @@ class TraversalService:
         t = self._tick(now)
         sess = self.registry.get(session)
         coord_arr = self._validate_coords(sess, coord)
+        memo = self._memos.get(session)
+        if memo is not None:
+            cached = memo.lookup(sess.plan_epoch, coord_arr)
+            if self._m is not None:
+                self._m["memo"].inc(
+                    session=session,
+                    outcome="hit" if cached is not None else "miss",
+                )
+            if cached is not None:
+                return self._serve_memo_hit(session, coord_arr, cached, t)
         batcher = self._batchers[session]
         self._admit(session, batcher, t)
         ticket = QueryTicket(
@@ -267,8 +449,48 @@ class TraversalService:
         )
         self._next_ticket += 1
         self._submitted += 1
+        if self.telemetry.enabled:
+            tracer = self.telemetry.tracer
+            if tracer is not None:
+                tracer.begin(
+                    "query", "query", f"q{ticket.id}", t, session=session
+                )
+            if self._m is not None:
+                self._m["queries"].inc(session=session)
+                self._m["queue_depth"].set(
+                    batcher.queue_depth + 1, session=session
+                )
         if batcher.add(ticket):
             self._dispatch(session, batcher.take_full(t), t, "full")
+        return ticket
+
+    def _serve_memo_hit(
+        self, session: str, coord_arr: np.ndarray, cached, t: float
+    ) -> QueryTicket:
+        """Resolve a repeated query from the memo — no batch, no
+        dispatch, zero modeled latency."""
+        ticket = QueryTicket(
+            id=self._next_ticket, session=session, coords=coord_arr, t_submit=t
+        )
+        self._next_ticket += 1
+        self._submitted += 1
+        self._completed += 1
+        ticket.result = cached
+        ticket.backend = "memo"
+        self._all_latencies.append(0.0)
+        tel = self.telemetry
+        if tel.enabled:
+            tracer = tel.tracer
+            if tracer is not None:
+                span = tracer.complete(
+                    "query", "query", f"q{ticket.id}", t, t,
+                    session=session, backend="memo",
+                )
+                if tel.flight is not None:
+                    tel.flight.record(session, span.to_dict())
+            if self._m is not None:
+                self._m["queries"].inc(session=session)
+                self._m["results"].inc(outcome="ok")
         return ticket
 
     def advance(self, now: float) -> int:
@@ -407,12 +629,29 @@ class TraversalService:
             reason=reason,
         )
         self._next_batch += 1
+        tel = self.telemetry
+        tracer = tel.tracer if tel.enabled else None
+        bspan = None
+        if tracer is not None:
+            bspan = tracer.begin(
+                f"batch:{session}", "batch", f"b{batch.id}", t_flush,
+                session=session, size=batch.size, reason=reason,
+            )
         coords = batch.coords
         # Spatial reorder: make warp membership match tree locality
         # *before* similarity profiling and launch (Section 4.4).
         order = self._batch_order(sess, coords)
         coords = coords[order]
+        if bspan is not None:
+            bspan.event("order", t_flush, sort=self.config.sort)
         decision = self.dispatcher.decide(sess, coords)
+        if bspan is not None:
+            sim = decision.similarity
+            bspan.event(
+                "dispatch", t_flush,
+                backend=decision.backend, reason=decision.reason,
+                mean_jaccard=(sim.mean_jaccard if sim is not None else None),
+            )
         try:
             r = self.dispatcher.execute_resilient(
                 sess,
@@ -425,11 +664,56 @@ class TraversalService:
         except ServiceError as err:
             self._fail_batch(tickets, batch, err)
             self._record_resilience(session, attempts=0, failures=None, r=None)
+            if tel.enabled:
+                for ticket in tickets:
+                    self._tel_query_end(
+                        ticket, t_flush, err.code, batch=batch.id
+                    )
+                if bspan is not None:
+                    tel.finish_span(session, bspan, t_flush, err.code)
+                if self._m is not None:
+                    self._m["batches"].inc(session=session, reason=reason)
+                    self._m["results"].inc(batch.size, outcome=err.code)
+                    for name in getattr(err, "injected", ()):
+                        self._m["faults"].inc(fault=name)
+                if tel.flight is not None:
+                    for name in getattr(err, "injected", ()):
+                        tel.flight.dump(
+                            session, f"chaos:{name}", t_flush,
+                            detail={"batch": batch.id, "outcome": err.code},
+                        )
+                    tel.flight.dump(
+                        session, err.code, t_flush, detail=err.to_dict()
+                    )
             return batch
         outcome = r.outcome
+        t_launch = t_flush + r.delay_ms
+        t_done = t_launch + outcome.exec_ms
+        if tracer is not None:
+            largs = {
+                "backend": r.backend, "batch": batch.id,
+                "size": batch.size, "attempts": r.attempts,
+            }
+            if r.backend != "cpu":
+                largs["engine"] = sess.engine or self.config.engine
+            lspan = tracer.begin(
+                f"launch:{r.backend}", "launch", f"b{batch.id}:launch",
+                t_launch, **largs,
+            )
+            if outcome.trace is not None and len(outcome.trace) > 0:
+                # Interpolate decimated StepTrace samples across the
+                # modeled execution window.
+                n_steps = len(outcome.trace)
+                for ev in outcome.trace.sample_events(tel.config.step_events):
+                    frac = ev["step"] / max(1, n_steps - 1)
+                    lspan.event(
+                        "step", t_launch + frac * outcome.exec_ms, **ev
+                    )
+            tel.finish_span(session, lspan, t_done)
         # Resolve tickets: row i of the executed batch is the order[i]-th
         # submitted ticket.
         deadline_ms = self.config.deadline_ms
+        memo = self._memos.get(session)
         waits: List[float] = []
         n_ok = 0
         for row, tidx in enumerate(order):
@@ -457,8 +741,18 @@ class TraversalService:
             else:
                 ticket.result = sess.extract(outcome.out, row)
                 n_ok += 1
+                if memo is not None:
+                    memo.store(sess.plan_epoch, ticket.coords, ticket.result)
             waits.append(ticket.wait_ms)
             self._all_latencies.append(ticket.latency_ms)
+            if tel.enabled:
+                self._tel_query_end(
+                    ticket,
+                    ticket.t_submit + ticket.latency_ms,
+                    "ok" if ticket.ok else DeadlineExceeded.code,
+                    backend=r.backend,
+                    batch=batch.id,
+                )
         self._completed += n_ok
         self._backend_stats[r.backend].record_batch(
             n_queries=batch.size,
@@ -471,6 +765,48 @@ class TraversalService:
         self._record_resilience(
             session, attempts=r.attempts, failures=r.failures, r=r
         )
+        if tel.enabled:
+            if bspan is not None:
+                tel.finish_span(
+                    session, bspan, t_done, "ok",
+                    backend=r.backend, attempts=r.attempts,
+                    degraded=r.degraded,
+                )
+            if self._m is not None:
+                m = self._m
+                m["batches"].inc(session=session, reason=reason)
+                m["batch_size"].observe(batch.size, backend=r.backend)
+                m["exec_ms"].observe(outcome.exec_ms, backend=r.backend)
+                for w in waits:
+                    m["wait_ms"].observe(w)
+                m["results"].inc(n_ok, outcome="ok")
+                if n_ok < batch.size:
+                    m["results"].inc(
+                        batch.size - n_ok, outcome=DeadlineExceeded.code
+                    )
+                if r.attempts > 1:
+                    m["retries"].inc(r.attempts - 1, backend=r.backend)
+                if r.degraded:
+                    m["degraded"].inc()
+                for name in r.injected:
+                    m["faults"].inc(fault=name)
+                if outcome.kernel_stats:
+                    for key, v in outcome.kernel_stats.items():
+                        m["kernel"].inc(v, backend=r.backend, counter=key)
+                m["queue_depth"].set(
+                    self._batchers[session].queue_depth, session=session
+                )
+            if tel.flight is not None and r.injected:
+                # Every injected fault ships its causal timeline, even
+                # when retries/failover recovered the batch.
+                for name in r.injected:
+                    tel.flight.dump(
+                        session, f"chaos:{name}", t_done,
+                        detail={
+                            "batch": batch.id, "backend": r.backend,
+                            "attempts": r.attempts, "recovered": True,
+                        },
+                    )
         return batch
 
     def _record_resilience(self, session, attempts, failures, r) -> None:
@@ -515,4 +851,12 @@ class TraversalService:
             total_exec_ms=sum(s.total_exec_ms for s in backends.values()),
             p50_latency_ms=percentile(self._all_latencies, 50),
             p95_latency_ms=percentile(self._all_latencies, 95),
+            memo=self._memo_snapshot(),
+            telemetry=self.telemetry.snapshot(),
         )
+
+    def _memo_snapshot(self) -> MemoSnapshot:
+        merged = MemoSnapshot()
+        for memo in self._memos.values():
+            merged = merged.merged(memo.snapshot())
+        return merged

@@ -117,6 +117,15 @@ class TreeSession:
     #: the plan-cache key this session's plan was compiled under (used
     #: for failure-driven invalidation; see SessionRegistry.refresh_plan).
     plan_key: Optional[Tuple] = None
+    #: per-session execution-engine override ("compiled" | "interp");
+    #: None defers to the service config's engine.
+    engine: Optional[str] = None
+    #: per-session frontier-compaction override; None defers to config.
+    compact_threshold: Optional[float] = None
+    #: bumped on every refresh_plan — memoized results are keyed on it,
+    #: so a recompile invalidates them without comparing plan objects
+    #: (object ids can be reused after GC).
+    plan_epoch: int = 0
 
     @property
     def dim(self) -> int:
@@ -169,13 +178,31 @@ class SessionRegistry:
         self._builds: Dict[Tuple, TraversalApp] = {}
 
     def register(
-        self, name: str, app: str, data: np.ndarray, **build_kwargs
+        self,
+        name: str,
+        app: str,
+        data: np.ndarray,
+        *,
+        engine: Optional[str] = None,
+        compact_threshold: Optional[float] = None,
+        **build_kwargs,
     ) -> TreeSession:
         """Build (or reuse) the tree + plan for ``(app, data)``.
 
         ``build_kwargs`` pass through to the app builder (``k``,
-        ``radius``, ``leaf_size``, ...).
+        ``radius``, ``leaf_size``, ...).  ``engine`` and
+        ``compact_threshold`` are per-session *execution* overrides —
+        they never reach the builder and are not part of the build
+        fingerprint, because the same tree + plan serves both engines.
         """
+        if engine is not None and engine not in ("compiled", "interp"):
+            raise ValueError(
+                f"engine must be 'compiled', 'interp', or None, got {engine!r}"
+            )
+        if compact_threshold is not None and not 0.0 <= compact_threshold <= 1.0:
+            raise ValueError(
+                f"compact_threshold must be in [0, 1], got {compact_threshold}"
+            )
         if name in self._sessions:
             raise KeyError(f"session {name!r} already registered")
         if app not in ADAPTERS:
@@ -192,7 +219,7 @@ class SessionRegistry:
         plan = self.plans.get_or_compile(key, built.spec)
         session = TreeSession(
             name=name, adapter=adapter, app=built, plan=plan, data=data,
-            plan_key=key,
+            plan_key=key, engine=engine, compact_threshold=compact_threshold,
         )
         self._sessions[name] = session
         return session
@@ -219,6 +246,7 @@ class SessionRegistry:
             session.plan = self.plans.get_or_compile(
                 session.plan_key, session.app.spec
             )
+            session.plan_epoch += 1
         return session
 
     def get(self, name: str) -> TreeSession:

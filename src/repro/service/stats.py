@@ -21,7 +21,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.core.plancache import PlanCacheStats
+from repro.service.memo import MemoSnapshot
 from repro.service.resilience.breaker import BreakerSnapshot
+from repro.telemetry import TelemetrySnapshot
 
 
 def percentile(values: List[float], q: float) -> Optional[float]:
@@ -211,6 +213,12 @@ class ServiceStats:
     total_exec_ms: float
     p50_latency_ms: Optional[float]
     p95_latency_ms: Optional[float]
+    #: merged per-session memoization counters (see repro.service.memo).
+    memo: MemoSnapshot = field(default_factory=MemoSnapshot)
+    #: telemetry roll-up + full metrics export (repro.telemetry); the
+    #: disabled default keeps snapshots cheap and JSON-identical in
+    #: shape whether or not telemetry is on.
+    telemetry: TelemetrySnapshot = field(default_factory=TelemetrySnapshot)
 
     @property
     def backends_exercised(self) -> int:
@@ -272,4 +280,19 @@ class ServiceStats:
         if r.injected_faults:
             inj = " ".join(f"{k}={v}" for k, v in sorted(r.injected_faults.items()))
             lines.append(f"  chaos faults injected: {inj}")
+        if self.memo.hits or self.memo.misses:
+            m = self.memo
+            lines.append(
+                f"  memo: hits={m.hits} misses={m.misses} "
+                f"(rate {m.hit_rate:.1%}) entries={m.entries}/{m.capacity} "
+                f"evictions={m.evictions}"
+            )
+        if self.telemetry.enabled:
+            t = self.telemetry
+            lines.append(
+                f"  telemetry: spans={t.spans_recorded} "
+                f"(dropped={t.spans_dropped}) "
+                f"flight_dumps={t.flight_dumps} "
+                f"instruments={len(t.metrics)}"
+            )
         return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Unified telemetry layer: metrics, span tracing, flight recorder.
+
+One facade — :class:`Telemetry` — bundles the three subsystems so the
+service layer threads a single handle instead of three:
+
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — named counters /
+  gauges / histograms with Prometheus text + JSON export;
+* :class:`~repro.telemetry.tracing.Tracer` — logical-clock spans with
+  Chrome ``trace_event`` export;
+* :class:`~repro.telemetry.flight.FlightRecorder` — bounded rings of
+  recent spans per session, frozen into dumps on failure.
+
+Zero cost when off: :data:`NULL_TELEMETRY` is a singleton whose
+``enabled`` is False and whose subsystem handles are all None.  Every
+instrumented call site does ``if telemetry.enabled:`` (one attribute
+read and branch) and nothing else on the off path — no span objects,
+no label tuples, no dict updates.  The executor hot loops are never
+touched at all; per-step data rides the existing
+:class:`repro.gpusim.trace.StepTrace` mechanism, sampled *after* the
+launch returns.
+
+Construction is config-driven::
+
+    tel = Telemetry.from_config(TelemetryConfig(enabled=True))
+
+and each subsystem can be disabled independently (``trace=False``
+keeps metrics but skips span bookkeeping, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .metrics import (
+    Counter,
+    DEFAULT_MS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import Span, Tracer
+from .flight import FlightRecorder
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "FlightRecorder",
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for the telemetry layer.
+
+    ``enabled`` is the master switch; the per-subsystem flags only
+    matter when it is True.  ``step_events`` caps how many StepTrace
+    samples a launch span carries (decimated, first/last kept);
+    ``flight_capacity`` is the per-session ring size and
+    ``flight_max_dumps`` bounds how many failure dumps are retained.
+    ``max_spans`` bounds tracer memory on long-running services.
+    """
+
+    enabled: bool = False
+    trace: bool = True
+    metrics: bool = True
+    flight: bool = True
+    step_events: int = 32
+    flight_capacity: int = 64
+    flight_max_dumps: int = 32
+    max_spans: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.step_events < 0:
+            raise ValueError(f"step_events must be >= 0, got {self.step_events}")
+        if self.flight_capacity < 1:
+            raise ValueError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
+            )
+        if self.max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {self.max_spans}")
+
+    def with_(self, **kwargs) -> "TelemetryConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """JSON-safe summary embedded in :class:`repro.service.ServiceStats`.
+
+    ``metrics`` is the registry's full JSON export; the rest are scalar
+    roll-ups so a snapshot stays readable without the full payload.
+    Everything here survives ``json.dumps`` → ``json.loads`` without
+    ``NaN``/``Infinity`` tokens (histogram bounds are finite by
+    construction).
+    """
+
+    enabled: bool = False
+    spans_recorded: int = 0
+    spans_dropped: int = 0
+    flight_dumps: int = 0
+    flight_dumps_dropped: int = 0
+    metrics: dict = field(default_factory=dict)
+
+
+class Telemetry:
+    """Facade bundling registry + tracer + flight recorder."""
+
+    __slots__ = ("enabled", "config", "registry", "tracer", "flight")
+
+    def __init__(
+        self,
+        config: TelemetryConfig,
+        registry: Optional[MetricsRegistry],
+        tracer: Optional[Tracer],
+        flight: Optional[FlightRecorder],
+    ) -> None:
+        self.config = config
+        self.enabled = bool(config.enabled)
+        self.registry = registry
+        self.tracer = tracer
+        self.flight = flight
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig) -> "Telemetry":
+        if not config.enabled:
+            return NULL_TELEMETRY
+        registry = MetricsRegistry() if config.metrics else None
+        tracer = Tracer(max_spans=config.max_spans) if config.trace else None
+        flight = (
+            FlightRecorder(
+                capacity=config.flight_capacity,
+                max_dumps=config.flight_max_dumps,
+            )
+            if config.flight
+            else None
+        )
+        return cls(config, registry, tracer, flight)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return NULL_TELEMETRY
+
+    @classmethod
+    def on(cls, **kwargs) -> "Telemetry":
+        """Shorthand for tests: a fully enabled instance."""
+        return cls.from_config(TelemetryConfig(enabled=True, **kwargs))
+
+    # -- span helpers ----------------------------------------------------
+
+    def finish_span(self, session: Optional[str], span: Span, t_ms: float,
+                    status: str = "ok", **args) -> None:
+        """End an open span and feed it to the flight ring."""
+        if self.tracer is not None:
+            self.tracer.end(span.span_id, t_ms, status, **args)
+        else:
+            span.finish(t_ms, status, **args)
+        if self.flight is not None and session is not None:
+            self.flight.record(session, span.to_dict())
+
+    def snapshot(self) -> TelemetrySnapshot:
+        if not self.enabled:
+            return TelemetrySnapshot()
+        return TelemetrySnapshot(
+            enabled=True,
+            spans_recorded=len(self.tracer) if self.tracer is not None else 0,
+            spans_dropped=self.tracer.dropped if self.tracer is not None else 0,
+            flight_dumps=len(self.flight.dumps) if self.flight is not None else 0,
+            flight_dumps_dropped=(
+                self.flight.dumps_dropped if self.flight is not None else 0
+            ),
+            metrics=self.registry.to_dict() if self.registry is not None else {},
+        )
+
+
+#: The do-nothing singleton every un-instrumented service shares.
+NULL_TELEMETRY = Telemetry(
+    TelemetryConfig(enabled=False), registry=None, tracer=None, flight=None
+)

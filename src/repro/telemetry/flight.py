@@ -1,0 +1,105 @@
+"""Flight recorder: bounded rings of recent spans, dumped on failure.
+
+Every session gets a ring of the last ``capacity`` finished spans
+(stored as plain dicts, so dumps are JSON-safe by construction).  When
+a :class:`repro.service.resilience.ServiceError` surfaces or a chaos
+fault is injected, the service calls :meth:`FlightRecorder.dump` and
+the recorder freezes a causal timeline — the spans leading up to the
+failure, plus the trigger — into its ``dumps`` list.  The CLI writes
+them out with ``--flight-out``; tests assert one dump per injected
+fault.
+
+The ring holds dicts rather than :class:`~repro.telemetry.tracing.Span`
+objects on purpose: a dump must reflect the span *at failure time*,
+not pick up events appended later.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class FlightRecorder:
+    """Per-session span rings plus frozen failure dumps."""
+
+    def __init__(self, capacity: int = 64, max_dumps: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.max_dumps = int(max_dumps)
+        self._rings: Dict[str, Deque[dict]] = {}
+        self.dumps: List[dict] = []
+        self.dumps_dropped = 0
+
+    def record(self, session: str, span_dict: dict) -> None:
+        """Append a finished span (as a dict) to the session's ring."""
+        ring = self._rings.get(session)
+        if ring is None:
+            ring = self._rings[session] = deque(maxlen=self.capacity)
+        ring.append(span_dict)
+
+    def ring(self, session: str) -> List[dict]:
+        return list(self._rings.get(session, ()))
+
+    def sessions(self) -> List[str]:
+        return sorted(self._rings)
+
+    def dump(
+        self,
+        session: str,
+        reason: str,
+        t_ms: float,
+        detail: Optional[dict] = None,
+    ) -> Optional[dict]:
+        """Freeze the session's ring into a failure timeline.
+
+        Returns the dump dict, or None if the dump budget is spent
+        (``dumps_dropped`` still counts the event either way).
+        """
+        if len(self.dumps) >= self.max_dumps:
+            self.dumps_dropped += 1
+            return None
+        payload = {
+            "session": session,
+            "reason": reason,
+            "t_ms": float(t_ms),
+            "detail": dict(detail) if detail else {},
+            "timeline": self.ring(session),
+        }
+        self.dumps.append(payload)
+        return payload
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "rings": {name: list(ring) for name, ring in sorted(self._rings.items())},
+            "dumps": list(self.dumps),
+            "dumps_dropped": self.dumps_dropped,
+        }
+
+    def format_dump(self, dump: dict, max_spans: int = 12) -> str:
+        """Human-readable one-dump timeline for terminal output.
+
+        Shows the *last* ``max_spans`` spans — the causal run-up to the
+        failure; the JSON dump keeps the full ring.
+        """
+        lines = [
+            f"flight dump · session={dump['session']} reason={dump['reason']} "
+            f"t={dump['t_ms']:.3f}ms"
+        ]
+        for k, v in sorted(dump.get("detail", {}).items()):
+            lines.append(f"  {k}: {v}")
+        timeline = dump.get("timeline", [])
+        if len(timeline) > max_spans:
+            lines.append(f"  ... ({len(timeline) - max_spans} earlier spans)")
+            timeline = timeline[-max_spans:]
+        for span in timeline:
+            t0 = span.get("t_start_ms")
+            t1 = span.get("t_end_ms")
+            dur = "" if t1 is None or t0 is None else f" +{t1 - t0:.3f}ms"
+            lines.append(
+                f"  [{t0:9.3f}]{dur} {span.get('track')}/{span.get('name')}"
+                f" ({span.get('status')})"
+            )
+        return "\n".join(lines)

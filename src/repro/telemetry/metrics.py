@@ -1,0 +1,299 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry replaces ad-hoc counter attributes scattered across the
+service with named, typed, labelled instruments that export two ways:
+
+* :meth:`MetricsRegistry.expose_text` — Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` preamble, one line per labelled series),
+  suitable for a scrape endpoint or a file sink;
+* :meth:`MetricsRegistry.to_dict` — a JSON-round-trippable dict the
+  stats snapshot embeds and the CLI writes with ``--metrics-out``.
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  The registry only exists when telemetry is
+   enabled; callers guard every update with one ``enabled`` check, so
+   the disabled path never allocates a label tuple.
+2. **JSON safety.**  Histogram bucket bounds are *finite* floats; the
+   implicit overflow bucket is a separate count, and the text
+   exposition renders it as ``le="+Inf"``.  No value in any export is
+   ``NaN``/``inf`` — the same invariant :mod:`repro.service.stats`
+   enforces.
+3. **Determinism.**  Series iterate in sorted label order, so two runs
+   over the same trace produce byte-identical expositions.
+
+All instruments are cumulative over the registry's lifetime; the
+service's logical clock never appears here (timestamps belong to the
+tracer, not the metrics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default latency-ish buckets, in modeled milliseconds.
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+
+#: default batch-size buckets (powers of two up to the common caps).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _label_key(label_names: Tuple[str, ...], labels: Mapping[str, str]) -> LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(labels))}"
+        )
+    return tuple((k, str(labels[k])) for k in label_names)
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus-style number: integers render without the dot."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _series_suffix(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class Instrument:
+    """Base class: a named metric family with fixed label names."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _check(self, value: float, what: str) -> float:
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"{self.name}: {what} must be finite, got {value}")
+        return value
+
+
+class Counter(Instrument):
+    """Monotone counter (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, label_names=()):
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1.0, **labels: str) -> None:
+        n = self._check(n, "increment")
+        if n < 0:
+            raise ValueError(f"{self.name}: counters only go up, got {n}")
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + n
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        return sum(self._values.values())
+
+    def series(self) -> List[dict]:
+        return [
+            {"labels": dict(key), "value": v}
+            for key, v in sorted(self._values.items())
+        ]
+
+    def expose(self) -> Iterable[str]:
+        for key, v in sorted(self._values.items()):
+            yield f"{self.name}{_series_suffix(key)} {_fmt_value(v)}"
+
+
+class Gauge(Instrument):
+    """Point-in-time value (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, label_names=()):
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, v: float, **labels: str) -> None:
+        self._values[_label_key(self.label_names, labels)] = self._check(v, "value")
+
+    def inc(self, n: float = 1.0, **labels: str) -> None:
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + self._check(n, "delta")
+
+    def dec(self, n: float = 1.0, **labels: str) -> None:
+        self.inc(-n, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def series(self) -> List[dict]:
+        return [
+            {"labels": dict(key), "value": v}
+            for key, v in sorted(self._values.items())
+        ]
+
+    def expose(self) -> Iterable[str]:
+        for key, v in sorted(self._values.items()):
+            yield f"{self.name}{_series_suffix(key)} {_fmt_value(v)}"
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # len(bounds) + 1 (overflow last)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Instrument):
+    """Fixed-boundary histogram (per label set).
+
+    ``bounds`` are the *finite* upper bucket edges, ascending; an
+    implicit overflow bucket catches everything above the last edge
+    (rendered as ``le="+Inf"`` in the text exposition, kept as a plain
+    count in the JSON export so the payload stays strict-JSON).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help, bounds: Tuple[float, ...], label_names=()):
+        super().__init__(name, help, label_names)
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError(f"{self.name}: need at least one bucket bound")
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ValueError(f"{self.name}: bucket bounds must be finite")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"{self.name}: bounds must be strictly ascending")
+        self.bounds = bounds
+        self._series: Dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, v: float, **labels: str) -> None:
+        v = self._check(v, "observation")
+        key = _label_key(self.label_names, labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = _HistogramState(len(self.bounds) + 1)
+        # Linear scan: bucket lists are short (~10) and observations
+        # cluster low, so this beats bisect's call overhead in practice.
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                state.counts[i] += 1
+                break
+        else:
+            state.counts[-1] += 1
+        state.sum += v
+        state.count += 1
+
+    def state(self, **labels: str) -> Optional[_HistogramState]:
+        return self._series.get(_label_key(self.label_names, labels))
+
+    def series(self) -> List[dict]:
+        out = []
+        for key, st in sorted(self._series.items()):
+            out.append(
+                {
+                    "labels": dict(key),
+                    "bounds": list(self.bounds),
+                    "counts": list(st.counts),
+                    "sum": st.sum,
+                    "count": st.count,
+                }
+            )
+        return out
+
+    def expose(self) -> Iterable[str]:
+        for key, st in sorted(self._series.items()):
+            cum = 0
+            for bound, n in zip(self.bounds, st.counts):
+                cum += n
+                suffix = _series_suffix(key, (("le", _fmt_value(bound)),))
+                yield f"{self.name}_bucket{suffix} {cum}"
+            cum += st.counts[-1]
+            suffix = _series_suffix(key, (("le", "+Inf"),))
+            yield f"{self.name}_bucket{suffix} {cum}"
+            yield f"{self.name}_sum{_series_suffix(key)} {_fmt_value(st.sum)}"
+            yield f"{self.name}_count{_series_suffix(key)} {st.count}"
+
+
+class MetricsRegistry:
+    """Names instruments, enforces one definition per name, exports."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        inst = cls(name, help, **kwargs)
+        self._instruments[name] = inst
+        return inst
+
+    def counter(self, name: str, help: str = "", labels: Tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, label_names=labels)
+
+    def gauge(self, name: str, help: str = "", labels: Tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, label_names=labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_MS_BUCKETS,
+        labels: Tuple[str, ...] = (),
+    ) -> Histogram:
+        return self._register(Histogram, name, help, bounds=buckets, label_names=labels)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    # -- exports ---------------------------------------------------------
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(inst.expose())
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-round-trippable view: {name: {kind, help, series}}."""
+        return {
+            name: {
+                "kind": inst.kind,
+                "help": inst.help,
+                "series": inst.series(),
+            }
+            for name, inst in sorted(self._instruments.items())
+        }

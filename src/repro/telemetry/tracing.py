@@ -1,0 +1,233 @@
+"""Structured span tracing on the service's logical clock.
+
+Spans are intervals of modeled time (milliseconds on the service
+clock, the same clock :class:`repro.service.DynamicBatcher` stamps
+waits with).  A span belongs to a *track* (``"query"``, ``"batch"``,
+``"launch"``, ...), carries a correlation id (the query's trace id or
+the batch id), free-form args, and a list of instant *events* inside
+it.  The tracer keeps finished spans in submission order and exports
+them as Chrome ``trace_event`` JSON for chrome://tracing / Perfetto.
+
+Why async events ("b"/"e"/"n") instead of complete ("X") events: the
+service's modeled execution time does not advance the arrival clock,
+so batch and query spans overlap freely on one timeline; duration
+events would force bogus nesting, async events render each id as its
+own row.  Timestamps are microseconds (``ts = t_ms * 1000``).
+
+The tracer is only ever constructed when tracing is enabled, so the
+off path carries no span objects at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: process/thread ids used in the Chrome export; one synthetic "process"
+#: per track keeps the timeline grouped by span kind.
+_TRACK_PIDS = {"query": 1, "batch": 2, "launch": 3, "service": 4}
+_DEFAULT_PID = 9
+
+
+class Span:
+    """One interval on the logical clock, with instant events inside."""
+
+    __slots__ = (
+        "name", "track", "span_id", "t_start", "t_end", "args",
+        "events", "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        track: str,
+        span_id: str,
+        t_start: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.track = track
+        self.span_id = span_id
+        self.t_start = float(t_start)
+        self.t_end: Optional[float] = None
+        self.args: dict = dict(args) if args else {}
+        self.events: List[dict] = []
+        self.status = "ok"
+
+    @property
+    def open(self) -> bool:
+        return self.t_end is None
+
+    def event(self, name: str, t_ms: float, **args) -> None:
+        """Record an instant event inside this span."""
+        self.events.append({"name": name, "t_ms": float(t_ms), "args": args})
+
+    def finish(self, t_ms: float, status: str = "ok", **args) -> None:
+        self.t_end = float(t_ms)
+        self.status = status
+        if args:
+            self.args.update(args)
+
+    def duration_ms(self) -> Optional[float]:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "span_id": self.span_id,
+            "t_start_ms": self.t_start,
+            "t_end_ms": self.t_end,
+            "status": self.status,
+            "args": dict(self.args),
+            "events": [dict(e) for e in self.events],
+        }
+
+
+class Tracer:
+    """Creates spans, retains finished ones, exports Chrome JSON."""
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = int(max_spans)
+        self._spans: List[Span] = []
+        self._open: Dict[str, Span] = {}
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def begin(
+        self,
+        name: str,
+        track: str,
+        span_id: str,
+        t_ms: float,
+        **args,
+    ) -> Span:
+        """Open a span.  ``span_id`` must be unique among open spans."""
+        span = Span(name, track, span_id, t_ms, args)
+        if len(self._spans) >= self.max_spans:
+            self.dropped += 1
+            return span  # still usable by the caller, just not retained
+        self._spans.append(span)
+        self._open[span_id] = span
+        return span
+
+    def end(self, span_id: str, t_ms: float, status: str = "ok", **args) -> Optional[Span]:
+        span = self._open.pop(span_id, None)
+        if span is not None:
+            span.finish(t_ms, status, **args)
+        return span
+
+    def get_open(self, span_id: str) -> Optional[Span]:
+        return self._open.get(span_id)
+
+    def complete(
+        self,
+        name: str,
+        track: str,
+        span_id: str,
+        t_start: float,
+        t_end: float,
+        status: str = "ok",
+        **args,
+    ) -> Span:
+        """Record an already-finished span in one call."""
+        span = self.begin(name, track, span_id, t_start, **args)
+        span.finish(t_end, status)
+        self._open.pop(span_id, None)
+        return span
+
+    def instant(self, name: str, track: str, t_ms: float, **args) -> None:
+        """A standalone instant marker (renders as an "i" event)."""
+        span = Span(name, track, f"instant:{name}:{len(self._spans)}", t_ms, args)
+        span.finish(t_ms)
+        if len(self._spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    def spans(self, track: Optional[str] = None) -> List[Span]:
+        if track is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.track == track]
+
+    # -- export ----------------------------------------------------------
+
+    def chrome_trace(self, close_open_at: Optional[float] = None) -> dict:
+        """Export as a Chrome ``trace_event`` JSON object.
+
+        ``close_open_at``: logical time used to close any still-open
+        spans in the export (the spans themselves stay open); when
+        None, open spans are emitted begin-only, which the viewers
+        render as running to the end of the timeline.
+        """
+        events: List[dict] = []
+        # Name the synthetic processes so the viewer labels the rows.
+        for track, pid in sorted(_TRACK_PIDS.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": track},
+                }
+            )
+        for span in self._spans:
+            pid = _TRACK_PIDS.get(span.track, _DEFAULT_PID)
+            is_instant = span.span_id.startswith("instant:")
+            if is_instant:
+                events.append(
+                    {
+                        "name": span.name,
+                        "cat": span.track,
+                        "ph": "i",
+                        "s": "p",
+                        "ts": span.t_start * 1000.0,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": dict(span.args),
+                    }
+                )
+                continue
+            base = {
+                "name": span.name,
+                "cat": span.track,
+                "id": span.span_id,
+                "pid": pid,
+                "tid": 0,
+            }
+            events.append(
+                {**base, "ph": "b", "ts": span.t_start * 1000.0, "args": dict(span.args)}
+            )
+            for ev in span.events:
+                events.append(
+                    {
+                        **base,
+                        "ph": "n",
+                        "name": ev["name"],
+                        "ts": ev["t_ms"] * 1000.0,
+                        "args": dict(ev["args"]),
+                    }
+                )
+            t_end = span.t_end
+            if t_end is None and close_open_at is not None:
+                t_end = max(float(close_open_at), span.t_start)
+            if t_end is not None:
+                events.append(
+                    {
+                        **base,
+                        "ph": "e",
+                        "ts": t_end * 1000.0,
+                        "args": {"status": span.status},
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": [s.to_dict() for s in self._spans],
+            "dropped": self.dropped,
+        }

@@ -118,6 +118,61 @@ class TestLockstepEquivalence:
         _assert_identical(f"lockstep32/{name}", pi, pc_)
 
 
+class TestStepTraceEquivalence:
+    """The telemetry layer samples StepTrace off live launches; the
+    compiled engine must produce the *same* per-step dynamics the
+    interpreter does — not just the same totals — or sampled launch
+    spans would change meaning with the engine knob."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_lockstep_traces_identical(self, name, all_apps, compiled_apps,
+                                       device4):
+        app = all_apps[name]
+        pi, pc_ = _run_pair(
+            app, compiled_apps[name].lockstep, LockstepExecutor, device4,
+            trace=True,
+        )
+        (_, ri), (_, rc) = pi, pc_
+        ai, ac = ri.trace.as_arrays(), rc.trace.as_arrays()
+        assert len(ri.trace) == len(rc.trace), name
+        for key in ai:
+            np.testing.assert_array_equal(
+                ai[key], ac[key], err_msg=f"trace/{name}:{key}"
+            )
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_autoropes_traces_identical(self, name, all_apps, compiled_apps,
+                                        device4):
+        app = all_apps[name]
+        pi, pc_ = _run_pair(
+            app, compiled_apps[name].autoropes, AutoropesExecutor, device4,
+            trace=True,
+        )
+        (_, ri), (_, rc) = pi, pc_
+        ai, ac = ri.trace.as_arrays(), rc.trace.as_arrays()
+        for key in ai:
+            np.testing.assert_array_equal(
+                ai[key], ac[key], err_msg=f"trace/{name}:{key}"
+            )
+
+    def test_sample_events_decimation(self, pc_app, compiled_apps, device4):
+        L = _launch(pc_app, compiled_apps["pc"].lockstep, device4,
+                    "compiled", trace=True)
+        trace = LockstepExecutor(L).run().trace
+        n = len(trace)
+        assert n > 8
+        events = trace.sample_events(8)
+        assert len(events) <= 8
+        steps = [e["step"] for e in events]
+        assert steps == sorted(set(steps))
+        assert steps[0] == 0 and steps[-1] == n - 1
+        for e in events:
+            assert e["active_warps"] == trace.active_warps[e["step"]]
+        # Degenerate budgets.
+        assert trace.sample_events(0) == []
+        assert len(trace.sample_events(10 ** 6)) == n
+
+
 class TestStaticRopesEquivalence:
     def test_engines_identical(self, pc_app, compiled_apps, device4):
         # Static ropes only accept unguided traversals; pc qualifies.

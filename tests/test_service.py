@@ -5,6 +5,8 @@ batch spatial sorting reducing modeled time, result correctness against
 brute force, and the stats snapshot."""
 
 import dataclasses
+import json
+import math
 
 import numpy as np
 import pytest
@@ -16,6 +18,8 @@ from repro.service import (
     QueryTicket,
     ServiceConfig,
     ServiceStats,
+    TelemetryConfig,
+    TraversalMemo,
     TraversalService,
 )
 
@@ -274,6 +278,156 @@ class TestStatsSnapshot:
         # None, not NaN: empty aggregates must survive a JSON round-trip.
         assert s.p50_latency_ms is None
         assert s.p95_latency_ms is None
+
+
+class TestMemoization:
+    def test_repeat_query_served_from_memo(self, geocity512):
+        svc = TraversalService(ServiceConfig())
+        svc.register("nn", app="nn", data=geocity512)
+        q = geocity512[7] + 0.003
+        t1 = svc.query("nn", q)
+        t2 = svc.query("nn", q)
+        for key in t1.result:
+            np.testing.assert_array_equal(t1.result[key], t2.result[key])
+        s = svc.stats()
+        assert s.memo.hits == 1 and s.memo.misses == 1
+        assert s.memo.entries == 1 and s.memo.stores == 1
+        # The hit bypassed batching entirely: one batch, two completions.
+        assert s.batches == 1 and s.queries_completed == 2
+
+    def test_memo_serves_copies(self, geocity512):
+        svc = TraversalService(ServiceConfig())
+        svc.register("nn", app="nn", data=geocity512)
+        q = geocity512[3] + 0.001
+        t1 = svc.query("nn", q)
+        t1.result["nn_dist"][...] = -1.0  # caller scribbles on its copy
+        t2 = svc.query("nn", q)
+        assert float(t2.result["nn_dist"]) >= 0.0
+
+    def test_capacity_zero_disables(self, geocity512):
+        svc = TraversalService(ServiceConfig(memo_capacity=0))
+        svc.register("nn", app="nn", data=geocity512)
+        q = geocity512[7] + 0.003
+        svc.query("nn", q)
+        svc.query("nn", q)
+        s = svc.stats()
+        assert s.memo.hits == 0 and s.memo.misses == 0
+        assert s.batches == 2
+
+    def test_refresh_plan_invalidates_entries(self, geocity512):
+        svc = TraversalService(ServiceConfig())
+        svc.register("nn", app="nn", data=geocity512)
+        q = geocity512[7] + 0.003
+        svc.query("nn", q)
+        svc.registry.refresh_plan("nn")  # epoch bump: stale keys never hit
+        svc.query("nn", q)
+        s = svc.stats()
+        assert s.memo.hits == 0 and s.memo.misses == 2
+
+    def test_quantum_buckets_nearby_queries(self, geocity512):
+        svc = TraversalService(ServiceConfig(memo_quantum=0.01))
+        svc.register("nn", app="nn", data=geocity512)
+        q = geocity512[7] + 0.003
+        svc.query("nn", q)
+        svc.query("nn", q + 1e-6)  # same cell at quantum 0.01
+        assert svc.stats().memo.hits == 1
+
+    def test_fifo_eviction(self):
+        m = TraversalMemo(capacity=2)
+        for i in range(3):
+            m.store(0, np.array([float(i), 0.0]), {"v": np.array([i])})
+        snap = m.snapshot()
+        assert snap.entries == 2 and snap.evictions == 1
+        assert m.lookup(0, np.array([0.0, 0.0])) is None  # oldest evicted
+        assert m.lookup(0, np.array([2.0, 0.0])) is not None
+
+
+class TestEngineKnobs:
+    def test_interp_session_matches_compiled(self, geocity512):
+        queries = jittered_queries(geocity512, 40, seed=11)
+        results = {}
+        for engine in ("compiled", "interp"):
+            svc = TraversalService(ServiceConfig(memo_capacity=0))
+            sess = svc.register(
+                "pc", app="pc", data=geocity512, radius=0.1, leaf_size=4,
+                engine=engine,
+            )
+            assert sess.engine == engine
+            tickets = svc.query_many("pc", queries)
+            results[engine] = np.array([t.result["count"] for t in tickets])
+        np.testing.assert_array_equal(results["compiled"], results["interp"])
+
+    def test_session_knobs_override_config(self, geocity512):
+        svc = TraversalService(ServiceConfig(engine="interp",
+                                             compact_threshold=0.5))
+        default = svc.register("a", app="nn", data=geocity512)
+        override = svc.register(
+            "b", app="nn", data=geocity512, engine="compiled",
+            compact_threshold=0.7,
+        )
+        assert default.engine is None and default.compact_threshold is None
+        assert override.engine == "compiled"
+        assert override.compact_threshold == 0.7
+        # Knobs are per-session, not part of the plan fingerprint.
+        assert svc.stats().plan_cache.hits == 1
+
+    def test_invalid_knobs_rejected(self, geocity512):
+        with pytest.raises(ValueError, match="engine"):
+            ServiceConfig(engine="jit")
+        with pytest.raises(ValueError, match="compact"):
+            ServiceConfig(compact_threshold=1.5)
+        svc = TraversalService(ServiceConfig())
+        with pytest.raises(ValueError, match="engine"):
+            svc.register("x", app="nn", data=geocity512, engine="jit")
+        with pytest.raises(ValueError, match="compact"):
+            svc.register("y", app="nn", data=geocity512,
+                         compact_threshold=-0.1)
+
+
+def _assert_no_nan(obj, path="$"):
+    if isinstance(obj, float):
+        assert math.isfinite(obj), f"non-finite float at {path}"
+    elif isinstance(obj, dict):
+        for k, v in obj.items():
+            _assert_no_nan(v, f"{path}.{k}")
+    elif isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            _assert_no_nan(v, f"{path}[{i}]")
+
+
+class TestSnapshotRoundTrip:
+    def test_to_dict_round_trips_with_telemetry(self, geocity512):
+        cfg = ServiceConfig(
+            max_batch=16, max_wait_ms=2.0,
+            telemetry=TelemetryConfig(enabled=True, step_events=8),
+        )
+        svc = TraversalService(cfg)
+        svc.register("pc", app="pc", data=geocity512, radius=0.1, leaf_size=4)
+        queries = jittered_queries(geocity512, 40, seed=12)
+        svc.query_many("pc", queries)
+        svc.query("pc", queries[0])  # exercise the memo-hit path too
+        d = svc.stats().to_dict()
+        _assert_no_nan(d)
+        blob = json.dumps(d, allow_nan=False)  # strict: no NaN/Infinity
+        back = json.loads(blob)
+        assert back == d, "to_dict payload not JSON-native"
+        # The nested telemetry payload made the trip intact.
+        tel = back["telemetry"]
+        assert tel["enabled"] is True and tel["spans_recorded"] > 0
+        assert "service_queries_total" in tel["metrics"]
+        series = tel["metrics"]["service_exec_ms"]["series"]
+        assert series and all(math.isfinite(b)
+                              for s in series for b in s["bounds"])
+        assert back["memo"]["hits"] == 1
+
+    def test_disabled_telemetry_same_shape(self, geocity512):
+        svc = TraversalService(ServiceConfig())
+        svc.register("nn", app="nn", data=geocity512)
+        svc.query("nn", geocity512[0])
+        d = svc.stats().to_dict()
+        assert json.loads(json.dumps(d, allow_nan=False)) == d
+        assert d["telemetry"]["enabled"] is False
+        assert d["telemetry"]["metrics"] == {}
 
 
 class TestServiceConfig:

@@ -1,0 +1,154 @@
+"""Perf-trend tool tests: report ingestion and dedup, per-cell diffs
+with noise thresholds (regression / improvement / stable /
+model-change / new / removed), the markdown report, the --check CI
+gate, and the CLI round-trip through a history file on disk."""
+
+import copy
+import json
+
+import pytest
+
+from benchmarks.trend import (
+    add_report,
+    cell_key,
+    check,
+    diff_entries,
+    latest_diff,
+    load_history,
+    load_report,
+    main,
+    render_markdown,
+    save_history,
+)
+
+
+def make_report(stamp=1000, wall=2.0, model=1.5, rows=None):
+    if rows is None:
+        rows = [
+            {
+                "app": "pc", "input": "geocity", "scale": "large",
+                "executor": "lockstep", "engine": "compiled",
+                "wall_s": wall, "steps": 100, "node_visits": 5000,
+                "warp_node_visits": 800, "model_time_ms": model,
+            },
+            {
+                "app": "knn", "input": "geocity", "scale": "large",
+                "executor": "autoropes", "engine": "interp",
+                "wall_s": 1.0, "steps": 50, "node_visits": 2000,
+                "warp_node_visits": 400, "model_time_ms": 0.7,
+            },
+        ]
+    return {"meta": {"generated_unix": stamp}, "rows": rows}
+
+
+def fresh_history():
+    return {"meta": {"format": "bench-trend-v1"}, "entries": []}
+
+
+class TestIngest:
+    def test_add_sorts_by_stamp_and_dedups(self):
+        h = fresh_history()
+        add_report(h, make_report(stamp=2000))
+        add_report(h, make_report(stamp=1000))
+        add_report(h, make_report(stamp=2000))  # duplicate stamp: no-op
+        assert [e["generated_unix"] for e in h["entries"]] == [1000, 2000]
+
+    def test_load_report_validates_shape(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"nope": []}))
+        with pytest.raises(ValueError, match="rows"):
+            load_report(str(p))
+        rep = make_report()
+        rep["rows"].append(dict(rep["rows"][0]))  # duplicate cell
+        p2 = tmp_path / "dup.json"
+        p2.write_text(json.dumps(rep))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_report(str(p2))
+
+
+class TestDiff:
+    def test_statuses(self):
+        old = make_report()["rows"]
+        new = copy.deepcopy(old)
+        new[0]["wall_s"] = 2.5  # +25%: regression
+        new[1]["wall_s"] = 1.02  # +2%: inside 5% noise
+        diffs = diff_entries(old, new, threshold_pct=5.0)
+        by = {cell_key(d): d for d in diffs}
+        assert by[cell_key(old[0])]["status"] == "regression"
+        assert by[cell_key(old[0])]["delta_pct"] == pytest.approx(25.0)
+        assert by[cell_key(old[1])]["status"] == "stable"
+
+    def test_improvement_and_membership_changes(self):
+        old = make_report()["rows"]
+        new = copy.deepcopy(old)
+        new[0]["wall_s"] = 1.0  # -50%: improvement
+        gone = new.pop(1)
+        new.append({**gone, "app": "nn"})  # one removed, one new
+        by = {d["status"] for d in diff_entries(old, new)}
+        assert by == {"improvement", "removed", "new"}
+
+    def test_model_time_change_outranks_wall_clock(self):
+        old = make_report()["rows"]
+        new = copy.deepcopy(old)
+        new[0]["model_time_ms"] = 9.9  # semantics moved
+        d = {cell_key(x): x for x in diff_entries(old, new)}
+        assert d[cell_key(old[0])]["status"] == "model-change"
+        ok, msg = check(diff_entries(old, new))
+        assert not ok and "simulated cost moved" in msg
+
+    def test_check_passes_within_noise(self):
+        old = make_report()["rows"]
+        new = copy.deepcopy(old)
+        new[0]["wall_s"] *= 1.03
+        ok, msg = check(diff_entries(old, new, threshold_pct=5.0))
+        assert ok and "OK" in msg
+        ok, _ = check(None)  # single-report history: nothing to gate
+        assert ok
+
+
+class TestMarkdown:
+    def test_report_contains_diff_and_history_tables(self):
+        h = fresh_history()
+        add_report(h, make_report(stamp=1000))
+        add_report(h, make_report(stamp=2000, wall=3.0))
+        text = render_markdown(h)
+        assert "# Perf trend" in text
+        assert "pc/geocity/large/lockstep/compiled" in text
+        assert "regression" in text
+        assert "## History" in text
+        assert "| 2.0000 | 3.0000 |" in text
+
+    def test_empty_and_single_entry(self):
+        h = fresh_history()
+        assert "No entries" in render_markdown(h)
+        add_report(h, make_report())
+        assert "nothing to diff" in render_markdown(h)
+
+
+class TestCLI:
+    def test_round_trip_and_check_gate(self, tmp_path, capsys):
+        r1 = tmp_path / "r1.json"
+        r2 = tmp_path / "r2.json"
+        hist = tmp_path / "hist.json"
+        md = tmp_path / "TREND.md"
+        r1.write_text(json.dumps(make_report(stamp=1000)))
+        r2.write_text(json.dumps(make_report(stamp=2000, wall=3.0)))
+        assert main(["--history", str(hist), "--add", str(r1)]) == 0
+        assert main(["--history", str(hist), "--add", str(r2),
+                     "--markdown", str(md)]) == 0
+        assert len(load_history(str(hist))["entries"]) == 2
+        assert "regression" in md.read_text()
+        # 50% regression: fails at the default threshold...
+        assert main(["--history", str(hist), "--check"]) == 1
+        # ...passes when the threshold allows it.
+        assert main(["--history", str(hist), "--check",
+                     "--threshold", "60"]) == 0
+
+    def test_history_survives_save_load(self, tmp_path):
+        hist = tmp_path / "h.json"
+        h = fresh_history()
+        add_report(h, make_report(stamp=1000), label="nightly")
+        save_history(h, str(hist))
+        back = load_history(str(hist))
+        assert back["entries"][0]["label"] == "nightly"
+        assert latest_diff(back) is None
