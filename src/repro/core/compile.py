@@ -199,6 +199,50 @@ class CompiledProgram:
         hist["total"] = self.n_ops
         return hist
 
+    def op_table(self) -> Tuple[Tuple[int, str], ...]:
+        """``(index, label)`` for every op, in :meth:`walk` order.
+
+        The index is the op's position in the pre-order walk (the same
+        enumeration :meth:`op_histogram` counts over); the label is
+        :func:`op_label`'s engine-agnostic name, which the continuous
+        kernel profiler uses to key per-op cost attribution so interp
+        and compiled runs of the same kernel aggregate onto identical
+        series.
+        """
+        return tuple((i, op_label(op)) for i, op in enumerate(self.walk()))
+
+
+def op_label(op) -> str:
+    """Engine-agnostic label for a compiled op *or* an AST statement.
+
+    Both executors' engines key profiler attribution by this label:
+    the compiled walker passes :class:`CondOp`/:class:`UpdateOp`/
+    :class:`PushGroupOp`/:class:`ContinueOp` records, the interp
+    baseline passes the original :class:`~repro.core.ir.If`/
+    :class:`~repro.core.ir.Update`/
+    :class:`~repro.core.autoropes.PushGroup` statements — the same
+    kernel position produces the same label either way, so hot-op
+    rankings are comparable across engines.
+    """
+    tag = getattr(op, "tag", None)
+    if tag == TAG_COND:
+        return f"cond:{op.name}"
+    if tag == TAG_UPDATE:
+        return f"update:{op.name}"
+    if tag == TAG_PUSH:
+        return "push:" + "+".join(sorted(c.child for c in op.calls))
+    if tag == TAG_CONTINUE:
+        return "continue"
+    if isinstance(op, If):
+        return f"cond:{op.cond.name}"
+    if isinstance(op, Update):
+        return f"update:{op.fn.name}"
+    if isinstance(op, PushGroup):
+        return "push:" + "+".join(sorted(c.child.name for c in op.push_order))
+    if isinstance(op, Continue):
+        return "continue"
+    raise TypeError(f"cannot label {type(op).__name__}")
+
 
 def _applier(spec: TraversalSpec, arg_name: str, rule_name: Optional[str]) -> ArgApplier:
     decl = next(a for a in spec.args if a.name == arg_name)

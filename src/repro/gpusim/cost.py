@@ -118,3 +118,13 @@ class CostModel:
             total_cycles=total,
             time_ms=time_ms,
         )
+
+    def launch_time(
+        self,
+        stats: KernelStats,
+        occupancy: float = 1.0,
+        imbalance: float = 1.0,
+    ) -> float:
+        """Modeled launch time in milliseconds (the :meth:`timing`
+        scalar, for callers that don't need the breakdown)."""
+        return self.timing(stats, occupancy=occupancy, imbalance=imbalance).time_ms

@@ -96,6 +96,8 @@ class AutoropesExecutor:
         self._warp_live_steps = np.zeros(launch.n_warps, dtype=np.int64)
         self._visit_log: Optional[List] = [] if launch.record_visits else None
         self._trace: Optional[StepTrace] = StepTrace() if launch.trace else None
+        #: per-op cost attribution for sampled launches (None = off).
+        self._prof = launch.op_profile
         #: original warp id of each current warp group (frontier
         #: compaction gathers whole groups; identity until then).
         self._warp_ids = np.arange(launch.n_warps, dtype=np.int64)
@@ -172,6 +174,8 @@ class AutoropesExecutor:
             )
             cond = np.zeros_like(live)
             cond[idx] = sub
+            if self._prof is not None:
+                self._prof.note(stmt, self.L.stats)
             then_live = self._interp(stmt.then, live & cond, node, args, charged)
             if stmt.orelse is not None:
                 else_live = self._interp(
@@ -191,9 +195,13 @@ class AutoropesExecutor:
                 self.pt[idx],
                 {k: v[idx] for k, v in args.items()},
             )
+            if self._prof is not None:
+                self._prof.note(stmt, self.L.stats)
             return live
         if isinstance(stmt, PushGroup):
             self._push_group(stmt, live, node, args, charged)
+            if self._prof is not None:
+                self._prof.note(stmt, self.L.stats)
             return live
         raise TypeError(f"cannot interpret {type(stmt).__name__}")
 
@@ -282,6 +290,8 @@ class AutoropesExecutor:
                 )
                 cond = np.zeros_like(live)
                 cond[idx] = np.asarray(res, dtype=bool)
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
                 then_live = self._run_ops(op.then_ops, live & cond, node, args, charged)
                 if op.else_ops is not None:
                     else_live = self._run_ops(
@@ -301,8 +311,12 @@ class AutoropesExecutor:
                     self.pt[idx],
                     {k: v[idx] for k, v in args.items()},
                 )
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
             elif tag == TAG_PUSH:
                 self._push_group_op(op, live, node, args, charged)
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
             else:  # TAG_CONTINUE
                 return np.zeros_like(live)
         return live
@@ -447,6 +461,9 @@ class AutoropesExecutor:
             if self._visit_log is not None:
                 lidx = np.nonzero(useful)[0]
                 self._visit_log.append((self.pt[lidx].copy(), node[lidx].copy()))
+            if self._prof is not None:
+                self._prof.sync(L.stats)
+                self._prof.note_depth(node, useful)
             charged: Dict[str, np.ndarray] = {}
             trans_before = L.stats.global_transactions
             self._interp(self.kernel.body, live, node, args, charged)
@@ -500,6 +517,9 @@ class AutoropesExecutor:
                 if self._visit_log is not None:
                     lidx = np.nonzero(useful)[0]
                     self._visit_log.append((self.pt[lidx].copy(), node[lidx].copy()))
+                if self._prof is not None:
+                    self._prof.sync(stats)
+                    self._prof.note_depth(node, useful)
                 charged: Dict[str, np.ndarray] = {}
                 if trace is not None:
                     trans_before = stats.global_transactions

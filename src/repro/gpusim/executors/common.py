@@ -45,6 +45,11 @@ class TraversalLaunch:
     record_visits: bool = False
     #: record a per-step divergence/traffic trace (repro.gpusim.trace).
     trace: bool = False
+    #: per-op/per-depth cost attribution collector for this launch
+    #: (:class:`repro.telemetry.profile.LaunchProfile`), set by the
+    #: dispatcher for sampled launches only.  ``None`` keeps the hot
+    #: loops on a single is-None branch per op.
+    op_profile: Optional[object] = None
     l2_enabled: bool = True
     max_stack_depth: int = 4096
     #: operational step budget for the main loop (None = unbounded);

@@ -123,6 +123,8 @@ class LockstepExecutor:
         self._warp_len = np.zeros(launch.n_warps, dtype=np.int64)
         self._visit_log: Optional[List] = [] if launch.record_visits else None
         self._trace: Optional[StepTrace] = StepTrace() if launch.trace else None
+        #: per-op cost attribution for sampled launches (None = off).
+        self._prof = launch.op_profile
         #: original warp id of each current row; identity until frontier
         #: compaction gathers rows.  ``_compacted`` doubles as the "pass
         #: warp_ids to the issue accountant" switch so the uncompacted
@@ -281,6 +283,10 @@ class LockstepExecutor:
                 # Per-lane predication (truncation-style conditions).
                 then_live = live & cond
                 else_live = live & ~cond
+            if self._prof is not None:
+                # The condition's own cost ends here; branch bodies
+                # attribute to their own ops.
+                self._prof.note(stmt, self.L.stats)
             out_then = self._interp(stmt.then, then_live, warp_on, node, args, charged)
             if stmt.orelse is not None:
                 out_else = self._interp(
@@ -301,9 +307,13 @@ class LockstepExecutor:
                     self.pt_grid[widx, lidx],
                     {k: v[widx] for k, v in args.items()},
                 )
+            if self._prof is not None:
+                self._prof.note(stmt, self.L.stats)
             return live
         if isinstance(stmt, PushGroup):
             self._push_group(stmt, live, node, args, charged)
+            if self._prof is not None:
+                self._prof.note(stmt, self.L.stats)
             return live
         raise TypeError(f"cannot interpret {type(stmt).__name__}")
 
@@ -417,6 +427,8 @@ class LockstepExecutor:
                         issue(live.any(axis=1)[:, None], 1.0)  # the vote op
                         then_live = live & take_then[:, None]
                         else_live = live & ~take_then[:, None]
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
                 out_then = self._run_ops(op.then_ops, then_live, node, args, charged)
                 if op.else_ops is not None:
                     out_else = self._run_ops(
@@ -446,8 +458,12 @@ class LockstepExecutor:
                         self.pt_grid[widx, lidx],
                         {k: v[widx] for k, v in args.items()},
                     )
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
             elif tag == TAG_PUSH:
                 self._push_group_op(op, live, node, args, charged)
+                if self._prof is not None:
+                    self._prof.note(op, self.L.stats)
             else:  # TAG_CONTINUE
                 return None
         return live
@@ -609,6 +625,13 @@ class LockstepExecutor:
                     (self.pt_grid[widx, lidx].copy(), node[widx].copy())
                 )
             self._on_visit(warp_on, live, node)
+            if self._prof is not None:
+                # Pop/loop costs since the previous op mark belong to
+                # step overhead, not to the first op of this body.
+                self._prof.sync(L.stats)
+                self._prof.note_depth(
+                    node, warp_on & (node >= 0), useful.sum(axis=1)
+                )
             charged: Dict[str, np.ndarray] = {}
             trans_before = L.stats.global_transactions
             self._interp(self.kernel.body, live, warp_on, node, args, charged)
@@ -688,6 +711,11 @@ class LockstepExecutor:
                         (self.pt_grid[widx, lidx].copy(), node[widx].copy())
                     )
                 self._on_visit(warp_on, live, node)
+                if self._prof is not None:
+                    self._prof.sync(stats)
+                    self._prof.note_depth(
+                        node, warp_on & (node >= 0), useful.sum(axis=1)
+                    )
                 charged: Dict[str, np.ndarray] = {}
                 if trace is not None:
                     trans_before = stats.global_transactions

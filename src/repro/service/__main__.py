@@ -1,4 +1,4 @@
-"""Demo / load-generator CLI: ``python -m repro.service [--demo|--chaos]``.
+"""Demo / load-generator CLI: ``python -m repro.service [--demo|--chaos|--serve]``.
 
 Simulates an online serving session end-to-end on the logical clock:
 
@@ -23,8 +23,17 @@ or a typed error — no matter how many injected failures, retries,
 breaker trips, and degraded-mode failovers it took.  The process exits
 non-zero if any query is lost or any served result is wrong.
 
+``--serve`` switches to live serve mode (``docs/OBSERVABILITY.md``):
+the service stays up behind HTTP pull endpoints (``/metrics``,
+``/healthz``, ``/statsz``, ``/profilez``, ``/tracez``) with a
+synthetic load driver ticking the logical clock, until SIGTERM/SIGINT
+triggers a graceful drain.  Telemetry is implied on; the continuous
+kernel profiler and SLO burn-rate tracking activate via their flags.
+
 Everything is modeled (no wall-clock, no GPU): times come from the
-same cost models the experiment harness uses.
+same cost models the experiment harness uses.  In serve mode wall
+time only *paces* the load driver — the modeled clock still advances
+deterministically per tick.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ from repro.service.service import (
     ServiceConfig,
     TraversalService,
 )
-from repro.telemetry import TelemetryConfig
+from repro.telemetry import SLOConfig, TelemetryConfig
 
 
 def build_service(cfg: ServiceConfig, n_data: int, seed: int) -> TraversalService:
@@ -230,6 +239,67 @@ def main(argv=None) -> int:
         "--step-events", type=int, default=32,
         help="max StepTrace samples attached per launch span",
     )
+    tel.add_argument(
+        "--flight-capacity", type=int, default=64,
+        help="flight-recorder ring size per session (>= 1)",
+    )
+    tel.add_argument(
+        "--profile-sample-rate", type=int, default=0,
+        help="continuous kernel profiler: profile every N-th GPU "
+        "launch (0 = off; serve mode defaults to 1)",
+    )
+    tel.add_argument(
+        "--profile-top-k", type=int, default=10,
+        help="hot-op entries exported per session",
+    )
+    serve = parser.add_argument_group("serve mode (pull-based telemetry)")
+    serve.add_argument(
+        "--serve", action="store_true",
+        help="stay up behind HTTP pull endpoints until SIGTERM/SIGINT",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = let the OS pick a free one)",
+    )
+    serve.add_argument(
+        "--serve-duration", type=float, default=None, metavar="SECONDS",
+        help="exit (with a graceful drain) after this long — for "
+        "scripted smoke runs; default: run until signalled",
+    )
+    serve.add_argument(
+        "--load-queries-per-tick", type=int, default=32,
+        help="synthetic load per driver tick (0 = no load driver); "
+        "the default is sized so timeout flushes reach min_gpu_batch "
+        "and exercise the GPU backends (and thus the profiler)",
+    )
+    serve.add_argument(
+        "--load-tick-ms", type=float, default=2.0,
+        help="logical milliseconds the clock advances per driver tick",
+    )
+    slo = parser.add_argument_group("service-level objectives")
+    slo.add_argument(
+        "--slo-latency-ms", type=float, default=None,
+        help="latency objective: target fraction of queries must "
+        "resolve within this many modeled ms (default: off)",
+    )
+    slo.add_argument(
+        "--slo-latency-target", type=float, default=0.99,
+        help="fraction of queries that must meet --slo-latency-ms",
+    )
+    slo.add_argument(
+        "--slo-error-rate", type=float, default=None,
+        help="error budget: allowed fraction of failed queries "
+        "(default: off)",
+    )
+    slo.add_argument(
+        "--slo-fast-window-ms", type=float, default=50.0,
+        help="fast burn-rate window (modeled ms)",
+    )
+    slo.add_argument(
+        "--slo-slow-window-ms", type=float, default=500.0,
+        help="slow burn-rate window (modeled ms)",
+    )
     res = parser.add_argument_group("resilience")
     res.add_argument(
         "--deadline-ms", type=float, default=None,
@@ -264,6 +334,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.flight_capacity < 1:
+        parser.error(
+            f"--flight-capacity must be >= 1, got {args.flight_capacity}"
+        )
+    if args.profile_sample_rate < 0:
+        parser.error(
+            "--profile-sample-rate must be >= 0, "
+            f"got {args.profile_sample_rate}"
+        )
+
     chaos_cfg = None
     if args.chaos:
         chaos_cfg = ChaosConfig(
@@ -276,8 +356,21 @@ def main(argv=None) -> int:
         )
 
     telemetry_on = bool(
-        args.telemetry or args.trace_out or args.metrics_out or args.flight_out
+        args.telemetry or args.serve
+        or args.trace_out or args.metrics_out or args.flight_out
     )
+    profile_rate = args.profile_sample_rate
+    if profile_rate == 0 and args.serve:
+        profile_rate = 1
+    slo_cfg = None
+    if args.slo_latency_ms is not None or args.slo_error_rate is not None:
+        slo_cfg = SLOConfig(
+            latency_ms=args.slo_latency_ms,
+            latency_target=args.slo_latency_target,
+            error_rate=args.slo_error_rate,
+            fast_window_ms=args.slo_fast_window_ms,
+            slow_window_ms=args.slo_slow_window_ms,
+        )
     cfg = ServiceConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -293,9 +386,33 @@ def main(argv=None) -> int:
         memo_capacity=args.memo_capacity,
         memo_quantum=args.memo_quantum,
         telemetry=TelemetryConfig(
-            enabled=telemetry_on, step_events=args.step_events
+            enabled=telemetry_on,
+            step_events=args.step_events,
+            flight_capacity=args.flight_capacity,
+            profile_sample_rate=profile_rate,
+            profile_top_k=args.profile_top_k,
         ),
+        slo=slo_cfg,
     )
+
+    if args.serve:
+        from repro.service.serve import (
+            SyntheticLoadDriver,
+            TraversalServer,
+            run_serve,
+        )
+
+        svc = build_service(cfg, args.data, args.seed)
+        server = TraversalServer(svc, host=args.host, port=args.port)
+        if args.load_queries_per_tick > 0:
+            server.driver = SyntheticLoadDriver(
+                svc,
+                server.lock,
+                seed=args.seed,
+                tick_ms=args.load_tick_ms,
+                queries_per_tick=args.load_queries_per_tick,
+            )
+        return run_serve(server, duration_s=args.serve_duration)
 
     mode = "chaos" if args.chaos else "demo"
     if not args.as_json:

@@ -151,6 +151,9 @@ class AdaptiveDispatcher:
             and telemetry.tracer is not None
             and telemetry.config.step_events > 0
         )
+        #: continuous kernel profiler (None unless telemetry enables it);
+        #: hoisted so the unprofiled batch path pays one is-None check.
+        self._profiler = telemetry.profiler if telemetry.enabled else None
         chaos = getattr(config, "chaos", None)
         self.injector = (
             FaultInjector(chaos) if chaos is not None and chaos.enabled else None
@@ -395,6 +398,10 @@ class AdaptiveDispatcher:
         compact = session.compact_threshold
         if compact is None:
             compact = getattr(self.config, "compact_threshold", 0.9)
+        profiler = self._profiler
+        prof = None
+        if profiler is not None and profiler.should_sample():
+            prof = profiler.begin(session.tree)
         launch = TraversalLaunch(
             kernel=kernel,
             tree=session.tree,
@@ -407,9 +414,14 @@ class AdaptiveDispatcher:
             engine=engine,
             compact_threshold=compact,
             trace=self._want_trace,
+            op_profile=prof,
         )
         executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
         result = executor.run()
+        if prof is not None:
+            # Fold only completed launches: a faulted launch's partial
+            # attribution would skew the per-op aggregate.
+            profiler.fold(session.name, prof, device=device)
         wexp = (
             float(result.work_expansion_per_warp().mean()) if lockstep else None
         )

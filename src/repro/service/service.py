@@ -50,7 +50,13 @@ from repro.service.resilience import (
 from repro.service.memo import MemoSnapshot, TraversalMemo
 from repro.service.sessions import SessionRegistry, TreeSession
 from repro.service.stats import BackendStats, ResilienceCounters, ServiceStats
-from repro.telemetry import DEFAULT_SIZE_BUCKETS, Telemetry, TelemetryConfig
+from repro.telemetry import (
+    DEFAULT_SIZE_BUCKETS,
+    SLOConfig,
+    SLOTracker,
+    Telemetry,
+    TelemetryConfig,
+)
 
 SORT_MODES = ("arrival", "morton", "tree")
 SHED_POLICIES = ("reject-new", "drop-oldest")
@@ -144,6 +150,14 @@ class ServiceConfig:
     #: per batch and nothing per step.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
+    # -- service-level objectives ----------------------------------------
+
+    #: declarative latency / error-rate objectives with multi-window
+    #: burn-rate alerting per session (None = no SLO tracking).  Fast
+    #: burns degrade :meth:`TraversalService.health` and freeze a
+    #: flight-recorder snapshot; burn rates export as gauges.
+    slo: Optional[SLOConfig] = None
+
     def __post_init__(self) -> None:
         if self.sort not in SORT_MODES:
             raise ValueError(f"sort must be one of {SORT_MODES}, got {self.sort!r}")
@@ -202,6 +216,7 @@ class TraversalService:
         self._failed = 0
         self._plan_failures: Dict[str, int] = {}
         self._all_latencies: List[float] = []
+        self._slo: Dict[str, SLOTracker] = {}
         self._register_instruments()
 
     # -- telemetry plumbing ----------------------------------------------
@@ -274,6 +289,21 @@ class TraversalService:
                 "kernel counters folded per backend (visits, traffic, ...)",
                 labels=("backend", "counter"),
             ),
+            "slo_burn": reg.gauge(
+                "slo_burn_rate",
+                "error-budget burn rate per objective and window",
+                labels=("session", "objective", "window"),
+            ),
+            "slo_alert": reg.gauge(
+                "slo_alert_active",
+                "1 while a burn-rate alert is firing",
+                labels=("session", "objective", "severity"),
+            ),
+            "slo_fired": reg.counter(
+                "slo_fast_burn_total",
+                "fast-burn alert activations (off-to-on transitions)",
+                labels=("session", "objective"),
+            ),
         }
         self.registry.plans.on_event = (
             lambda event: self._m["plan_events"].inc(event=event)
@@ -334,6 +364,8 @@ class TraversalService:
                 capacity=self.config.memo_capacity,
                 quantum=self.config.memo_quantum,
             )
+        if self.config.slo is not None:
+            self._slo[name] = SLOTracker(self.config.slo)
         if self._m is not None:
             self._publish_plan_gauges(session)
         return session
@@ -351,6 +383,7 @@ class TraversalService:
         self.flush(name, now=now)
         self._batchers.pop(name, None)
         self._memos.pop(name, None)
+        self._slo.pop(name, None)
         self._plan_failures.pop(name, None)
         self.registry.unregister(name)
         return True
@@ -413,6 +446,10 @@ class TraversalService:
             self.resilience.shed_dropped += 1
             self.resilience.count_error(Overloaded.code)
             self._failed += 1
+            slo = self._slo.get(session)
+            if slo is not None:
+                slo.record(t, None, False)
+                self._evaluate_slo(session, slo, t)
             if self.telemetry.enabled:
                 self._tel_query_end(dropped, t, Overloaded.code, shed=True)
                 if self._m is not None:
@@ -478,6 +515,9 @@ class TraversalService:
         ticket.result = cached
         ticket.backend = "memo"
         self._all_latencies.append(0.0)
+        slo = self._slo.get(session)
+        if slo is not None:
+            slo.record(t, 0.0, True)
         tel = self.telemetry
         if tel.enabled:
             tracer = tel.tracer
@@ -664,6 +704,11 @@ class TraversalService:
         except ServiceError as err:
             self._fail_batch(tickets, batch, err)
             self._record_resilience(session, attempts=0, failures=None, r=None)
+            slo = self._slo.get(session)
+            if slo is not None:
+                for _ in tickets:
+                    slo.record(t_flush, None, False)
+                self._evaluate_slo(session, slo, t_flush)
             if tel.enabled:
                 for ticket in tickets:
                     self._tel_query_end(
@@ -754,6 +799,13 @@ class TraversalService:
                     batch=batch.id,
                 )
         self._completed += n_ok
+        slo = self._slo.get(session)
+        if slo is not None:
+            # Every ticket resolved at t_done: wait + backoff + execution
+            # all land at the same modeled instant for a batch.
+            for ticket in tickets:
+                slo.record(t_done, ticket.latency_ms, ticket.ok)
+            self._evaluate_slo(session, slo, t_done)
         self._backend_stats[r.backend].record_batch(
             n_queries=batch.size,
             exec_ms=outcome.exec_ms,
@@ -825,6 +877,102 @@ class TraversalService:
             res.count_fault(name)
         self._note_plan_failure(session, failures=len(r.failures))
 
+    # -- service-level objectives ------------------------------------------
+
+    def _evaluate_slo(self, session: str, tracker: SLOTracker, now: float) -> None:
+        """Re-evaluate burn rates after a resolution wave.
+
+        Exports fast/slow burn rates and alert states as gauges, and on
+        each fast-burn *activation* (off-to-on, latched so one incident
+        fires once) bumps the counter and freezes a flight-recorder
+        snapshot carrying the full burn status.
+        """
+        statuses = tracker.evaluate(now)
+        m = self._m
+        if m is not None:
+            burn, alert = m["slo_burn"], m["slo_alert"]
+            for st in statuses:
+                burn.set(
+                    st.burn_fast,
+                    session=session, objective=st.objective, window="fast",
+                )
+                burn.set(
+                    st.burn_slow,
+                    session=session, objective=st.objective, window="slow",
+                )
+                alert.set(
+                    1.0 if st.fast_alert else 0.0,
+                    session=session, objective=st.objective, severity="fast",
+                )
+                alert.set(
+                    1.0 if st.slow_alert else 0.0,
+                    session=session, objective=st.objective, severity="slow",
+                )
+        fired = tracker.newly_fired(statuses)
+        if not fired:
+            return
+        flight = self.telemetry.flight
+        for st in fired:
+            if m is not None:
+                m["slo_fired"].inc(session=session, objective=st.objective)
+            if flight is not None:
+                flight.dump(
+                    session, f"slo:fast-burn:{st.objective}", now,
+                    detail=st.to_dict(),
+                )
+
+    def health(self) -> dict:
+        """Readiness assessment (the ``/healthz`` payload).
+
+        Degraded when any backend breaker is open, any session queue
+        sits at its cap, or any SLO objective has a fast burn firing.
+        Read-only: evaluates trackers without touching the alert latch,
+        so probing health never swallows a flight-recorder freeze.
+        """
+        breakers = {
+            b: snap.state
+            for b, snap in self.dispatcher.breaker_snapshots().items()
+        }
+        open_breakers = sorted(b for b, s in breakers.items() if s == "open")
+        cap = self.config.max_queue_depth
+        saturated = sorted(
+            name
+            for name, b in self._batchers.items()
+            if cap is not None and b.queue_depth >= cap
+        )
+        burning = []
+        for name in sorted(self._slo):
+            for st in self._slo[name].evaluate(self.now_ms):
+                if st.fast_alert:
+                    burning.append(
+                        {
+                            "session": name,
+                            "objective": st.objective,
+                            "burn_fast": st.burn_fast,
+                            "burn_slow": st.burn_slow,
+                        }
+                    )
+        ok = not open_breakers and not saturated and not burning
+        return {
+            "status": "ok" if ok else "degraded",
+            "ok": ok,
+            "now_ms": self.now_ms,
+            "sessions": self.registry.names(),
+            "queue_depth": self.queue_depth,
+            "checks": {
+                "breakers": {"states": breakers, "open": open_breakers},
+                "queue": {
+                    "depth": self.queue_depth,
+                    "cap": cap,
+                    "saturated_sessions": saturated,
+                },
+                "slo": {
+                    "tracked_sessions": sorted(self._slo),
+                    "fast_burns": burning,
+                },
+            },
+        }
+
     # -- observability ----------------------------------------------------
 
     def stats(self) -> ServiceStats:
@@ -853,6 +1001,10 @@ class TraversalService:
             p95_latency_ms=percentile(self._all_latencies, 95),
             memo=self._memo_snapshot(),
             telemetry=self.telemetry.snapshot(),
+            slo={
+                name: tracker.snapshot(self.now_ms)
+                for name, tracker in sorted(self._slo.items())
+            },
         )
 
     def _memo_snapshot(self) -> MemoSnapshot:

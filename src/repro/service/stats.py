@@ -219,6 +219,9 @@ class ServiceStats:
     #: disabled default keeps snapshots cheap and JSON-identical in
     #: shape whether or not telemetry is on.
     telemetry: TelemetrySnapshot = field(default_factory=TelemetrySnapshot)
+    #: per-session SLO tracker snapshots (repro.telemetry.slo); empty
+    #: when the service has no configured objectives.
+    slo: Mapping[str, dict] = field(default_factory=dict)
 
     @property
     def backends_exercised(self) -> int:
@@ -294,5 +297,19 @@ class ServiceStats:
                 f"(dropped={t.spans_dropped}) "
                 f"flight_dumps={t.flight_dumps} "
                 f"instruments={len(t.metrics)}"
+            )
+        for name, snap in sorted(self.slo.items()):
+            objectives = snap.get("objectives", [])
+            parts = []
+            for st in objectives:
+                parts.append(
+                    f"{st['objective']}: burn {st['burn_fast']:.2f}/"
+                    f"{st['burn_slow']:.2f}"
+                    + (" FAST-BURN" if st["fast_alert"] else "")
+                )
+            lines.append(
+                f"  slo[{name}]: events={snap.get('events_windowed', 0)} "
+                f"fired={snap.get('fast_alerts_fired', 0)}  "
+                + "  ".join(parts)
             )
         return "\n".join(lines)

@@ -42,6 +42,8 @@ from .metrics import (
 )
 from .tracing import Span, Tracer
 from .flight import FlightRecorder
+from .profile import KernelProfiler, LaunchProfile
+from .slo import SLOConfig, SLOTracker
 
 __all__ = [
     "Telemetry",
@@ -55,6 +57,10 @@ __all__ = [
     "Tracer",
     "Span",
     "FlightRecorder",
+    "KernelProfiler",
+    "LaunchProfile",
+    "SLOConfig",
+    "SLOTracker",
     "DEFAULT_MS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]
@@ -80,6 +86,11 @@ class TelemetryConfig:
     flight_capacity: int = 64
     flight_max_dumps: int = 32
     max_spans: int = 100_000
+    #: continuous kernel profiler: profile every N-th GPU launch
+    #: (0 = profiler off; 1 = every launch).
+    profile_sample_rate: int = 0
+    #: hot-op entries exported per session (gauges + /profilez).
+    profile_top_k: int = 10
 
     def __post_init__(self) -> None:
         if self.step_events < 0:
@@ -90,6 +101,14 @@ class TelemetryConfig:
             )
         if self.max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {self.max_spans}")
+        if self.profile_sample_rate < 0:
+            raise ValueError(
+                f"profile_sample_rate must be >= 0, got {self.profile_sample_rate}"
+            )
+        if self.profile_top_k < 1:
+            raise ValueError(
+                f"profile_top_k must be >= 1, got {self.profile_top_k}"
+            )
 
     def with_(self, **kwargs) -> "TelemetryConfig":
         return replace(self, **kwargs)
@@ -112,12 +131,14 @@ class TelemetrySnapshot:
     flight_dumps: int = 0
     flight_dumps_dropped: int = 0
     metrics: dict = field(default_factory=dict)
+    #: kernel-profiler roll-up (empty dict when the profiler is off).
+    profile: dict = field(default_factory=dict)
 
 
 class Telemetry:
-    """Facade bundling registry + tracer + flight recorder."""
+    """Facade bundling registry + tracer + flight recorder + profiler."""
 
-    __slots__ = ("enabled", "config", "registry", "tracer", "flight")
+    __slots__ = ("enabled", "config", "registry", "tracer", "flight", "profiler")
 
     def __init__(
         self,
@@ -125,12 +146,14 @@ class Telemetry:
         registry: Optional[MetricsRegistry],
         tracer: Optional[Tracer],
         flight: Optional[FlightRecorder],
+        profiler: Optional[KernelProfiler] = None,
     ) -> None:
         self.config = config
         self.enabled = bool(config.enabled)
         self.registry = registry
         self.tracer = tracer
         self.flight = flight
+        self.profiler = profiler
 
     @classmethod
     def from_config(cls, config: TelemetryConfig) -> "Telemetry":
@@ -146,7 +169,16 @@ class Telemetry:
             if config.flight
             else None
         )
-        return cls(config, registry, tracer, flight)
+        profiler = (
+            KernelProfiler(
+                sample_rate=config.profile_sample_rate,
+                top_k=config.profile_top_k,
+                registry=registry,
+            )
+            if config.profile_sample_rate > 0
+            else None
+        )
+        return cls(config, registry, tracer, flight, profiler)
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -181,6 +213,9 @@ class Telemetry:
                 self.flight.dumps_dropped if self.flight is not None else 0
             ),
             metrics=self.registry.to_dict() if self.registry is not None else {},
+            profile=(
+                self.profiler.snapshot() if self.profiler is not None else {}
+            ),
         )
 
 

@@ -57,11 +57,32 @@ def _fmt_value(v: float) -> str:
     return str(int(f)) if f.is_integer() else repr(f)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and line-feed must be escaped inside the
+    double-quoted label value (in that order — escaping the backslash
+    first keeps the other two escapes from being re-escaped).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and line-feed only (the
+    exposition format leaves double-quotes alone outside label values)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _series_suffix(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
     pairs = key + extra
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -282,7 +303,7 @@ class MetricsRegistry:
         for name in sorted(self._instruments):
             inst = self._instruments[name]
             if inst.help:
-                lines.append(f"# HELP {name} {inst.help}")
+                lines.append(f"# HELP {name} {escape_help_text(inst.help)}")
             lines.append(f"# TYPE {name} {inst.kind}")
             lines.extend(inst.expose())
         return "\n".join(lines) + "\n"

@@ -1,0 +1,255 @@
+"""Declarative SLOs with multi-window burn-rate tracking.
+
+An :class:`SLOConfig` states the service's objectives — a per-query
+latency bound that a target fraction of queries must meet, and an
+allowed error-rate budget.  A per-session :class:`SLOTracker` consumes
+query resolutions on the service's *logical* clock and computes
+**burn rates** over two sliding windows, in the multi-window
+multi-burn-rate style of SRE alerting:
+
+``burn = bad_fraction / error_budget``
+
+A burn rate of 1.0 means the session is consuming its error budget
+exactly as fast as the objective allows; 10.0 means ten times too
+fast.  The *fast* window reacts to acute incidents (a latency spike, a
+failing backend) and drives paging-grade alerts — serve mode degrades
+``/healthz`` and freezes a flight-recorder snapshot the moment a
+fast-burn alert *starts*; the *slow* window catches smouldering
+degradation and only flips a warning gauge.
+
+Everything is deterministic and wall-clock-free: windows and burn
+rates live on the same logical milliseconds the batcher and the cost
+models use, so tests can replay the exact schedule that tripped an
+alert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: objective keys tracked per session.
+OBJECTIVES = ("latency", "errors")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives for one service instance.
+
+    ``latency_ms`` + ``latency_target``: at least ``latency_target`` of
+    queries must resolve within ``latency_ms`` modeled milliseconds
+    (``None`` disables the latency objective).  ``error_rate`` is the
+    error *budget*: the allowed fraction of failed queries (``None``
+    disables it).  Windows are logical-clock milliseconds; burn-rate
+    thresholds follow the usual multi-window convention (a high
+    threshold on the short window, a low one on the long window).
+    ``min_events`` suppresses alerts until a window holds enough
+    resolutions to make a fraction meaningful.
+    """
+
+    latency_ms: Optional[float] = None
+    latency_target: float = 0.99
+    error_rate: Optional[float] = None
+    fast_window_ms: float = 50.0
+    slow_window_ms: float = 500.0
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 2.0
+    min_events: int = 10
+
+    def __post_init__(self) -> None:
+        if self.latency_ms is not None and self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive (or None)")
+        if not 0.0 < self.latency_target < 1.0:
+            raise ValueError(
+                f"latency_target must be in (0, 1), got {self.latency_target}"
+            )
+        if self.error_rate is not None and not 0.0 < self.error_rate < 1.0:
+            raise ValueError(
+                f"error_rate must be in (0, 1) or None, got {self.error_rate}"
+            )
+        if self.fast_window_ms <= 0 or self.slow_window_ms <= 0:
+            raise ValueError("SLO windows must be positive")
+        if self.fast_window_ms > self.slow_window_ms:
+            raise ValueError(
+                "fast_window_ms must not exceed slow_window_ms "
+                f"({self.fast_window_ms} > {self.slow_window_ms})"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise ValueError("burn-rate thresholds must be positive")
+        if self.min_events < 1:
+            raise ValueError("min_events must be >= 1")
+
+    @property
+    def enabled_objectives(self) -> Tuple[str, ...]:
+        out = []
+        if self.latency_ms is not None:
+            out.append("latency")
+        if self.error_rate is not None:
+            out.append("errors")
+        return tuple(out)
+
+    def budget(self, objective: str) -> float:
+        """The error budget (allowed bad fraction) for an objective."""
+        if objective == "latency":
+            return 1.0 - self.latency_target
+        if objective == "errors":
+            if self.error_rate is None:
+                raise ValueError("error-rate objective is disabled")
+            return self.error_rate
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def with_(self, **kwargs) -> "SLOConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class BurnStatus:
+    """One objective's burn state at evaluation time (JSON-safe)."""
+
+    objective: str
+    budget: float
+    #: events / bad events inside each window.
+    fast_events: int
+    fast_bad: int
+    slow_events: int
+    slow_bad: int
+    burn_fast: float
+    burn_slow: float
+    fast_alert: bool
+    slow_alert: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "budget": self.budget,
+            "fast_events": self.fast_events,
+            "fast_bad": self.fast_bad,
+            "slow_events": self.slow_events,
+            "slow_bad": self.slow_bad,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "fast_alert": self.fast_alert,
+            "slow_alert": self.slow_alert,
+        }
+
+
+class SLOTracker:
+    """Sliding-window burn-rate tracker for one session.
+
+    :meth:`record` takes each query resolution; :meth:`evaluate`
+    recomputes both windows at a given logical time and reports, per
+    objective, the burn rates plus which alerts *newly fired* (the
+    off→on transitions, so callers freeze exactly one flight dump per
+    incident, not one per evaluation).
+    """
+
+    def __init__(self, config: SLOConfig) -> None:
+        self.config = config
+        #: (t_ms, bad_latency, bad_error) per resolved query.
+        self._events: Deque[Tuple[float, bool, bool]] = deque()
+        self._fast_active: Dict[str, bool] = {o: False for o in OBJECTIVES}
+        self.fast_alerts_fired = 0
+        self.events_recorded = 0
+
+    def record(
+        self, t_ms: float, latency_ms: Optional[float], ok: bool
+    ) -> None:
+        """One query resolution: ``latency_ms`` is None for failures
+        (a failed query cannot meet the latency objective either)."""
+        cfg = self.config
+        bad_latency = (
+            cfg.latency_ms is not None
+            and (latency_ms is None or latency_ms > cfg.latency_ms)
+        )
+        bad_error = cfg.error_rate is not None and not ok
+        self._events.append((float(t_ms), bad_latency, bad_error))
+        self.events_recorded += 1
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.config.slow_window_ms
+        ev = self._events
+        while ev and ev[0][0] < horizon:
+            ev.popleft()
+
+    def evaluate(self, now: float) -> List[BurnStatus]:
+        """Burn status per enabled objective at logical time ``now``.
+
+        A ``fast_alert`` requires the fast *and* slow windows both over
+        their thresholds (the standard guard against a handful of bad
+        events in an otherwise idle window) plus ``min_events`` in the
+        fast window.
+        """
+        cfg = self.config
+        self._trim(now)
+        fast_edge = now - cfg.fast_window_ms
+        out: List[BurnStatus] = []
+        for objective in cfg.enabled_objectives:
+            bad_idx = 1 if objective == "latency" else 2
+            slow_events = slow_bad = fast_events = fast_bad = 0
+            for t, bl, be in self._events:
+                bad = (bl, be)[bad_idx - 1]
+                slow_events += 1
+                slow_bad += bad
+                if t >= fast_edge:
+                    fast_events += 1
+                    fast_bad += bad
+            budget = cfg.budget(objective)
+            burn_fast = (
+                (fast_bad / fast_events) / budget if fast_events else 0.0
+            )
+            burn_slow = (
+                (slow_bad / slow_events) / budget if slow_events else 0.0
+            )
+            fast_alert = (
+                fast_events >= cfg.min_events
+                and burn_fast >= cfg.fast_burn_threshold
+                and burn_slow >= cfg.slow_burn_threshold
+            )
+            slow_alert = (
+                slow_events >= cfg.min_events
+                and burn_slow >= cfg.slow_burn_threshold
+            )
+            out.append(
+                BurnStatus(
+                    objective=objective,
+                    budget=budget,
+                    fast_events=fast_events,
+                    fast_bad=fast_bad,
+                    slow_events=slow_events,
+                    slow_bad=slow_bad,
+                    burn_fast=burn_fast,
+                    burn_slow=burn_slow,
+                    fast_alert=fast_alert,
+                    slow_alert=slow_alert,
+                )
+            )
+        return out
+
+    def newly_fired(self, statuses: List[BurnStatus]) -> List[BurnStatus]:
+        """The fast alerts that just transitioned off→on.
+
+        Also updates the latched state, so a sustained burn fires once
+        and re-arms only after the burn clears.
+        """
+        fired = []
+        for st in statuses:
+            was = self._fast_active[st.objective]
+            self._fast_active[st.objective] = st.fast_alert
+            if st.fast_alert and not was:
+                self.fast_alerts_fired += 1
+                fired.append(st)
+        return fired
+
+    def any_fast_alert(self) -> bool:
+        return any(self._fast_active.values())
+
+    def snapshot(self, now: float) -> dict:
+        """JSON-safe view for ``ServiceStats.slo`` and ``/statsz``."""
+        return {
+            "now_ms": float(now),
+            "events_recorded": self.events_recorded,
+            "events_windowed": len(self._events),
+            "fast_alerts_fired": self.fast_alerts_fired,
+            "objectives": [st.to_dict() for st in self.evaluate(now)],
+        }

@@ -63,6 +63,22 @@ class TestOccupancy:
         with pytest.raises(ValueError):
             occupancy_for(TESLA_C2070, -1)
 
+    def test_boundaries(self):
+        dev = TESLA_C2070
+        # Exactly one warp's worth of shared memory per resident warp:
+        # full occupancy, right at the boundary.
+        per_warp = dev.shared_mem_per_sm // dev.max_warps_per_sm
+        assert occupancy_for(dev, per_warp) == 1.0
+        # One byte over the even split loses a resident warp.
+        assert occupancy_for(dev, per_warp + 1) == pytest.approx(
+            (dev.max_warps_per_sm - 1) / dev.max_warps_per_sm
+        )
+        # The result is always inside (0, 1]: even absurd consumption
+        # floors at one resident warp, never zero.
+        for bytes_per_warp in (0, 1, per_warp, dev.shared_mem_per_sm * 10):
+            occ = occupancy_for(dev, bytes_per_warp)
+            assert 0.0 < occ <= 1.0
+
 
 class TestCostModel:
     def setup_method(self):
@@ -119,6 +135,56 @@ class TestCostModel:
     def test_invalid_imbalance(self):
         with pytest.raises(ValueError, match="imbalance"):
             self.cm.timing(KernelStats(), imbalance=0.5)
+
+
+class TestLaunchTimeBoundaries:
+    """Boundary behavior of occupancy in timing()/launch_time():
+    exactly 1.0 and barely-above-zero are valid, 0.0 and below are
+    configuration errors, never silent division blow-ups."""
+
+    def setup_method(self):
+        self.cm = CostModel(small_test_device(warp_size=4))
+        self.stats = stats_with(
+            warp_instructions=1e5, global_transactions=1e3
+        )
+
+    def test_launch_time_is_timing_scalar(self):
+        t = self.cm.timing(self.stats, occupancy=0.5, imbalance=1.5)
+        assert self.cm.launch_time(
+            self.stats, occupancy=0.5, imbalance=1.5
+        ) == t.time_ms
+
+    def test_occupancy_exactly_one(self):
+        assert self.cm.launch_time(self.stats, occupancy=1.0) > 0.0
+
+    def test_occupancy_just_above_zero(self):
+        eps = 1e-6
+        t = self.cm.launch_time(self.stats, occupancy=eps)
+        assert np.isfinite(t)
+        # Near-zero occupancy fully serializes compute and memory
+        # (roofline sum instead of max): strictly slower than full
+        # occupancy, never inf/nan.
+        assert t > self.cm.launch_time(self.stats, occupancy=1.0)
+
+    @pytest.mark.parametrize("bad", (0.0, -0.1, -1.0, 1.0000001, 2.0))
+    def test_invalid_occupancy_raises(self, bad):
+        with pytest.raises(ValueError, match="occupancy"):
+            self.cm.launch_time(self.stats, occupancy=bad)
+
+    def test_imbalance_exactly_one_valid(self):
+        assert self.cm.launch_time(self.stats, imbalance=1.0) > 0.0
+
+    @pytest.mark.parametrize("bad", (0.999, 0.0, -1.0))
+    def test_invalid_imbalance_raises(self, bad):
+        with pytest.raises(ValueError, match="imbalance"):
+            self.cm.launch_time(self.stats, imbalance=bad)
+
+    def test_monotone_in_occupancy(self):
+        times = [
+            self.cm.launch_time(self.stats, occupancy=o)
+            for o in (0.125, 0.25, 0.5, 1.0)
+        ]
+        assert times == sorted(times, reverse=True)
 
 
 class TestImbalance:

@@ -1,0 +1,277 @@
+"""SLO burn-rate tracking: math, windows, latching, service wiring.
+
+The unit half exercises :mod:`repro.telemetry.slo` directly on a
+hand-built event schedule; the integration half drives a real
+:class:`TraversalService` into a latency burn and asserts the full
+alert path: burn gauges move, ``slo_alert_active`` flips, ``health()``
+degrades, and the flight recorder freezes exactly one snapshot per
+incident.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.service import ServiceConfig, TraversalService
+from repro.telemetry import SLOConfig, SLOTracker, TelemetryConfig
+
+
+class TestSLOConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOConfig(latency_ms=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(latency_target=1.0)
+        with pytest.raises(ValueError):
+            SLOConfig(error_rate=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(fast_window_ms=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(fast_window_ms=100.0, slow_window_ms=50.0)
+        with pytest.raises(ValueError):
+            SLOConfig(min_events=0)
+        with pytest.raises(ValueError):
+            SLOConfig(fast_burn_threshold=0.0)
+
+    def test_enabled_objectives(self):
+        assert SLOConfig().enabled_objectives == ()
+        assert SLOConfig(latency_ms=5.0).enabled_objectives == ("latency",)
+        both = SLOConfig(latency_ms=5.0, error_rate=0.01)
+        assert both.enabled_objectives == ("latency", "errors")
+
+    def test_budget(self):
+        cfg = SLOConfig(latency_ms=5.0, latency_target=0.9, error_rate=0.02)
+        assert cfg.budget("latency") == pytest.approx(0.1)
+        assert cfg.budget("errors") == pytest.approx(0.02)
+        with pytest.raises(ValueError):
+            cfg.budget("throughput")
+        with pytest.raises(ValueError):
+            SLOConfig(latency_ms=5.0).budget("errors")
+
+
+def _tracker(**kw) -> SLOTracker:
+    base = dict(
+        latency_ms=1.0,
+        latency_target=0.9,  # budget 0.1
+        error_rate=0.1,
+        fast_window_ms=10.0,
+        slow_window_ms=100.0,
+        fast_burn_threshold=5.0,
+        slow_burn_threshold=2.0,
+        min_events=4,
+    )
+    base.update(kw)
+    return SLOTracker(SLOConfig(**base))
+
+
+class TestBurnMath:
+    def test_burn_is_bad_fraction_over_budget(self):
+        tr = _tracker()
+        # 4 events in the fast window, half over the latency bound:
+        # bad fraction 0.5 / budget 0.1 = burn 5.0.
+        for i, lat in enumerate((0.5, 2.0, 0.5, 2.0)):
+            tr.record(float(i), lat, True)
+        latency = tr.evaluate(4.0)[0]
+        assert latency.objective == "latency"
+        assert latency.fast_events == 4
+        assert latency.fast_bad == 2
+        assert latency.burn_fast == pytest.approx(5.0)
+        assert latency.burn_slow == pytest.approx(5.0)
+        assert latency.fast_alert  # 5.0 >= 5.0 and slow 5.0 >= 2.0
+
+    def test_failure_counts_against_both_objectives(self):
+        tr = _tracker()
+        tr.record(0.0, None, False)
+        latency, errors = tr.evaluate(1.0)
+        assert latency.fast_bad == 1
+        assert errors.fast_bad == 1
+
+    def test_min_events_guards_alert(self):
+        tr = _tracker(min_events=10)
+        for i in range(5):
+            tr.record(float(i), 99.0, True)  # every event bad
+        latency = tr.evaluate(5.0)[0]
+        assert latency.burn_fast > 5.0
+        assert not latency.fast_alert  # only 5 of 10 required events
+
+    def test_multi_window_guard(self):
+        """A burst of bad events inside the fast window does not page
+        when the slow window says the budget is fine overall."""
+        tr = _tracker()
+        # 90 good events spread over the slow window...
+        for i in range(90):
+            tr.record(float(i), 0.1, True)
+        # ...then a burst of 10 bad ones just now: the fast window
+        # reads 10 bad / 20 events (burn 5.0), the slow window reads
+        # 10 bad / 100 events (burn 1.0).
+        for _ in range(10):
+            tr.record(89.5, 50.0, True)
+        latency = tr.evaluate(90.0)[0]
+        assert latency.burn_fast >= 5.0
+        assert latency.burn_slow < 2.0
+        assert not latency.fast_alert
+
+    def test_window_trimming(self):
+        tr = _tracker()
+        tr.record(0.0, 99.0, True)
+        tr.record(500.0, 0.1, True)
+        latency = tr.evaluate(500.0)[0]
+        assert latency.slow_events == 1  # the t=0 event left the window
+        assert latency.slow_bad == 0
+        assert tr.events_recorded == 2
+
+    def test_empty_windows_zero_burn(self):
+        tr = _tracker()
+        latency, errors = tr.evaluate(1000.0)
+        assert latency.burn_fast == 0.0
+        assert errors.burn_slow == 0.0
+        assert not latency.fast_alert
+
+
+class TestLatch:
+    def test_fires_once_per_incident(self):
+        tr = _tracker()
+        for i in range(4):
+            tr.record(float(i), 99.0, True)
+        first = tr.newly_fired(tr.evaluate(4.0))
+        assert [st.objective for st in first] == ["latency"]
+        # Still burning: latched, no re-fire.
+        again = tr.newly_fired(tr.evaluate(5.0))
+        assert again == []
+        assert tr.any_fast_alert()
+        assert tr.fast_alerts_fired == 1
+        # Burn clears (windows empty), latch re-arms...
+        assert tr.newly_fired(tr.evaluate(1000.0)) == []
+        assert not tr.any_fast_alert()
+        # ...and a new incident fires again.
+        for i in range(4):
+            tr.record(1000.0 + i, 99.0, True)
+        refire = tr.newly_fired(tr.evaluate(1004.0))
+        assert [st.objective for st in refire] == ["latency"]
+        assert tr.fast_alerts_fired == 2
+
+    def test_snapshot_json_safe(self):
+        import json
+
+        tr = _tracker()
+        tr.record(0.0, 99.0, False)
+        snap = tr.snapshot(1.0)
+        text = json.dumps(snap, allow_nan=False)
+        assert '"objectives"' in text
+        assert snap["events_windowed"] == 1
+
+
+def _service(slo: SLOConfig, **cfg_kw) -> TraversalService:
+    cfg = ServiceConfig(
+        telemetry=TelemetryConfig(enabled=True),
+        slo=slo,
+        memo_capacity=0,
+        max_batch=8,
+        **cfg_kw,
+    )
+    svc = TraversalService(cfg)
+    rng = np.random.default_rng(3)
+    svc.register("pc", "pc", rng.random((256, 2)), radius=0.1)
+    return svc
+
+
+class TestServiceIntegration:
+    def test_latency_spike_flips_gauge_and_freezes_flight(self):
+        """The acceptance path: an induced latency burn must flip the
+        burn-rate gauge, fire the alert exactly once, degrade health,
+        and freeze a flight-recorder snapshot."""
+        slo = SLOConfig(
+            latency_ms=1e-6,  # everything "violates": a forced spike
+            latency_target=0.99,
+            min_events=5,
+        )
+        svc = _service(slo)
+        rng = np.random.default_rng(4)
+        for i in range(16):
+            svc.query("pc", rng.random(2), now=float(i) * 0.5)
+
+        tracker = svc._slo["pc"]
+        latency = tracker.evaluate(svc.now_ms)[0]
+        assert latency.fast_alert
+        assert tracker.fast_alerts_fired == 1  # latched, not per batch
+
+        text = svc.telemetry.registry.expose_text()
+        assert (
+            'slo_alert_active{session="pc",objective="latency",'
+            'severity="fast"} 1' in text
+        )
+        assert (
+            'slo_fast_burn_total{session="pc",objective="latency"} 1' in text
+        )
+        burn_lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("slo_burn_rate") and 'window="fast"' in ln
+        ]
+        assert burn_lines and float(burn_lines[0].rsplit(" ", 1)[1]) > 14.0
+
+        dumps = [
+            d for d in svc.telemetry.flight.dumps
+            if d["reason"] == "slo:fast-burn:latency"
+        ]
+        assert len(dumps) == 1
+        assert dumps[0]["detail"]["fast_alert"] is True
+
+        health = svc.health()
+        assert health["status"] == "degraded"
+        assert not health["ok"]
+        assert health["checks"]["slo"]["fast_burns"][0]["objective"] == (
+            "latency"
+        )
+
+    def test_healthy_service_stays_green(self):
+        slo = SLOConfig(latency_ms=1e9, error_rate=0.5, min_events=5)
+        svc = _service(slo)
+        rng = np.random.default_rng(5)
+        for i in range(12):
+            svc.query("pc", rng.random(2), now=float(i) * 0.5)
+        health = svc.health()
+        assert health["ok"]
+        assert health["checks"]["slo"]["fast_burns"] == []
+        snap = svc.stats().slo["pc"]
+        assert snap["fast_alerts_fired"] == 0
+        assert all(not o["fast_alert"] for o in snap["objectives"])
+
+    def test_error_burn_from_deadline_misses(self):
+        """Deadline-missed queries are failures: they burn the error
+        budget, not just the latency one."""
+        slo = SLOConfig(
+            latency_ms=1e9,  # latency objective satisfied
+            error_rate=0.01,
+            min_events=5,
+        )
+        # A deadline no batch can meet: every query resolves with
+        # DeadlineExceeded.
+        svc = _service(slo, deadline_ms=1e-6)
+        rng = np.random.default_rng(6)
+        for i in range(12):
+            svc.query("pc", rng.random(2), now=float(i) * 0.5)
+        st = svc.stats()
+        assert st.queries_failed > 0
+        errors = [
+            o for o in st.slo["pc"]["objectives"] if o["objective"] == "errors"
+        ]
+        assert errors and errors[0]["fast_alert"]
+        dumps = [
+            d for d in svc.telemetry.flight.dumps
+            if d["reason"] == "slo:fast-burn:errors"
+        ]
+        assert len(dumps) == 1
+
+    def test_no_slo_config_means_no_tracking(self):
+        cfg = ServiceConfig(telemetry=TelemetryConfig(enabled=True))
+        service = TraversalService(cfg)
+        rng = np.random.default_rng(7)
+        service.register("pc", "pc", rng.random((64, 2)), radius=0.1)
+        service.query("pc", rng.random(2), now=1.0)
+        assert service.stats().slo == {}
+        assert service.health()["checks"]["slo"]["tracked_sessions"] == []
+
+    def test_unregister_drops_tracker(self):
+        svc = _service(SLOConfig(latency_ms=5.0))
+        assert "pc" in svc._slo
+        svc.unregister("pc")
+        assert "pc" not in svc._slo

@@ -131,6 +131,59 @@ class TestRegistry:
         assert d["ms"]["series"][0]["counts"] == [1, 0]
 
 
+class TestExpositionEscaping:
+    """Regression coverage for the text exposition format's escaping
+    rules: backslash, double-quote, and newline in label values, and
+    backslash/newline in HELP text."""
+
+    def test_label_value_escapes(self):
+        from repro.telemetry.metrics import escape_label_value
+
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value('two\nlines') == 'two\\nlines'
+        # Backslash escapes first — a literal \n sequence must not be
+        # double-mangled into \\\\n-then-\n.
+        assert escape_label_value('\\n') == '\\\\n'
+        assert escape_label_value('plain') == 'plain'
+
+    def test_help_text_escapes(self):
+        from repro.telemetry.metrics import escape_help_text
+
+        assert escape_help_text('path\\to\nthing') == 'path\\\\to\\nthing'
+        # Double quotes are legal verbatim in HELP text.
+        assert escape_help_text('a "quoted" word') == 'a "quoted" word'
+
+    def test_exposed_text_stays_single_line_per_sample(self):
+        reg = MetricsRegistry()
+        c = reg.counter(
+            'weird_total', 'help with \\ and\nnewline', labels=('tag',)
+        )
+        c.inc(tag='q"uo\\te\nnl')
+        text = reg.expose_text()
+        lines = [ln for ln in text.splitlines() if ln]
+        # Escaping must keep every sample and comment on one line.
+        assert len(lines) == 3
+        assert lines[0] == '# HELP weird_total help with \\\\ and\\nnewline'
+        assert lines[2] == 'weird_total{tag="q\\"uo\\\\te\\nnl"} 1'
+
+    def test_escaped_text_round_trips(self):
+        """Un-escaping the exposed label value recovers the original —
+        i.e. the escape is lossless, not just syntactically valid."""
+        from repro.telemetry.metrics import escape_label_value
+
+        original = 'a\\b "c"\nd\\n'
+        escaped = escape_label_value(original)
+        assert '\n' not in escaped
+        unescaped = (
+            escaped.replace('\\\\', '\x00')
+            .replace('\\"', '"')
+            .replace('\\n', '\n')
+            .replace('\x00', '\\')
+        )
+        assert unescaped == original
+
+
 class TestTracer:
     def test_span_lifecycle_and_events(self):
         tr = Tracer()
