@@ -1,0 +1,311 @@
+"""Fleet throughput benchmark: N workers vs one process, audited.
+
+Measures the tentpole claim of the sharded serve fleet: a fleet of N
+shared-nothing workers sustains at least ``--check-speedup`` times the
+aggregate queries/sec of the identical load run through one
+single-process service — with **zero lost queries** and **bit-identical
+per-query results**, verified ticket by ticket.
+
+Both sides run the exact same workload by construction, not by hope:
+
+* every worker ``w`` drives a :class:`SyntheticLoadDriver` seeded with
+  ``derive_seed(seed, w, "load")`` against a service seeded with
+  ``derive_seed(seed, w, "service")``;
+* the single-process baseline replays those *same* N seeded streams
+  sequentially through N identically-seeded in-process services;
+* afterwards each fleet ticket is matched against its baseline twin —
+  same session, same coordinates (bitwise), same ok flag, same backend,
+  same result arrays (``np.array_equal``, no tolerance) — and checked
+  against the brute-force oracle.
+
+Timers cover only query execution (registration / tree builds happen
+before the clock starts on both sides).  Wall-clock here means real
+parallel speedup: the workers execute their simulated launches on
+separate cores, which is exactly what the fleet buys — and which means
+the measured multiple is capped by the machine's core count.  The
+artifact records ``cpu_cores`` next to ``speedup`` and the ``--check``
+gate is ``min(--check-speedup, cores)`` (vacuous on one core, where
+only the correctness audit gates the run).
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.fleet                # default 4 workers
+    PYTHONPATH=src python -m benchmarks.fleet --smoke        # CI-sized
+    PYTHONPATH=src python -m benchmarks.fleet --check        # nonzero exit
+                                                             # unless >= 2x
+
+Results land in ``BENCH_fleet.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fleet import FleetConfig, FleetRouter
+from repro.fleet.worker import derive_seed
+from repro.points.datasets import dataset_by_name
+from repro.service.serve import SyntheticLoadDriver
+from repro.service.service import ServiceConfig, TraversalService
+
+SESSIONS: Tuple[Tuple[str, str, dict], ...] = (
+    ("pc-geocity", "pc", {"radius": 0.1, "leaf_size": 4}),
+    ("knn-random", "knn", {"k": 4, "leaf_size": 4}),
+)
+
+
+def available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _session_data(n_data: int, seed: int) -> Dict[str, np.ndarray]:
+    geo = dataset_by_name("geocity", n_data, seed=seed)
+    rnd = dataset_by_name("random", n_data, seed=seed + 1)
+    return {"pc-geocity": geo.points, "knn-random": rnd.points}
+
+
+def _register_all(register, data: Dict[str, np.ndarray]) -> None:
+    for name, app, kwargs in SESSIONS:
+        register(name, app, data[name], **kwargs)
+
+
+def run_fleet_side(
+    workers: int,
+    ticks: int,
+    queries_per_tick: int,
+    seed: int,
+    n_data: int,
+    service_payload: Dict[str, Any],
+    pin_cpus: bool = True,
+    log=print,
+) -> Tuple[float, Dict[str, dict]]:
+    """Boot a fleet, fan the seeded load out, keep every ticket.
+
+    Returns ``(wall_s, replies)`` where ``replies[worker]["results"]``
+    holds that worker's recorded tickets in submission order.  The
+    timer wraps only the load broadcast — worker boot, registration,
+    and drain are outside it on both sides of the comparison.
+    """
+    router = FleetRouter(
+        FleetConfig(
+            workers=workers,
+            seed=seed,
+            pin_cpus=pin_cpus,
+            service=dict(service_payload),
+        )
+    )
+    router.start()
+    try:
+        data = _session_data(n_data, seed)
+        _register_all(router.register, data)
+        t0 = time.perf_counter()
+        replies = router.run_load(
+            ticks=ticks,
+            queries_per_tick=queries_per_tick,
+            keep_results=True,
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        report = router.drain()
+    if not report["ok"]:
+        raise RuntimeError(f"fleet did not drain clean: {report}")
+    failed = [w for w, r in replies.items() if not r.get("ok", True)]
+    if failed:
+        raise RuntimeError(f"workers failed under load: {failed}")
+    log(
+        f"fleet: {workers} workers x {ticks} ticks x {queries_per_tick} q "
+        f"-> {sum(r['submitted'] for r in replies.values())} queries "
+        f"in {wall:.3f}s"
+    )
+    return wall, replies
+
+
+def run_baseline_side(
+    workers: int,
+    ticks: int,
+    queries_per_tick: int,
+    seed: int,
+    n_data: int,
+    service_payload: Dict[str, Any],
+    log=print,
+) -> Tuple[float, Dict[str, list]]:
+    """Replay the fleet's N seeded streams through one process.
+
+    Stream ``w`` uses the same derived service and load seeds as fleet
+    worker ``w``, so the submitted queries are identical bit for bit;
+    the streams run back to back on one core — the single-process
+    "--serve" upper bound the fleet must beat.
+    """
+    from repro.telemetry import TelemetryConfig
+
+    data = _session_data(n_data, seed)
+    runs: List[Tuple[str, TraversalService, SyntheticLoadDriver, list]] = []
+    for w in range(workers):
+        cfg = ServiceConfig(
+            seed=derive_seed(seed, w, "service"),
+            telemetry=TelemetryConfig(enabled=True),
+            **service_payload,
+        )
+        svc = TraversalService(cfg)
+        _register_all(svc.register, data)
+        record: list = []
+        driver = SyntheticLoadDriver(
+            svc,
+            threading.RLock(),
+            seed=derive_seed(seed, w, "load"),
+            tick_ms=2.0,
+            queries_per_tick=queries_per_tick,
+            record=record,
+        )
+        runs.append((f"w{w}", svc, driver, record))
+    t0 = time.perf_counter()
+    for _, svc, driver, _ in runs:
+        for _ in range(ticks):
+            driver.tick()
+        svc.flush()
+    wall = time.perf_counter() - t0
+    tickets = {wid: record for wid, _, _, record in runs}
+    log(
+        f"baseline: {workers} streams x {ticks} ticks x "
+        f"{queries_per_tick} q -> "
+        f"{sum(len(r) for r in tickets.values())} queries in {wall:.3f}s "
+        "(sequential, one process)"
+    )
+    # Keep the services alive alongside their tickets: the audit needs
+    # their session registries for the brute-force oracle.
+    tickets["_services"] = {wid: svc for wid, svc, _, _ in runs}
+    return wall, tickets
+
+
+def audit(
+    replies: Dict[str, dict], baseline: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Ticket-by-ticket audit of the fleet run against the baseline.
+
+    Counts: lost (never resolved), mismatched (fleet vs baseline twin
+    differ anywhere), oracle_wrong (served result disagrees with brute
+    force).  All three must be zero for the run to stand.
+    """
+    services = baseline["_services"]
+    lost = mismatched = oracle_wrong = compared = 0
+    for worker, reply in replies.items():
+        fleet_rows = reply["results"]
+        base_tickets = baseline[worker]
+        if len(fleet_rows) != len(base_tickets):
+            raise AssertionError(
+                f"{worker}: fleet recorded {len(fleet_rows)} tickets, "
+                f"baseline {len(base_tickets)} — streams diverged"
+            )
+        svc = services[worker]
+        oracle_batch: Dict[str, List[Tuple[int, np.ndarray, dict]]] = {}
+        for idx, (row, ticket) in enumerate(zip(fleet_rows, base_tickets)):
+            compared += 1
+            if row["error"] is not None and row["error"].get("code") == "lost":
+                lost += 1
+                continue
+            same = (
+                row["session"] == ticket.session
+                and np.array_equal(row["coords"], ticket.coords)
+                and row["ok"] == ticket.ok
+                and row["backend"] == ticket.backend
+            )
+            if same and row["ok"]:
+                same = set(row["result"]) == set(ticket.result) and all(
+                    np.array_equal(row["result"][k], ticket.result[k])
+                    for k in ticket.result
+                )
+            if not same:
+                mismatched += 1
+                continue
+            if row["ok"]:
+                oracle_batch.setdefault(row["session"], []).append(
+                    (idx, np.asarray(row["coords"]), row["result"])
+                )
+        for session, entries in oracle_batch.items():
+            sess = svc.registry.get(session)
+            coords = np.stack([c for _, c, _ in entries])
+            expected = sess.oracle(coords)
+            for i, (_, _, result) in enumerate(entries):
+                for key, exp in expected.items():
+                    got = np.asarray(result[key])
+                    if np.issubdtype(np.asarray(exp[i]).dtype, np.floating):
+                        good = np.allclose(got, exp[i], rtol=1e-9, atol=1e-9)
+                    else:
+                        good = np.array_equal(got, exp[i])
+                    if not good:
+                        oracle_wrong += 1
+                        break
+    return {
+        "compared": compared,
+        "lost": lost,
+        "mismatched": mismatched,
+        "oracle_wrong": oracle_wrong,
+    }
+
+
+def run_fleet_benchmark(
+    workers: int = 4,
+    ticks: int = 30,
+    queries_per_tick: int = 16,
+    seed: int = 7,
+    n_data: int = 2048,
+    pin_cpus: bool = True,
+    log=print,
+) -> dict:
+    service_payload = {"max_batch": 64, "max_wait_ms": 2.0}
+    fleet_wall, replies = run_fleet_side(
+        workers, ticks, queries_per_tick, seed, n_data, service_payload,
+        pin_cpus=pin_cpus, log=log,
+    )
+    base_wall, baseline = run_baseline_side(
+        workers, ticks, queries_per_tick, seed, n_data, service_payload,
+        log=log,
+    )
+    checks = audit(replies, baseline)
+    total = sum(r["submitted"] for r in replies.values())
+    fleet_qps = total / fleet_wall if fleet_wall > 0 else float("inf")
+    base_qps = total / base_wall if base_wall > 0 else float("inf")
+    speedup = fleet_qps / base_qps if base_qps > 0 else float("inf")
+    log(
+        f"aggregate: fleet {fleet_qps:.0f} q/s vs single-process "
+        f"{base_qps:.0f} q/s -> {speedup:.2f}x "
+        f"(audit: {checks['lost']} lost, {checks['mismatched']} mismatched, "
+        f"{checks['oracle_wrong']} oracle-wrong of {checks['compared']})"
+    )
+    return {
+        "meta": {
+            "workers": workers,
+            "ticks": ticks,
+            "queries_per_tick": queries_per_tick,
+            "seed": seed,
+            "n_data": n_data,
+            "pin_cpus": pin_cpus,
+            # Wall-clock fleet speedup is capped by the cores actually
+            # available — N workers on one core cannot beat one process.
+            # Readers of this artifact must judge `speedup` against
+            # `cpu_cores`, and --check does exactly that.
+            "cpu_cores": available_cores(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "generated_unix": int(time.time()),
+        },
+        "queries": total,
+        "fleet_wall_s": round(fleet_wall, 4),
+        "baseline_wall_s": round(base_wall, 4),
+        "fleet_qps": round(fleet_qps, 1),
+        "baseline_qps": round(base_qps, 1),
+        "speedup": round(speedup, 2),
+        "audit": checks,
+        "per_worker_submitted": {
+            w: r["submitted"] for w, r in sorted(replies.items())
+        },
+    }

@@ -18,6 +18,13 @@ Run from the repository root::
     PYTHONPATH=src python -m benchmarks.perf --smoke    # CI-sized subset
     PYTHONPATH=src python -m benchmarks.perf --check    # nonzero exit if
                                                         # compiled loses
+    PYTHONPATH=src python -m benchmarks.perf --jobs 4   # cells in parallel,
+                                                        # one pinned CPU each
+
+``--jobs N`` runs workload cells through the fleet's pinned process
+pool (:class:`repro.fleet.pool.ProcessPool`): each cell times both
+engines on its own CPU, so parallel cells stay honest as long as the
+machine has a core per job.
 
 Results land in ``BENCH_perf.json`` (override with ``--out``).
 """
@@ -54,17 +61,31 @@ from repro.harness.runner import ExperimentRunner
 #: xlarge tier — per-element work dominating per-call overhead is where
 #: the compiled engine's headline speedup lives — and times lockstep
 #: only (autoropes at 131k thread stacks would dominate the wall-clock
-#: budget without adding information).
+#: budget without adding information).  The ``-unsorted`` input variant
+#: runs the same dataset with point order *shuffled* instead of
+#: Morton-sorted (the paper's sorted-vs-unsorted axis): divergence goes
+#: up, traversals get longer, and the cell shows whether the compiled
+#: engine's win survives hostile input order.
 ALL_EXECUTORS: Tuple[str, ...] = ("autoropes", "lockstep")
 
 WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
     ("pc", "geocity", "xlarge", ("lockstep",)),
+    ("pc", "geocity-unsorted", "xlarge", ("lockstep",)),
     ("pc", "geocity", "large", ALL_EXECUTORS),
     ("knn", "geocity", "large", ALL_EXECUTORS),
     ("nn", "geocity", "large", ALL_EXECUTORS),
     ("vp", "random", "large", ALL_EXECUTORS),
     ("bh", "plummer", "large", ALL_EXECUTORS),
 )
+
+
+def parse_input(input_name: str) -> Tuple[str, bool]:
+    """``"geocity-unsorted"`` -> ``("geocity", False)``; plain names
+    stay Morton-sorted.  The suffix keeps the unsorted cell a distinct
+    trend key without widening the trend schema."""
+    if input_name.endswith("-unsorted"):
+        return input_name[: -len("-unsorted")], False
+    return input_name, True
 
 #: CI-sized subset.  Medium scale: below it runs finish in well under a
 #: second and the interp/compiled comparison is timer noise; medium is
@@ -85,6 +106,7 @@ SMOKE_WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
 #: xlarge cell.
 SEED_WORKLOADS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
     ("pc", "geocity", "xlarge", ("lockstep",)),
+    ("pc", "geocity-unsorted", "xlarge", ("lockstep",)),
     ("pc", "geocity", "large", ALL_EXECUTORS),
     ("knn", "geocity", "large", ALL_EXECUTORS),
     ("nn", "geocity", "large", ALL_EXECUTORS),
@@ -102,22 +124,29 @@ from repro.gpusim.executors import (
     AutoropesExecutor, LockstepExecutor, TraversalLaunch,
 )
 from repro.gpusim.stack import RopeStackLayout
-from repro.points.sorting import morton_order
+from repro.points.sorting import morton_order, shuffled_order
 
 bench = spec["bench"]
+# spec["dataset"] is the raw dataset name; spec["input"] keeps the
+# row label (which may carry a "-unsorted" suffix).
+def make_order(points_or_n):
+    if spec["sorted"]:
+        return morton_order(points_or_n)
+    return shuffled_order(len(points_or_n), seed=99)
+
 if bench == "bh":
     from repro.apps.barneshut import build_barneshut_app
     from repro.points.datasets import plummer_bodies, random_bodies
-    maker = plummer_bodies if spec["input"] == "plummer" else random_bodies
+    maker = plummer_bodies if spec["dataset"] == "plummer" else random_bodies
     bodies = maker(spec["n"], seed=spec["dataset_seed"])
-    order = morton_order(bodies.pos)
+    order = make_order(bodies.pos)
     app = build_barneshut_app(
         bodies, order, theta=spec["theta"], leaf_size=spec["bh_leaf_size"]
     )
 else:
     from repro.points.datasets import dataset_by_name
-    ds = dataset_by_name(spec["input"], spec["n"], seed=spec["dataset_seed"])
-    order = morton_order(ds.points)
+    ds = dataset_by_name(spec["dataset"], spec["n"], seed=spec["dataset_seed"])
+    order = make_order(ds.points)
     if bench == "pc":
         from repro.apps.pointcorr import build_pointcorr_app
         app = build_pointcorr_app(
@@ -195,15 +224,18 @@ def measure_seed_baseline(
     rows = []
     for bench, input_name, scale_name, executors in workloads:
         s = SCALES[scale_name]
+        dataset, sorted_points = parse_input(input_name)
         for executor in executors:
             spec = {
                 "bench": bench,
                 "input": input_name,
+                "dataset": dataset,
+                "sorted": sorted_points,
                 "executor": executor,
                 "n": s.n_bodies if bench == "bh" else s.n_points,
-                "dataset_seed": (42 if input_name == "plummer" else 43)
+                "dataset_seed": (42 if dataset == "plummer" else 43)
                 if bench == "bh" else 0,
-                "radius": s.pc_radius(input_name),
+                "radius": s.pc_radius(dataset),
                 "leaf_size": s.leaf_size,
                 "bh_leaf_size": s.bh_leaf_size,
                 "k": s.knn_k,
@@ -364,67 +396,119 @@ def _assert_equivalent(
             )
 
 
+def run_cell(
+    bench: str,
+    input_name: str,
+    scale_name: str,
+    executors: Tuple[str, ...],
+    repeat: int = 1,
+    verify_visits: bool = False,
+    runner: Optional[ExperimentRunner] = None,
+) -> dict:
+    """Time one workload cell: both engines, every requested executor.
+
+    Returns plain ``{"rows": [...], "speedups": [...]}`` dicts so the
+    cell is a valid :class:`repro.fleet.pool.ProcessPool` job
+    (``"benchmarks.perf:run_cell"``) — ``--jobs N`` runs cells in
+    pinned worker processes, serial mode calls it inline.  The
+    interp/compiled equivalence assertions run inside the cell, so a
+    divergence fails the job (and with it the whole run) either way.
+    """
+    dataset, sorted_points = parse_input(input_name)
+    if runner is None:
+        runner = ExperimentRunner(scale=SCALES[scale_name])
+    app, compiled = runner.app_for(bench, dataset, sorted_points=sorted_points)
+    variants: List[Tuple[str, type, object]] = []
+    if "autoropes" in executors:
+        variants.append(("autoropes", AutoropesExecutor, compiled.autoropes))
+    if "lockstep" in executors and compiled.lockstep is not None:
+        variants.append(("lockstep", LockstepExecutor, compiled.lockstep))
+    rows: List[Row] = []
+    speedups: List[dict] = []
+    for exec_name, exec_cls, kernel in variants:
+        per_engine: Dict[str, Tuple[float, object]] = {}
+        for engine in ("interp", "compiled"):
+            launches = [
+                _launch(app, kernel, engine, verify_visits)
+                for _ in range(repeat)
+            ]
+            wall, result = _time_run(exec_cls, launches)
+            per_engine[engine] = (wall, result)
+            rows.append(
+                Row(
+                    app=bench,
+                    input_name=input_name,
+                    scale=scale_name,
+                    executor=exec_name,
+                    engine=engine,
+                    wall_s=wall,
+                    steps=result.stats.steps,
+                    node_visits=result.stats.node_visits,
+                    warp_node_visits=result.stats.warp_node_visits,
+                    model_time_ms=result.time_ms,
+                )
+            )
+        wi, ri = per_engine["interp"]
+        wc, rc = per_engine["compiled"]
+        _assert_equivalent(bench, exec_name, ri, rc, verify_visits)
+        sp = wi / wc if wc > 0 else float("inf")
+        speedups.append(
+            {
+                "app": bench,
+                "input": input_name,
+                "scale": scale_name,
+                "executor": exec_name,
+                "interp_s": round(wi, 4),
+                "compiled_s": round(wc, 4),
+                "speedup": round(sp, 2),
+            }
+        )
+    return {"rows": [r.as_dict() for r in rows], "speedups": speedups}
+
+
 def run_benchmark(
     workloads: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...],
     repeat: int = 1,
     verify_visits: bool = False,
     log=print,
+    jobs: int = 1,
 ) -> dict:
-    runners: Dict[str, ExperimentRunner] = {}
-    rows: List[Row] = []
+    rows: List[dict] = []
     speedups: List[dict] = []
-    for bench, input_name, scale_name, executors in workloads:
-        runner = runners.setdefault(
-            scale_name, ExperimentRunner(scale=SCALES[scale_name])
-        )
-        app, compiled = runner.app_for(bench, input_name, sorted_points=True)
-        variants: List[Tuple[str, type, object]] = []
-        if "autoropes" in executors:
-            variants.append(("autoropes", AutoropesExecutor, compiled.autoropes))
-        if "lockstep" in executors and compiled.lockstep is not None:
-            variants.append(("lockstep", LockstepExecutor, compiled.lockstep))
-        for exec_name, exec_cls, kernel in variants:
-            per_engine: Dict[str, Tuple[float, object]] = {}
-            for engine in ("interp", "compiled"):
-                launches = [
-                    _launch(app, kernel, engine, verify_visits)
-                    for _ in range(repeat)
-                ]
-                wall, result = _time_run(exec_cls, launches)
-                per_engine[engine] = (wall, result)
-                rows.append(
-                    Row(
-                        app=bench,
-                        input_name=input_name,
-                        scale=scale_name,
-                        executor=exec_name,
-                        engine=engine,
-                        wall_s=wall,
-                        steps=result.stats.steps,
-                        node_visits=result.stats.node_visits,
-                        warp_node_visits=result.stats.warp_node_visits,
-                        model_time_ms=result.time_ms,
-                    )
-                )
-            wi, ri = per_engine["interp"]
-            wc, rc = per_engine["compiled"]
-            _assert_equivalent(bench, exec_name, ri, rc, verify_visits)
-            sp = wi / wc if wc > 0 else float("inf")
-            speedups.append(
-                {
-                    "app": bench,
-                    "input": input_name,
-                    "scale": scale_name,
-                    "executor": exec_name,
-                    "interp_s": round(wi, 4),
-                    "compiled_s": round(wc, 4),
-                    "speedup": round(sp, 2),
-                }
+    if jobs > 1:
+        from repro.fleet.pool import ProcessPool
+
+        kwargs_list = [
+            {
+                "bench": b, "input_name": i, "scale_name": s,
+                "executors": list(e), "repeat": repeat,
+                "verify_visits": verify_visits,
+            }
+            for b, i, s, e in workloads
+        ]
+        with ProcessPool(min(jobs, len(kwargs_list))) as pool:
+            cells = pool.run("benchmarks.perf:run_cell", kwargs_list, log=log)
+    else:
+        runners: Dict[str, ExperimentRunner] = {}
+        cells = []
+        for bench, input_name, scale_name, executors in workloads:
+            runner = runners.setdefault(
+                scale_name, ExperimentRunner(scale=SCALES[scale_name])
             )
+            cells.append(
+                run_cell(
+                    bench, input_name, scale_name, executors,
+                    repeat=repeat, verify_visits=verify_visits, runner=runner,
+                )
+            )
+    for cell in cells:
+        rows.extend(cell["rows"])
+        speedups.extend(cell["speedups"])
+        for s in cell["speedups"]:
             log(
-                f"{bench}/{input_name}@{scale_name} {exec_name}: "
-                f"interp {wi:.3f}s, compiled {wc:.3f}s -> {sp:.2f}x "
-                f"(stats identical)"
+                f"{s['app']}/{s['input']}@{s['scale']} {s['executor']}: "
+                f"interp {s['interp_s']:.3f}s, compiled {s['compiled_s']:.3f}s "
+                f"-> {s['speedup']:.2f}x (stats identical)"
             )
     lockstep_sp = [s["speedup"] for s in speedups if s["executor"] == "lockstep"]
     report = {
@@ -436,7 +520,7 @@ def run_benchmark(
             "repeat": repeat,
             "generated_unix": int(time.time()),
         },
-        "rows": [r.as_dict() for r in rows],
+        "rows": rows,
         "speedups": speedups,
         "max_lockstep_speedup": max(lockstep_sp) if lockstep_sp else None,
         "min_speedup": min(s["speedup"] for s in speedups) if speedups else None,
@@ -471,6 +555,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ap.add_argument("--repeat", type=int, default=1, help="best-of-N timing")
     ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run workload cells in N pinned worker processes "
+        "(repro.fleet.pool); 1 = serial in-process",
+    )
+    ap.add_argument(
         "--no-seed-baseline",
         action="store_true",
         help="skip timing the seed (root-commit) executors",
@@ -494,11 +585,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             merged[key] = have + tuple(e for e in execs if e not in have)
         workloads = tuple((b, i, s, e) for (b, i, s), e in merged.items())
 
+    if args.jobs < 1:
+        ap.error(f"--jobs must be >= 1, got {args.jobs}")
     report = run_benchmark(
         workloads,
         repeat=args.repeat,
         verify_visits=args.verify_visits,
+        jobs=args.jobs,
     )
+    report["meta"]["jobs"] = args.jobs
     if not args.smoke and not args.no_seed_baseline:
         timed = {(w[0], w[1], w[2]) for w in workloads}
         seed_set = tuple(

@@ -1,0 +1,112 @@
+"""Consistent-hash session placement for the serve fleet.
+
+Sessions are partitioned across shared-nothing workers by consistent
+hashing so that placement is
+
+* **deterministic** — the hash is SHA-1 over the session id, never
+  Python's per-process-salted ``hash()``, so the router, the tests,
+  and any future second router agree on placement;
+* **stable under membership change** — when a worker joins or leaves,
+  only the keys adjacent to its virtual nodes move.  With ``R``
+  virtual replicas per worker the expected fraction of keys that move
+  on a join/leave of one worker among ``n`` is ``1/n`` (the departing
+  worker's arc), which the property tests bound;
+* **uniform** — virtual replicas smooth the arc lengths; with the
+  default ``replicas=96`` the per-worker share of a large keyset stays
+  within a small factor of ``1/n``.
+
+The router removes a dead worker from the ring (breaker trip), which
+rehashes *new* sessions away from the dead shard; sessions already
+placed on it are reported unavailable rather than silently moved,
+because a shared-nothing peer does not have their trees.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: virtual nodes per worker: enough to keep the max/mean arc ratio low
+#: without making membership changes O(expensive).
+DEFAULT_REPLICAS = 96
+
+
+def stable_hash(key: str) -> int:
+    """64-bit SHA-1-derived position on the ring (process-independent)."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hash ring mapping string keys to worker ids."""
+
+    def __init__(
+        self,
+        workers: Iterable[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # sorted (position, worker)
+        self._positions: List[int] = []  # parallel: positions only
+        self._workers: Dict[str, List[int]] = {}
+        for w in workers:
+            self.add(w)
+
+    # -- membership ------------------------------------------------------
+
+    def add(self, worker: str) -> None:
+        """Add a worker's virtual nodes; idempotent-hostile by design
+        (double-add is a bug worth surfacing, not absorbing)."""
+        if worker in self._workers:
+            raise ValueError(f"worker {worker!r} already on the ring")
+        positions = [
+            stable_hash(f"{worker}#{r}") for r in range(self.replicas)
+        ]
+        self._workers[worker] = positions
+        for pos in positions:
+            idx = bisect.bisect_left(self._points, (pos, worker))
+            self._points.insert(idx, (pos, worker))
+        self._positions = [p for p, _ in self._points]
+
+    def remove(self, worker: str) -> bool:
+        """Drop a worker from the ring; False when it was not a member."""
+        if worker not in self._workers:
+            return False
+        del self._workers[worker]
+        self._points = [pt for pt in self._points if pt[1] != worker]
+        self._positions = [p for p, _ in self._points]
+        return True
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def workers(self) -> List[str]:
+        return sorted(self._workers)
+
+    # -- placement -------------------------------------------------------
+
+    def place(self, key: str) -> Optional[str]:
+        """The worker owning ``key``: first virtual node clockwise from
+        the key's ring position.  None on an empty ring."""
+        if not self._points:
+            return None
+        pos = stable_hash(key)
+        idx = bisect.bisect_right(self._positions, pos)
+        if idx == len(self._points):
+            idx = 0  # wrap: the ring is circular
+        return self._points[idx][1]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Key count per worker (diagnostics and the uniformity tests)."""
+        counts = {w: 0 for w in self._workers}
+        for key in keys:
+            owner = self.place(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

@@ -1,0 +1,199 @@
+"""Pinned-process pool: the generic layer under the fleet workers.
+
+Two consumers share this module:
+
+* :mod:`repro.fleet.router` spawns long-lived fleet workers with
+  :func:`start_process` (one pipe each, CPU-pinned round-robin);
+* ``benchmarks/perf --jobs N`` runs benchmark *cells* through
+  :class:`ProcessPool` — a fixed set of pinned worker processes that
+  execute ``(dotted function path, kwargs)`` jobs and stream results
+  back — so the full 22-cell trajectory fits a nightly wall-clock
+  budget instead of running serially.
+
+Jobs name their function by dotted path (``"benchmarks.perf:run_cell"``)
+rather than shipping closures: the child imports it fresh, which keeps
+the pool start-method agnostic (``fork`` where the platform has it,
+``spawn`` otherwise) and the job payload picklable by construction.
+
+CPU pinning is best-effort: ``os.sched_setaffinity`` where the OS
+provides it (Linux), silently skipped elsewhere — pinning is a perf
+hint, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import os
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def mp_context(method: Optional[str] = None) -> mp.context.BaseContext:
+    """The multiprocessing context the fleet uses.
+
+    ``fork`` is preferred where available (no re-import cost per
+    worker); ``spawn`` is the portable fallback.  Workers rebuild all
+    of their state from wire commands either way — nothing relies on
+    inherited memory.
+    """
+    if method is None:
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+def pin_to_cpu(cpu_index: Optional[int]) -> Optional[int]:
+    """Best-effort affinity pin of the calling process to one CPU.
+
+    Returns the CPU actually pinned to (modulo the available set), or
+    None when pinning is disabled (``cpu_index=None``) or the platform
+    has no affinity API.
+    """
+    if cpu_index is None or not hasattr(os, "sched_setaffinity"):
+        return None
+    try:
+        available = sorted(os.sched_getaffinity(0))
+        if not available:
+            return None
+        cpu = available[cpu_index % len(available)]
+        os.sched_setaffinity(0, {cpu})
+        return cpu
+    except OSError:
+        return None
+
+
+def start_process(target, args: Tuple, cpu_index: Optional[int] = None,
+                  name: Optional[str] = None, method: Optional[str] = None):
+    """Spawn one daemon process running ``target(*args)``.
+
+    ``cpu_index`` is forwarded as the target's first argument when
+    given, so the child pins *itself* (affinity must be set in the
+    child; a parent-side pin of a not-yet-started pid races).
+    """
+    ctx = mp_context(method)
+    if cpu_index is not None:
+        args = (cpu_index,) + args
+    proc = ctx.Process(target=target, args=args, name=name, daemon=True)
+    proc.start()
+    return proc
+
+
+def resolve_dotted(path: str):
+    """``"pkg.mod:func"`` -> the callable (child-side job lookup)."""
+    mod_name, sep, attr = path.partition(":")
+    if not sep or not attr:
+        raise ValueError(f"job path must look like 'pkg.mod:func', got {path!r}")
+    module = importlib.import_module(mod_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"{mod_name} has no attribute {attr!r}") from exc
+
+
+def _pool_worker(cpu_index: int, conn) -> None:
+    """Child loop: receive ``(job_id, path, kwargs)``, reply
+    ``(job_id, ok, result_or_error)``; ``None`` is the shutdown frame."""
+    pin_to_cpu(cpu_index)
+    while True:
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            break
+        if frame is None:
+            break
+        job_id, path, kwargs = frame
+        try:
+            result = resolve_dotted(path)(**kwargs)
+            conn.send((job_id, True, result))
+        except BaseException:
+            conn.send((job_id, False, traceback.format_exc()))
+    conn.close()
+
+
+class PoolJobError(RuntimeError):
+    """A pool job raised in the child; carries the child traceback."""
+
+
+class ProcessPool:
+    """Fixed-size pool of pinned worker processes executing dotted-path
+    jobs.  Use as a context manager; :meth:`run` preserves job order in
+    its result list while executing out-of-order across workers."""
+
+    def __init__(self, jobs: int, method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.n = jobs
+        self._ctx = mp_context(method)
+        self._procs: List = []
+        self._conns: List = []
+
+    def __enter__(self) -> "ProcessPool":
+        for i in range(self.n):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_pool_worker, args=(i, child),
+                name=f"pool-worker-{i}", daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._procs, self._conns = [], []
+
+    def run(self, path: str, kwargs_list: Sequence[Dict[str, Any]],
+            log=None) -> List[Any]:
+        """Execute one job per kwargs dict; results in submission order.
+
+        Jobs are handed to workers round-robin up front and collected
+        as they finish; a child-side exception fails the whole run with
+        the child traceback (benchmark cells must not silently vanish).
+        """
+        pending: Dict[int, int] = {}  # job_id -> conn index
+        queues: List[List[Tuple[int, Dict[str, Any]]]] = [
+            [] for _ in self._conns
+        ]
+        for job_id, kwargs in enumerate(kwargs_list):
+            queues[job_id % len(self._conns)].append((job_id, kwargs))
+        for ci, queue in enumerate(queues):
+            for job_id, kwargs in queue:
+                self._conns[ci].send((job_id, path, kwargs))
+                pending[job_id] = ci
+        results: List[Any] = [None] * len(kwargs_list)
+        remaining = set(pending)
+        while remaining:
+            waitable = list({id(c): c for c in (
+                self._conns[pending[j]] for j in remaining
+            )}.values())
+            for conn in mp.connection.wait(waitable, timeout=None):
+                try:
+                    job_id, ok, payload = conn.recv()
+                except EOFError as exc:
+                    raise PoolJobError(
+                        "pool worker died mid-job (EOF on its pipe)"
+                    ) from exc
+                if not ok:
+                    raise PoolJobError(
+                        f"pool job {job_id} failed in child:\n{payload}"
+                    )
+                results[job_id] = payload
+                remaining.discard(job_id)
+                if log is not None:
+                    log(
+                        f"pool: job {job_id + 1}/{len(kwargs_list)} done "
+                        f"({len(kwargs_list) - len(remaining)} finished)"
+                    )
+        return results

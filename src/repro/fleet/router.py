@@ -1,0 +1,801 @@
+"""Fleet router: placement, scatter/gather, aggregation, drain.
+
+The router owns the worker pool and is the only process that talks to
+every shard.  It keeps **no traversal state** — trees, plans, clocks,
+and metrics all live in the workers — so its job reduces to four
+verbs:
+
+* **place** — sessions map to workers by consistent hash
+  (:class:`~repro.fleet.hashring.HashRing`).  Registrations broadcast
+  to every worker (shared-nothing peers each build their own tree), so
+  placement is a routing *preference*, not a correctness constraint:
+  when a worker dies, the ring rehashes its sessions onto live workers
+  that already hold the trees.
+* **scatter/gather** — a single-session batch at or above
+  ``scatter_threshold`` rows splits into balanced contiguous slices
+  (:mod:`repro.fleet.slicing`), one per live worker, executed in
+  parallel and gathered back into submission order.  Results are
+  bit-identical to unsliced execution because per-query answers never
+  depend on batch composition.
+* **aggregate** — ``/metrics`` merges the workers' registry exports
+  with a ``worker`` label per series plus the router's own ``fleet_*``
+  instruments; ``/healthz`` is degraded if any worker is degraded or
+  dead; ``/statsz`` is a strict-JSON fleet snapshot (summed counters,
+  ``None`` — never ``NaN`` — for aggregates with no samples).
+* **drain** — SIGTERM fans out ``drain`` frames; every worker flushes
+  (drain-or-fail), reports its pending depth, and exits 0.  The fleet
+  exit code is 0 only when every worker drained clean.
+
+Worker death trips a router-side breaker: the shard is marked dead,
+removed from the ring (new placements rehash away), counted in
+``fleet_worker_deaths_total``, and reported by health until the
+process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.fleet import wire
+from repro.fleet.hashring import DEFAULT_REPLICAS, HashRing
+from repro.fleet.pool import mp_context, start_process
+from repro.fleet.slicing import scatter_slices
+from repro.fleet.worker import worker_main
+from repro.service.serve import JSON_CONTENT_TYPE, METRICS_CONTENT_TYPE
+from repro.telemetry import (
+    MetricsRegistry,
+    expose_export_text,
+    merge_labeled_exports,
+    sum_exports,
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for one fleet (router + N workers)."""
+
+    #: worker process count.
+    workers: int = 4
+    #: hash-ring virtual nodes per worker.
+    replicas: int = DEFAULT_REPLICAS
+    #: single-session batches with at least this many rows scatter
+    #: across all live workers; smaller ones route whole to the
+    #: session's placed shard.  0 disables scattering entirely.
+    scatter_threshold: int = 64
+    #: the single fleet seed every worker seed derives from.
+    seed: int = 7
+    #: pin workers to CPUs round-robin (best-effort, Linux only).
+    pin_cpus: bool = True
+    #: multiprocessing start method (None = fork where available).
+    start_method: Optional[str] = None
+    #: reply deadline for one worker exchange, seconds (None = wait).
+    call_timeout_s: Optional[float] = 120.0
+    #: plain-dict ServiceConfig payload forwarded to every worker (see
+    #: repro.fleet.worker.build_worker_service).
+    service: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerBreaker:
+    """Router-side breaker for one shard.
+
+    Unlike the per-backend execution breakers inside a service, a
+    worker breaker never half-opens: a dead process does not resurrect,
+    so ``open`` is terminal and routing rehashes permanently.
+    """
+
+    worker: str
+    state: str = "closed"  # "closed" | "open"
+    reason: str = ""
+
+    def trip(self, reason: str) -> None:
+        self.state = "open"
+        self.reason = reason
+
+
+class WorkerHandle:
+    """One shard as the router sees it: process, pipe, lock, breaker."""
+
+    def __init__(self, worker_id: str, index: int, proc, conn) -> None:
+        self.id = worker_id
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        #: held across one full send->recv exchange so concurrent HTTP
+        #: scrapes and scatter submits never interleave frames.
+        self.lock = threading.Lock()
+        self.breaker = WorkerBreaker(worker_id)
+
+    @property
+    def alive(self) -> bool:
+        return self.breaker.state == "closed"
+
+
+class FleetRouter:
+    """Owns the workers; see module docstring for the contract."""
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        if self.config.workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.handles: Dict[str, WorkerHandle] = {}
+        self.ring = HashRing(replicas=self.config.replicas)
+        self.sessions: List[str] = []
+        self.registry = MetricsRegistry()
+        self._m = {
+            "workers": self.registry.gauge(
+                "fleet_workers", "worker count by state", labels=("state",)
+            ),
+            "deaths": self.registry.counter(
+                "fleet_worker_deaths_total",
+                "worker breaker trips (process death or wire failure)",
+                labels=("worker",),
+            ),
+            "routed": self.registry.counter(
+                "fleet_routed_batches_total",
+                "whole batches routed to a placed shard",
+                labels=("worker",),
+            ),
+            "scattered": self.registry.counter(
+                "fleet_scatter_batches_total",
+                "batches scatter-sliced across the live workers",
+            ),
+            "scatter_rows": self.registry.counter(
+                "fleet_scatter_rows_total",
+                "query rows shipped inside scatter slices",
+                labels=("worker",),
+            ),
+        }
+        self._started = False
+        self._drained: Dict[str, dict] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> List[str]:
+        """Spawn and boot every worker; returns their ids."""
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        ctx = mp_context(self.config.start_method)
+        for i in range(self.config.workers):
+            worker_id = f"w{i}"
+            parent, child = ctx.Pipe()
+            # worker_main's signature leads with cpu_index; None means
+            # the child skips pinning (pin_to_cpu handles it).
+            proc = start_process(
+                worker_main,
+                args=(i if self.config.pin_cpus else None, child, worker_id,
+                      i, self.config.seed, dict(self.config.service)),
+                name=f"fleet-{worker_id}",
+                method=self.config.start_method,
+            )
+            child.close()
+            handle = WorkerHandle(worker_id, i, proc, parent)
+            self.handles[worker_id] = handle
+            self.ring.add(worker_id)
+        # Boot barrier: every worker answers its boot frame before the
+        # fleet accepts traffic, so a worker that fails to construct
+        # its service is a loud start() error, not a late mystery.
+        for handle in self.handles.values():
+            try:
+                wire.recv_reply(
+                    handle.conn, handle.id, timeout=self.config.call_timeout_s
+                )
+            except (wire.WorkerGone, wire.WireError) as exc:
+                self._trip(handle, f"boot failed: {exc}")
+        self._update_worker_gauges()
+        if not self.live_workers():
+            raise RuntimeError("no worker survived boot")
+        return sorted(self.handles)
+
+    def shutdown(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Fleet-wide graceful drain; see :meth:`drain`."""
+        return self.drain(timeout_s=timeout_s)
+
+    def __enter__(self) -> "FleetRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._drained:
+            self.drain()
+
+    # -- shard bookkeeping -----------------------------------------------
+
+    def live_workers(self) -> List[str]:
+        return sorted(w for w, h in self.handles.items() if h.alive)
+
+    def dead_workers(self) -> List[str]:
+        return sorted(w for w, h in self.handles.items() if not h.alive)
+
+    def _trip(self, handle: WorkerHandle, reason: str) -> None:
+        if not handle.alive:
+            return
+        handle.breaker.trip(reason)
+        self.ring.remove(handle.id)
+        self._m["deaths"].inc(worker=handle.id)
+        self._update_worker_gauges()
+
+    def _update_worker_gauges(self) -> None:
+        self._m["workers"].set(len(self.live_workers()), state="alive")
+        self._m["workers"].set(len(self.dead_workers()), state="dead")
+
+    def _call(self, worker: str, cmd: str, **payload: Any) -> Dict[str, Any]:
+        """One locked exchange with one worker; death trips the breaker."""
+        handle = self.handles[worker]
+        if not handle.alive:
+            raise wire.WorkerGone(worker, handle.breaker.reason)
+        with handle.lock:
+            try:
+                return wire.call(
+                    handle.conn, worker, cmd,
+                    timeout=self.config.call_timeout_s, **payload,
+                )
+            except wire.WorkerGone as exc:
+                self._trip(handle, str(exc))
+                raise
+
+    def broadcast(
+        self, cmd: str, workers: Optional[List[str]] = None, **payload: Any
+    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, str]]:
+        """Send one command to many workers in parallel (send phase,
+        then receive phase, per-handle locks held across both).
+
+        Returns ``(replies, failures)`` keyed by worker id; a failure
+        trips that worker's breaker but never poisons its siblings.
+        """
+        targets = [
+            self.handles[w] for w in (workers or self.live_workers())
+            if self.handles[w].alive
+        ]
+        targets.sort(key=lambda h: h.id)  # stable lock order
+        replies: Dict[str, Dict[str, Any]] = {}
+        failures: Dict[str, str] = {}
+        acquired: List[WorkerHandle] = []
+        try:
+            for handle in targets:
+                handle.lock.acquire()
+                acquired.append(handle)
+                try:
+                    wire.send_request(handle.conn, handle.id, cmd, **payload)
+                except wire.WorkerGone as exc:
+                    self._trip(handle, str(exc))
+                    failures[handle.id] = str(exc)
+            for handle in targets:
+                if handle.id in failures:
+                    continue
+                try:
+                    replies[handle.id] = wire.recv_reply(
+                        handle.conn, handle.id,
+                        timeout=self.config.call_timeout_s,
+                    )
+                except wire.WorkerGone as exc:
+                    self._trip(handle, str(exc))
+                    failures[handle.id] = str(exc)
+                except wire.WireError as exc:
+                    failures[handle.id] = str(exc)
+        finally:
+            for handle in acquired:
+                handle.lock.release()
+        return replies, failures
+
+    # -- sessions --------------------------------------------------------
+
+    def register(self, name: str, app: str, data: np.ndarray,
+                 **build_kwargs: Any) -> Dict[str, Any]:
+        """Broadcast a session build to every live worker.
+
+        Shared-nothing: each worker builds its own tree + plan.  The
+        registration fails loudly if *no* worker accepted it.
+        """
+        replies, failures = self.broadcast(
+            "register", name=name, app=app,
+            data=np.ascontiguousarray(data, dtype=np.float64),
+            build_kwargs=build_kwargs,
+        )
+        if not replies:
+            raise RuntimeError(
+                f"session {name!r}: no live worker accepted the "
+                f"registration ({failures})"
+            )
+        if name not in self.sessions:
+            self.sessions.append(name)
+        return {"session": name, "workers": sorted(replies), "failed": failures}
+
+    def place(self, session: str) -> Optional[str]:
+        """The shard currently owning ``session`` (consistent hash over
+        the live ring; rehashes automatically after a breaker trip)."""
+        return self.ring.place(session)
+
+    # -- query path ------------------------------------------------------
+
+    def submit_many(
+        self, session: str, coords: np.ndarray, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Route or scatter one batch; per-query resolutions in order.
+
+        Small batches go whole to the placed shard (keeps co-located
+        queries on one shard — the locality future traversal fusion
+        amortizes); large ones scatter-slice across every live worker
+        and gather back in submission order.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2:
+            raise ValueError(f"coords must be (n, d), got shape {coords.shape}")
+        live = self.live_workers()
+        if not live:
+            raise RuntimeError("no live workers")
+        threshold = self.config.scatter_threshold
+        if threshold and len(coords) >= threshold and len(live) > 1:
+            return self._scatter_submit(session, coords, live, now)
+        owner = self.place(session)
+        reply = self._call(
+            owner, "submit", session=session, coords=coords, now=now
+        )
+        self._m["routed"].inc(worker=owner)
+        return reply["results"]
+
+    def _scatter_submit(
+        self, session: str, coords: np.ndarray, live: List[str],
+        now: Optional[float],
+    ) -> List[Dict[str, Any]]:
+        """Scatter slices across live workers, gather in order."""
+        slices = scatter_slices(len(coords), len(live))
+        handles = [self.handles[w] for w in live]
+        self._m["scattered"].inc()
+        acquired: List[WorkerHandle] = []
+        sent: List[Tuple[WorkerHandle, slice]] = []
+        parts: Dict[str, List[Dict[str, Any]]] = {}
+        failures: Dict[str, Tuple[slice, str]] = {}
+        try:
+            for handle, sl in zip(handles, slices):
+                if sl.start == sl.stop:
+                    continue
+                handle.lock.acquire()
+                acquired.append(handle)
+                try:
+                    wire.send_request(
+                        handle.conn, handle.id, "submit",
+                        session=session, coords=coords[sl], now=now,
+                    )
+                    sent.append((handle, sl))
+                    self._m["scatter_rows"].inc(
+                        sl.stop - sl.start, worker=handle.id
+                    )
+                except wire.WorkerGone as exc:
+                    self._trip(handle, str(exc))
+                    failures[handle.id] = (sl, str(exc))
+            for handle, sl in sent:
+                try:
+                    reply = wire.recv_reply(
+                        handle.conn, handle.id,
+                        timeout=self.config.call_timeout_s,
+                    )
+                    parts[handle.id] = reply["results"]
+                except (wire.WorkerGone, wire.WireError) as exc:
+                    if isinstance(exc, wire.WorkerGone):
+                        self._trip(handle, str(exc))
+                    failures[handle.id] = (sl, str(exc))
+        finally:
+            for handle in acquired:
+                handle.lock.release()
+        # Gather in submission order; rows lost to a dead shard resolve
+        # with a typed error payload (never silently dropped).
+        out: List[Dict[str, Any]] = [
+            {
+                "ok": False, "backend": None, "latency_ms": 0.0,
+                "result": None,
+                "error": {"code": "shard-lost", "message": "row unassigned"},
+            }
+            for _ in range(len(coords))
+        ]
+        for handle, sl in zip(handles, slices):
+            if handle.id in parts:
+                for offset, row in enumerate(parts[handle.id]):
+                    out[sl.start + offset] = row
+            elif sl.start != sl.stop:
+                detail = failures.get(handle.id, (sl, "worker unavailable"))[1]
+                for i in range(sl.start, sl.stop):
+                    out[i]["error"]["message"] = detail
+        return out
+
+    def run_load(self, ticks: int = 1, queries_per_tick: int = 8,
+                 tick_ms: float = 2.0, keep_results: bool = False,
+                 ) -> Dict[str, Dict[str, Any]]:
+        """Fan one seeded load burst out to every live worker."""
+        replies, failures = self.broadcast(
+            "run_load", ticks=ticks, queries_per_tick=queries_per_tick,
+            tick_ms=tick_ms, keep_results=keep_results,
+        )
+        for worker, reason in failures.items():
+            replies[worker] = {"ok": False, "error": reason}
+        return replies
+
+    # -- aggregation (the HTTP payloads) ---------------------------------
+
+    def metrics_export(self) -> dict:
+        """Merged fleet metrics: per-worker-labelled series + fleet_*."""
+        replies, _ = self.broadcast("metrics")
+        exports = {
+            w: r.get("metrics") for w, r in replies.items()
+            if r.get("metrics") is not None
+        }
+        merged = merge_labeled_exports(exports, label="worker")
+        merged.update(self.registry.to_dict())  # fleet_* families
+        return merged
+
+    def metrics_text(self) -> str:
+        return expose_export_text(self.metrics_export())
+
+    def metrics_summed(self) -> dict:
+        """Fleet totals: counters summed, histograms bucket-merged."""
+        replies, _ = self.broadcast("metrics")
+        exports = {
+            w: r.get("metrics") for w, r in replies.items()
+            if r.get("metrics") is not None
+        }
+        return sum_exports(exports)
+
+    def healthz(self) -> dict:
+        """Fleet readiness: degraded if any worker is degraded or dead."""
+        replies, failures = self.broadcast("health")
+        workers: Dict[str, dict] = {}
+        degraded: List[str] = []
+        for worker in sorted(self.handles):
+            handle = self.handles[worker]
+            if not handle.alive:
+                workers[worker] = {
+                    "status": "dead", "ok": False,
+                    "reason": handle.breaker.reason,
+                }
+                degraded.append(worker)
+            elif worker in replies:
+                payload = replies[worker]["health"]
+                workers[worker] = payload
+                if not payload.get("ok", False):
+                    degraded.append(worker)
+            else:
+                workers[worker] = {
+                    "status": "unreachable", "ok": False,
+                    "reason": failures.get(worker, "no reply"),
+                }
+                degraded.append(worker)
+        ok = not degraded
+        return {
+            "status": "ok" if ok else "degraded",
+            "ok": ok,
+            "workers": workers,
+            "checks": {
+                "degraded_workers": sorted(degraded),
+                "dead_workers": self.dead_workers(),
+                "live_workers": self.live_workers(),
+                "sessions": sorted(self.sessions),
+            },
+        }
+
+    def statsz(self) -> dict:
+        """Strict-JSON fleet snapshot: per-worker stats + aggregate.
+
+        Aggregate counters are sums; aggregate latency quantiles are
+        query-weighted means of worker quantiles (an approximation,
+        labelled as such) and are ``None`` — never ``NaN`` — when no
+        worker has samples, preserving the PR-2 strict-JSON round-trip
+        contract fleet-wide.
+        """
+        replies, failures = self.broadcast("stats")
+        worker_stats = {w: r["stats"] for w, r in replies.items()}
+        agg = _aggregate_stats(list(worker_stats.values()))
+        return {
+            "fleet": {
+                "workers": len(self.handles),
+                "workers_alive": len(self.live_workers()),
+                "workers_dead": self.dead_workers(),
+                "unreachable": sorted(failures),
+                "sessions": sorted(self.sessions),
+                "scatter_batches": self._m["scattered"].value(),
+                "placements": {
+                    s: self.place(s) for s in sorted(self.sessions)
+                },
+            },
+            "aggregate": agg,
+            "workers": worker_stats,
+        }
+
+    # -- drain -----------------------------------------------------------
+
+    def drain(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Fleet-wide graceful drain (the SIGTERM path).
+
+        Fans ``drain`` out to every live worker (each flushes pending
+        queries — drain-or-fail — and exits 0), joins the processes,
+        and reports per-worker pending depths and exit codes.  ``ok``
+        is True only when every worker drained with nothing pending
+        and exited cleanly; dead workers make the drain not-ok by
+        definition (their queries cannot be accounted for).
+        """
+        report: Dict[str, dict] = dict(self._drained)
+        for worker in self.live_workers():
+            handle = self.handles[worker]
+            try:
+                reply = self._call(worker, "drain")
+                report[worker] = {
+                    "pending": int(reply.get("pending", -1)),
+                    "drained": bool(reply.get("drained", False)),
+                }
+            except (wire.WorkerGone, wire.WireError) as exc:
+                report[worker] = {
+                    "pending": -1, "drained": False, "error": str(exc),
+                }
+        deadline = time.monotonic() + timeout_s
+        for worker, handle in sorted(self.handles.items()):
+            remaining = max(0.0, deadline - time.monotonic())
+            handle.proc.join(timeout=remaining)
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=5.0)
+            entry = report.setdefault(
+                worker,
+                {"pending": -1, "drained": False,
+                 "error": handle.breaker.reason or "dead before drain"},
+            )
+            entry["exitcode"] = handle.proc.exitcode
+            handle.conn.close()
+        ok = bool(report) and all(
+            e.get("drained") and e.get("exitcode") == 0
+            for e in report.values()
+        )
+        self._drained = report
+        return {"ok": ok, "workers": report}
+
+
+# -- statsz aggregation ----------------------------------------------------
+
+#: counters summed across workers in the aggregate view.
+_SUM_FIELDS = (
+    "queries_submitted", "queries_completed", "queries_failed",
+    "queue_depth", "batches", "flush_full", "flush_timeout",
+    "flush_forced", "total_exec_ms",
+)
+
+
+def _weighted_mean(
+    pairs: List[Tuple[Optional[float], float]]
+) -> Optional[float]:
+    """Weight-averaged value over (value, weight) pairs; None — never
+    NaN — when no pair carries a sample (the empty-worker fix)."""
+    num = 0.0
+    den = 0.0
+    for value, weight in pairs:
+        if value is None or weight <= 0:
+            continue
+        num += value * weight
+        den += weight
+    return num / den if den > 0 else None
+
+
+def _aggregate_stats(worker_stats: List[dict]) -> dict:
+    """Sum/merge per-worker ServiceStats dicts into one fleet row."""
+    agg: Dict[str, Any] = {w: 0 for w in _SUM_FIELDS}
+    agg["sessions"] = 0
+    for stats in worker_stats:
+        for fname in _SUM_FIELDS:
+            agg[fname] += stats.get(fname) or 0
+        agg["sessions"] = max(agg["sessions"], stats.get("sessions") or 0)
+    weights = [float(s.get("queries_completed") or 0) for s in worker_stats]
+    agg["p50_latency_ms"] = _weighted_mean(
+        [(s.get("p50_latency_ms"), w) for s, w in zip(worker_stats, weights)]
+    )
+    agg["p95_latency_ms"] = _weighted_mean(
+        [(s.get("p95_latency_ms"), w) for s, w in zip(worker_stats, weights)]
+    )
+    agg["latency_note"] = (
+        "fleet quantiles are query-weighted means of worker quantiles"
+    )
+    resilience: Dict[str, int] = {}
+    for stats in worker_stats:
+        r = stats.get("resilience") or {}
+        for key in ("retries", "degraded_batches", "failed_batches",
+                    "shed_rejected", "shed_dropped", "deadline_misses"):
+            resilience[key] = resilience.get(key, 0) + (r.get(key) or 0)
+    agg["resilience"] = resilience
+    agg["workers_reporting"] = len(worker_stats)
+    return agg
+
+
+# -- HTTP front-end --------------------------------------------------------
+
+
+class FleetServer:
+    """Router behind the serve-mode HTTP surface, fleet edition.
+
+    Routes: ``/metrics`` (merged exposition), ``/healthz`` (fleet
+    readiness, 503 while degraded), ``/statsz`` (strict-JSON fleet
+    snapshot).  A background load pump fans seeded synthetic ticks to
+    the workers so a scraped fleet shows a live, moving system.
+    """
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        load_queries_per_tick: int = 0,
+        load_tick_ms: float = 2.0,
+        load_interval_s: float = 0.05,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self.load_queries_per_tick = load_queries_per_tick
+        self.load_tick_ms = load_tick_ms
+        self.load_interval_s = load_interval_s
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._pump: Optional[threading.Thread] = None
+        self._halt = threading.Event()
+        self._shut = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        if self._httpd is not None:
+            raise RuntimeError("fleet server already started")
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            server_version = "repro-fleet/1.0"
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                try:
+                    status, ctype, body = server.respond(self.path)
+                except Exception as exc:
+                    status, ctype = 500, JSON_CONTENT_TYPE
+                    body = json.dumps({"error": repr(exc)}).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="fleet-http", daemon=True
+        )
+        self._thread.start()
+        if self.load_queries_per_tick > 0:
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="fleet-load-pump", daemon=True
+            )
+            self._pump.start()
+        return self.host, self.port
+
+    def _pump_loop(self) -> None:
+        while not self._halt.is_set():
+            try:
+                self.router.run_load(
+                    ticks=1,
+                    queries_per_tick=self.load_queries_per_tick,
+                    tick_ms=self.load_tick_ms,
+                )
+            except RuntimeError:
+                break  # no live workers left
+            self._halt.wait(self.load_interval_s)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Stop load, drain the fleet, close the listener; idempotent."""
+        if self._shut:
+            return self.router._drained and {
+                "ok": all(
+                    e.get("drained") and e.get("exitcode") == 0
+                    for e in self.router._drained.values()
+                ),
+                "workers": self.router._drained,
+            } or {"ok": False, "workers": {}}
+        self._shut = True
+        self._halt.set()
+        if self._pump is not None:
+            self._pump.join(timeout=10.0)
+        report = self.router.drain()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return report
+
+    def __enter__(self) -> "FleetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- routing ---------------------------------------------------------
+
+    def respond(self, path: str) -> Tuple[int, str, bytes]:
+        """Route one GET (shared by the HTTP handler and the tests)."""
+        route = urlsplit(path).path.rstrip("/") or "/"
+        if route == "/metrics":
+            return 200, METRICS_CONTENT_TYPE, self.router.metrics_text().encode()
+        if route == "/healthz":
+            health = self.router.healthz()
+            return self._json(200 if health["ok"] else 503, health)
+        if route == "/statsz":
+            return self._json(200, self.router.statsz())
+        return self._json(
+            404,
+            {
+                "error": f"no route {route!r}",
+                "routes": ["/metrics", "/healthz", "/statsz"],
+            },
+        )
+
+    @staticmethod
+    def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
+        # allow_nan=False: the strict-JSON contract, fleet-wide.
+        body = json.dumps(payload, indent=2, allow_nan=False).encode()
+        return status, JSON_CONTENT_TYPE, body
+
+
+def run_fleet(
+    server: FleetServer,
+    *,
+    duration_s: Optional[float] = None,
+    announce=print,
+) -> int:
+    """Blocking fleet loop with SIGTERM/SIGINT fan-out drain.
+
+    Mirrors :func:`repro.service.serve.run_serve`: runs until a signal
+    (or ``duration_s``), then drains the whole fleet.  Exit code 0
+    *only* when every worker drained clean and exited 0.
+    """
+    stop = threading.Event()
+    previous = {}
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _on_signal)
+        except ValueError:
+            pass  # not the main thread (tests drive run_fleet directly)
+    host, port = server.start()
+    announce(
+        f"fleet of {len(server.router.handles)} workers on "
+        f"http://{host}:{port} (/metrics /healthz /statsz) — "
+        "SIGTERM or Ctrl-C drains every worker and exits"
+    )
+    deadline = time.monotonic() + duration_s if duration_s else None
+    try:
+        while not stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            stop.wait(0.1)
+    finally:
+        report = server.shutdown()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    pendings = {
+        w: e.get("pending") for w, e in report["workers"].items()
+    }
+    announce(
+        f"fleet drained and stopped (ok={report['ok']}, "
+        f"pending per worker: {pendings})"
+    )
+    return 0 if report["ok"] else 1

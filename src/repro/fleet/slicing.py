@@ -1,0 +1,79 @@
+"""Scatter/gather slicing of query batches across fleet workers.
+
+A large single-session batch would serialize on one shard; instead the
+router *scatters* it — contiguous, balanced row slices, one per live
+worker — executes the slices in parallel on the workers' own copies of
+the session tree, and *gathers* the per-slice results back into
+submission order.  The idiom follows the HeTr-style distributed
+backends (``get_slices`` / gather–scatter axes): slices are expressed
+as plain ``slice`` objects over the batch axis so the reassembly is a
+pure index computation with no per-row bookkeeping.
+
+Correctness does not depend on the split: per-query traversal results
+are functions of (session data, query coordinates) only — batch
+composition affects modeled latency, never answers — so a gathered
+batch is bit-identical to the same batch executed unsliced.  The
+round-trip tests assert exactly that against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def scatter_slices(n: int, shards: int) -> List[slice]:
+    """Balanced contiguous slices covering ``range(n)``.
+
+    The first ``n % shards`` slices get one extra row (sizes differ by
+    at most one); shards beyond ``n`` yield empty slices so the caller
+    can zip slices with a fixed worker list.  ``n == 0`` is allowed and
+    yields all-empty slices.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    base, extra = divmod(n, shards)
+    out: List[slice] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+def scatter(coords: np.ndarray, shards: int) -> List[np.ndarray]:
+    """Split a (n, d) batch into per-shard row blocks (views)."""
+    return [coords[s] for s in scatter_slices(len(coords), shards)]
+
+
+def gather(parts: Sequence[Sequence[T]]) -> List[T]:
+    """Reassemble per-shard result lists into submission order.
+
+    Inverse of :func:`scatter` for any per-row payload: concatenation
+    restores the original order because the slices are contiguous and
+    emitted in order.
+    """
+    out: List[T] = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def gather_arrays(parts: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Gather per-shard output-array dicts by key (empty shards skipped)."""
+    keys = None
+    for part in parts:
+        if part:
+            keys = list(part)
+            break
+    if keys is None:
+        return {}
+    return {
+        k: np.concatenate([p[k] for p in parts if p]) for k in keys
+    }

@@ -1,0 +1,271 @@
+"""Fleet worker: one shared-nothing process owning a full service.
+
+A worker is ``TraversalService`` + pipe loop, nothing else.  It builds
+its own trees and plans from ``register`` frames (shared-nothing: no
+memory is shared with the router or siblings), answers one reply per
+request, and exits through exactly one happy path — the ``drain``
+frame, after which the process return code is 0.  Any other way out
+(router death, unpicklable frame) exits non-zero so the router's
+drain accounting can refuse to report a clean fleet shutdown.
+
+Determinism: the worker derives every seed it uses — service seed,
+chaos schedule, synthetic load — from ``(fleet seed, worker index)``
+via :func:`derive_seed`, so a fleet of N workers is reproducible from
+the single fleet seed, and two fleets with the same seed submit
+bit-identical query streams.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.fleet.pool import pin_to_cpu
+from repro.fleet import wire
+from repro.fleet.hashring import stable_hash
+from repro.service.resilience import ServiceError
+
+#: exit codes the router checks after join().
+EXIT_DRAINED = 0
+EXIT_ROUTER_GONE = 2
+EXIT_CRASH = 3
+
+
+def derive_seed(base_seed: int, worker_index: int, salt: str) -> int:
+    """Per-worker, per-purpose seed from the single fleet seed.
+
+    SHA-1-based (:func:`~repro.fleet.hashring.stable_hash`), so the
+    derivation is identical across processes and Python runs — the
+    property the fleet's one-seed reproducibility contract rests on.
+    """
+    return stable_hash(f"{base_seed}:{worker_index}:{salt}") % (2**31)
+
+
+def build_worker_service(
+    worker_index: int, base_seed: int, config_payload: Dict[str, Any]
+):
+    """Construct this worker's TraversalService from wire primitives.
+
+    ``config_payload`` carries plain-dict ServiceConfig knobs (the
+    router never pickles a ServiceConfig across the pipe — the wire
+    stays primitive so protocol drift is loud, not silent).  Chaos, if
+    armed, is reseeded per worker.
+    """
+    from repro.gpusim.faults import ChaosConfig
+    from repro.service.service import ServiceConfig, TraversalService
+    from repro.telemetry import TelemetryConfig
+
+    payload = dict(config_payload)
+    chaos_payload = payload.pop("chaos", None)
+    chaos = None
+    if chaos_payload is not None:
+        chaos_payload = dict(chaos_payload)
+        chaos_payload["targets"] = tuple(chaos_payload.get("targets", ()))
+        chaos_payload["seed"] = derive_seed(
+            int(chaos_payload.get("seed", 0)) + base_seed, worker_index, "chaos"
+        )
+        chaos = ChaosConfig(**chaos_payload)
+    telemetry_payload = payload.pop("telemetry", {"enabled": True})
+    cfg = ServiceConfig(
+        seed=derive_seed(base_seed, worker_index, "service"),
+        chaos=chaos,
+        telemetry=TelemetryConfig(**telemetry_payload),
+        **payload,
+    )
+    return TraversalService(cfg)
+
+
+class _WorkerState:
+    """Mutable per-process state the command handlers share."""
+
+    def __init__(self, worker_id: str, worker_index: int, base_seed: int,
+                 service) -> None:
+        self.worker_id = worker_id
+        self.worker_index = worker_index
+        self.base_seed = base_seed
+        self.service = service
+        #: lazily-built synthetic load driver, kept across run_load
+        #: frames so its seeded RNG stream continues instead of
+        #: restarting (a restart would replay the same queries and
+        #: turn the load into one long memo hit).
+        self.driver = None
+
+
+def _handle_register(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
+    data = np.asarray(frame["data"], dtype=np.float64)
+    state.service.register(
+        frame["name"], frame["app"], data, **frame.get("build_kwargs", {})
+    )
+    return wire.ok_reply(session=frame["name"], n=len(data))
+
+
+def _handle_submit(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one coords batch synchronously; per-query resolutions.
+
+    The scatter path lands here: a slice of a larger batch arrives
+    with the router's logical timestamp, runs through this worker's
+    batcher on the shared clock value, and every row reports back a
+    resolution — result or typed error, never silence.
+    """
+    session = frame["session"]
+    coords = np.asarray(frame["coords"], dtype=np.float64)
+    now = frame.get("now")
+    svc = state.service
+    if now is not None and now > svc.now_ms:
+        svc.advance(float(now))
+    tickets = []
+    rejected = []
+    for i, coord in enumerate(coords):
+        try:
+            tickets.append((i, svc.submit(session, coord, now=svc.now_ms)))
+        except ServiceError as err:
+            rejected.append((i, err))
+    svc.flush(session)
+    results: List[Optional[Dict[str, Any]]] = [None] * len(coords)
+    for i, ticket in tickets:
+        results[i] = (
+            wire.ticket_payload(ticket)
+            if ticket.done else wire.unresolved_payload()
+        )
+    for i, err in rejected:
+        results[i] = {
+            "ok": False,
+            "backend": None,
+            "latency_ms": 0.0,
+            "result": None,
+            "error": {"code": getattr(err, "code", "error"), "message": str(err)},
+        }
+    return wire.ok_reply(results=results, now_ms=svc.now_ms)
+
+
+def _handle_run_load(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Run N seeded synthetic-load ticks locally (no router round-trips
+    per query — this is where fleet throughput comes from)."""
+    from repro.service.serve import SyntheticLoadDriver
+
+    ticks = int(frame.get("ticks", 1))
+    keep = bool(frame.get("keep_results", False))
+    driver = state.driver
+    if driver is None:
+        driver = state.driver = SyntheticLoadDriver(
+            state.service,
+            threading.RLock(),
+            seed=derive_seed(state.base_seed, state.worker_index, "load"),
+            tick_ms=float(frame.get("tick_ms", 2.0)),
+            queries_per_tick=int(frame.get("queries_per_tick", 8)),
+        )
+    record: Optional[List] = [] if keep else None
+    driver.record = record
+    for _ in range(ticks):
+        driver.tick()
+    state.service.flush()
+    reply: Dict[str, Any] = {
+        "submitted": driver.submitted,
+        "rejected": driver.rejected,
+        "ticks": driver.ticks,
+        "now_ms": state.service.now_ms,
+    }
+    if keep:
+        reply["results"] = [
+            dict(
+                session=t.session,
+                coords=t.coords,
+                **(wire.ticket_payload(t) if t.done else wire.unresolved_payload()),
+            )
+            for t in record
+        ]
+    return wire.ok_reply(**reply)
+
+
+def _handle_frame(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
+    cmd = frame.get("cmd")
+    svc = state.service
+    if cmd == "ping":
+        return wire.ok_reply(
+            worker=state.worker_id, index=state.worker_index,
+            now_ms=svc.now_ms,
+        )
+    if cmd == "register":
+        return _handle_register(state, frame)
+    if cmd == "submit":
+        return _handle_submit(state, frame)
+    if cmd == "run_load":
+        return _handle_run_load(state, frame)
+    if cmd == "advance":
+        dispatched = svc.advance(float(frame["now"]))
+        return wire.ok_reply(dispatched=dispatched, now_ms=svc.now_ms)
+    if cmd == "flush":
+        dispatched = svc.flush(frame.get("session"))
+        return wire.ok_reply(dispatched=dispatched, now_ms=svc.now_ms)
+    if cmd == "stats":
+        return wire.ok_reply(stats=wire.to_jsonable(svc.stats().to_dict()))
+    if cmd == "metrics":
+        tel = svc.telemetry
+        if not tel.enabled or tel.registry is None:
+            return wire.ok_reply(metrics=None)
+        return wire.ok_reply(metrics=tel.registry.to_dict())
+    if cmd == "health":
+        return wire.ok_reply(health=wire.to_jsonable(svc.health()))
+    return wire.error_reply(f"unknown command {cmd!r}")
+
+
+def worker_main(
+    cpu_index: Optional[int],
+    conn,
+    worker_id: str,
+    worker_index: int,
+    base_seed: int,
+    config_payload: Dict[str, Any],
+) -> None:
+    """Process entry point: build the service, serve frames, drain.
+
+    Every exception inside a handler answers an error frame and keeps
+    the worker alive; only drain (exit 0) and a dead router pipe
+    (exit 2) end the loop.
+    """
+    import sys
+
+    pin_to_cpu(cpu_index)
+    try:
+        service = build_worker_service(worker_index, base_seed, config_payload)
+    except Exception as exc:
+        try:
+            conn.send(wire.error_reply(f"worker boot failed: {exc!r}"))
+        except (BrokenPipeError, OSError):
+            pass
+        sys.exit(EXIT_CRASH)
+    state = _WorkerState(worker_id, worker_index, base_seed, service)
+    conn.send(wire.ok_reply(worker=worker_id, booted=True))
+    exit_code = EXIT_ROUTER_GONE
+    while True:
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            break  # router died: nothing to drain into, exit non-zero
+        if not isinstance(frame, dict):
+            conn.send(wire.error_reply(f"malformed frame {frame!r}"))
+            continue
+        if frame.get("cmd") == "drain":
+            # Drain-or-fail, fleet edition: flush everything, report
+            # what is still pending (must be 0 for a clean fleet exit).
+            try:
+                service.flush()
+                pending = service.queue_depth
+                conn.send(wire.ok_reply(pending=pending, drained=pending == 0))
+                exit_code = EXIT_DRAINED
+            except Exception as exc:
+                conn.send(wire.error_reply(f"drain failed: {exc!r}"))
+                exit_code = EXIT_CRASH
+            break
+        try:
+            reply = _handle_frame(state, frame)
+        except Exception as exc:
+            reply = wire.error_reply(f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+    sys.exit(exit_code)

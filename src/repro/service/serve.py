@@ -72,6 +72,7 @@ class SyntheticLoadDriver(threading.Thread):
         tick_ms: float = 2.0,
         queries_per_tick: int = 8,
         interval_s: float = 0.05,
+        record: Optional[List] = None,
     ) -> None:
         super().__init__(name="serve-load-driver", daemon=True)
         if tick_ms <= 0:
@@ -88,6 +89,9 @@ class SyntheticLoadDriver(threading.Thread):
         self.ticks = 0
         self.submitted = 0
         self.rejected = 0
+        #: when given, every admitted ticket is appended here — the
+        #: fleet benchmark audits load-driver traffic ticket by ticket.
+        self.record = record
         # NB: not "_stop" — that would shadow threading.Thread._stop().
         self._halt = threading.Event()
         self._rng = np.random.default_rng(seed)
@@ -119,8 +123,10 @@ class SyntheticLoadDriver(threading.Thread):
                 pool = self._pools[name]
                 coord = pool[int(self._rng.integers(len(pool)))]
                 try:
-                    self.service.submit(name, coord, now=now)
+                    ticket = self.service.submit(name, coord, now=now)
                     self.submitted += 1
+                    if self.record is not None:
+                        self.record.append(ticket)
                 except ServiceError:
                     # Admission control refused it; the client saw a
                     # typed error and nothing was queued.

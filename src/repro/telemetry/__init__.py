@@ -39,6 +39,9 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    expose_export_text,
+    merge_labeled_exports,
+    sum_exports,
 )
 from .tracing import Span, Tracer
 from .flight import FlightRecorder
@@ -63,6 +66,9 @@ __all__ = [
     "SLOTracker",
     "DEFAULT_MS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "expose_export_text",
+    "merge_labeled_exports",
+    "sum_exports",
 ]
 
 

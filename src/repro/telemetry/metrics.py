@@ -250,6 +250,167 @@ class Histogram(Instrument):
             yield f"{self.name}_count{_series_suffix(key)} {st.count}"
 
 
+# -- fleet merging --------------------------------------------------------
+#
+# The sharded serve fleet (repro.fleet) runs one MetricsRegistry per
+# worker process; the router aggregates their JSON exports
+# (registry.to_dict()) without ever holding live Instrument objects.
+# Two views, both deterministic:
+#
+# * merge_labeled_exports — every series keeps its identity and gains a
+#   `worker` label (the /metrics scrape surface: per-worker series, no
+#   double counting, sums are the scraper's job);
+# * sum_exports — counters and gauges summed, histograms merged
+#   bucket-wise across workers per label set (the /statsz aggregate).
+
+
+def _export_series_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def merge_labeled_exports(
+    exports: Mapping[str, dict], label: str = "worker"
+) -> dict:
+    """Merge per-worker ``registry.to_dict()`` exports, tagging every
+    series with the worker id under ``label``.
+
+    Families present on several workers must agree on kind (a protocol
+    drift between worker builds is an error, not a silent union).
+    Series order is deterministic: sorted by (worker, labels).
+    """
+    merged: Dict[str, dict] = {}
+    for worker in sorted(exports):
+        export = exports[worker] or {}
+        for name in sorted(export):
+            family = export[name]
+            slot = merged.get(name)
+            if slot is None:
+                slot = merged[name] = {
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "series": [],
+                }
+            elif slot["kind"] != family["kind"]:
+                raise ValueError(
+                    f"metric {name!r}: kind mismatch across workers "
+                    f"({slot['kind']} vs {family['kind']})"
+                )
+            for series in family.get("series", []):
+                tagged = dict(series)
+                labels = dict(series.get("labels", {}))
+                if label in labels:
+                    raise ValueError(
+                        f"metric {name!r}: series already carries a "
+                        f"{label!r} label"
+                    )
+                labels[label] = str(worker)
+                tagged["labels"] = labels
+                slot["series"].append(tagged)
+    for family in merged.values():
+        family["series"].sort(key=lambda s: _export_series_key(s["labels"]))
+    return merged
+
+
+def sum_exports(exports: Mapping[str, dict]) -> dict:
+    """Fleet-wide totals: counters/gauges summed and histograms merged
+    bucket-wise across workers, per label set.
+
+    Gauges sum too — the fleet gauges in play (queue depths, alert
+    flags) are additive or max-1 indicators where a sum reads as "how
+    many workers"; non-additive gauges belong on the labeled view.
+    Histogram merges require identical bucket bounds (same code on
+    every worker) and add counts, sums, and totals elementwise.
+    """
+    out: Dict[str, dict] = {}
+    for worker in sorted(exports):
+        export = exports[worker] or {}
+        for name in sorted(export):
+            family = export[name]
+            slot = out.get(name)
+            if slot is None:
+                slot = out[name] = {
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "_series": {},
+                }
+            elif slot["kind"] != family["kind"]:
+                raise ValueError(
+                    f"metric {name!r}: kind mismatch across workers "
+                    f"({slot['kind']} vs {family['kind']})"
+                )
+            for series in family.get("series", []):
+                key = _export_series_key(series.get("labels", {}))
+                acc = slot["_series"].get(key)
+                if family["kind"] == "histogram":
+                    if acc is None:
+                        slot["_series"][key] = {
+                            "labels": dict(series.get("labels", {})),
+                            "bounds": list(series["bounds"]),
+                            "counts": list(series["counts"]),
+                            "sum": float(series["sum"]),
+                            "count": int(series["count"]),
+                        }
+                    else:
+                        if acc["bounds"] != list(series["bounds"]):
+                            raise ValueError(
+                                f"metric {name!r}: bucket bounds differ "
+                                "across workers"
+                            )
+                        acc["counts"] = [
+                            a + b for a, b in zip(acc["counts"], series["counts"])
+                        ]
+                        acc["sum"] += float(series["sum"])
+                        acc["count"] += int(series["count"])
+                else:
+                    if acc is None:
+                        slot["_series"][key] = {
+                            "labels": dict(series.get("labels", {})),
+                            "value": float(series["value"]),
+                        }
+                    else:
+                        acc["value"] += float(series["value"])
+    for family in out.values():
+        series = family.pop("_series")
+        family["series"] = [series[key] for key in sorted(series)]
+    return out
+
+
+def expose_export_text(export: Mapping[str, dict]) -> str:
+    """Prometheus text exposition of a ``to_dict()``-shaped export.
+
+    The live-registry path (:meth:`MetricsRegistry.expose_text`) and
+    this one render the same format; this one exists so the fleet
+    router can expose merged worker exports it only holds as dicts.
+    """
+    lines: List[str] = []
+    for name in sorted(export):
+        family = export[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {escape_help_text(family['help'])}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for series in family.get("series", []):
+            key = _export_series_key(series.get("labels", {}))
+            if family["kind"] == "histogram":
+                cum = 0
+                for bound, n in zip(series["bounds"], series["counts"]):
+                    cum += n
+                    suffix = _series_suffix(key, (("le", _fmt_value(bound)),))
+                    lines.append(f"{name}_bucket{suffix} {cum}")
+                cum += series["counts"][-1]
+                lines.append(
+                    f"{name}_bucket{_series_suffix(key, (('le', '+Inf'),))} {cum}"
+                )
+                lines.append(
+                    f"{name}_sum{_series_suffix(key)} {_fmt_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_series_suffix(key)} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{_series_suffix(key)} {_fmt_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
 class MetricsRegistry:
     """Names instruments, enforces one definition per name, exports."""
 

@@ -1,0 +1,14 @@
+"""Dotted-path job targets for the ProcessPool tests.
+
+Pool jobs are named ``"pkg.mod:func"`` and imported in the child, so
+the test targets must live in a real module — lambdas and closures
+cannot cross the process boundary.
+"""
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def boom(message: str = "kaboom") -> None:
+    raise RuntimeError(message)
