@@ -49,6 +49,8 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.fleet import FleetConfig, FleetRouter
+from repro.fleet.chaos import FleetChaosConfig
+from repro.fleet.supervisor import RestartPolicy
 from repro.fleet.worker import derive_seed
 from repro.points.datasets import dataset_by_name
 from repro.service.serve import SyntheticLoadDriver
@@ -308,4 +310,252 @@ def run_fleet_benchmark(
         "per_worker_submitted": {
             w: r["submitted"] for w, r in sorted(replies.items())
         },
+    }
+
+
+# -- kill-and-recover audit (benchmarks.fleet --chaos) ---------------------
+#
+# The throughput benchmark above proves the fleet is fast and correct
+# when nothing goes wrong; this one proves it stays correct when
+# workers die.  The router drives a deterministic query stream through
+# submit_many (the scatter path) while FleetChaos kills workers, drops
+# replies, and stalls pipes on a seeded schedule; the supervisor heals
+# each round.  Every row is audited against a single-process twin
+# (bit-identical result arrays — batch composition, and therefore
+# backend choice, may legitimately differ after a retry) and against
+# the brute-force oracle.  Zero lost, zero mismatched, zero
+# oracle-wrong — through real process deaths.
+
+
+def _chaos_query_stream(
+    rounds: int, batch: int, seed: int, dims: Dict[str, int]
+) -> List[List[Tuple[str, np.ndarray]]]:
+    """The full (session, coords) schedule, precomputed so the fleet
+    run and the baseline replay iterate the identical stream."""
+    rng = np.random.default_rng(derive_seed(seed, 0, "chaos-bench-load"))
+    stream = []
+    for _ in range(rounds):
+        round_batches = []
+        for name, _, _ in SESSIONS:
+            round_batches.append(
+                (name, rng.random((batch, dims[name])))
+            )
+        stream.append(round_batches)
+    return stream
+
+
+def _baseline_rows(
+    session_data: Dict[str, np.ndarray],
+    stream: List[List[Tuple[str, np.ndarray]]],
+    service_payload: Dict[str, Any],
+    seed: int,
+) -> Dict[str, Any]:
+    """Replay the stream through one in-process service (the oracle
+    twin); returns per-(round, batch-index) result rows shaped like the
+    wire payloads, plus the live service (the audit needs its session
+    registry for the brute-force oracle)."""
+    from repro.fleet import wire
+    from repro.telemetry import TelemetryConfig
+
+    cfg = ServiceConfig(
+        seed=derive_seed(seed, 0, "service"),
+        telemetry=TelemetryConfig(enabled=False),
+        **service_payload,
+    )
+    svc = TraversalService(cfg)
+    _register_all(svc.register, session_data)
+    rows: Dict[int, list] = {}
+    key = 0
+    for round_batches in stream:
+        for session, coords in round_batches:
+            tickets = [
+                svc.submit(session, c, now=svc.now_ms) for c in coords
+            ]
+            svc.flush(session)
+            rows[key] = [
+                wire.ticket_payload(t) if t.done else wire.unresolved_payload()
+                for t in tickets
+            ]
+            key += 1
+    return {"rows": rows, "service": svc}
+
+
+def _audit_chaos_rows(
+    fleet_rows: Dict[int, list],
+    stream: List[List[Tuple[str, np.ndarray]]],
+    baseline: Dict[str, Any],
+) -> Dict[str, int]:
+    """Row-by-row: fleet vs baseline twin (bit-identical arrays) and
+    fleet vs brute-force oracle (allclose 1e-9).  Backends are NOT
+    compared: a retried row legally runs in a different batch shape,
+    and batch shape may steer the adaptive dispatch — the paper-level
+    claim under test is that *answers* never depend on it."""
+    svc = baseline["service"]
+    base_rows = baseline["rows"]
+    lost = mismatched = oracle_wrong = compared = 0
+    flat = [
+        (session, coords)
+        for round_batches in stream
+        for session, coords in round_batches
+    ]
+    for key, (session, coords) in enumerate(flat):
+        sess = svc.registry.get(session)
+        expected = sess.oracle(np.asarray(coords))
+        for i, (frow, brow) in enumerate(zip(fleet_rows[key], base_rows[key])):
+            compared += 1
+            if not frow["ok"]:
+                lost += 1
+                continue
+            same = brow["ok"] and set(frow["result"]) == set(brow["result"])
+            if same:
+                same = all(
+                    np.array_equal(
+                        np.asarray(frow["result"][k]),
+                        np.asarray(brow["result"][k]),
+                    )
+                    for k in brow["result"]
+                )
+            if not same:
+                mismatched += 1
+                continue
+            for okey, exp in expected.items():
+                got = np.asarray(frow["result"][okey])
+                if np.issubdtype(np.asarray(exp[i]).dtype, np.floating):
+                    good = np.allclose(got, exp[i], rtol=1e-9, atol=1e-9)
+                else:
+                    good = np.array_equal(got, exp[i])
+                if not good:
+                    oracle_wrong += 1
+                    break
+    return {
+        "compared": compared,
+        "lost": lost,
+        "mismatched": mismatched,
+        "oracle_wrong": oracle_wrong,
+    }
+
+
+def run_chaos_benchmark(
+    workers: int = 3,
+    rounds: int = 30,
+    batch: int = 24,
+    tick_ms: float = 5.0,
+    seed: int = 7,
+    n_data: int = 512,
+    p_kill: float = 0.10,
+    p_drop_reply: float = 0.04,
+    p_stall: float = 0.04,
+    pin_cpus: bool = False,
+    log=print,
+) -> dict:
+    """One seeded kill-and-recover run; returns the audit report.
+
+    Restart policy note: the benchmark runs with ``backoff_base_ms=0``
+    so a chaos-killed worker is always back before the next round's
+    kill draws — that makes the live set at every draw, and therefore
+    the fired schedule, a pure function of (seed, logical clock).
+    Nonzero backoff is exercised by the unit tests, where the clock is
+    scripted instead of raced against real process deaths.
+    """
+    service_payload = {"max_batch": 64, "max_wait_ms": 2.0}
+    chaos_cfg = FleetChaosConfig(
+        seed=seed,
+        p_kill=p_kill,
+        p_drop_reply=p_drop_reply,
+        p_stall=p_stall,
+        bucket_ms=tick_ms,
+        max_kills_per_bucket=1,
+    )
+    router = FleetRouter(
+        FleetConfig(
+            workers=workers,
+            seed=seed,
+            pin_cpus=pin_cpus,
+            scatter_threshold=max(2, batch // 2),
+            service=dict(service_payload),
+            supervise=True,
+            restart=RestartPolicy(
+                backoff_base_ms=0.0,
+                max_restarts=10_000,
+                window_ms=1e9,
+            ),
+            fleet_chaos=chaos_cfg,
+        )
+    )
+    router.start()
+    data = _session_data(n_data, seed)
+    stream = _chaos_query_stream(
+        rounds, batch, seed, {name: arr.shape[1] for name, arr in data.items()}
+    )
+    fleet_rows: Dict[int, list] = {}
+    healthz_ok = drain_ok = False
+    try:
+        _register_all(router.register, data)
+        key = 0
+        now = 0.0
+        for round_batches in stream:
+            now += tick_ms
+            router.heal(now=now)
+            for session, coords in round_batches:
+                fleet_rows[key] = router.submit_many(session, coords, now=now)
+                key += 1
+        # Let the supervisor finish any outstanding recovery, then
+        # check the fleet reports healthy — the healz-recovers claim.
+        for _ in range(5):
+            now += tick_ms
+            if not router.heal(now=now) and not router.dead_workers():
+                break
+        health = router.healthz()
+        healthz_ok = bool(health["ok"])
+        restarts = router.supervisor.total_restarts()
+        replays = router._m["replays"].total()
+        schedule = router.chaos.schedule()
+        chaos_counts: Dict[str, int] = {}
+        for event in schedule:
+            chaos_counts[event["kind"]] = chaos_counts.get(event["kind"], 0) + 1
+        supervision = router.supervisor.snapshot()
+    finally:
+        report = router.drain()
+        drain_ok = bool(report["ok"])
+    baseline = _baseline_rows(data, stream, service_payload, seed)
+    checks = _audit_chaos_rows(fleet_rows, stream, baseline)
+    log(
+        f"chaos fleet: {workers} workers, {rounds} rounds x "
+        f"{batch * len(SESSIONS)} q — {len(schedule)} faults "
+        f"({chaos_counts}), {restarts} restarts, "
+        f"{int(replays)} session replays; audit: {checks['lost']} lost, "
+        f"{checks['mismatched']} mismatched, {checks['oracle_wrong']} "
+        f"oracle-wrong of {checks['compared']}; healthz_ok={healthz_ok} "
+        f"drain_ok={drain_ok}"
+    )
+    return {
+        "meta": {
+            "workers": workers,
+            "rounds": rounds,
+            "batch": batch,
+            "tick_ms": tick_ms,
+            "seed": seed,
+            "n_data": n_data,
+            "chaos": {
+                "p_kill": p_kill,
+                "p_drop_reply": p_drop_reply,
+                "p_stall": p_stall,
+                "bucket_ms": tick_ms,
+            },
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "generated_unix": int(time.time()),
+        },
+        "audit": checks,
+        "recovery": {
+            "restarts": restarts,
+            "session_replays": int(replays),
+            "evicted": router.supervisor.evicted_workers(),
+            "supervision": supervision,
+        },
+        "chaos_events": len(schedule),
+        "chaos_counts": chaos_counts,
+        "schedule": schedule,
+        "healthz_ok": healthz_ok,
+        "drain_ok": drain_ok,
     }

@@ -7,6 +7,65 @@ import json
 import sys
 
 
+def run_chaos_cli(args) -> int:
+    """Two identically-seeded kill-and-recover runs; gate on a clean
+    audit, at least one healed restart, and schedule equality."""
+    from benchmarks.fleet import run_chaos_benchmark
+
+    workers = max(args.workers, 3) if not args.smoke else max(args.workers, 2)
+    kwargs = dict(
+        workers=workers,
+        rounds=args.rounds,
+        batch=args.batch,
+        seed=args.seed,
+        n_data=args.data,
+        p_kill=args.p_kill,
+        p_drop_reply=args.p_drop_reply,
+        p_stall=args.p_stall,
+        pin_cpus=not args.no_pin,
+    )
+    report = run_chaos_benchmark(**kwargs)
+    print("second run (same seed) for the schedule-determinism check...")
+    twin = run_chaos_benchmark(**kwargs)
+    report["schedule_deterministic"] = report["schedule"] == twin["schedule"]
+
+    out = args.out
+    if out == "BENCH_fleet.json":
+        out = "BENCH_fleet_chaos.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    a = report["audit"]
+    failures = []
+    if a["lost"] or a["mismatched"] or a["oracle_wrong"]:
+        failures.append(
+            f"audit not clean (lost={a['lost']} mismatched={a['mismatched']} "
+            f"oracle_wrong={a['oracle_wrong']})"
+        )
+    if report["recovery"]["restarts"] < 1:
+        failures.append("no worker restart happened — chaos never killed")
+    if report["recovery"]["session_replays"] < 1:
+        failures.append("no session replay happened")
+    if not report["healthz_ok"]:
+        failures.append("/healthz did not recover to healthy")
+    if not report["drain_ok"]:
+        failures.append("drain was not clean")
+    if not report["schedule_deterministic"]:
+        failures.append("chaos schedule differed between same-seed runs")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"PASS: {report['recovery']['restarts']} restarts healed, "
+        f"{report['recovery']['session_replays']} sessions replayed, "
+        f"{a['compared']} tickets audited clean, schedule deterministic"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     from benchmarks.fleet import run_fleet_benchmark
 
@@ -23,6 +82,24 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="CI-sized run: 2 workers, short load, no speedup gate",
     )
+    ap.add_argument(
+        "--chaos", action="store_true",
+        help="run the kill-and-recover audit instead of the throughput "
+        "benchmark: seeded worker kills under load, zero-loss audit, "
+        "schedule-determinism check across two runs",
+    )
+    ap.add_argument(
+        "--rounds", type=int, default=30,
+        help="(--chaos) submit rounds; the logical clock advances one "
+        "chaos bucket per round",
+    )
+    ap.add_argument(
+        "--batch", type=int, default=24,
+        help="(--chaos) rows per batch per session (scatter-sized)",
+    )
+    ap.add_argument("--p-kill", type=float, default=0.10)
+    ap.add_argument("--p-drop-reply", type=float, default=0.04)
+    ap.add_argument("--p-stall", type=float, default=0.04)
     ap.add_argument(
         "--check", action="store_true",
         help="exit 1 unless speedup >= --check-speedup with a clean audit",
@@ -43,6 +120,11 @@ def main(argv=None) -> int:
         args.ticks = min(args.ticks, 6)
         args.queries_per_tick = min(args.queries_per_tick, 8)
         args.data = min(args.data, 512)
+        args.rounds = min(args.rounds, 12)
+        args.batch = min(args.batch, 16)
+
+    if args.chaos:
+        return run_chaos_cli(args)
 
     report = run_fleet_benchmark(
         workers=args.workers,

@@ -20,6 +20,12 @@ one-process ceiling of ``repro.service --serve``.  The topology
 * The **pool** (:mod:`repro.fleet.pool`) is the generic pinned-process
   layer under the workers; ``benchmarks/perf --jobs N`` reuses it to
   run benchmark cells in parallel.
+* The fleet **self-heals**: worker death trips a router-side breaker,
+  the supervisor (:mod:`repro.fleet.supervisor`) respawns the process
+  under a seeded backoff/budget policy, and the router replays the
+  session catalog from its ledger (:mod:`repro.fleet.ledger`) so the
+  rejoined shard serves bit-identical answers.  Fleet-level fault
+  injection lives in :mod:`repro.fleet.chaos`.
 
 Determinism: the whole fleet is reproducible from one seed — worker
 ``w`` derives its chaos/load seeds from ``(fleet seed, w)`` — and
@@ -32,20 +38,29 @@ CLI::
     PYTHONPATH=src python -m repro.fleet --workers 4
 """
 
+from repro.fleet.chaos import FleetChaos, FleetChaosConfig
 from repro.fleet.hashring import HashRing
+from repro.fleet.ledger import SessionLedger, data_digest
 from repro.fleet.pool import ProcessPool, pin_to_cpu
 from repro.fleet.router import FleetConfig, FleetRouter, FleetServer, run_fleet
 from repro.fleet.slicing import gather, scatter, scatter_slices
+from repro.fleet.supervisor import FleetSupervisor, RestartPolicy
 from repro.fleet.wire import WireError, WorkerGone
 
 __all__ = [
+    "FleetChaos",
+    "FleetChaosConfig",
     "FleetConfig",
     "FleetRouter",
     "FleetServer",
+    "FleetSupervisor",
     "HashRing",
     "ProcessPool",
+    "RestartPolicy",
+    "SessionLedger",
     "WireError",
     "WorkerGone",
+    "data_digest",
     "gather",
     "pin_to_cpu",
     "run_fleet",

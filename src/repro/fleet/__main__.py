@@ -27,8 +27,10 @@ import argparse
 import os
 import sys
 
+from repro.fleet.chaos import FleetChaosConfig
 from repro.fleet.hashring import DEFAULT_REPLICAS
 from repro.fleet.router import FleetConfig, FleetRouter, FleetServer, run_fleet
+from repro.fleet.supervisor import RestartPolicy
 from repro.points.datasets import dataset_by_name
 from repro.service.service import ENGINES, SORT_MODES
 
@@ -109,6 +111,38 @@ def main(argv=None) -> int:
     chaos.add_argument("--p-stuck-warp", type=float, default=0.05)
     chaos.add_argument("--p-corrupt-stack", type=float, default=0.10)
     chaos.add_argument("--chaos-targets", default="lockstep,nonlockstep")
+    heal = parser.add_argument_group("supervision (self-healing)")
+    heal.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable worker restart; a dead worker stays dead",
+    )
+    heal.add_argument(
+        "--restart-max", type=int, default=5,
+        help="restarts allowed per window before permanent eviction",
+    )
+    heal.add_argument(
+        "--restart-backoff-ms", type=float, default=25.0,
+        help="base restart backoff, logical ms (doubles per retry)",
+    )
+    heal.add_argument(
+        "--restart-window-ms", type=float, default=60_000.0,
+        help="sliding restart-budget window, logical ms",
+    )
+    fchaos = parser.add_argument_group(
+        "fleet chaos (worker kill / reply drop / pipe stall)"
+    )
+    fchaos.add_argument(
+        "--fleet-chaos", action="store_true",
+        help="arm the seeded fleet-level fault injector on the router",
+    )
+    fchaos.add_argument("--fleet-chaos-seed", type=int, default=0)
+    fchaos.add_argument("--p-kill", type=float, default=0.05)
+    fchaos.add_argument("--p-drop-reply", type=float, default=0.02)
+    fchaos.add_argument("--p-stall", type=float, default=0.02)
+    fchaos.add_argument(
+        "--chaos-bucket-ms", type=float, default=10.0,
+        help="logical-clock quantum; one chaos draw per (kind, worker, bucket)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
@@ -130,6 +164,15 @@ def main(argv=None) -> int:
             "targets": [t for t in args.chaos_targets.split(",") if t],
         }
 
+    fleet_chaos = None
+    if args.fleet_chaos:
+        fleet_chaos = FleetChaosConfig(
+            seed=args.fleet_chaos_seed,
+            p_kill=args.p_kill,
+            p_drop_reply=args.p_drop_reply,
+            p_stall=args.p_stall,
+            bucket_ms=args.chaos_bucket_ms,
+        )
     config = FleetConfig(
         workers=args.workers,
         replicas=args.replicas,
@@ -137,6 +180,13 @@ def main(argv=None) -> int:
         seed=args.seed,
         pin_cpus=not args.no_pin,
         service=service_payload,
+        supervise=not args.no_supervise,
+        restart=RestartPolicy(
+            backoff_base_ms=args.restart_backoff_ms,
+            max_restarts=args.restart_max,
+            window_ms=args.restart_window_ms,
+        ),
+        fleet_chaos=fleet_chaos,
     )
     router = FleetRouter(config)
     router.start()

@@ -1,0 +1,162 @@
+"""Fleet-level chaos: seeded worker-kill / reply-drop / pipe-stall.
+
+The PR-2 chaos layer injects faults *inside* a service (backend
+errors, latency spikes, corrupt stacks).  This module injects the
+faults a fleet adds on top: whole worker processes dying, replies that
+never arrive, pipes that stall past the deadline.  Same philosophy as
+:mod:`repro.gpusim.faults` — every fault is **deterministic from the
+seed**, so a red run replays exactly and two runs with the same seed
+produce the identical kill/restart schedule.
+
+Determinism model: logical time is quantized into ``bucket_ms``
+buckets, and each ``(kind, worker, bucket)`` cell draws once from
+``stable_hash(f"{seed}:{kind}:{worker}:{bucket}")`` — a pure function
+of the seed, the worker id, and the logical clock.  No RNG state, no
+ordering sensitivity: whatever order the router polls its workers in,
+the same cells fire.  Cells that fire are recorded in :attr:`events`
+so a benchmark can assert schedule equality across runs.
+
+Fault kinds (where the router applies them):
+
+* ``kill`` — SIGKILL the worker process at the top of a submit/load
+  tick; the death is then *discovered* by the normal wire path
+  (mid-scatter, mid-call), which is exactly the window the recovery
+  machinery must survive.  At most ``max_kills_per_bucket`` workers
+  die per bucket so a fleet is never chaos-killed to zero.
+* ``drop_reply`` — the router consumes a worker's reply and discards
+  it, then treats the exchange as a worker loss.  The worker is in
+  fact healthy: this is the false-positive path (supervision must
+  restart a process that did nothing wrong, and the answer must come
+  from a replay or retry).
+* ``stall`` — the router abandons the exchange without consuming the
+  reply, as if the pipe hung past the deadline.  The pipe is now
+  desynchronized by construction; recovery *must* replace the process
+  (a respawn resets the pipe), which is why trips are terminal until
+  the supervisor heals them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.fleet.hashring import stable_hash
+
+KIND_KILL = "kill"
+KIND_DROP_REPLY = "drop_reply"
+KIND_STALL = "stall"
+
+KINDS = (KIND_KILL, KIND_DROP_REPLY, KIND_STALL)
+
+_HASH_SPACE = float(2**64)
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """Knobs for the fleet-level fault injector (all seeded)."""
+
+    #: schedule seed; the whole schedule is a pure function of it.
+    seed: int = 0
+    #: per-(worker, bucket) probability of a SIGKILL.
+    p_kill: float = 0.0
+    #: per-(worker, bucket) probability of a consumed-and-discarded reply.
+    p_drop_reply: float = 0.0
+    #: per-(worker, bucket) probability of an abandoned (stalled) exchange.
+    p_stall: float = 0.0
+    #: logical-clock quantum; each (kind, worker, bucket) draws once.
+    bucket_ms: float = 10.0
+    #: kills allowed per bucket across the whole fleet (never chaos-kill
+    #: a fleet to zero live workers).
+    max_kills_per_bucket: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("p_kill", "p_drop_reply", "p_stall"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.bucket_ms <= 0:
+            raise ValueError(f"bucket_ms must be positive, got {self.bucket_ms}")
+        if self.max_kills_per_bucket < 1:
+            raise ValueError("max_kills_per_bucket must be >= 1")
+
+
+class FleetChaos:
+    """Deterministic fault scheduler over ``(kind, worker, clock)``."""
+
+    def __init__(self, config: FleetChaosConfig) -> None:
+        self.config = config
+        #: fired cells, in firing order: (kind, worker, bucket).  Two
+        #: runs with the same seed and the same logical-clock schedule
+        #: produce equal lists — the benchmark asserts exactly this.
+        self.events: List[Tuple[str, str, int]] = []
+        self._fired: Set[Tuple[str, str, int]] = set()
+        self._kills_in_bucket: dict = {}
+
+    def bucket(self, now_ms: float) -> int:
+        return int(now_ms // self.config.bucket_ms)
+
+    def _draw(self, kind: str, worker: str, bucket: int) -> float:
+        key = f"{self.config.seed}:{kind}:{worker}:{bucket}"
+        return stable_hash(key) / _HASH_SPACE
+
+    def _fire(self, kind: str, worker: str, bucket: int, p: float) -> bool:
+        """One at-most-once draw for a (kind, worker, bucket) cell."""
+        if p <= 0.0:
+            return False
+        cell = (kind, worker, bucket)
+        if cell in self._fired:
+            return False  # already fired this bucket; don't re-inject
+        if self._draw(kind, worker, bucket) >= p:
+            return False
+        self._fired.add(cell)
+        self.events.append(cell)
+        return True
+
+    # -- the three fault kinds -------------------------------------------
+
+    def should_kill(self, worker: str, now_ms: float) -> bool:
+        bucket = self.bucket(now_ms)
+        if (
+            self._kills_in_bucket.get(bucket, 0)
+            >= self.config.max_kills_per_bucket
+        ):
+            return False
+        if self._fire(KIND_KILL, worker, bucket, self.config.p_kill):
+            self._kills_in_bucket[bucket] = (
+                self._kills_in_bucket.get(bucket, 0) + 1
+            )
+            return True
+        return False
+
+    def should_drop_reply(self, worker: str, now_ms: float) -> bool:
+        return self._fire(
+            KIND_DROP_REPLY, worker, self.bucket(now_ms), self.config.p_drop_reply
+        )
+
+    def should_stall(self, worker: str, now_ms: float) -> bool:
+        return self._fire(
+            KIND_STALL, worker, self.bucket(now_ms), self.config.p_stall
+        )
+
+    # -- observability ---------------------------------------------------
+
+    def schedule(self) -> List[dict]:
+        """Fired cells as strict-JSON rows (for reports and diffs)."""
+        return [
+            {"kind": kind, "worker": worker, "bucket": bucket}
+            for kind, worker, bucket in self.events
+        ]
+
+
+def make_fleet_chaos_payload(config: Optional[FleetChaosConfig]) -> Optional[dict]:
+    """FleetChaosConfig -> plain dict (CLI/report plumbing)."""
+    if config is None:
+        return None
+    return {
+        "seed": config.seed,
+        "p_kill": config.p_kill,
+        "p_drop_reply": config.p_drop_reply,
+        "p_stall": config.p_stall,
+        "bucket_ms": config.bucket_ms,
+        "max_kills_per_bucket": config.max_kills_per_bucket,
+    }

@@ -1,0 +1,165 @@
+"""Router-held session ledger: the replay source for worker restarts.
+
+The fleet is shared-nothing — every worker builds its own trees — so
+when a worker process dies, its sessions are not *lost*, they are
+merely absent from the replacement process.  The ledger is the
+router-side record that makes resurrection possible: at ``register``
+time it captures everything needed to rebuild a session bit-for-bit
+on a fresh worker —
+
+* the app name and build kwargs exactly as the client sent them;
+* the query data as a defensive contiguous ``float64`` copy (the same
+  array the original broadcast shipped);
+* a SHA-1 **digest** over the data bytes + shape + dtype, so a replay
+  can prove the replacement worker built from identical bytes (the
+  worker echoes the digest of what it received back in its register
+  reply, and the supervisor refuses the rejoin on mismatch);
+* per-worker registration **state** — ``"ok"``, ``"failed: ..."``, or
+  ``"missing"`` (the worker was dead or unreachable at register time)
+  — so partial fleet coverage is a visible fact in ``/statsz`` instead
+  of a silent claim of fleet-wide registration.
+
+The ledger holds data arrays by reference; for the service sizes the
+fleet runs (thousands of points, not billions) that is the honest
+price of being able to heal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: per-worker registration states the ledger records.
+STATE_OK = "ok"
+STATE_MISSING = "missing"  # worker dead/unreachable at register time
+
+
+def data_digest(data: np.ndarray) -> str:
+    """SHA-1 hex digest over a session's data bytes + shape + dtype.
+
+    Computed on a contiguous ``float64`` view so the router-side record
+    and the worker-side echo agree regardless of the input's original
+    layout.  This is the bit-identity token the replay protocol checks.
+    """
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    h = hashlib.sha1()
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class SessionRecord:
+    """Everything needed to rebuild one session on a fresh worker."""
+
+    name: str
+    app: str
+    data: np.ndarray
+    build_kwargs: Dict[str, Any]
+    digest: str
+    registered_at_ms: float
+    #: worker id -> "ok" | "failed: <reason>" | "missing"
+    workers: Dict[str, str] = field(default_factory=dict)
+
+    def ok_workers(self) -> List[str]:
+        return sorted(w for w, s in self.workers.items() if s == STATE_OK)
+
+    def to_dict(self) -> dict:
+        """Strict-JSON summary (no data arrays) for /statsz."""
+        return {
+            "app": self.app,
+            "n": int(len(self.data)),
+            "digest": self.digest,
+            "registered_at_ms": float(self.registered_at_ms),
+            "workers": dict(sorted(self.workers.items())),
+        }
+
+
+class SessionLedger:
+    """Ordered catalog of registered sessions + per-worker coverage."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SessionRecord] = {}  # insertion-ordered
+
+    # -- recording -------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        app: str,
+        data: np.ndarray,
+        build_kwargs: Dict[str, Any],
+        now_ms: float = 0.0,
+    ) -> SessionRecord:
+        """Open (or refresh) the record for one registration broadcast."""
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        record = SessionRecord(
+            name=name,
+            app=app,
+            data=data,
+            build_kwargs=dict(build_kwargs),
+            digest=data_digest(data),
+            registered_at_ms=float(now_ms),
+        )
+        self._records[name] = record
+        return record
+
+    def forget(self, name: str) -> bool:
+        """Drop a session (registration failed everywhere, or client
+        unregistered); False when it was never recorded."""
+        return self._records.pop(name, None) is not None
+
+    def mark(self, name: str, worker: str, state: str) -> None:
+        """Record one worker's registration outcome for a session."""
+        self._records[name].workers[worker] = state
+
+    def mark_worker_lost(self, worker: str) -> None:
+        """A worker died: every session it held is now missing there."""
+        for record in self._records.values():
+            if record.workers.get(worker) == STATE_OK:
+                record.workers[worker] = STATE_MISSING
+
+    # -- queries ---------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def get(self, name: str) -> Optional[SessionRecord]:
+        return self._records.get(name)
+
+    def records(self) -> List[SessionRecord]:
+        """All records in registration order (the replay order)."""
+        return list(self._records.values())
+
+    def partial_registrations(self, live_workers: List[str]) -> List[str]:
+        """Sessions not ``ok`` on every *live* worker — the coverage
+        gaps ``/statsz`` must surface instead of claiming fleet-wide
+        registration."""
+        out = []
+        for name, record in self._records.items():
+            if any(record.workers.get(w) != STATE_OK for w in live_workers):
+                out.append(name)
+        return out
+
+    def coverage(self, live_workers: List[str]) -> Dict[str, dict]:
+        """Strict-JSON per-session coverage view for /statsz."""
+        out: Dict[str, dict] = {}
+        for name, record in self._records.items():
+            missing = sorted(
+                w for w in live_workers if record.workers.get(w) != STATE_OK
+            )
+            entry = record.to_dict()
+            entry["complete"] = not missing
+            entry["missing_on"] = missing
+            out[name] = entry
+        return out

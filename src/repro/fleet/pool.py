@@ -170,7 +170,23 @@ class ProcessPool:
             queues[job_id % len(self._conns)].append((job_id, kwargs))
         for ci, queue in enumerate(queues):
             for job_id, kwargs in queue:
-                self._conns[ci].send((job_id, path, kwargs))
+                try:
+                    self._conns[ci].send((job_id, path, kwargs))
+                except (BrokenPipeError, OSError) as exc:
+                    # The child died before we finished handing it work
+                    # (e.g. an earlier job on it crashed the process).
+                    proc = self._procs[ci]
+                    proc.join(timeout=1.0)
+                    stranded = sorted(
+                        [j for j, c in pending.items() if c == ci]
+                        + [j for j, _ in queue if j >= job_id]
+                    )
+                    raise PoolJobError(
+                        f"pool worker {ci} ({proc.name}) died before "
+                        f"accepting job {job_id} ({type(exc).__name__} on "
+                        f"its pipe, exitcode {proc.exitcode}); unfinished "
+                        f"jobs on it: {stranded}"
+                    ) from exc
                 pending[job_id] = ci
         results: List[Any] = [None] * len(kwargs_list)
         remaining = set(pending)
@@ -181,9 +197,20 @@ class ProcessPool:
             for conn in mp.connection.wait(waitable, timeout=None):
                 try:
                     job_id, ok, payload = conn.recv()
-                except EOFError as exc:
+                except (EOFError, ConnectionResetError, OSError) as exc:
+                    # Name the casualty and its unfinished jobs: a child
+                    # SIGKILLed mid-cell must fail the run loudly with
+                    # enough identity to reproduce, never hang the wait.
+                    # (A killed child surfaces as EOFError or, when the
+                    # kernel tears the socket down first, ECONNRESET.)
+                    ci = self._conns.index(conn)
+                    proc = self._procs[ci]
+                    proc.join(timeout=1.0)
+                    lost = sorted(j for j in remaining if pending[j] == ci)
                     raise PoolJobError(
-                        "pool worker died mid-job (EOF on its pipe)"
+                        f"pool worker {ci} ({proc.name}) died mid-job "
+                        f"({type(exc).__name__} on its pipe, exitcode "
+                        f"{proc.exitcode}); unfinished jobs on it: {lost}"
                     ) from exc
                 if not ok:
                     raise PoolJobError(

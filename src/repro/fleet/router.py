@@ -1,8 +1,8 @@
-"""Fleet router: placement, scatter/gather, aggregation, drain.
+"""Fleet router: placement, scatter/gather, aggregation, healing, drain.
 
 The router owns the worker pool and is the only process that talks to
 every shard.  It keeps **no traversal state** — trees, plans, clocks,
-and metrics all live in the workers — so its job reduces to four
+and metrics all live in the workers — so its job reduces to five
 verbs:
 
 * **place** — sessions map to workers by consistent hash
@@ -16,20 +16,36 @@ verbs:
   (:mod:`repro.fleet.slicing`), one per live worker, executed in
   parallel and gathered back into submission order.  Results are
   bit-identical to unsliced execution because per-query answers never
-  depend on batch composition.
+  depend on batch composition.  Rows stranded on a shard that dies
+  mid-scatter get one automatic retry against the survivors, so a
+  mid-scatter death degrades to slower-but-correct, not typed-error
+  rows.
 * **aggregate** — ``/metrics`` merges the workers' registry exports
   with a ``worker`` label per series plus the router's own ``fleet_*``
   instruments; ``/healthz`` is degraded if any worker is degraded or
   dead; ``/statsz`` is a strict-JSON fleet snapshot (summed counters,
-  ``None`` — never ``NaN`` — for aggregates with no samples).
+  ``None`` — never ``NaN`` — for aggregates with no samples) including
+  per-session registration coverage from the ledger.
+* **heal** — worker death trips a router-side breaker
+  (closed → open); the supervisor (:mod:`repro.fleet.supervisor`)
+  decides when the shard may be respawned under a seeded restart
+  policy.  A respawn boots a fresh process, moves the breaker to
+  **half-open**, replays the session catalog from the router-held
+  :class:`~repro.fleet.ledger.SessionLedger` (digest-verified), sends
+  a probe, and only then closes the breaker and re-joins the ring.
+  ``/healthz`` recovers to healthy after the rejoin.
 * **drain** — SIGTERM fans out ``drain`` frames; every worker flushes
   (drain-or-fail), reports its pending depth, and exits 0.  The fleet
-  exit code is 0 only when every worker drained clean.
+  exit code is 0 only when every *current* worker drained clean — a
+  death that was healed by a restart does not taint the exit, an
+  unhealed or evicted one does.
 
-Worker death trips a router-side breaker: the shard is marked dead,
-removed from the ring (new placements rehash away), counted in
-``fleet_worker_deaths_total``, and reported by health until the
-process exits.
+Fleet-level chaos (:mod:`repro.fleet.chaos`) can kill workers, drop
+replies, and stall pipes on a schedule that is deterministic per
+``(seed, worker, logical clock)``; recovery is observable through
+``fleet_restarts_total``, ``fleet_replay_sessions_total``, the
+``fleet_recovery_ms`` histogram, and recovery spans kept in a
+router-side flight recorder.
 """
 
 from __future__ import annotations
@@ -46,17 +62,30 @@ from urllib.parse import urlsplit
 import numpy as np
 
 from repro.fleet import wire
+from repro.fleet.chaos import FleetChaos, FleetChaosConfig
 from repro.fleet.hashring import DEFAULT_REPLICAS, HashRing
+from repro.fleet.ledger import STATE_MISSING, STATE_OK, SessionLedger
 from repro.fleet.pool import mp_context, start_process
 from repro.fleet.slicing import scatter_slices
+from repro.fleet.supervisor import (
+    DECIDE_EVICT,
+    DECIDE_RESTART,
+    FleetSupervisor,
+    RestartPolicy,
+)
 from repro.fleet.worker import worker_main
 from repro.service.serve import JSON_CONTENT_TYPE, METRICS_CONTENT_TYPE
 from repro.telemetry import (
+    FlightRecorder,
     MetricsRegistry,
+    Tracer,
     expose_export_text,
     merge_labeled_exports,
     sum_exports,
 )
+
+#: buckets for the time-to-recovery histogram (logical ms).
+RECOVERY_MS_BUCKETS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0)
 
 
 @dataclass(frozen=True)
@@ -82,28 +111,70 @@ class FleetConfig:
     #: plain-dict ServiceConfig payload forwarded to every worker (see
     #: repro.fleet.worker.build_worker_service).
     service: Dict[str, Any] = field(default_factory=dict)
+    #: restart dead workers (replay sessions, rejoin the ring); off
+    #: restores the PR-6 terminal-breaker behavior.
+    supervise: bool = True
+    #: restart backoff / budget policy (logical clock).
+    restart: RestartPolicy = field(default_factory=RestartPolicy)
+    #: scatter rows stranded by a mid-scatter death get one retry
+    #: against the surviving workers.
+    scatter_retry: bool = True
+    #: fleet-level fault injection (worker kill / reply drop / stall).
+    fleet_chaos: Optional[FleetChaosConfig] = None
+
+
+#: router-side breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
 
 
 @dataclass
 class WorkerBreaker:
-    """Router-side breaker for one shard.
+    """Router-side breaker for one shard — full lifecycle.
 
-    Unlike the per-backend execution breakers inside a service, a
-    worker breaker never half-opens: a dead process does not resurrect,
-    so ``open`` is terminal and routing rehashes permanently.
+    ``closed`` — the shard takes traffic.  ``open`` — the process is
+    dead (or its pipe is unusable); routing rehashes away until the
+    supervisor respawns it.  ``half_open`` — a replacement process is
+    up and being re-armed: the session catalog replays into it and a
+    probe request must succeed before :meth:`close` re-joins it to the
+    ring.  A probe or replay failure re-opens the breaker (and counts
+    against the restart budget).
     """
 
     worker: str
-    state: str = "closed"  # "closed" | "open"
+    state: str = BREAKER_CLOSED
     reason: str = ""
+    trips: int = 0
+    recoveries: int = 0
 
     def trip(self, reason: str) -> None:
-        self.state = "open"
+        self.state = BREAKER_OPEN
         self.reason = reason
+        self.trips += 1
+
+    def half_open(self, reason: str = "restarting") -> None:
+        self.state = BREAKER_HALF_OPEN
+        self.reason = reason
+
+    def close(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.reason = ""
+        self.recoveries += 1
+
+    @property
+    def closed(self) -> bool:
+        return self.state == BREAKER_CLOSED
 
 
 class WorkerHandle:
-    """One shard as the router sees it: process, pipe, lock, breaker."""
+    """One shard as the router sees it: process, pipe, lock, breaker.
+
+    The handle object is stable across restarts — a respawn swaps
+    ``proc`` and ``conn`` in place (under :attr:`lock`) and bumps
+    :attr:`incarnation`, so every thread holding the handles dict sees
+    the replacement the moment the breaker closes.
+    """
 
     def __init__(self, worker_id: str, index: int, proc, conn) -> None:
         self.id = worker_id
@@ -111,13 +182,16 @@ class WorkerHandle:
         self.proc = proc
         self.conn = conn
         #: held across one full send->recv exchange so concurrent HTTP
-        #: scrapes and scatter submits never interleave frames.
+        #: scrapes and scatter submits never interleave frames; also
+        #: held across a respawn's proc/conn swap.
         self.lock = threading.Lock()
         self.breaker = WorkerBreaker(worker_id)
+        #: process generation: 0 for the boot process, +1 per respawn.
+        self.incarnation = 0
 
     @property
     def alive(self) -> bool:
-        return self.breaker.state == "closed"
+        return self.breaker.closed
 
 
 class FleetRouter:
@@ -129,8 +203,21 @@ class FleetRouter:
             raise ValueError("a fleet needs at least one worker")
         self.handles: Dict[str, WorkerHandle] = {}
         self.ring = HashRing(replicas=self.config.replicas)
-        self.sessions: List[str] = []
+        self.ledger = SessionLedger()
+        self.supervisor = FleetSupervisor(self.config.restart)
+        self.chaos = (
+            FleetChaos(self.config.fleet_chaos)
+            if self.config.fleet_chaos is not None
+            else None
+        )
+        #: fleet logical clock: high-water mark of every ``now`` seen in
+        #: submits and worker replies.  Supervision backoff and chaos
+        #: schedules run on this clock, so a driven run is deterministic.
+        self.now_ms = 0.0
         self.registry = MetricsRegistry()
+        #: recovery observability: spans per recovery, ring per worker.
+        self.tracer = Tracer(max_spans=10_000)
+        self.flight = FlightRecorder(capacity=32)
         self._m = {
             "workers": self.registry.gauge(
                 "fleet_workers", "worker count by state", labels=("state",)
@@ -140,9 +227,39 @@ class FleetRouter:
                 "worker breaker trips (process death or wire failure)",
                 labels=("worker",),
             ),
+            "restarts": self.registry.counter(
+                "fleet_restarts_total",
+                "worker processes respawned, replayed, and re-joined",
+                labels=("worker",),
+            ),
+            "restart_failures": self.registry.counter(
+                "fleet_restart_failures_total",
+                "respawn attempts that failed boot, replay, or probe",
+                labels=("worker",),
+            ),
+            "replays": self.registry.counter(
+                "fleet_replay_sessions_total",
+                "sessions replayed into respawned workers from the ledger",
+                labels=("worker",),
+            ),
+            "evictions": self.registry.counter(
+                "fleet_evictions_total",
+                "workers permanently evicted (restart budget exhausted)",
+                labels=("worker",),
+            ),
+            "recovery_ms": self.registry.histogram(
+                "fleet_recovery_ms",
+                "logical time from breaker trip to ring re-join",
+                buckets=RECOVERY_MS_BUCKETS,
+            ),
             "routed": self.registry.counter(
                 "fleet_routed_batches_total",
                 "whole batches routed to a placed shard",
+                labels=("worker",),
+            ),
+            "reroutes": self.registry.counter(
+                "fleet_reroutes_total",
+                "routed batches retried on a survivor after a shard died",
                 labels=("worker",),
             ),
             "scattered": self.registry.counter(
@@ -154,31 +271,73 @@ class FleetRouter:
                 "query rows shipped inside scatter slices",
                 labels=("worker",),
             ),
+            "scatter_retries": self.registry.counter(
+                "fleet_scatter_retries_total",
+                "one-shot retries of shard-lost scatter rows",
+            ),
+            "scatter_retry_rows": self.registry.counter(
+                "fleet_scatter_retry_rows_total",
+                "shard-lost rows recovered by the scatter retry",
+                labels=("worker",),
+            ),
+            "chaos": self.registry.counter(
+                "fleet_chaos_injections_total",
+                "fleet-level chaos faults injected",
+                labels=("kind", "worker"),
+            ),
         }
         self._started = False
         self._drained: Dict[str, dict] = {}
+        self._t0 = time.monotonic()
+        #: serializes ring membership + gauge updates across threads.
+        self._state_lock = threading.Lock()
+        #: heal() is not reentrant; concurrent callers skip.
+        self._heal_lock = threading.Lock()
+        self._evictions_recorded: set = set()
+
+    # -- clock -----------------------------------------------------------
+
+    def observe_now(self, now: Optional[float]) -> float:
+        """Advance the fleet clock's high-water mark; returns it."""
+        if now is not None and now > self.now_ms:
+            self.now_ms = float(now)
+        return self.now_ms
+
+    def wall_now_ms(self) -> float:
+        """Serve-mode clock: logical high-water mark, floored by wall
+        milliseconds since boot so an idle fleet's backoff still
+        elapses.  Deterministic paths pass explicit ``now`` instead."""
+        return max(self.now_ms, (time.monotonic() - self._t0) * 1000.0)
 
     # -- lifecycle -------------------------------------------------------
+
+    def _spawn(self, worker_id: str, index: int, incarnation: int = 0):
+        """Start one worker process + pipe (boot frame not yet read)."""
+        ctx = mp_context(self.config.start_method)
+        parent, child = ctx.Pipe()
+        name = f"fleet-{worker_id}"
+        if incarnation:
+            name = f"{name}r{incarnation}"
+        # worker_main's signature leads with cpu_index; None means
+        # the child skips pinning (pin_to_cpu handles it).
+        proc = start_process(
+            worker_main,
+            args=(index if self.config.pin_cpus else None, child, worker_id,
+                  index, self.config.seed, dict(self.config.service)),
+            name=name,
+            method=self.config.start_method,
+        )
+        child.close()
+        return proc, parent
 
     def start(self) -> List[str]:
         """Spawn and boot every worker; returns their ids."""
         if self._started:
             raise RuntimeError("fleet already started")
         self._started = True
-        ctx = mp_context(self.config.start_method)
         for i in range(self.config.workers):
             worker_id = f"w{i}"
-            parent, child = ctx.Pipe()
-            # worker_main's signature leads with cpu_index; None means
-            # the child skips pinning (pin_to_cpu handles it).
-            proc = start_process(
-                worker_main,
-                args=(i if self.config.pin_cpus else None, child, worker_id,
-                      i, self.config.seed, dict(self.config.service)),
-                name=f"fleet-{worker_id}",
-                method=self.config.start_method,
-            )
-            child.close()
+            proc, parent = self._spawn(worker_id, i)
             handle = WorkerHandle(worker_id, i, proc, parent)
             self.handles[worker_id] = handle
             self.ring.add(worker_id)
@@ -217,17 +376,81 @@ class FleetRouter:
     def dead_workers(self) -> List[str]:
         return sorted(w for w, h in self.handles.items() if not h.alive)
 
-    def _trip(self, handle: WorkerHandle, reason: str) -> None:
+    @property
+    def sessions(self) -> List[str]:
+        """Registered session names (ledger-backed, registration order)."""
+        return self.ledger.names()
+
+    def _trip(self, handle: WorkerHandle, reason: str,
+              now: Optional[float] = None) -> None:
         if not handle.alive:
             return
         handle.breaker.trip(reason)
-        self.ring.remove(handle.id)
+        with self._state_lock:
+            self.ring.remove(handle.id)
+        self.ledger.mark_worker_lost(handle.id)
+        self.supervisor.note_death(
+            handle.id, self.observe_now(now), reason
+        )
         self._m["deaths"].inc(worker=handle.id)
         self._update_worker_gauges()
 
     def _update_worker_gauges(self) -> None:
-        self._m["workers"].set(len(self.live_workers()), state="alive")
-        self._m["workers"].set(len(self.dead_workers()), state="dead")
+        states = {"alive": 0, "dead": 0, "recovering": 0, "evicted": 0}
+        for worker, handle in self.handles.items():
+            if handle.breaker.state == BREAKER_CLOSED:
+                states["alive"] += 1
+            elif handle.breaker.state == BREAKER_HALF_OPEN:
+                states["recovering"] += 1
+            elif self.supervisor.is_evicted(worker):
+                states["evicted"] += 1
+            else:
+                states["dead"] += 1
+        for state, count in states.items():
+            self._m["workers"].set(count, state=state)
+
+    # -- chaos hooks -----------------------------------------------------
+
+    def _chaos_kill_tick(self, now: Optional[float]) -> None:
+        """Fire scheduled worker kills for this logical instant."""
+        if self.chaos is None or now is None:
+            return
+        for worker in self.live_workers():  # sorted: deterministic order
+            if self.chaos.should_kill(worker, now):
+                self._m["chaos"].inc(kind="kill", worker=worker)
+                try:
+                    self.handles[worker].proc.kill()
+                except (OSError, ValueError):
+                    pass  # already gone; the wire path will notice
+
+    def _recv_submit_reply(
+        self, handle: WorkerHandle, now: Optional[float]
+    ) -> Dict[str, Any]:
+        """recv for the query path, with reply-drop / stall chaos."""
+        if self.chaos is not None and now is not None:
+            if self.chaos.should_stall(handle.id, now):
+                # Abandon the exchange without consuming the reply: the
+                # pipe is now desynchronized, which is exactly why a
+                # tripped shard must be *replaced*, never resumed.
+                self._m["chaos"].inc(kind="stall", worker=handle.id)
+                raise wire.WorkerGone(
+                    handle.id, "chaos: pipe stalled past deadline"
+                )
+            if self.chaos.should_drop_reply(handle.id, now):
+                self._m["chaos"].inc(kind="drop_reply", worker=handle.id)
+                try:
+                    wire.recv_reply(  # consume, then discard
+                        handle.conn, handle.id,
+                        timeout=self.config.call_timeout_s,
+                    )
+                except (wire.WorkerGone, wire.WireError):
+                    pass
+                raise wire.WorkerGone(handle.id, "chaos: reply dropped")
+        return wire.recv_reply(
+            handle.conn, handle.id, timeout=self.config.call_timeout_s
+        )
+
+    # -- wire plumbing ---------------------------------------------------
 
     def _call(self, worker: str, cmd: str, **payload: Any) -> Dict[str, Any]:
         """One locked exchange with one worker; death trips the breaker."""
@@ -295,21 +518,44 @@ class FleetRouter:
         """Broadcast a session build to every live worker.
 
         Shared-nothing: each worker builds its own tree + plan.  The
+        build is recorded in the :class:`SessionLedger` *per worker* —
+        ``ok`` where it landed, ``failed: ...`` where the worker
+        rejected it, ``missing`` where the worker was dead — so partial
+        fleet coverage is visible in ``/statsz`` (and healable: a
+        restart replays the catalog into the replacement).  The
         registration fails loudly if *no* worker accepted it.
         """
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        record = self.ledger.begin(
+            name, app, data, build_kwargs, now_ms=self.now_ms
+        )
         replies, failures = self.broadcast(
-            "register", name=name, app=app,
-            data=np.ascontiguousarray(data, dtype=np.float64),
+            "register", name=name, app=app, data=record.data,
             build_kwargs=build_kwargs,
         )
         if not replies:
+            self.ledger.forget(name)
             raise RuntimeError(
                 f"session {name!r}: no live worker accepted the "
                 f"registration ({failures})"
             )
-        if name not in self.sessions:
-            self.sessions.append(name)
-        return {"session": name, "workers": sorted(replies), "failed": failures}
+        for worker in self.handles:
+            if worker in replies:
+                self.ledger.mark(name, worker, STATE_OK)
+            elif worker in failures:
+                self.ledger.mark(name, worker, f"failed: {failures[worker]}")
+            else:
+                self.ledger.mark(name, worker, STATE_MISSING)
+        return {
+            "session": name,
+            "workers": sorted(replies),
+            "failed": failures,
+            "digest": record.digest,
+            # Complete means *fleet-wide*, dead workers included: a
+            # session that missed a dead shard is partial until the
+            # supervisor's replay installs it on the replacement.
+            "complete": sorted(replies) == sorted(self.handles),
+        }
 
     def place(self, session: str) -> Optional[str]:
         """The shard currently owning ``session`` (consistent hash over
@@ -326,31 +572,94 @@ class FleetRouter:
         Small batches go whole to the placed shard (keeps co-located
         queries on one shard — the locality future traversal fusion
         amortizes); large ones scatter-slice across every live worker
-        and gather back in submission order.
+        and gather back in submission order.  A shard death mid-flight
+        costs one retry against the survivors, not answers.
         """
         coords = np.asarray(coords, dtype=np.float64)
         if coords.ndim != 2:
             raise ValueError(f"coords must be (n, d), got shape {coords.shape}")
+        self.observe_now(now)
+        self._chaos_kill_tick(now)
         live = self.live_workers()
         if not live:
             raise RuntimeError("no live workers")
         threshold = self.config.scatter_threshold
         if threshold and len(coords) >= threshold and len(live) > 1:
-            return self._scatter_submit(session, coords, live, now)
+            return self._scatter_submit(session, coords, now)
+        return self._routed_submit(session, coords, now)
+
+    def _submit_call(
+        self, worker: str, session: str, coords: np.ndarray,
+        now: Optional[float], chaos: bool = True,
+    ) -> Dict[str, Any]:
+        """One locked submit exchange (chaos-aware recv); trips on death.
+
+        ``chaos=False`` exempts the exchange from reply-drop/stall
+        injection: retries and reroutes ARE the recovery mechanism, and
+        exempting them keeps the fired chaos schedule a pure function
+        of (seed, logical clock) — whether a death was discovered
+        mid-exchange or by the next heal pass is an OS signal-delivery
+        race, and it must not change which cells draw.
+        """
+        handle = self.handles[worker]
+        if not handle.alive:
+            raise wire.WorkerGone(worker, handle.breaker.reason)
+        with handle.lock:
+            try:
+                wire.send_request(
+                    handle.conn, worker, "submit",
+                    session=session, coords=coords, now=now,
+                )
+                reply = self._recv_submit_reply(handle, now if chaos else None)
+            except wire.WorkerGone as exc:
+                self._trip(handle, str(exc), now=now)
+                raise
+        self.observe_now(reply.get("now_ms"))
+        return reply
+
+    def _routed_submit(
+        self, session: str, coords: np.ndarray, now: Optional[float]
+    ) -> List[Dict[str, Any]]:
+        """Whole-batch route to the placed shard, one reroute on death.
+
+        The batch is stateless on the worker side (submit + flush), so
+        re-sending the identical coords to the post-rehash owner is
+        safe and returns bit-identical answers.
+        """
         owner = self.place(session)
-        reply = self._call(
-            owner, "submit", session=session, coords=coords, now=now
-        )
+        if owner is None:
+            raise RuntimeError("no live workers")
+        try:
+            reply = self._submit_call(owner, session, coords, now)
+        except wire.WorkerGone:
+            retry_owner = self.place(session)
+            if retry_owner is None:
+                raise
+            self._m["reroutes"].inc(worker=retry_owner)
+            reply = self._submit_call(
+                retry_owner, session, coords, now, chaos=False
+            )
+            owner = retry_owner
         self._m["routed"].inc(worker=owner)
         return reply["results"]
 
     def _scatter_submit(
-        self, session: str, coords: np.ndarray, live: List[str],
-        now: Optional[float],
+        self, session: str, coords: np.ndarray, now: Optional[float],
     ) -> List[Dict[str, Any]]:
-        """Scatter slices across live workers, gather in order."""
-        slices = scatter_slices(len(coords), len(live))
-        handles = [self.handles[w] for w in live]
+        """Scatter slices across live workers, gather in order.
+
+        The live set is re-checked *here*, in one snapshot used for
+        both slice computation and dispatch — a worker tripped by a
+        concurrent thread between ``submit_many``'s admission check
+        and this point must not receive a slice (it would strand those
+        rows for the retry to clean up).
+        """
+        handles = [
+            self.handles[w] for w in self.live_workers()
+        ]
+        if not handles:
+            raise RuntimeError("no live workers")
+        slices = scatter_slices(len(coords), len(handles))
         self._m["scattered"].inc()
         acquired: List[WorkerHandle] = []
         sent: List[Tuple[WorkerHandle, slice]] = []
@@ -372,18 +681,16 @@ class FleetRouter:
                         sl.stop - sl.start, worker=handle.id
                     )
                 except wire.WorkerGone as exc:
-                    self._trip(handle, str(exc))
+                    self._trip(handle, str(exc), now=now)
                     failures[handle.id] = (sl, str(exc))
             for handle, sl in sent:
                 try:
-                    reply = wire.recv_reply(
-                        handle.conn, handle.id,
-                        timeout=self.config.call_timeout_s,
-                    )
+                    reply = self._recv_submit_reply(handle, now)
                     parts[handle.id] = reply["results"]
+                    self.observe_now(reply.get("now_ms"))
                 except (wire.WorkerGone, wire.WireError) as exc:
                     if isinstance(exc, wire.WorkerGone):
-                        self._trip(handle, str(exc))
+                        self._trip(handle, str(exc), now=now)
                     failures[handle.id] = (sl, str(exc))
         finally:
             for handle in acquired:
@@ -406,19 +713,211 @@ class FleetRouter:
                 detail = failures.get(handle.id, (sl, "worker unavailable"))[1]
                 for i in range(sl.start, sl.stop):
                     out[i]["error"]["message"] = detail
+        if self.config.scatter_retry:
+            self._retry_lost_rows(session, coords, out, now)
         return out
+
+    def _retry_lost_rows(
+        self, session: str, coords: np.ndarray,
+        out: List[Dict[str, Any]], now: Optional[float],
+    ) -> None:
+        """One-shot retry of ``shard-lost`` rows against the survivors.
+
+        Safe because traversal answers depend only on (session data,
+        coordinates): re-executing a stranded row on any worker that
+        holds the session yields the bit-identical result.  One shot —
+        if the retry shard dies too, the rows keep their typed error.
+        """
+        lost = [
+            i for i, row in enumerate(out)
+            if row["error"] is not None
+            and row["error"].get("code") == "shard-lost"
+        ]
+        if not lost:
+            return
+        owner = self.place(session)
+        if owner is None:
+            return
+        self._m["scatter_retries"].inc()
+        try:
+            reply = self._submit_call(
+                owner, session, coords[np.asarray(lost)], now, chaos=False
+            )
+        except (wire.WorkerGone, wire.WireError):
+            return  # one shot spent; rows keep their typed error
+        for i, row in zip(lost, reply["results"]):
+            out[i] = row
+        self._m["scatter_retry_rows"].inc(len(lost), worker=owner)
 
     def run_load(self, ticks: int = 1, queries_per_tick: int = 8,
                  tick_ms: float = 2.0, keep_results: bool = False,
                  ) -> Dict[str, Dict[str, Any]]:
         """Fan one seeded load burst out to every live worker."""
+        self._chaos_kill_tick(self.now_ms if self.chaos else None)
         replies, failures = self.broadcast(
             "run_load", ticks=ticks, queries_per_tick=queries_per_tick,
             tick_ms=tick_ms, keep_results=keep_results,
         )
+        for reply in replies.values():
+            self.observe_now(reply.get("now_ms"))
         for worker, reason in failures.items():
             replies[worker] = {"ok": False, "error": reason}
         return replies
+
+    # -- healing ---------------------------------------------------------
+
+    def heal(self, now: Optional[float] = None) -> Dict[str, str]:
+        """One supervision pass: detect deaths, restart the eligible.
+
+        Returns ``{worker: action}`` where action is ``restarted``,
+        ``restart-failed``, ``evicted``, or ``wait``.  Safe to call
+        from a background thread (concurrent callers skip).  Callers
+        that own a logical clock pass ``now`` explicitly (deterministic
+        supervision); serve mode uses :meth:`wall_now_ms`.
+        """
+        if not self.config.supervise:
+            return {}
+        if not self._heal_lock.acquire(blocking=False):
+            return {}
+        try:
+            now = self.observe_now(now) if now is not None else self.now_ms
+            # 1. Detect silent deaths: a SIGKILLed worker whose pipe
+            # nobody has touched since.
+            for worker in self.live_workers():
+                handle = self.handles[worker]
+                if not handle.proc.is_alive():
+                    self._trip(
+                        handle,
+                        f"process exited (exitcode {handle.proc.exitcode})",
+                        now=now,
+                    )
+            # 2. Restart the dead where policy allows; evict the hopeless.
+            actions: Dict[str, str] = {}
+            for worker in self.dead_workers():
+                handle = self.handles[worker]
+                if handle.breaker.state != BREAKER_OPEN:
+                    continue  # half-open: a restart is already in flight
+                decision = self.supervisor.decide(worker, now)
+                if decision == DECIDE_RESTART:
+                    ok = self._respawn(handle, now)
+                    actions[worker] = "restarted" if ok else "restart-failed"
+                elif decision == DECIDE_EVICT:
+                    if worker not in self._evictions_recorded:
+                        self._evictions_recorded.add(worker)
+                        self._m["evictions"].inc(worker=worker)
+                        handle.breaker.reason = (
+                            f"evicted (restart budget exhausted): "
+                            f"{handle.breaker.reason}"
+                        )
+                        self._update_worker_gauges()
+                    actions[worker] = "evicted"
+                else:
+                    actions[worker] = "wait"
+            return actions
+        finally:
+            self._heal_lock.release()
+
+    def _respawn(self, handle: WorkerHandle, now: float) -> bool:
+        """Replace a dead worker's process; replay, probe, re-join.
+
+        The breaker goes ``half_open`` for the duration: the shard is
+        out of the ring and takes no traffic until the session catalog
+        has replayed (digest-verified against the ledger) and a probe
+        ping answers.  Success closes the breaker and re-adds the ring
+        vnodes (same seeds — placement is restored exactly); any
+        failure re-opens it and counts against the restart budget.
+        """
+        died_at = self.supervisor.dead_since(handle.id)
+        span = self.tracer.begin(
+            "fleet.recover", track=handle.id,
+            span_id=f"recover:{handle.id}:{handle.incarnation + 1}",
+            t_ms=now, reason=handle.breaker.reason,
+        )
+        with handle.lock:
+            old = handle.proc
+            if old.is_alive():
+                # drop-reply / stall trips leave a healthy-but-unusable
+                # process behind; replacement starts by retiring it.
+                old.terminate()
+                old.join(timeout=5.0)
+                if old.is_alive():
+                    old.kill()
+                    old.join(timeout=5.0)
+            else:
+                old.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.incarnation += 1
+            proc, conn = self._spawn(
+                handle.id, handle.index, handle.incarnation
+            )
+            handle.proc = proc
+            handle.conn = conn
+            handle.breaker.half_open("restart in flight")
+            self._update_worker_gauges()
+            try:
+                wire.recv_reply(
+                    conn, handle.id, timeout=self.config.call_timeout_s
+                )
+                span.event("booted", self.now_ms)
+                replayed = self._replay_sessions(handle, span)
+                wire.call(
+                    conn, handle.id, "ping",
+                    timeout=self.config.call_timeout_s,
+                )
+                span.event("probed", self.now_ms)
+            except (wire.WorkerGone, wire.WireError) as exc:
+                handle.breaker.trip(f"restart failed: {exc}")
+                self.ledger.mark_worker_lost(handle.id)
+                self.supervisor.note_restart_failed(handle.id, now)
+                self._m["restart_failures"].inc(worker=handle.id)
+                self._update_worker_gauges()
+                self.tracer.end(span.span_id, self.now_ms, status="error",
+                                error=str(exc))
+                self.flight.record(handle.id, span.to_dict())
+                return False
+        with self._state_lock:
+            if handle.id not in self.ring:
+                self.ring.add(handle.id)
+        handle.breaker.close()
+        self.supervisor.note_restarted(handle.id, now)
+        self._m["restarts"].inc(worker=handle.id)
+        if died_at is not None:
+            self._m["recovery_ms"].observe(max(0.0, now - died_at))
+        self._update_worker_gauges()
+        self.tracer.end(
+            span.span_id, self.now_ms, status="ok",
+            sessions_replayed=replayed, incarnation=handle.incarnation,
+        )
+        self.flight.record(handle.id, span.to_dict())
+        return True
+
+    def _replay_sessions(self, handle: WorkerHandle, span) -> int:
+        """Replay the ledger into a half-open worker (caller holds the
+        handle lock).  Digest mismatch is a replay failure: the rejoined
+        shard must serve from bit-identical data or not at all."""
+        replayed = 0
+        for record in self.ledger.records():
+            reply = wire.call(
+                handle.conn, handle.id, "register",
+                name=record.name, app=record.app, data=record.data,
+                build_kwargs=record.build_kwargs,
+                timeout=self.config.call_timeout_s,
+            )
+            echoed = reply.get("digest")
+            if echoed is not None and echoed != record.digest:
+                raise wire.WireError(
+                    f"worker {handle.id!r}: replay digest mismatch for "
+                    f"{record.name!r} (worker built {echoed}, ledger "
+                    f"holds {record.digest})"
+                )
+            self.ledger.mark(record.name, handle.id, STATE_OK)
+            self._m["replays"].inc(worker=handle.id)
+            span.event("replayed", self.now_ms, session=record.name)
+            replayed += 1
+        return replayed
 
     # -- aggregation (the HTTP payloads) ---------------------------------
 
@@ -446,16 +945,27 @@ class FleetRouter:
         return sum_exports(exports)
 
     def healthz(self) -> dict:
-        """Fleet readiness: degraded if any worker is degraded or dead."""
+        """Fleet readiness: degraded if any worker is degraded or dead.
+
+        A healed worker reports healthy again — recovery is visible
+        here, not just in the counters.  Evicted workers stay degraded
+        forever (an exhausted restart budget is a terminal loss).
+        """
         replies, failures = self.broadcast("health")
         workers: Dict[str, dict] = {}
         degraded: List[str] = []
         for worker in sorted(self.handles):
             handle = self.handles[worker]
             if not handle.alive:
+                status = "dead"
+                if handle.breaker.state == BREAKER_HALF_OPEN:
+                    status = "recovering"
+                elif self.supervisor.is_evicted(worker):
+                    status = "evicted"
                 workers[worker] = {
-                    "status": "dead", "ok": False,
+                    "status": status, "ok": False,
                     "reason": handle.breaker.reason,
+                    "restarts": handle.breaker.recoveries,
                 }
                 degraded.append(worker)
             elif worker in replies:
@@ -478,7 +988,12 @@ class FleetRouter:
                 "degraded_workers": sorted(degraded),
                 "dead_workers": self.dead_workers(),
                 "live_workers": self.live_workers(),
+                "evicted_workers": self.supervisor.evicted_workers(),
+                "restarts_total": self.supervisor.total_restarts(),
                 "sessions": sorted(self.sessions),
+                "partial_registrations": self.ledger.partial_registrations(
+                    self.live_workers()
+                ),
             },
         }
 
@@ -489,19 +1004,36 @@ class FleetRouter:
         query-weighted means of worker quantiles (an approximation,
         labelled as such) and are ``None`` — never ``NaN`` — when no
         worker has samples, preserving the PR-2 strict-JSON round-trip
-        contract fleet-wide.
+        contract fleet-wide.  The ``fleet`` section carries the
+        supervision ledger: per-session registration coverage, partial
+        registrations, restart history, and recent recovery timelines.
         """
         replies, failures = self.broadcast("stats")
         worker_stats = {w: r["stats"] for w, r in replies.items()}
         agg = _aggregate_stats(list(worker_stats.values()))
+        live = self.live_workers()
         return {
             "fleet": {
                 "workers": len(self.handles),
-                "workers_alive": len(self.live_workers()),
+                "workers_alive": len(live),
                 "workers_dead": self.dead_workers(),
+                "workers_evicted": self.supervisor.evicted_workers(),
                 "unreachable": sorted(failures),
                 "sessions": sorted(self.sessions),
+                "session_coverage": self.ledger.coverage(live),
+                "partial_registrations": self.ledger.partial_registrations(
+                    live
+                ),
                 "scatter_batches": self._m["scattered"].value(),
+                "scatter_retries": self._m["scatter_retries"].value(),
+                "supervision": self.supervisor.snapshot(),
+                "recoveries": {
+                    w: wire.to_jsonable(self.flight.ring(w))
+                    for w in self.flight.sessions()
+                },
+                "chaos_events": (
+                    self.chaos.schedule() if self.chaos is not None else []
+                ),
                 "placements": {
                     s: self.place(s) for s in sorted(self.sessions)
                 },
@@ -518,9 +1050,12 @@ class FleetRouter:
         Fans ``drain`` out to every live worker (each flushes pending
         queries — drain-or-fail — and exits 0), joins the processes,
         and reports per-worker pending depths and exit codes.  ``ok``
-        is True only when every worker drained with nothing pending
-        and exited cleanly; dead workers make the drain not-ok by
-        definition (their queries cannot be accounted for).
+        is True only when every *current* worker drained with nothing
+        pending and exited cleanly: a worker that died and was healed
+        by a restart drains through its replacement process and does
+        not taint the exit, while an unhealed or evicted worker makes
+        the drain not-ok by definition (its queries cannot be
+        accounted for).
         """
         report: Dict[str, dict] = dict(self._drained)
         for worker in self.live_workers():
@@ -548,13 +1083,20 @@ class FleetRouter:
                  "error": handle.breaker.reason or "dead before drain"},
             )
             entry["exitcode"] = handle.proc.exitcode
+            entry["incarnation"] = handle.incarnation
+            entry["restarts"] = handle.breaker.recoveries
             handle.conn.close()
         ok = bool(report) and all(
             e.get("drained") and e.get("exitcode") == 0
             for e in report.values()
         )
         self._drained = report
-        return {"ok": ok, "workers": report}
+        return {
+            "ok": ok,
+            "workers": report,
+            "restarts_total": self.supervisor.total_restarts(),
+            "evicted": self.supervisor.evicted_workers(),
+        }
 
 
 # -- statsz aggregation ----------------------------------------------------
@@ -620,7 +1162,10 @@ class FleetServer:
     Routes: ``/metrics`` (merged exposition), ``/healthz`` (fleet
     readiness, 503 while degraded), ``/statsz`` (strict-JSON fleet
     snapshot).  A background load pump fans seeded synthetic ticks to
-    the workers so a scraped fleet shows a live, moving system.
+    the workers so a scraped fleet shows a live, moving system, and a
+    supervision loop heals dead workers (restart + ledger replay) so a
+    SIGKILLed worker shows up in ``/healthz`` as degraded, then
+    recovers.
     """
 
     def __init__(
@@ -631,6 +1176,7 @@ class FleetServer:
         load_queries_per_tick: int = 0,
         load_tick_ms: float = 2.0,
         load_interval_s: float = 0.05,
+        heal_interval_s: float = 0.25,
     ) -> None:
         self.router = router
         self.host = host
@@ -638,9 +1184,11 @@ class FleetServer:
         self.load_queries_per_tick = load_queries_per_tick
         self.load_tick_ms = load_tick_ms
         self.load_interval_s = load_interval_s
+        self.heal_interval_s = heal_interval_s
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._pump: Optional[threading.Thread] = None
+        self._healer: Optional[threading.Thread] = None
         self._halt = threading.Event()
         self._shut = False
 
@@ -682,6 +1230,11 @@ class FleetServer:
                 target=self._pump_loop, name="fleet-load-pump", daemon=True
             )
             self._pump.start()
+        if self.router.config.supervise:
+            self._healer = threading.Thread(
+                target=self._heal_loop, name="fleet-healer", daemon=True
+            )
+            self._healer.start()
         return self.host, self.port
 
     def _pump_loop(self) -> None:
@@ -693,8 +1246,20 @@ class FleetServer:
                     tick_ms=self.load_tick_ms,
                 )
             except RuntimeError:
-                break  # no live workers left
+                # No live workers right now; the healer may still bring
+                # some back, so keep pumping until shutdown.
+                pass
             self._halt.wait(self.load_interval_s)
+
+    def _heal_loop(self) -> None:
+        """Background supervision: serve mode heals on the wall-floored
+        clock (an idle fleet's backoff must still elapse)."""
+        while not self._halt.is_set():
+            try:
+                self.router.heal(now=self.router.wall_now_ms())
+            except Exception:
+                pass  # supervision must never kill the serving loop
+            self._halt.wait(self.heal_interval_s)
 
     def shutdown(self) -> Dict[str, Any]:
         """Stop load, drain the fleet, close the listener; idempotent."""
@@ -710,6 +1275,8 @@ class FleetServer:
         self._halt.set()
         if self._pump is not None:
             self._pump.join(timeout=10.0)
+        if self._healer is not None:
+            self._healer.join(timeout=10.0)
         report = self.router.drain()
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -762,7 +1329,8 @@ def run_fleet(
 
     Mirrors :func:`repro.service.serve.run_serve`: runs until a signal
     (or ``duration_s``), then drains the whole fleet.  Exit code 0
-    *only* when every worker drained clean and exited 0.
+    *only* when every current worker drained clean and exited 0 —
+    deaths healed by the supervisor do not taint the exit.
     """
     stop = threading.Event()
     previous = {}
@@ -796,6 +1364,7 @@ def run_fleet(
     }
     announce(
         f"fleet drained and stopped (ok={report['ok']}, "
+        f"restarts={report.get('restarts_total', 0)}, "
         f"pending per worker: {pendings})"
     )
     return 0 if report["ok"] else 1

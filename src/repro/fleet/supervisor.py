@@ -1,0 +1,186 @@
+"""Restart policy + supervision bookkeeping for the self-healing fleet.
+
+The router owns the *mechanics* of recovery (respawn the process,
+replay the session ledger, probe, rejoin the ring); this module owns
+the *policy*: when a dead worker may be restarted, how long it must
+wait, and when the fleet gives up on it for good.
+
+All timing is on the fleet's **logical clock** — the same clock the
+batchers and breakers run on — so a supervised run is deterministic
+and replayable: given the same death schedule (e.g. from
+:class:`~repro.fleet.chaos.FleetChaos`), the same restarts happen at
+the same logical times, run over run.
+
+Policy shape (mirrors the PR-2 retry/breaker idiom one level up):
+
+* **backoff** — the first death in a window heals immediately; each
+  further restart within the window waits ``backoff_base_ms *
+  backoff_factor**(k-1)`` logical ms (capped at ``backoff_max_ms``),
+  so a flapping worker consumes exponentially less of the fleet's
+  attention;
+* **budget** — at most ``max_restarts`` restarts per
+  ``window_ms``-long sliding window; exhausting the budget **evicts**
+  the worker permanently (its breaker stays open, ``/healthz`` stays
+  degraded for it, and the final drain refuses to call the fleet
+  clean — an evicted worker is an unhealed loss by definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: decisions :meth:`FleetSupervisor.decide` can return.
+DECIDE_WAIT = "wait"        # dead, but backoff has not elapsed yet
+DECIDE_RESTART = "restart"  # eligible now
+DECIDE_EVICT = "evict"      # restart budget exhausted: permanent
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Seeded-clock restart policy for one fleet."""
+
+    #: base backoff after the first restart in a window, logical ms.
+    backoff_base_ms: float = 25.0
+    #: multiplier per additional restart in the window.
+    backoff_factor: float = 2.0
+    #: backoff ceiling, logical ms.
+    backoff_max_ms: float = 2_000.0
+    #: restarts allowed per window before permanent eviction.
+    max_restarts: int = 5
+    #: sliding budget window, logical ms.
+    window_ms: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+
+    def backoff_ms(self, restarts_in_window: int) -> float:
+        """Delay before the next restart given k prior ones in-window.
+
+        ``k == 0`` → 0 (first death heals immediately: the common case
+        is one crash, and waiting on it would be pure availability
+        loss).  Thereafter exponential, capped.
+        """
+        if restarts_in_window <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_ms
+            * self.backoff_factor ** (restarts_in_window - 1),
+            self.backoff_max_ms,
+        )
+
+
+@dataclass
+class _WorkerLog:
+    """Per-worker supervision history (all timestamps logical ms)."""
+
+    death_at_ms: Optional[float] = None
+    death_reason: str = ""
+    restart_times_ms: List[float] = field(default_factory=list)
+    deaths: int = 0
+    restarts: int = 0
+    failed_restarts: int = 0
+    evicted: bool = False
+
+
+class FleetSupervisor:
+    """Decides restart-vs-wait-vs-evict; the router does the surgery."""
+
+    def __init__(self, policy: Optional[RestartPolicy] = None) -> None:
+        self.policy = policy or RestartPolicy()
+        self._log: Dict[str, _WorkerLog] = {}
+
+    def _entry(self, worker: str) -> _WorkerLog:
+        return self._log.setdefault(worker, _WorkerLog())
+
+    # -- events the router reports --------------------------------------
+
+    def note_death(self, worker: str, now_ms: float, reason: str) -> None:
+        """A breaker tripped; start (or refresh) the recovery clock."""
+        entry = self._entry(worker)
+        if entry.death_at_ms is None:
+            entry.death_at_ms = float(now_ms)
+            entry.death_reason = reason
+            entry.deaths += 1
+
+    def note_restarted(self, worker: str, now_ms: float) -> None:
+        """A respawn + replay + probe completed; worker rejoined."""
+        entry = self._entry(worker)
+        entry.restart_times_ms.append(float(now_ms))
+        entry.restarts += 1
+        entry.death_at_ms = None
+        entry.death_reason = ""
+
+    def note_restart_failed(self, worker: str, now_ms: float) -> None:
+        """A respawn attempt died (boot, replay, or probe failure).
+
+        Counts against the budget exactly like a successful restart —
+        a worker that cannot even boot must converge on eviction, not
+        spin forever.
+        """
+        entry = self._entry(worker)
+        entry.restart_times_ms.append(float(now_ms))
+        entry.failed_restarts += 1
+        # keep death_at_ms: still dead; backoff now applies from here.
+        entry.death_at_ms = float(now_ms)
+
+    # -- the decision ----------------------------------------------------
+
+    def _in_window(self, entry: _WorkerLog, now_ms: float) -> List[float]:
+        cutoff = now_ms - self.policy.window_ms
+        entry.restart_times_ms = [
+            t for t in entry.restart_times_ms if t > cutoff
+        ]
+        return entry.restart_times_ms
+
+    def decide(self, worker: str, now_ms: float) -> str:
+        """May ``worker`` be restarted at logical time ``now_ms``?"""
+        entry = self._entry(worker)
+        if entry.evicted:
+            return DECIDE_EVICT
+        in_window = self._in_window(entry, now_ms)
+        if len(in_window) >= self.policy.max_restarts:
+            entry.evicted = True
+            return DECIDE_EVICT
+        death_at = entry.death_at_ms if entry.death_at_ms is not None else now_ms
+        if now_ms - death_at < self.policy.backoff_ms(len(in_window)):
+            return DECIDE_WAIT
+        return DECIDE_RESTART
+
+    # -- observability ---------------------------------------------------
+
+    def dead_since(self, worker: str) -> Optional[float]:
+        """Logical time of the current unhealed death (None if alive)."""
+        entry = self._log.get(worker)
+        return entry.death_at_ms if entry else None
+
+    def is_evicted(self, worker: str) -> bool:
+        entry = self._log.get(worker)
+        return bool(entry and entry.evicted)
+
+    def evicted_workers(self) -> List[str]:
+        return sorted(w for w, e in self._log.items() if e.evicted)
+
+    def total_restarts(self) -> int:
+        return sum(e.restarts for e in self._log.values())
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Strict-JSON per-worker supervision history for /statsz."""
+        return {
+            w: {
+                "deaths": e.deaths,
+                "restarts": e.restarts,
+                "failed_restarts": e.failed_restarts,
+                "evicted": e.evicted,
+                "dead_since_ms": e.death_at_ms,
+                "death_reason": e.death_reason or None,
+            }
+            for w, e in sorted(self._log.items())
+        }

@@ -25,6 +25,7 @@ import numpy as np
 from repro.fleet.pool import pin_to_cpu
 from repro.fleet import wire
 from repro.fleet.hashring import stable_hash
+from repro.fleet.ledger import data_digest
 from repro.service.resilience import ServiceError
 
 #: exit codes the router checks after join().
@@ -98,7 +99,12 @@ def _handle_register(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, An
     state.service.register(
         frame["name"], frame["app"], data, **frame.get("build_kwargs", {})
     )
-    return wire.ok_reply(session=frame["name"], n=len(data))
+    # Echo the digest of what this worker actually built from: the
+    # router's replay protocol compares it against the ledger record,
+    # proving a respawned shard serves from bit-identical bytes.
+    return wire.ok_reply(
+        session=frame["name"], n=len(data), digest=data_digest(data)
+    )
 
 
 def _handle_submit(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:

@@ -12,3 +12,12 @@ def square(x: int) -> int:
 
 def boom(message: str = "kaboom") -> None:
     raise RuntimeError(message)
+
+
+def suicide() -> None:
+    """Die without a Python traceback: SIGKILL cannot be caught, so the
+    parent sees a bare EOF on the pipe — the hardest crash to surface."""
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)

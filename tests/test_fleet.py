@@ -97,6 +97,21 @@ def test_hashring_join_moves_bounded_fraction():
     assert 0.05 < frac < 0.45, f"join moved {frac:.1%} of keys"
 
 
+def test_hashring_leave_and_rejoin_restores_placement_exactly():
+    # The property session replay rests on: vnode positions are
+    # stable_hash(f"{worker}#{r}") — pure functions of the worker id —
+    # so remove + add restores the pre-departure placement bit for bit
+    # and replayed sessions land back on their original shard.
+    for n in (2, 3, 5, 8):
+        ring = HashRing([f"w{i}" for i in range(n)])
+        before = {k: ring.place(k) for k in KEYS}
+        for victim in (f"w{n // 2}", "w0"):
+            assert ring.remove(victim) is True
+            ring.add(victim)
+            after = {k: ring.place(k) for k in KEYS}
+            assert after == before, f"rejoin of {victim} moved keys (n={n})"
+
+
 def test_hashring_spread_is_roughly_uniform():
     workers = [f"w{i}" for i in range(4)]
     counts = HashRing(workers).spread(KEYS)
@@ -237,6 +252,18 @@ def test_process_pool_surfaces_child_failure():
             pool.run(
                 "tests.fleet_jobs:boom", [{"message": "kaboom"}]
             )
+
+
+def test_process_pool_surfaces_sigkilled_child_without_hanging():
+    # A SIGKILLed child leaves only an EOF behind; the pool must raise
+    # a typed error naming the worker, its exit code, and the jobs it
+    # took down — and must not hang the wait loop (benchmarks.perf
+    # --jobs N depends on exactly this).
+    with ProcessPool(2) as pool:
+        with pytest.raises(PoolJobError, match=r"died") as err:
+            pool.run("tests.fleet_jobs:suicide", [{}, {}, {}])
+    msg = str(err.value)
+    assert "exitcode" in msg and "unfinished jobs" in msg
 
 
 # -- statsz aggregation (pure) ---------------------------------------------
@@ -381,6 +408,49 @@ def test_fleet_worker_death_trips_breaker_and_rehashes():
     assert not report["ok"]
     assert report["workers"]["w1"]["exitcode"] != 0
     assert report["workers"]["w0"]["exitcode"] == 0
+
+
+def test_fleet_scatter_rechecks_live_set_at_dispatch():
+    # Satellite fix: a breaker trip landing between submit_many's
+    # admission check and the scatter must keep the dead shard out of
+    # BOTH the slice computation and the dispatch — no rows may be
+    # stranded on a worker known dead at dispatch time.
+    router = _fleet(workers=3)
+    try:
+        geo = _register_geo(router)
+        handle = router.handles["w1"]
+        handle.breaker.trip("simulated concurrent trip")
+        router.ring.remove("w1")
+        res = router._scatter_submit("pc-geocity", geo.points[:24], 5.0)
+        assert len(res) == 24 and all(r["ok"] for r in res)
+        assert router._m["scatter_rows"].value(worker="w1") == 0
+        assert router._m["scatter_rows"].value(worker="w0") > 0
+    finally:
+        # Un-trip so the (still healthy) process drains clean.
+        handle.breaker.close()
+        router.ring.add("w1")
+        report = router.drain()
+    assert report["ok"]
+
+
+def test_fleet_scatter_retries_rows_lost_to_midflight_death():
+    # A worker SIGKILLed while the router still believes it is live:
+    # the scatter discovers the death on the wire and the one-shot
+    # retry resolves every stranded row on the survivors — slower but
+    # correct, never typed-error rows.
+    router = _fleet(workers=3)
+    try:
+        geo = _register_geo(router)
+        victim = router.handles["w2"]
+        victim.proc.kill()
+        victim.proc.join()
+        res = router.submit_many("pc-geocity", geo.points[:24], now=5.0)
+        assert len(res) == 24 and all(r["ok"] for r in res)
+        assert router._m["scatter_retries"].value() == 1
+        assert router.dead_workers() == ["w2"]
+    finally:
+        report = router.drain()
+    assert not report["ok"]  # unhealed death still taints the drain
 
 
 def test_fleet_statsz_and_endpoints_are_strict_json():
