@@ -4,13 +4,15 @@ Unlike the pytest benchmarks in ``benchmarks/`` — which compare the
 *simulated* costs of the paper's traversal variants — this harness
 times the simulator itself: the same launch executed by the original
 per-step AST interpreter (``engine="interp"``, per-step validation on,
-matching the seed executors) and by the plan-compiled engine with
-frontier compaction (``engine="compiled"``, the default).
+matching the seed executors), by the plan-compiled engine with
+frontier compaction (``engine="compiled"``, the default), and by the
+generated-source engine (``engine="codegen"``, the whole per-step body
+emitted and ``exec``-compiled through :mod:`repro.core.passes`).
 
-Every timed pair is also a differential test: the run aborts unless the
-two engines produce bit-identical simulated stats, identical per-point
-node counts, and (in ``--verify-visits`` mode) identical visit logs.
-Speed without equivalence is a bug, not a result.
+Every timed cell is also a differential test: the run aborts unless the
+three engines produce bit-identical simulated stats, identical
+per-point node counts, and (in ``--verify-visits`` mode) identical
+visit logs.  Speed without equivalence is a bug, not a result.
 
 Run from the repository root::
 
@@ -22,7 +24,7 @@ Run from the repository root::
                                                         # one pinned CPU each
 
 ``--jobs N`` runs workload cells through the fleet's pinned process
-pool (:class:`repro.fleet.pool.ProcessPool`): each cell times both
+pool (:class:`repro.fleet.pool.ProcessPool`): each cell times all
 engines on its own CPU, so parallel cells stay honest as long as the
 machine has a core per job.
 
@@ -375,24 +377,25 @@ def _time_run(executor_cls, launches: List[TraversalLaunch]):
 
 
 def _assert_equivalent(
-    app: str, executor: str, ri, rc, verify_visits: bool
+    app: str, executor: str, ri, rc, verify_visits: bool,
+    engine: str = "compiled",
 ) -> None:
     di, dc = ri.stats.as_dict(), rc.stats.as_dict()
     if di != dc:
         diff = {k: (di[k], dc[k]) for k in di if di[k] != dc[k]}
         raise AssertionError(
-            f"{app}/{executor}: compiled engine changed simulated stats: {diff}"
+            f"{app}/{executor}: {engine} engine changed simulated stats: {diff}"
         )
     if not np.array_equal(ri.nodes_per_point, rc.nodes_per_point):
         raise AssertionError(
-            f"{app}/{executor}: compiled engine changed nodes_per_point"
+            f"{app}/{executor}: {engine} engine changed nodes_per_point"
         )
     if verify_visits:
         vi = [(p.tolist(), n.tolist()) for p, n in ri.visits]
         vc = [(p.tolist(), n.tolist()) for p, n in rc.visits]
         if vi != vc:
             raise AssertionError(
-                f"{app}/{executor}: compiled engine changed the visit log"
+                f"{app}/{executor}: {engine} engine changed the visit log"
             )
 
 
@@ -405,7 +408,7 @@ def run_cell(
     verify_visits: bool = False,
     runner: Optional[ExperimentRunner] = None,
 ) -> dict:
-    """Time one workload cell: both engines, every requested executor.
+    """Time one workload cell: all three engines, every requested executor.
 
     Returns plain ``{"rows": [...], "speedups": [...]}`` dicts so the
     cell is a valid :class:`repro.fleet.pool.ProcessPool` job
@@ -427,7 +430,7 @@ def run_cell(
     speedups: List[dict] = []
     for exec_name, exec_cls, kernel in variants:
         per_engine: Dict[str, Tuple[float, object]] = {}
-        for engine in ("interp", "compiled"):
+        for engine in ("interp", "compiled", "codegen"):
             launches = [
                 _launch(app, kernel, engine, verify_visits)
                 for _ in range(repeat)
@@ -450,7 +453,10 @@ def run_cell(
             )
         wi, ri = per_engine["interp"]
         wc, rc = per_engine["compiled"]
+        wg, rg = per_engine["codegen"]
         _assert_equivalent(bench, exec_name, ri, rc, verify_visits)
+        _assert_equivalent(bench, exec_name, ri, rg, verify_visits,
+                           engine="codegen")
         sp = wi / wc if wc > 0 else float("inf")
         speedups.append(
             {
@@ -460,7 +466,12 @@ def run_cell(
                 "executor": exec_name,
                 "interp_s": round(wi, 4),
                 "compiled_s": round(wc, 4),
+                "codegen_s": round(wg, 4),
                 "speedup": round(sp, 2),
+                "codegen_speedup": round(wi / wg if wg > 0 else float("inf"), 2),
+                "codegen_vs_compiled": round(
+                    wc / wg if wg > 0 else float("inf"), 2
+                ),
             }
         )
     return {"rows": [r.as_dict() for r in rows], "speedups": speedups}
@@ -507,8 +518,9 @@ def run_benchmark(
         for s in cell["speedups"]:
             log(
                 f"{s['app']}/{s['input']}@{s['scale']} {s['executor']}: "
-                f"interp {s['interp_s']:.3f}s, compiled {s['compiled_s']:.3f}s "
-                f"-> {s['speedup']:.2f}x (stats identical)"
+                f"interp {s['interp_s']:.3f}s, compiled {s['compiled_s']:.3f}s, "
+                f"codegen {s['codegen_s']:.3f}s -> {s['speedup']:.2f}x / "
+                f"{s['codegen_speedup']:.2f}x (stats identical)"
             )
     lockstep_sp = [s["speedup"] for s in speedups if s["executor"] == "lockstep"]
     report = {
@@ -524,6 +536,13 @@ def run_benchmark(
         "speedups": speedups,
         "max_lockstep_speedup": max(lockstep_sp) if lockstep_sp else None,
         "min_speedup": min(s["speedup"] for s in speedups) if speedups else None,
+        "min_codegen_speedup": (
+            min(s["codegen_speedup"] for s in speedups) if speedups else None
+        ),
+        "max_codegen_vs_compiled": (
+            max(s["codegen_vs_compiled"] for s in speedups)
+            if speedups else None
+        ),
     }
     return report
 
@@ -550,8 +569,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 if the compiled engine is slower than the interpreter "
-        "on any workload",
+        help="exit 1 if the compiled or codegen engine is slower than the "
+        "interpreter on any workload",
     )
     ap.add_argument("--repeat", type=int, default=1, help="best-of-N timing")
     ap.add_argument(
@@ -611,12 +630,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"max lockstep speedup vs seed: "
             f"{report['max_lockstep_speedup_vs_seed']}x"
         )
-    if args.check and report["min_speedup"] is not None:
-        if report["min_speedup"] < 1.0:
-            print(
-                f"FAIL: compiled engine slower than interpreter "
-                f"(min speedup {report['min_speedup']}x)",
-                file=sys.stderr,
-            )
-            return 1
+    if args.check:
+        for field, engine in (
+            ("min_speedup", "compiled"),
+            ("min_codegen_speedup", "codegen"),
+        ):
+            floor = report.get(field)
+            if floor is not None and floor < 1.0:
+                print(
+                    f"FAIL: {engine} engine slower than interpreter "
+                    f"(min speedup {floor}x)",
+                    file=sys.stderr,
+                )
+                return 1
     return 0

@@ -6,126 +6,30 @@ so that documentation, examples and tests can exhibit — and assert —
 the exact shapes of those figures: recursive calls becoming reversed
 stack pushes, returns becoming ``continue``, variant arguments riding
 the stack, and the lockstep mask/vote scaffolding of Fig. 8.
+
+Since the pass-registry refactor the actual emission lives in
+:mod:`repro.core.passes` (:class:`~repro.core.passes
+.RenderRecursivePseudocode` and :class:`~repro.core.passes
+.RenderIterativePseudocode`); this module keeps the stable public
+entry points.
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from repro.core.autoropes import Continue, IterativeKernel, PushGroup
-from repro.core.ir import If, Recurse, Return, Seq, Stmt, TraversalSpec, Update
-
-_INDENT = "    "
-
-
-def _emit_recursive(stmt: Stmt, lines: List[str], depth: int, spec: TraversalSpec) -> None:
-    pad = _INDENT * depth
-    if isinstance(stmt, Seq):
-        for s in stmt.stmts:
-            _emit_recursive(s, lines, depth, spec)
-    elif isinstance(stmt, If):
-        lines.append(f"{pad}if ({stmt.cond.name}(node, pt)) {{")
-        _emit_recursive(stmt.then, lines, depth + 1, spec)
-        if stmt.orelse is not None:
-            lines.append(f"{pad}}} else {{")
-            _emit_recursive(stmt.orelse, lines, depth + 1, spec)
-        lines.append(f"{pad}}}")
-    elif isinstance(stmt, Update):
-        lines.append(f"{pad}{stmt.fn.name}(node, pt);")
-    elif isinstance(stmt, Return):
-        lines.append(f"{pad}return;")
-    elif isinstance(stmt, Recurse):
-        args = "".join(f", {name}={rule}" for name, rule in stmt.arg_overrides)
-        lines.append(f"{pad}recurse(node.{stmt.child.name}, pt{args});")
-    else:
-        raise TypeError(f"cannot render {type(stmt).__name__}")
+from repro.core.autoropes import IterativeKernel
+from repro.core.ir import TraversalSpec
+from repro.core.passes import EmitUnit, run_pipeline
 
 
 def render_recursive(spec: TraversalSpec) -> str:
     """Render the original recursive form (the Fig. 4/5 style)."""
-    arg_list = "".join(f", {a.name}" for a in spec.args)
-    lines = [f"void {spec.name}(node node, point pt{arg_list}) {{"]
-    _emit_recursive(spec.body, lines, 1, spec)
-    lines.append("}")
-    return "\n".join(lines)
-
-
-def _emit_iterative(
-    stmt: Stmt, lines: List[str], depth: int, kernel: IterativeKernel
-) -> None:
-    pad = _INDENT * depth
-    spec = kernel.spec
-    if isinstance(stmt, Seq):
-        for s in stmt.stmts:
-            _emit_iterative(s, lines, depth, kernel)
-    elif isinstance(stmt, If):
-        call = f"{stmt.cond.name}(node, pt)"
-        if stmt.cond.name in kernel.vote_conditions:
-            call = f"warp_majority({call})"
-        lines.append(f"{pad}if ({call}) {{")
-        _emit_iterative(stmt.then, lines, depth + 1, kernel)
-        if stmt.orelse is not None:
-            lines.append(f"{pad}}} else {{")
-            _emit_iterative(stmt.orelse, lines, depth + 1, kernel)
-        lines.append(f"{pad}}}")
-    elif isinstance(stmt, Update):
-        lines.append(f"{pad}{stmt.fn.name}(node, pt);")
-    elif isinstance(stmt, Continue):
-        if kernel.lockstep:
-            lines.append(f"{pad}bit_clear(mask, threadId);")
-        else:
-            lines.append(f"{pad}continue;")
-    elif isinstance(stmt, PushGroup):
-        if kernel.lockstep:
-            lines.append(f"{pad}mask = warp_ballot(mask);")
-            lines.append(f"{pad}if (mask != 0) {{")
-            inner = _INDENT * (depth + 1)
-            for call in stmt.push_order:
-                payload = _push_payload(call, kernel, with_mask=True)
-                lines.append(f"{inner}stk.push({payload});")
-            lines.append(f"{pad}}}")
-        else:
-            for call in stmt.push_order:
-                payload = _push_payload(call, kernel, with_mask=False)
-                lines.append(f"{pad}stk.push({payload});")
-    else:
-        raise TypeError(f"cannot render {type(stmt).__name__}")
-
-
-def _push_payload(call: Recurse, kernel: IterativeKernel, with_mask: bool) -> str:
-    parts = [f"node.{call.child.name}"]
-    parts.extend(a.name for a in kernel.spec.variant_args)
-    if with_mask:
-        parts.append("mask")
-    return ", ".join(parts)
+    unit = EmitUnit(
+        kernel=None, facts=None, mode="render_recursive", spec=spec
+    )
+    return run_pipeline(unit).source
 
 
 def render_iterative(kernel: IterativeKernel) -> str:
     """Render an autoropes (or lockstep) kernel in the Fig. 6/7/8 style."""
-    spec = kernel.spec
-    invariant = "".join(f", {a.name}" for a in spec.invariant_args)
-    lines = [f"void {spec.name}(node root, point pt{invariant}) {{"]
-    body_pad = _INDENT
-    lines.append(f"{body_pad}stack stk = new stack();")
-    init_payload = ["root"]
-    init_payload += [a.name for a in spec.variant_args]
-    if kernel.lockstep:
-        lines.append(f"{body_pad}uint mask;")
-        init_payload.append("~0 /* all threads active */")
-    lines.append(f"{body_pad}stk.push({', '.join(init_payload)});")
-    lines.append(f"{body_pad}while (!stk.is_empty()) {{")
-    pops = ["node"] + [a.name for a in spec.variant_args]
-    if kernel.lockstep:
-        pops.append("mask")
-    for i, name in enumerate(pops):
-        lines.append(f"{body_pad * 2}{name} = stk.peek({i});")
-    lines.append(f"{body_pad * 2}stk.pop();")
-    if kernel.lockstep:
-        lines.append(f"{body_pad * 2}if (bit_set(mask, threadId)) {{")
-        _emit_iterative(kernel.body, lines, 3, kernel)
-        lines.append(f"{body_pad * 2}}}")
-    else:
-        _emit_iterative(kernel.body, lines, 2, kernel)
-    lines.append(f"{body_pad}}}")
-    lines.append("}")
-    return "\n".join(lines)
+    unit = EmitUnit(kernel=kernel, facts=None, mode="render_iterative")
+    return run_pipeline(unit).source

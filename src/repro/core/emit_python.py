@@ -12,83 +12,32 @@ interpreters (it contains plain ``while``/``if``/``list`` code), which
 makes it a third implementation for differential testing: interpreter
 vs executor vs generated code must agree on visit order and results.
 
+Since the pass-registry refactor the source emission lives in
+:mod:`repro.core.passes` (:class:`~repro.core.passes
+.EmitScalarPython`); this module keeps the stable public entry points
+plus the runtime namespace the generated function closes over.
+
 Use :func:`emit_traversal_source` to inspect the code and
 :func:`compile_traversal` to get the callable.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable
 
-from repro.core.autoropes import Continue, IterativeKernel, PushGroup
-from repro.core.ir import If, Seq, Stmt, Update
-
-_INDENT = "    "
-
-
-def _emit(stmt: Stmt, lines: List[str], depth: int, kernel: IterativeKernel) -> None:
-    pad = _INDENT * depth
-    spec = kernel.spec
-    if isinstance(stmt, Seq):
-        if not stmt.stmts:
-            lines.append(f"{pad}pass")
-            return
-        for s in stmt.stmts:
-            _emit(s, lines, depth, kernel)
-    elif isinstance(stmt, If):
-        lines.append(
-            f"{pad}if _cond[{stmt.cond.name!r}](ctx, _n1(node), _p1(pt), args)[0]:"
-        )
-        _emit(stmt.then, lines, depth + 1, kernel)
-        if stmt.orelse is not None:
-            lines.append(f"{pad}else:")
-            _emit(stmt.orelse, lines, depth + 1, kernel)
-    elif isinstance(stmt, Update):
-        lines.append(
-            f"{pad}_upd[{stmt.fn.name!r}](ctx, _n1(node), _p1(pt), args)"
-        )
-    elif isinstance(stmt, Continue):
-        lines.append(f"{pad}continue")
-    elif isinstance(stmt, PushGroup):
-        lines.append(f"{pad}new_args = _visit_args(ctx, node, pt, args)")
-        for call in stmt.push_order:
-            overrides = dict(call.arg_overrides)
-            lines.append(
-                f"{pad}stk.append(("
-                f"_child(tree, {call.child.name!r}, node), "
-                f"_site_args(ctx, node, pt, new_args, {sorted(overrides.items())!r})"
-                f"))"
-            )
-    else:
-        raise TypeError(f"cannot emit {type(stmt).__name__}")
-
-
-_PRELUDE = '''\
-def {name}(ctx, tree, pt, root):
-    """Generated by repro.core.emit_python — do not edit.
-
-    Standalone autoropes traversal for one point: returns the visited
-    node ids in order and applies updates to ``ctx.out``.
-    """
-    visits = []
-    stk = [(root, dict(_initial_args))]
-    while stk:
-        node, args = stk.pop()
-        if node < 0 and not _visits_null:
-            continue
-        if node >= 0:
-            visits.append(node)
-'''
+from repro.core.autoropes import IterativeKernel
+from repro.core.passes import EmitUnit, run_pipeline
 
 
 def emit_traversal_source(kernel: IterativeKernel, name: str = "traverse") -> str:
     """Render the kernel as a standalone Python function definition."""
-    lines: List[str] = [_PRELUDE.format(name=name).rstrip()]
-    body_lines: List[str] = []
-    _emit(kernel.body, body_lines, 2, kernel)
-    lines.extend(body_lines)
-    lines.append(f"{_INDENT}return visits")
-    return "\n".join(lines)
+    unit = EmitUnit(
+        kernel=kernel,
+        facts=None,
+        mode="scalar_python",
+        bindings={"emit_name": name},
+    )
+    return run_pipeline(unit).source
 
 
 def compile_traversal(

@@ -1,0 +1,2045 @@
+"""Transformation-pass registry and source-emission backends.
+
+The paper's system is a source-to-source compiler: mechanical,
+composable transformations take a recursive traversal to GPU form.
+This module gives the reproduction the same architecture for its *own*
+backends: every code-emitting path in the repo — the Fig. 4-8
+pseudocode renderers, the scalar per-point Python backend, and the
+``engine="codegen"`` vectorized NumPy loop generator — runs through one
+registry of declared transformation passes (modeled on dace's
+``GPUTransformMap``/``GPUTransformSubgraph``: each pass declares its
+properties, a ``can_apply`` precondition, and an ``apply`` rewrite).
+
+The codegen pipeline lowers a :class:`~repro.core.compile.
+CompiledProgram` into an annotated op tree and emits standalone source
+for the executor's whole per-step loop:
+
+* conditions are inlined as direct calls to the pre-bound callables,
+  with the compiled engine's dense-grid evaluation heuristic baked in;
+* branch-kind dispatch (vote / warp-uniform / predicate) is resolved at
+  emit time — each ``If`` becomes exactly the code its kind needs;
+* consecutive field-group loads are fused: loads issued under provably
+  equal live masks share one gather index computation, one
+  ``to_charge`` mask, one ``sum()`` and a single combined
+  ``bytes_requested`` update.  The *access sequence* into the memory
+  model is preserved verbatim — the L2 reuse window and its EMA are
+  order-sensitive, and bit-identical simulated stats are the contract
+  (the fusion-soundness framing follows Sakka et al., arXiv:1904.07061:
+  liveness only changes at branch merges and ``Continue``, so loads
+  between those points execute under identical masks);
+* frontier compaction, the stuck-warp guard, popped-node validation,
+  tracing, profiling and the visit log are emitted *only when the plan
+  enables them* — a clean launch's loop contains no dead branches;
+* cold paths (the compaction gather, the chaos guard) call back into
+  the executor's audited helpers instead of being re-implemented.
+
+The generated function is ``exec``-compiled once and memoized per
+(kernel instance, loop facts digest); the service additionally caches
+it in the shared :class:`~repro.core.plancache.PlanCache` keyed by
+(plan key, variant, plan epoch, device digest) so ``refresh_plan``
+eviction and epoch bumps make a stale function unservable.
+
+Differential testing is the safety net: ``tests/test_engine_
+equivalence.py`` proves codegen, compiled and interp produce
+bit-identical simulated stats on all five benchmarks, sorted and
+unsorted, with and without chaos.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.autoropes import Continue, IterativeKernel, PushGroup
+from repro.core.compile import (
+    BRANCH_PREDICATE,
+    BRANCH_UNIFORM,
+    BRANCH_VOTE,
+    TAG_COND,
+    TAG_CONTINUE,
+    TAG_PUSH,
+    TAG_UPDATE,
+    program_for,
+)
+from repro.core.ir import If, Recurse, Return, Seq, Stmt, TraversalSpec, Update
+
+_INDENT = "    "
+
+#: optional observer called with ``(name, source)`` every time a loop
+#: body is emitted — the CLI's ``--dump-source`` hangs a writer here.
+dump_sink: Optional[Callable[[str, str], None]] = None
+
+
+class SourceWriter:
+    """Indentation-managed line accumulator shared by every backend."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+        self._fresh = 0
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(_INDENT * self.depth + text if text else "")
+
+    def indent(self) -> None:
+        self.depth += 1
+
+    def dedent(self) -> None:
+        self.depth -= 1
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def source(self) -> str:
+        return "\n".join(self.lines)
+
+
+# -- pass registry (the dace-style declared-transformation model) -----------
+
+
+class Property:
+    """A declared, type-checked pass property (dace ``Property`` lite).
+
+    Declared as class attributes on a pass; instances get per-object
+    values with the declared default, and assignments are type-checked
+    against ``dtype``.
+    """
+
+    def __init__(self, desc: str = "", dtype: type = bool, default=None):
+        self.desc = desc
+        self.dtype = dtype
+        self.default = default
+        self.name = ""
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.__dict__.get(self.name, self.default)
+
+    def __set__(self, obj, value) -> None:
+        if value is not None and not isinstance(value, self.dtype):
+            raise TypeError(
+                f"property {self.name!r} expects {self.dtype.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        obj.__dict__[self.name] = value
+
+
+#: registration order defines pipeline order.
+PASS_REGISTRY: Dict[str, type] = {}
+
+
+def register_pass(cls):
+    """Class decorator: auto-register a pass under its class name."""
+    PASS_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+class EmitPass:
+    """Base transformation pass: pattern-match (``can_apply``) then
+    rewrite (``apply``) an :class:`EmitUnit` in place."""
+
+    @classmethod
+    def properties(cls) -> Dict[str, Property]:
+        out: Dict[str, Property] = {}
+        for klass in reversed(cls.__mro__):
+            for name, val in vars(klass).items():
+                if isinstance(val, Property):
+                    out[name] = val
+        return out
+
+    def can_apply(self, unit: "EmitUnit") -> bool:
+        return True
+
+    def apply(self, unit: "EmitUnit") -> None:
+        raise NotImplementedError
+
+
+# -- loop facts (the specialization key) -------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopFacts:
+    """Everything the emitted loop is specialized on.
+
+    Two launches with equal facts (and the same kernel) share one
+    generated function; anything runtime-variable but structurally
+    inert (the compaction threshold value, region base addresses, the
+    warp size) is read from the executor in the generated prelude
+    instead of being baked in.
+    """
+
+    kind: str  # "lockstep" | "autoropes"
+    compact: bool
+    need_guard: bool
+    validate: bool
+    trace: bool
+    prof: bool
+    visit_log: bool
+    on_visit: bool
+    device: str
+    #: warp size, baked into the source (shift/mask lane arithmetic).
+    ws: int = 32
+    #: rope-stack layout value ("interleaved_global" | ...): the
+    #: inlined push/pop accounting is layout-specialized.
+    layout: str = "interleaved_global"
+    #: whether stack traffic is accounted at all (the recursive
+    #: baselines charge call frames instead).
+    account: bool = True
+    #: coalescing segment size and its shift (None when not a power of
+    #: two) — the inlined memory accounting bakes the segment math.
+    #: Redundant with ``device`` in the digest, but needed at emit time.
+    seg_bytes: int = 128
+    seg_shift: Optional[int] = 7
+
+    def digest(self) -> tuple:
+        return (
+            self.kind,
+            self.compact,
+            self.need_guard,
+            self.validate,
+            self.trace,
+            self.prof,
+            self.visit_log,
+            self.on_visit,
+            self.device,
+            self.ws,
+            self.layout,
+            self.account,
+            self.seg_bytes,
+        )
+
+
+def facts_for(executor, kind: str) -> LoopFacts:
+    """Derive the loop facts for one executor instance."""
+    L = executor.L
+    # Subclasses that override the per-visit hook (the recursive
+    # baselines) get the call emitted; the plain executors do not pay
+    # for an empty method call per step.  Autoropes has no hook.
+    on_visit = kind == "lockstep" and (
+        getattr(type(executor), "_on_visit", None)
+        is not getattr(_base_executor_for(kind), "_on_visit", None)
+    )
+    seg = int(L.device.segment_bytes)
+    return LoopFacts(
+        kind=kind,
+        compact=L.compact_threshold > 0.0,
+        need_guard=L.needs_guard,
+        validate=bool(L.validate),
+        trace=executor._trace is not None,
+        prof=executor._prof is not None,
+        visit_log=executor._visit_log is not None,
+        on_visit=on_visit,
+        device=device_digest(L.device),
+        ws=int(executor.ws),
+        layout=executor.stack.layout.value,
+        account=bool(executor.stack.account),
+        seg_bytes=seg,
+        seg_shift=seg.bit_length() - 1 if seg & (seg - 1) == 0 else None,
+    )
+
+
+def device_digest(device) -> str:
+    """A stable digest of the device configuration."""
+    return repr(device)
+
+
+def _base_executor_for(kind: str):
+    if kind == "lockstep":
+        from repro.gpusim.executors.lockstep_exec import LockstepExecutor
+
+        return LockstepExecutor
+    from repro.gpusim.executors.autoropes_exec import AutoropesExecutor
+
+    return AutoropesExecutor
+
+
+# -- emission unit: annotated op tree ----------------------------------------
+
+
+@dataclass
+class ChargeSite:
+    """One field-group load site in walker order."""
+
+    group: str
+    index: int  # global site index for this group (0-based)
+    total: int = 1  # total sites for this group (patched by the pass)
+    fused_with: Optional[int] = None  # id of the fuse-run leader site
+
+
+@dataclass
+class ONode:
+    """Mutable, annotatable mirror of one compiled op."""
+
+    kind: str  # "cond" | "update" | "push" | "continue"
+    op: object
+    then: Optional[List["ONode"]] = None
+    orelse: Optional[List["ONode"]] = None
+    # pass annotations:
+    strategy: Optional[str] = None  # cond: uniform | vote | predicate | gather
+    charges: List[ChargeSite] = field(default_factory=list)
+
+
+@dataclass
+class EmitUnit:
+    """The object the pass pipeline rewrites."""
+
+    kernel: Optional[IterativeKernel]
+    facts: Optional[LoopFacts]
+    #: which backend family this unit is for: the codegen engine
+    #: ("steploop"), the paper-figure pseudocode renderers
+    #: ("render_recursive" / "render_iterative"), or the scalar
+    #: per-point Python backend ("scalar_python").
+    mode: str = "steploop"
+    #: the recursive spec, for units lowered from a TraversalSpec
+    #: rather than a compiled kernel (the pseudocode renderer).
+    spec: object = None
+    program: object = None
+    nodes: List[ONode] = field(default_factory=list)
+    multi_site_groups: Tuple[str, ...] = ()
+    any_charges: bool = False
+    source: str = ""
+    bindings: Dict[str, object] = field(default_factory=dict)
+    applied: List[str] = field(default_factory=list)
+
+
+def run_pipeline(unit: EmitUnit) -> EmitUnit:
+    """Run every applicable registered pass, in registration order."""
+    for name, cls in PASS_REGISTRY.items():
+        p = cls()
+        if p.can_apply(unit):
+            p.apply(unit)
+            unit.applied.append(name)
+    return unit
+
+# -- analysis / rewrite passes ----------------------------------------------
+
+
+@register_pass
+class LowerProgram(EmitPass):
+    """Lower the compiled op program into the mutable op tree.
+
+    The one rewrite it performs is dead-tail truncation: ops that
+    follow a ``ContinueOp`` in the same sequence can never execute (the
+    walker returns on the continue), so they are dropped from the tree
+    instead of being emitted behind an unreachable guard.
+    """
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return (
+            unit.mode == "steploop"
+            and unit.program is None
+            and unit.kernel is not None
+        )
+
+    def apply(self, unit: EmitUnit) -> None:
+        unit.program = program_for(unit.kernel)
+        unit.nodes = self._lower(unit.program.ops)
+
+    def _lower(self, ops: Tuple) -> List[ONode]:
+        out: List[ONode] = []
+        for op in ops:
+            tag = op.tag
+            if tag == TAG_CONTINUE:
+                out.append(ONode(kind="continue", op=op))
+                break  # dead-tail truncation
+            if tag == TAG_COND:
+                out.append(
+                    ONode(
+                        kind="cond",
+                        op=op,
+                        then=self._lower(op.then_ops),
+                        orelse=(
+                            None
+                            if op.else_ops is None
+                            else self._lower(op.else_ops)
+                        ),
+                    )
+                )
+            elif tag == TAG_UPDATE:
+                out.append(ONode(kind="update", op=op))
+            else:
+                out.append(ONode(kind="push", op=op))
+        return out
+
+
+@register_pass
+class ResolveBranches(EmitPass):
+    """Resolve every condition's branch dispatch at emit time.
+
+    Under the lockstep loop the compiled branch kind maps 1:1 onto an
+    emission strategy (warp-uniform single evaluation, per-warp
+    majority vote, or per-lane predication with the dense-grid
+    heuristic).  The per-thread autoropes loop predicates every branch
+    the same way — threads sit on different nodes, so no warp-uniform
+    shortcut exists — and every condition lowers to one gather-
+    evaluate-scatter strategy.
+    """
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return bool(unit.nodes)
+
+    def apply(self, unit: EmitUnit) -> None:
+        lockstep = unit.facts.kind == "lockstep"
+        for node in _walk(unit.nodes):
+            if node.kind != "cond":
+                continue
+            if not lockstep:
+                node.strategy = "gather"
+            elif node.op.branch == BRANCH_UNIFORM:
+                node.strategy = "uniform"
+            elif node.op.branch == BRANCH_VOTE:
+                node.strategy = "vote"
+            else:
+                node.strategy = "predicate"
+
+
+@register_pass
+class PlanFieldCharges(EmitPass):
+    """Plan the per-step field-group load (charge) sites.
+
+    Walks the tree in execution order (then-arm before else-arm, the
+    walker's order) and annotates every load site:
+
+    * groups loaded at exactly one site need no ``seen`` dedup mask at
+      all — the emitted load charges the site's live warps directly;
+    * groups loaded at multiple sites (both arms of a branch may read
+      the same group) get a lazily-initialized per-step ``seen``
+      accumulator, reproducing the interpreter's charge dedup exactly;
+    * consecutive loads under the *same* live mask (one op's multi-
+      group read tuple) are fused: one ``to_charge`` mask, one
+      ``sum()``, one column view and a single combined
+      ``bytes_requested`` update feed the per-region accesses, whose
+      order into the memory model is preserved verbatim (the L2 reuse
+      window is order-sensitive; see the module docstring for the
+      fusion-soundness argument).
+    """
+
+    fuse_loads = Property(
+        desc="Fuse same-mask consecutive loads into one gather",
+        dtype=bool,
+        default=True,
+    )
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return bool(unit.nodes)
+
+    def apply(self, unit: EmitUnit) -> None:
+        counts: Dict[str, int] = {}
+        sites: List[ChargeSite] = []
+
+        def visit(nodes: List[ONode]) -> None:
+            for node in nodes:
+                reads: Tuple[str, ...] = ()
+                if node.kind in ("cond", "update"):
+                    reads = node.op.reads
+                elif node.kind == "push":
+                    reads = node.op.child_group
+                node.charges = []
+                leader: Optional[int] = None
+                for g in reads:
+                    site = ChargeSite(group=g, index=counts.get(g, 0))
+                    counts[g] = site.index + 1
+                    if self.fuse_loads and leader is not None:
+                        site.fused_with = leader
+                    elif self.fuse_loads:
+                        leader = id(site)
+                    node.charges.append(site)
+                    sites.append(site)
+                if node.kind == "cond":
+                    visit(node.then or [])
+                    visit(node.orelse or [])
+
+        visit(unit.nodes)
+        for site in sites:
+            site.total = counts[site.group]
+        unit.multi_site_groups = tuple(
+            sorted(g for g, n in counts.items() if n > 1)
+        )
+        unit.any_charges = bool(sites)
+
+
+def _walk(nodes: List[ONode]):
+    for node in nodes:
+        yield node
+        if node.kind == "cond":
+            yield from _walk(node.then or [])
+            yield from _walk(node.orelse or [])
+
+# -- loop emitters -----------------------------------------------------------
+
+
+class _LoopEmitterBase(EmitPass):
+    """Shared machinery for the two step-loop backends.
+
+    Subclasses own their loop template (the lockstep warp loop and the
+    per-thread autoropes loop differ in mask rank, bookkeeping and
+    push accounting) and share variable binding, argument sub-dict
+    construction, field-charge emission (with same-mask fusion) and
+    the sequence walker with its liveness guards.
+    """
+
+    kind = ""
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return (
+            unit.mode == "steploop"
+            and unit.facts is not None
+            and unit.facts.kind == self.kind
+            and bool(unit.nodes)
+            and not unit.source
+        )
+
+    # -- setup ---------------------------------------------------------------
+
+    def _setup(self, unit: EmitUnit) -> None:
+        self.unit = unit
+        self.w = SourceWriter()
+        self._bound: Dict[tuple, str] = {}
+        spec = unit.kernel.spec
+        self.variant_names = [a.name for a in spec.variant_args]
+        self.invariant_names = [a.name for a in spec.invariant_args]
+        self.arg_names = self.variant_names + self.invariant_names
+        groups: List[str] = []
+        for n in _walk(unit.nodes):
+            for s in n.charges:
+                if s.group not in groups:
+                    groups.append(s.group)
+        self.groups = groups
+        self._rg = {g: f"rg{i}" for i, g in enumerate(groups)}
+        self._it = {g: f"it{i}" for i, g in enumerate(groups)}
+        self._rb = {g: f"rb{i}" for i, g in enumerate(groups)}
+        self._sg = {g: f"sg{i}" for i, g in enumerate(groups)}
+        self.multi = set(unit.multi_site_groups)
+        self.ids_kw = ", warp_ids=ids" if unit.facts.compact else ""
+        from repro.gpusim.executors.common import validate_popped_nodes
+        from repro.gpusim.warp import majority_vote, pack_mask, unpack_mask
+
+        unit.bindings.update(
+            np=np,
+            pack_mask=pack_mask,
+            unpack_mask=unpack_mask,
+            majority_vote=majority_vote,
+            validate_popped_nodes=validate_popped_nodes,
+        )
+
+    def _bind(self, prefix: str, obj) -> str:
+        key = (prefix, id(obj))
+        name = self._bound.get(key)
+        if name is None:
+            name = f"{prefix}{len(self._bound)}"
+            self._bound[key] = name
+            self.unit.bindings[name] = obj
+        return name
+
+    def _sub(self, suffix: str) -> str:
+        """Dict literal subsetting every kernel argument: {'x': a_x[i]}."""
+        items = ", ".join(f"'{k}': a_{k}{suffix}" for k in self.arg_names)
+        return "{" + items + "}"
+
+    def _emit_prof(self, n: ONode) -> None:
+        if self.unit.facts.prof:
+            self.w.line(f"prof.note({self._bind('OP', n.op)}, stats)")
+
+    # -- field-group charges (with same-mask fusion) -------------------------
+
+    def _mask_col(self, var: str) -> str:
+        raise NotImplementedError
+
+    def _addr_expr(self, group: str) -> str:
+        raise NotImplementedError
+
+    def _ensure_safe_node(self) -> None:
+        w = self.w
+        w.line("if safe_node is None:")
+        w.indent()
+        w.line("safe_node = np.maximum(node, 0)")
+        w.dedent()
+
+    def _emit_charges(self, n: ONode, mask: str, cnt: Optional[str] = None) -> None:
+        sites = n.charges
+        if not sites:
+            return
+        i = 0
+        while i < len(sites):
+            if sites[i].total == 1:
+                # a maximal run of single-site loads fuses (same mask)
+                j = i
+                while j < len(sites) and sites[j].total == 1:
+                    j += 1
+                self._emit_single_run(sites[i:j], mask, cnt)
+                i = j
+            else:
+                self._emit_multi_site(sites[i], mask)
+                i += 1
+
+    def _emit_single_run(
+        self, run: List[ChargeSite], mask: str, cnt: Optional[str] = None
+    ) -> None:
+        """Fused load run: single-site groups under one shared mask.
+
+        One ``to_charge`` test, one element count and one combined
+        ``bytes_requested`` update serve every group in the run; the
+        per-region accesses still hit the memory model one call each,
+        in program order (the L2 window is order-sensitive).  When the
+        caller already holds the mask's population count (``cnt``),
+        both the guard and the byte accounting reuse it.
+        """
+        w = self.w
+        if cnt is None:
+            w.line(f"if {mask}.any():")
+            w.indent()
+            cnt = w.fresh("n")
+            self._ensure_safe_node()
+            w.line(f"{cnt} = int({mask}.sum())")
+        else:
+            w.line(f"if {cnt}:")
+            w.indent()
+            self._ensure_safe_node()
+        total = " + ".join(f"{cnt} * {self._it[s.group]}" for s in run)
+        w.line(f"stats.bytes_requested += {total}")
+        mc = w.fresh("m")
+        w.line(f"{mc} = {self._mask_col(mask)}")
+        for s in run:
+            w.line(
+                f"mem({self._addr_expr(s.group)}, {self._it[s.group]}, "
+                f"{mc}, step)"
+            )
+        w.dedent()
+
+    def _emit_multi_site(self, site: ChargeSite, mask: str) -> None:
+        """Multi-site group: dedup against the per-step seen mask."""
+        w = self.w
+        sg = self._sg[site.group]
+        t = w.fresh("t")
+        w.line(f"{t} = {mask} if {sg} is None else ({mask} & ~{sg})")
+        w.line(f"if {t}.any():")
+        w.indent()
+        self._ensure_safe_node()
+        it = self._it[site.group]
+        w.line(f"stats.bytes_requested += int({t}.sum()) * {it}")
+        w.line(
+            f"mem({self._addr_expr(site.group)}, {it}, "
+            f"{self._mask_col(t)}, step)"
+        )
+        w.dedent()
+        w.line(f"{sg} = {t} if {sg} is None else ({sg} | {t})")
+
+    # -- sequence walker -----------------------------------------------------
+
+    def _emit_seq(self, nodes: List[ONode], lv: str) -> None:
+        """Emit a guarded op sequence over live-mask variable ``lv``.
+
+        The walker re-checks liveness before every op; liveness only
+        changes at branch merges and ``Continue``, so the emitted code
+        re-guards only after conditions — everything in between runs
+        under one proven-live region (the Sakka et al. framing).
+        """
+        w = self.w
+        w.line(f"if {lv}.any():")
+        w.indent()
+        opened = 1
+        for i, n in enumerate(nodes):
+            if i > 0 and nodes[i - 1].kind == "cond":
+                w.line(f"if {lv}.any():")
+                w.indent()
+                opened += 1
+            self._emit_node(n, lv)
+        for _ in range(opened):
+            w.dedent()
+
+    def _emit_node(self, n: ONode, lv: str) -> None:
+        if n.kind == "cond":
+            self._emit_cond(n, lv)
+        elif n.kind == "update":
+            self._emit_update(n, lv)
+        elif n.kind == "push":
+            self._emit_push(n, lv)
+        else:  # continue
+            self.w.line(f"{lv} = np.zeros_like({lv})")
+
+    def _emit_cond(self, n: ONode, lv: str) -> None:
+        raise NotImplementedError
+
+    def _emit_update(self, n: ONode, lv: str) -> None:
+        raise NotImplementedError
+
+    def _emit_push(self, n: ONode, lv: str) -> None:
+        raise NotImplementedError
+
+    # -- shared prelude pieces ----------------------------------------------
+
+    def _emit_prelude_common(self) -> None:
+        w = self.w
+        w.line("def step_loop(ex):")
+        w.indent()
+        w.line("L = ex.L")
+        w.line("stats = L.stats")
+        w.line("stack = ex.stack")
+        w.line("stack_pop = stack.pop")
+        w.line("stack_push = stack.push")
+        w.line("issue = L.issue.issue")
+        w.line("mem = L.memory.warp_access")
+        w.line("ctx = ex.ctx")
+        w.line("ws = ex.ws")
+        w.line("tree = ex.tree")
+        w.line("n_nodes = tree.n_nodes")
+        if self.groups:
+            w.line("regions = L.regions")
+            for g in self.groups:
+                w.line(f"{self._rg[g]} = regions[{g!r}]")
+                w.line(f"{self._it[g]} = {self._rg[g]}.itemsize")
+        facts = self.unit.facts
+        if facts.compact:
+            w.line("threshold = L.compact_threshold")
+        if facts.prof:
+            w.line("prof = ex._prof")
+        if facts.trace:
+            w.line("trace = ex._trace")
+        if facts.visit_log:
+            w.line("vlog = ex._visit_log")
+        w.line("steps = 0")
+        w.line("node_visits = np.int64(0)")
+        w.line("warp_node_visits = np.int64(0)")
+        w.line("step = ex._step")
+
+    def _emit_charge_inits(self) -> None:
+        w = self.w
+        if self.unit.any_charges:
+            w.line("safe_node = None")
+        for g in self.groups:
+            if g in self.multi:
+                w.line(f"{self._sg[g]} = None")
+
+    def _emit_finally(self) -> None:
+        w = self.w
+        w.dedent()
+        w.line("finally:")
+        w.indent()
+        w.line("stats.steps += steps")
+        w.line("stats.node_visits += int(node_visits)")
+        w.line("stats.warp_node_visits += int(warp_node_visits)")
+        w.dedent()
+
+
+@register_pass
+class EmitLockstepLoop(_LoopEmitterBase):
+    """Emit the lockstep warp loop (the Fig. 8 execution shape).
+
+    Beyond straight-line specialization, this backend inlines the
+    per-step hot path of the simulator's accounting helpers — rope
+    stack push/pop with layout-specialized traffic charging, warp
+    issue accounting, field-load addressing, and flat-index
+    gather/scatter around the application callbacks — so one step
+    costs a handful of vectorized passes instead of dozens of small
+    helper calls.  Every inlined sequence reproduces the helper's
+    arithmetic exactly (same reductions, same accumulation order);
+    the differential suite holds the result to bit-identical stats.
+
+    Two defensive checks are specialized out when ``facts.validate``
+    is off (clean launches): the empty-pop guard and the popped-node
+    bounds validation.  Chaos-armed launches always validate, so the
+    safety net is identical where it can matter.
+    """
+
+    kind = "lockstep"
+
+    def _mask_col(self, var: str) -> str:
+        return f"{var}[:, None]"
+
+    def _addr_expr(self, group: str) -> str:
+        # Region.addresses inlined: base + index * itemsize.
+        return f"(({self._rb[group]} + safe_node * {self._it[group]})[:, None])"
+
+    def _row_of(self, fl: str) -> str:
+        """Row index of a flat lane index (shift when ws is 2**k)."""
+        ws = self.unit.facts.ws
+        if ws & (ws - 1) == 0:
+            return f"{fl} >> {ws.bit_length() - 1}"
+        return f"{fl} // {ws}"
+
+    # -- inlined accounting helpers -----------------------------------------
+
+    def _emit_mem_inline(
+        self, addr: str, it: str, on: str, n: str, nost: Optional[str] = None
+    ) -> None:
+        """Inline GlobalMemory.warp_access for one-lane access groups.
+
+        ``addr`` is a 1-D int64 byte-address expression, ``on`` the row
+        mask, ``n`` its (positive) population count.  Reproduces the
+        (n, 1) fast path bit for bit — per-row segment straddle
+        handling, transaction counts, the L2 reuse-window filter and
+        its EMA update, in the accountant's exact order — minus the
+        (n, 1) reshapes and argument validation the call needed.
+
+        ``nost`` names a prelude flag that is True when this access
+        group can never straddle a segment boundary (base is segment-
+        aligned and the itemsize divides the segment), in which case
+        the hi-segment/straddle arithmetic is skipped — the straddle
+        count is provably zero, so the accounting is unchanged.
+        """
+        w = self.w
+        facts = self.unit.facts
+        sh = facts.seg_shift
+        ad = w.fresh("ad")
+        lo = w.fresh("lo")
+        hi = w.fresh("hi")
+        w.line(f"{ad} = {addr}")
+        if sh is not None:
+            w.line(f"{lo} = {ad} >> {sh}")
+        else:
+            w.line(f"{lo} = {ad} // {facts.seg_bytes}")
+        nt = w.fresh("nt")
+        fv = w.fresh("fv")
+        if nost is not None:
+            w.line(f"if {nost}:")
+            w.indent()
+            w.line(f"{nt} = {n}")
+            w.line(f"{fv} = {lo}[{on}]")
+            w.dedent()
+            w.line("else:")
+            w.indent()
+        if sh is not None:
+            w.line(f"{hi} = ({ad} + ({it} - 1)) >> {sh}")
+        else:
+            w.line(f"{hi} = ({ad} + ({it} - 1)) // {facts.seg_bytes}")
+        st = w.fresh("st")
+        ns = w.fresh("ns")
+        w.line(f"{st} = {on} & ({hi} > {lo})")
+        w.line(f"{ns} = int(np.count_nonzero({st}))")
+        w.line(f"{nt} = {n} + {ns}")
+        w.line(f"if {ns}:")
+        w.indent()
+        w.line(f"{fv} = np.concatenate([{lo}[{on}], {hi}[{st}]])")
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        w.line(f"{fv} = {lo}[{on}]")
+        w.dedent()
+        if nost is not None:
+            w.dedent()
+        w.line(f"stats.global_transactions += {nt}")
+        w.line(f"{fv}.sort()")
+        uq = w.fresh("u")
+        w.line(f"if len({fv}) > 1:")
+        w.indent()
+        kp = w.fresh("kp")
+        w.line(f"{kp} = np.empty(len({fv}), dtype=bool)")
+        w.line(f"{kp}[0] = True")
+        w.line(f"np.not_equal({fv}[1:], {fv}[:-1], out={kp}[1:])")
+        w.line(f"{uq} = {fv}[{kp}]")
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        w.line(f"{uq} = {fv}")
+        w.dedent()
+        mx = w.fresh("mx")
+        w.line(f"{mx} = int({uq}[-1])")
+        w.line(f"if {mx} >= len(lt):")
+        w.indent()
+        w.line(f"M._ensure_capacity({mx})")
+        w.line("lt = M._last_touch")
+        w.dedent()
+        hs = w.fresh("hs")
+        w.line("if l2on:")
+        w.indent()
+        w.line(
+            f"{hs} = int((step - lt[{uq}] <= "
+            f"capl / max(1.0, M._ema_unique_per_step)).sum()) "
+            f"+ ({nt} - len({uq}))"
+        )
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        w.line(f"{hs} = 0")
+        w.dedent()
+        w.line(f"lt[{uq}] = step")
+        w.line(
+            "M._ema_unique_per_step = 0.98 * M._ema_unique_per_step "
+            f"+ 0.02 * len({uq})"
+        )
+        w.line(f"stats.l2_hit_transactions += {hs}")
+        w.line(f"stats.dram_bytes += ({nt} - {hs}) * {facts.seg_bytes}")
+
+    def _emit_single_run(
+        self, run: List[ChargeSite], mask: str, cnt: Optional[str] = None
+    ) -> None:
+        # Lockstep loads are warp-uniform (one lane per access group):
+        # the fused run charges bytes once, then each region's access
+        # goes through the inlined memory model in program order.
+        w = self.w
+        if cnt is None:
+            w.line(f"if {mask}.any():")
+            w.indent()
+            cnt = w.fresh("n")
+            self._ensure_safe_node()
+            w.line(f"{cnt} = int({mask}.sum())")
+        else:
+            w.line(f"if {cnt}:")
+            w.indent()
+            self._ensure_safe_node()
+        total = " + ".join(f"{cnt} * {self._it[s.group]}" for s in run)
+        w.line(f"stats.bytes_requested += {total}")
+        for s in run:
+            self._emit_mem_inline(
+                f"{self._rb[s.group]} + safe_node * {self._it[s.group]}",
+                self._it[s.group],
+                mask,
+                cnt,
+                nost=self._nst[s.group],
+            )
+        w.dedent()
+
+    def _emit_multi_site(self, site: ChargeSite, mask: str) -> None:
+        w = self.w
+        sg = self._sg[site.group]
+        t = w.fresh("t")
+        w.line(f"{t} = {mask} if {sg} is None else ({mask} & ~{sg})")
+        nn = w.fresh("n")
+        w.line(f"{nn} = int({t}.sum())")
+        w.line(f"if {nn}:")
+        w.indent()
+        self._ensure_safe_node()
+        it = self._it[site.group]
+        w.line(f"stats.bytes_requested += {nn} * {it}")
+        self._emit_mem_inline(
+            f"{self._rb[site.group]} + safe_node * {it}",
+            it,
+            t,
+            nn,
+            nost=self._nst[site.group],
+        )
+        w.dedent()
+        w.line(f"{sg} = {t} if {sg} is None else ({sg} | {t})")
+
+    def _emit_mask_stats(self, lv: str):
+        """Per-row population count / issuing mask / issuing count.
+
+        One reduction pass each, shared by the charge, issue and eval
+        emission for the same op mask (the interpreter computes these
+        up to three times per op).  Stats are memoized per mask
+        variable and propagated across branch splits at emit time:
+
+        * warp-uniform and vote splits partition whole rows, so both
+          arms' counts derive from the parent's with row-width selects
+          — no new ``(rows, ws)`` reduction;
+        * predicate splits partition lanes, so the else-arm's counts
+          are the parent's minus the then-arm's when the latter are
+          already known.
+
+        Every derivation produces exactly the integers the direct
+        reduction would (disjoint partitions), so downstream stat
+        accumulation is unchanged bit for bit.
+        """
+        st = self._mstats.get(lv)
+        if st is not None:
+            return st
+        w = self.w
+        cn = w.fresh("cn")
+        wn = w.fresh("wn")
+        ni = w.fresh("ni")
+        ud = self._uderive.get(lv)
+        pt = self._partition.get(lv)
+        if ud is not None:
+            pcn, pwn, tk, is_then = ud
+            if is_then:
+                w.line(f"{cn} = np.where({tk}, {pcn}, 0)")
+                w.line(f"{wn} = {pwn} & {tk}")
+            else:
+                w.line(f"{cn} = np.where({tk}, 0, {pcn})")
+                w.line(f"{wn} = {pwn} & ~{tk}")
+            w.line(f"{ni} = int({wn}.sum())")
+        elif pt is not None and pt[1] in self._mstats:
+            pcn, sib = pt
+            w.line(f"{cn} = {pcn} - {self._mstats[sib][0]}")
+            w.line(f"{wn} = {cn} > 0")
+            w.line(f"{ni} = int({wn}.sum())")
+        else:
+            w.line(f"{cn} = {lv}.sum(axis=1)")
+            w.line(f"{wn} = {cn} > 0")
+            w.line(f"{ni} = int({wn}.sum())")
+        st = (cn, wn, ni)
+        self._mstats[lv] = st
+        return st
+
+    def _invalidate(self, var: str) -> None:
+        self._mstats.pop(var, None)
+        self._uderive.pop(var, None)
+        self._partition.pop(var, None)
+
+    def _changes_liveness(self, nodes) -> bool:
+        """Whether emitting ``nodes`` can rebind their live mask.
+
+        Only ``Continue`` and a cond whose merge is not the identity
+        reassign a mask variable; updates and pushes never do.
+        """
+        for n in nodes:
+            if n.kind == "continue":
+                return True
+            if n.kind == "cond":
+                then_nodes = n.then or []
+                tc = (
+                    len(then_nodes) == 1 and then_nodes[0].kind == "continue"
+                ) or self._changes_liveness(then_nodes)
+                ec = n.orelse is not None and self._changes_liveness(n.orelse)
+                if tc or ec:
+                    return True
+        return False
+
+    def _emit_issue_lanes(self, lv: str, cost: str, cn: str, wn: str, ni: str) -> None:
+        """Inline WarpIssueAccountant.issue for a (rows, ws) mask.
+
+        Callers guarantee at least one issuing warp (the emission sits
+        under a liveness guard), so the accountant's early-out cannot
+        fire and the three stat accumulations run unconditionally in
+        the accountant's order."""
+        w = self.w
+        facts = self.unit.facts
+        w.line(f"stats.warp_instructions += {cost} * {ni}")
+        if facts.ws == 1:
+            return  # (n, 1) masks take the warp-uniform path: no divergence
+        vd = w.fresh("vd")
+        if facts.compact:
+            w.line(f"{vd} = vlanes if ids is None else vlanes[ids]")
+        else:
+            w.line(f"{vd} = vlanes")
+        pa = w.fresh("pa")
+        w.line(f"{pa} = int(({wn} & ({cn} < {vd})).sum())")
+        w.line(f"stats.divergent_instructions += {cost} * {pa}")
+        wf = w.fresh("wf")
+        w.line(f"{wf} = np.maximum({vd} - {cn}, 0)[{wn}].sum() / {facts.ws}")
+        w.line(f"stats.wasted_lane_fraction += {cost} * float({wf})")
+
+    def _stack_channel_locals(self):
+        pairs = [("node", "chn"), ("mask", "chm")]
+        pairs += [(f"arg.{n}", f"cha_{n}") for n in self.variant_names]
+        return pairs
+
+    def _emit_stack_prelude(self) -> None:
+        w = self.w
+        facts = self.unit.facts
+        w.line("rows_ = stack._rows")
+        for cname, local in self._stack_channel_locals():
+            w.line(f"{local} = stack._channels[{cname!r}]")
+        if facts.account and facts.layout != "shared":
+            w.line("sids = stack.stack_ids")
+            w.line("seb = stack.entry_bytes")
+            w.line("sbase = stack.region.base")
+            seg = facts.seg_bytes
+            w.line(f"nstk = sbase % {seg} == 0 and {seg} % seb == 0")
+            if facts.layout == "interleaved_global":
+                w.line("n_alloc = stack._n_stacks_alloc")
+            else:
+                w.line("maxdepth = stack.max_depth")
+
+    def _emit_stack_refresh(self, channels_only: bool = False) -> None:
+        w = self.w
+        facts = self.unit.facts
+        for cname, local in self._stack_channel_locals():
+            w.line(f"{local} = stack._channels[{cname!r}]")
+        if not channels_only:
+            w.line("rows_ = stack._rows")
+            if facts.account and facts.layout != "shared":
+                w.line("sids = stack.stack_ids")
+
+    def _emit_stack_account(
+        self, mask: str, depths: str, n_expr: str, guard: bool = False
+    ) -> None:
+        """Inline StackStorage._account for lanes_per_access == 1.
+
+        ``guard`` adds the accountant's n_active == 0 early-out (needed
+        where the count is not already proven nonzero: the memory model
+        must not see an all-dead access — the L2 window is stateful).
+        """
+        w = self.w
+        facts = self.unit.facts
+        if not facts.account:
+            return
+        if guard:
+            w.line(f"if {n_expr}:")
+            w.indent()
+        w.line(f"stats.stack_ops += {n_expr}")
+        if facts.layout == "shared":
+            # group mask == row mask when one stack forms a group
+            w.line(f"stats.shared_accesses += {n_expr}")
+        else:
+            if facts.layout == "interleaved_global":
+                idx = f"({depths} * n_alloc + sids)"
+            else:  # contiguous_global
+                idx = f"(sids * maxdepth + {depths})"
+            self._emit_mem_inline(
+                f"{idx} * seb + sbase", "seb", mask, n_expr, nost="nstk"
+            )
+        if guard:
+            w.dedent()
+
+    # -- loop template -------------------------------------------------------
+
+    def apply(self, unit: EmitUnit) -> None:
+        self._setup(unit)
+        self._mstats: Dict[str, tuple] = {}
+        self._uderive: Dict[str, tuple] = {}
+        self._partition: Dict[str, tuple] = {}
+        self._rebound = False
+        w = self.w
+        facts = unit.facts
+        WS = facts.ws
+        self._emit_prelude_common()
+        seg = facts.seg_bytes
+        self._nst = {g: f"nst{i}" for i, g in enumerate(self.groups)}
+        for g in self.groups:
+            rb, it = self._rb[g], self._it[g]
+            w.line(f"{rb} = {self._rg[g]}.base")
+            w.line(f"{self._nst[g]} = {rb} % {seg} == 0 and {seg} % {it} == 0")
+        child_names: List[str] = []
+        for nd in _walk(unit.nodes):
+            if nd.kind == "push":
+                for call in nd.op.calls:
+                    if call.child not in child_names:
+                        child_names.append(call.child)
+        self._childarr = {c: f"ct{i}" for i, c in enumerate(child_names)}
+        for c in child_names:
+            w.line(
+                f"{self._childarr[c]} = np.asarray("
+                f"tree.children[{c!r}], dtype=np.int64)"
+            )
+        w.line("pt_grid = ex.pt_grid")
+        w.line("ptf = pt_grid.ravel()")
+        w.line("real = ex.real")
+        w.line("inv = ex._invariant_vals")
+        w.line("warp_len = ex._warp_len")
+        w.line("lane_useful = ex._lane_useful")
+        w.line("vlanes = L.issue.valid_lanes")
+        w.line("M = L.memory")
+        w.line("lt = M._last_touch")
+        w.line("l2on = M.l2_enabled")
+        w.line("capl = M._capacity_lines")
+        self._emit_stack_prelude()
+        if facts.compact:
+            w.line("compacted = ex._compacted")
+            w.line("ids = ex._warp_ids if compacted else None")
+        w.line("try:")
+        w.indent()
+        w.line("while True:")
+        w.indent()
+        w.line("sp = stack.sp")
+        w.line("warp_on = sp > 0")
+        w.line("n_on = int(warp_on.sum())")
+        w.line("if n_on == 0:")
+        w.indent()
+        w.line("break")
+        w.dedent()
+        w.line("step += 1")
+        w.line("ex._step = step")
+        w.line("steps += 1")
+        if facts.need_guard:
+            w.line("stats.steps += steps")
+            w.line("steps = 0")
+            w.line("L.guard(step, stack)")
+            w.line("sp = stack.sp")
+            w.line("warp_on = sp > 0")
+            w.line("n_on = int(warp_on.sum())")
+        if facts.compact:
+            w.line(
+                "if stack.n_stacks >= 8 "
+                "and n_on < stack.n_stacks * threshold:"
+            )
+            w.indent()
+            w.line("ex._compact_rows(np.flatnonzero(warp_on))")
+            w.line("sp = stack.sp")
+            w.line("warp_on = sp > 0")
+            w.line("pt_grid = ex.pt_grid")
+            w.line("ptf = pt_grid.ravel()")
+            w.line("real = ex.real")
+            w.line("inv = ex._invariant_vals")
+            w.line("compacted = True")
+            w.line("ids = ex._warp_ids")
+            self._emit_stack_refresh()
+            w.dedent()
+        # -- pop, inlined (one entry off every non-empty stack) --
+        if facts.validate:
+            w.line("if np.any(warp_on & (sp == 0)):")
+            w.indent()
+            w.line("raise IndexError('pop from empty rope stack')")
+            w.dedent()
+        # warp_on is exactly sp > 0 here, so where(warp_on, sp-1, sp)
+        # collapses to a clamped decrement, and the pop row (top) is
+        # new_sp itself (already non-negative).
+        w.line("new_sp = np.maximum(sp - 1, 0)")
+        w.line("node = chn[rows_, new_sp]")
+        w.line("pmw = chm[rows_, new_sp]")
+        for name in self.variant_names:
+            w.line(f"a_{name} = cha_{name}[rows_, new_sp]")
+        self._emit_stack_account("warp_on", "new_sp", "n_on", guard=True)
+        w.line("stack.sp = new_sp")
+        w.line("sp = new_sp")
+        if facts.validate:
+            w.line("validate_popped_nodes(node, warp_on, n_nodes, step)")
+        w.line(f"live = unpack_mask(pmw, {WS}) & warp_on[:, None] & real")
+        for name in self.invariant_names:
+            w.line(f"a_{name} = inv[{name!r}]")
+        w.line("useful = live & (node >= 0)[:, None]")
+        w.line("n_useful = useful.sum()")
+        w.line("node_visits += n_useful")
+        w.line("warp_node_visits += n_on")
+        if facts.compact:
+            w.line("if compacted:")
+            w.indent()
+            w.line("warp_len[ids] += warp_on")
+            w.line("lane_useful[ids] += useful")
+            w.dedent()
+            w.line("else:")
+            w.indent()
+            w.line("warp_len += warp_on")
+            w.line("lane_useful += useful")
+            w.dedent()
+        else:
+            w.line("warp_len += warp_on")
+            w.line("lane_useful += useful")
+        if facts.visit_log:
+            w.line("uf = np.flatnonzero(useful)")
+            w.line(f"vlog.append((ptf[uf], node[{self._row_of('uf')}]))")
+        if facts.on_visit:
+            w.line("ex._on_visit(warp_on, live, node)")
+        if facts.prof:
+            w.line("prof.sync(stats)")
+            w.line(
+                "prof.note_depth(node, warp_on & (node >= 0), "
+                "useful.sum(axis=1))"
+            )
+        self._emit_charge_inits()
+        if facts.trace:
+            w.line("tb = stats.global_transactions")
+        self._emit_seq(unit.nodes, "live")
+        if facts.trace:
+            w.line(
+                "trace.record(n_on, int(n_useful), "
+                "stats.global_transactions - tb)"
+            )
+        w.dedent()  # while
+        self._emit_finally()
+        unit.source = w.source()
+
+    # -- ops -----------------------------------------------------------------
+
+    def _emit_eval_lanes(self, fn: str, lv: str, cn: str) -> str:
+        """Inline ``_eval_cond_lanes`` with the dense-grid heuristic."""
+        w = self.w
+        WS = self.unit.facts.ws
+        nl = w.fresh("nl")
+        cv = w.fresh("c")
+        w.line(f"{nl} = int({cn}.sum())")
+        w.line(f"if 20 * {nl} >= 19 * {lv}.size:")
+        w.indent()
+        r = w.fresh("r")
+        rep_args = ", ".join(
+            f"'{k}': np.repeat(a_{k}, {WS})" for k in self.arg_names
+        )
+        w.line(
+            f"{r} = {fn}(ctx, np.repeat(node, {WS}), ptf, "
+            "{" + rep_args + "})"
+        )
+        w.line(f"{cv} = np.asarray({r}, dtype=bool).reshape({lv}.shape) & {lv}")
+        w.dedent()
+        w.line("else:")
+        w.indent()
+        fl = w.fresh("fi")
+        iw = w.fresh("iw")
+        w.line(f"{fl} = np.flatnonzero({lv})")
+        w.line(f"{iw} = {self._row_of(fl)}")
+        r2 = w.fresh("r")
+        sub = ", ".join(f"'{k}': a_{k}[{iw}]" for k in self.arg_names)
+        w.line(
+            f"{r2} = {fn}(ctx, node[{iw}], ptf[{fl}], "
+            "{" + sub + "})"
+        )
+        cf = w.fresh("cf")
+        w.line(f"{cf} = np.zeros({lv}.size, dtype=bool)")
+        w.line(f"{cf}[{fl}] = np.asarray({r2}, dtype=bool)")
+        w.line(f"{cv} = {cf}.reshape({lv}.shape)")
+        w.dedent()
+        return cv
+
+    # -- sequence walker (stat-propagating override) -------------------------
+
+    def _emit_seq(self, nodes: List[ONode], lv: str) -> None:
+        """Guarded op sequence, guarding on cached scalar counts.
+
+        Mask stats are materialized *before* the guard opens, so they
+        are unconditionally in scope for sibling-arm derivations and
+        merge transfers; the guard itself is then a scalar test instead
+        of a full-lane ``.any()`` scan.  On exit the cache entry for
+        ``lv`` is restored (mask unchanged) or dropped (mask rebound by
+        a branch merge or ``Continue``), since stats emitted inside the
+        guard block are not in scope for the caller.
+        """
+        if not nodes:
+            return
+        w = self.w
+        entry = self._emit_mask_stats(lv)
+        w.line(f"if {entry[2]}:")
+        w.indent()
+        opened = 1
+        dirty = False
+        for i, n in enumerate(nodes):
+            if i > 0 and nodes[i - 1].kind == "cond" and self._rebound:
+                st = self._emit_mask_stats(lv)
+                w.line(f"if {st[2]}:")
+                w.indent()
+                opened += 1
+            self._rebound = False
+            self._emit_node(n, lv)
+            dirty = dirty or self._rebound
+        for _ in range(opened):
+            w.dedent()
+        if dirty:
+            self._invalidate(lv)
+        else:
+            self._mstats[lv] = entry
+        self._rebound = dirty
+
+    def _emit_node(self, n: ONode, lv: str) -> None:
+        if n.kind == "continue":
+            self.w.line(f"{lv} = np.zeros_like({lv})")
+            self._invalidate(lv)
+            self._rebound = True
+            return
+        super()._emit_node(n, lv)
+
+    def _emit_cond(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        fn = self._bind("C", op.fn)
+        cost = repr(float(op.cost))
+        cn, wn, ni = self._emit_mask_stats(lv)
+        then_nodes = n.then or []
+        then_is_continue = (
+            len(then_nodes) == 1 and then_nodes[0].kind == "continue"
+        )
+        if n.strategy == "uniform":
+            self._emit_charges(n, wn, ni)
+            self._emit_issue_lanes(lv, cost, cn, wn, ni)
+            tk = w.fresh("tk")
+            w.line(f"{tk} = np.zeros({lv}.shape[0], dtype=bool)")
+            wi = w.fresh("i")
+            w.line(f"{wi} = np.flatnonzero({wn})")
+            w.line(f"if len({wi}):")
+            w.indent()
+            sg = w.fresh("sv")
+            w.line(f"{sg} = {lv}[{wi}]")
+            rp = w.fresh("rp")
+            w.line(
+                f"{rp} = np.maximum("
+                f"pt_grid[{wi}, np.argmax({sg}, axis=1)], 0)"
+            )
+            r = w.fresh("r")
+            w.line(
+                f"{r} = {fn}(ctx, node[{wi}], {rp}, "
+                f"{self._sub(f'[{wi}]')})"
+            )
+            w.line(f"{tk}[{wi}] = np.asarray({r}, dtype=bool)")
+            w.dedent()
+            tl = w.fresh("tl")
+            el = w.fresh("el")
+            w.line(f"{tl} = {lv} & {tk}[:, None]")
+            w.line(f"{el} = {lv} & ~{tk}[:, None]")
+            self._uderive[tl] = (cn, wn, tk, True)
+            self._uderive[el] = (cn, wn, tk, False)
+        else:
+            if n.charges:
+                self._emit_charges(n, wn, ni)
+            self._emit_issue_lanes(lv, cost, cn, wn, ni)
+            cv = self._emit_eval_lanes(fn, lv, cn)
+            if n.strategy == "predicate":
+                tl = cv
+                el = w.fresh("el")
+                w.line(f"{el} = {lv} ^ {cv}")
+                if (
+                    then_nodes
+                    and not then_is_continue
+                    and not self._changes_liveness(then_nodes)
+                ):
+                    # The then-arm will materialize tl's stats
+                    # unconditionally and never rebind tl, so the
+                    # else-arm can subtract instead of re-reducing.
+                    self._partition[el] = (cn, tl)
+            else:  # vote
+                tk = w.fresh("tk")
+                w.line(f"{tk} = majority_vote({cv}, {lv})")
+                w.line(f"stats.warp_instructions += 1.0 * {ni}")
+                tl = w.fresh("tl")
+                el = w.fresh("el")
+                w.line(f"{tl} = {lv} & {tk}[:, None]")
+                w.line(f"{el} = {lv} & ~{tk}[:, None]")
+                self._uderive[tl] = (cn, wn, tk, True)
+                self._uderive[el] = (cn, wn, tk, False)
+        self._emit_prof(n)
+        then_changes = then_is_continue or self._changes_liveness(then_nodes)
+        else_changes = n.orelse is not None and self._changes_liveness(
+            n.orelse
+        )
+        if not then_is_continue:
+            # A lone Continue arm only zeroes its mask — the merge
+            # below already accounts for that, so skip the arm.
+            self._emit_seq(then_nodes, tl)
+        if n.orelse is not None:
+            self._emit_seq(n.orelse, el)
+        if then_is_continue:
+            w.line(f"{lv} = {el}")
+            self._invalidate(lv)
+            if el in self._mstats:
+                self._mstats[lv] = self._mstats[el]
+            if el in self._uderive:
+                self._uderive[lv] = self._uderive[el]
+            if el in self._partition:
+                self._partition[lv] = self._partition[el]
+            self._rebound = True
+        elif not then_changes and not else_changes:
+            # Neither arm can zero lanes, so tl | el == lv exactly:
+            # the merge is the identity and lv's stats stay valid.
+            self._rebound = False
+        else:
+            w.line(f"{lv} = {tl} | {el}")
+            self._invalidate(lv)
+            self._rebound = True
+
+    def _emit_update(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        cost = repr(float(op.cost))
+        cn, wn, ni = self._emit_mask_stats(lv)
+        if n.charges:
+            self._emit_charges(n, wn, ni)
+        self._emit_issue_lanes(lv, cost, cn, wn, ni)
+        fl = w.fresh("fi")
+        w.line(f"{fl} = np.flatnonzero({lv})")
+        w.line(f"if len({fl}):")
+        w.indent()
+        iw = w.fresh("iw")
+        w.line(f"{iw} = {self._row_of(fl)}")
+        ufn = self._bind("U", op.fn)
+        w.line(
+            f"{ufn}(ctx, node[{iw}], ptf[{fl}], "
+            f"{self._sub(f'[{iw}]')})"
+        )
+        w.dedent()
+        self._emit_prof(n)
+
+    def _emit_push(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        _, wn, ni = self._emit_mask_stats(lv)
+        w.line(f"if {ni}:")
+        w.indent()
+        self._emit_charges(n, wn, ni)
+        mk = w.fresh("mk")
+        w.line(f"{mk} = pack_mask({lv})")
+        new_full: Dict[str, str] = {}
+        cur_sub: Dict[str, str] = {}
+        wi = rep = None
+        if op.needs_rules:
+            wi = w.fresh("i")
+            w.line(f"{wi} = np.flatnonzero({wn})")
+            rep = w.fresh("rp")
+            w.line(
+                f"{rep} = np.maximum("
+                f"pt_grid[{wi}, np.argmax({lv}[{wi}], axis=1)], 0)"
+            )
+            for name in self.arg_names:
+                sv = w.fresh("s")
+                w.line(f"{sv} = a_{name}[{wi}]")
+                cur_sub[name] = sv
+            orig = dict(cur_sub)
+            orig_dict = (
+                "{" + ", ".join(f"'{k}': {v}" for k, v in orig.items()) + "}"
+            )
+            for r in op.variant_rules:
+                if r.rule is None:
+                    new_full[r.name] = f"a_{r.name}"
+                else:
+                    rb = self._bind("R", r.rule)
+                    db = self._bind("D", r.dtype)
+                    vv = w.fresh("v")
+                    w.line(
+                        f"{vv} = np.asarray({rb}(ctx, node[{wi}], "
+                        f"{rep}, {orig_dict}))"
+                        f".astype({db}, copy=False)"
+                    )
+                    ff = w.fresh("f")
+                    w.line(f"{ff} = np.empty_like(a_{r.name})")
+                    w.line(f"{ff}[{wi}] = {vv}")
+                    new_full[r.name] = ff
+                    cur_sub[r.name] = vv
+        else:
+            for r in op.variant_rules:
+                new_full[r.name] = f"a_{r.name}"
+        for call in op.calls:
+            self._ensure_safe_node()
+            ch = w.fresh("ch")
+            w.line(
+                f"{ch} = np.where(node >= 0, "
+                f"{self._childarr[call.child]}[safe_node], -1)"
+            )
+            push_map = dict(new_full)
+            for r in call.overrides or ():
+                rb = self._bind("R", r.rule)
+                db = self._bind("D", r.dtype)
+                cur_dict = (
+                    "{"
+                    + ", ".join(f"'{k}': {v}" for k, v in cur_sub.items())
+                    + "}"
+                )
+                vv = w.fresh("v")
+                w.line(
+                    f"{vv} = np.asarray({rb}(ctx, node[{wi}], "
+                    f"{rep}, {cur_dict})).astype({db}, copy=False)"
+                )
+                ff = w.fresh("f")
+                w.line(f"{ff} = np.empty_like({new_full[r.name]})")
+                w.line(f"{ff}[{wi}] = {vv}")
+                push_map[r.name] = ff
+            pm = w.fresh("p")
+            if op.visits_null:
+                w.line(f"{pm} = {wn}")
+            else:
+                w.line(f"{pm} = {wn} & ({ch} >= 0)")
+            w.line(f"stats.warp_instructions += 1.0 * {ni}")
+            # -- stack.push, inlined --
+            w.line(f"if {pm}.any():")
+            w.indent()
+            dm = w.fresh("dm")
+            w.line(f"{dm} = int(sp.max(initial=0, where={pm})) + 1")
+            w.line(f"if {dm} > stack._capacity:")
+            w.indent()
+            w.line(f"stack._grow({dm})")
+            self._emit_stack_refresh(channels_only=True)
+            w.dedent()
+            ix = w.fresh("ix")
+            dp = w.fresh("dp")
+            w.line(f"{ix} = np.flatnonzero({pm})")
+            w.line(f"{dp} = sp[{ix}]")
+            w.line(f"chn[{ix}, {dp}] = {ch}[{ix}]")
+            w.line(f"chm[{ix}, {dp}] = {mk}[{ix}]")
+            for name in self.variant_names:
+                w.line(f"cha_{name}[{ix}, {dp}] = {push_map[name]}[{ix}]")
+            self._emit_stack_account(pm, "sp", f"len({ix})")
+            w.line(f"sp[{ix}] += 1")
+            w.line(f"stack.high_water = max(stack.high_water, {dm})")
+            w.dedent()
+        w.dedent()
+        self._emit_prof(n)
+
+
+@register_pass
+class EmitAutoropesLoop(_LoopEmitterBase):
+    """Emit the per-thread autoropes loop (the Fig. 6/7 shape)."""
+
+    kind = "autoropes"
+
+    def _mask_col(self, var: str) -> str:
+        return f"{var}.reshape(-1, ws)"
+
+    def _addr_expr(self, group: str) -> str:
+        return f"{self._rg[group]}.addresses(safe_node).reshape(-1, ws)"
+
+    def apply(self, unit: EmitUnit) -> None:
+        self._setup(unit)
+        w = self.w
+        facts = unit.facts
+        self._emit_prelude_common()
+        w.line("pt = ex.pt")
+        w.line("inv = ex._invariant_args")
+        w.line("vpp = ex._visits_per_point")
+        w.line("wls = ex._warp_live_steps")
+        w.line("try:")
+        w.indent()
+        w.line("while stack.any_nonempty():")
+        w.indent()
+        w.line("step += 1")
+        w.line("ex._step = step")
+        w.line("steps += 1")
+        if facts.need_guard:
+            w.line("stats.steps += steps")
+            w.line("steps = 0")
+            w.line("L.guard(step, stack)")
+        if facts.compact:
+            w.line("grps = stack.n_stacks // ws")
+            w.line("if grps >= 8:")
+            w.indent()
+            w.line("gl = (stack.sp > 0).reshape(-1, ws).any(axis=1)")
+            w.line("if int(gl.sum()) < grps * threshold:")
+            w.indent()
+            w.line("ex._compact_groups(np.nonzero(gl)[0])")
+            w.line("pt = ex.pt")
+            w.line("inv = ex._invariant_args")
+            w.dedent()
+            w.dedent()
+        w.line("live = stack.nonempty()")
+        w.line("popped = stack_pop(live, step)")
+        w.line('node = popped["node"]')
+        if facts.validate:
+            w.line("validate_popped_nodes(node, live, n_nodes, step)")
+        for name in self.variant_names:
+            w.line(f'a_{name} = popped["arg.{name}"]')
+        for name in self.invariant_names:
+            w.line(f"a_{name} = inv[{name!r}]")
+        w.line("useful = live & (node >= 0)")
+        w.line("n_useful = useful.sum()")
+        w.line("node_visits += n_useful")
+        w.line("warp_live = live.reshape(-1, ws).any(axis=1)")
+        w.line("warp_node_visits += warp_live.sum()")
+        if facts.compact:
+            w.line("if ex._compacted:")
+            w.indent()
+            w.line("wls[ex._warp_ids] += warp_live")
+            w.dedent()
+            w.line("else:")
+            w.indent()
+            w.line("wls += warp_live")
+            w.dedent()
+        else:
+            w.line("wls += warp_live")
+        w.line("np.add.at(vpp, pt[useful], 1)")
+        if facts.visit_log:
+            w.line("vl = np.nonzero(useful)[0]")
+            w.line("vlog.append((pt[vl].copy(), node[vl].copy()))")
+        if facts.prof:
+            w.line("prof.sync(stats)")
+            w.line("prof.note_depth(node, useful)")
+        self._emit_charge_inits()
+        if facts.compact:
+            w.line("ids = ex._warp_ids if ex._compacted else None")
+        if facts.trace:
+            w.line("tb = stats.global_transactions")
+        self._emit_seq(unit.nodes, "live")
+        if facts.trace:
+            w.line(
+                "trace.record(int(warp_live.sum()), int(n_useful), "
+                "stats.global_transactions - tb)"
+            )
+        w.dedent()  # while
+        self._emit_finally()
+        unit.source = w.source()
+
+    # -- ops -----------------------------------------------------------------
+
+    def _emit_cond(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        fn = self._bind("C", op.fn)
+        self._emit_charges(n, lv)
+        w.line(f"issue({lv}.reshape(-1, ws), {float(op.cost)!r}{self.ids_kw})")
+        ix = w.fresh("i")
+        w.line(f"{ix} = np.nonzero({lv})[0]")
+        r = w.fresh("r")
+        w.line(
+            f"{r} = {fn}(ctx, node[{ix}], pt[{ix}], {self._sub(f'[{ix}]')})"
+        )
+        cv = w.fresh("c")
+        w.line(f"{cv} = np.zeros_like({lv})")
+        w.line(f"{cv}[{ix}] = np.asarray({r}, dtype=bool)")
+        self._emit_prof(n)
+        tl = w.fresh("tl")
+        el = w.fresh("el")
+        w.line(f"{tl} = {lv} & {cv}")
+        w.line(f"{el} = {lv} & ~{cv}")
+        self._emit_seq(n.then or [], tl)
+        if n.orelse is not None:
+            self._emit_seq(n.orelse, el)
+        w.line(f"{lv} = {tl} | {el}")
+
+    def _emit_update(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        self._emit_charges(n, lv)
+        w.line(f"issue({lv}.reshape(-1, ws), {float(op.cost)!r}{self.ids_kw})")
+        ix = w.fresh("i")
+        w.line(f"{ix} = np.nonzero({lv})[0]")
+        ufn = self._bind("U", op.fn)
+        w.line(
+            f"{ufn}(ctx, node[{ix}], pt[{ix}], {self._sub(f'[{ix}]')})"
+        )
+        self._emit_prof(n)
+
+    def _emit_push(self, n: ONode, lv: str) -> None:
+        w = self.w
+        op = n.op
+        self._emit_charges(n, lv)
+        new_full: Dict[str, str] = {}
+        cur_sub: Dict[str, str] = {}
+        ix = None
+        if op.needs_rules:
+            ix = w.fresh("i")
+            w.line(f"{ix} = np.nonzero({lv})[0]")
+            for name in self.arg_names:
+                sv = w.fresh("s")
+                w.line(f"{sv} = a_{name}[{ix}]")
+                cur_sub[name] = sv
+            orig_dict = (
+                "{"
+                + ", ".join(f"'{k}': {v}" for k, v in cur_sub.items())
+                + "}"
+            )
+            for r in op.variant_rules:
+                if r.rule is None:
+                    new_full[r.name] = f"a_{r.name}"
+                else:
+                    rb = self._bind("R", r.rule)
+                    db = self._bind("D", r.dtype)
+                    vv = w.fresh("v")
+                    w.line(
+                        f"{vv} = np.asarray({rb}(ctx, node[{ix}], "
+                        f"pt[{ix}], {orig_dict})).astype({db}, copy=False)"
+                    )
+                    ff = w.fresh("f")
+                    w.line(f"{ff} = np.empty_like(a_{r.name})")
+                    w.line(f"{ff}[{ix}] = {vv}")
+                    new_full[r.name] = ff
+                    cur_sub[r.name] = vv
+        else:
+            for r in op.variant_rules:
+                new_full[r.name] = f"a_{r.name}"
+        lw = w.fresh("lw")
+        w.line(f"{lw} = {lv}.reshape(-1, ws)")
+        for call in op.calls:
+            ch = w.fresh("ch")
+            w.line(f"{ch} = tree.child({call.child!r}, node)")
+            push_map = dict(new_full)
+            for r in call.overrides or ():
+                rb = self._bind("R", r.rule)
+                db = self._bind("D", r.dtype)
+                cur_dict = (
+                    "{"
+                    + ", ".join(f"'{k}': {v}" for k, v in cur_sub.items())
+                    + "}"
+                )
+                vv = w.fresh("v")
+                w.line(
+                    f"{vv} = np.asarray({rb}(ctx, node[{ix}], "
+                    f"pt[{ix}], {cur_dict})).astype({db}, copy=False)"
+                )
+                ff = w.fresh("f")
+                w.line(f"{ff} = np.empty_like({new_full[r.name]})")
+                w.line(f"{ff}[{ix}] = {vv}")
+                push_map[r.name] = ff
+            pm = w.fresh("p")
+            if op.visits_null:
+                w.line(f"{pm} = {lv}")
+            else:
+                w.line(f"{pm} = {lv} & ({ch} >= 0)")
+            w.line(f"issue({lw}, 1.0{self.ids_kw})")
+            payload = ", ".join(
+                [f"'node': {ch}"]
+                + [f"'arg.{k}': {v}" for k, v in push_map.items()]
+            )
+            w.line(f"stack_push({pm}, step, **{{{payload}}})")
+        self._emit_prof(n)
+
+
+# -- figure renderers and the scalar backend ---------------------------------
+#
+# The remaining source-emitting paths in the repo, folded into the same
+# registry: the Fig. 4-8 pseudocode pretty-printers (documentation and
+# shape-asserting tests) and the standalone per-point Python backend
+# (the third implementation for differential testing).  Their public
+# entry points live in :mod:`repro.core.codegen` and :mod:`repro.core
+# .emit_python`, which are now thin shims over these passes.
+
+
+@register_pass
+class RenderRecursivePseudocode(EmitPass):
+    """Render a TraversalSpec in the paper's Fig. 4/5 recursive style."""
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return (
+            unit.mode == "render_recursive"
+            and unit.spec is not None
+            and not unit.source
+        )
+
+    def apply(self, unit: EmitUnit) -> None:
+        spec = unit.spec
+        arg_list = "".join(f", {a.name}" for a in spec.args)
+        lines = [f"void {spec.name}(node node, point pt{arg_list}) {{"]
+        self._emit(spec.body, lines, 1, spec)
+        lines.append("}")
+        unit.source = "\n".join(lines)
+
+    def _emit(
+        self, stmt: Stmt, lines: List[str], depth: int, spec: TraversalSpec
+    ) -> None:
+        pad = _INDENT * depth
+        if isinstance(stmt, Seq):
+            for s in stmt.stmts:
+                self._emit(s, lines, depth, spec)
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({stmt.cond.name}(node, pt)) {{")
+            self._emit(stmt.then, lines, depth + 1, spec)
+            if stmt.orelse is not None:
+                lines.append(f"{pad}}} else {{")
+                self._emit(stmt.orelse, lines, depth + 1, spec)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, Update):
+            lines.append(f"{pad}{stmt.fn.name}(node, pt);")
+        elif isinstance(stmt, Return):
+            lines.append(f"{pad}return;")
+        elif isinstance(stmt, Recurse):
+            args = "".join(
+                f", {name}={rule}" for name, rule in stmt.arg_overrides
+            )
+            lines.append(f"{pad}recurse(node.{stmt.child.name}, pt{args});")
+        else:
+            raise TypeError(f"cannot render {type(stmt).__name__}")
+
+
+@register_pass
+class RenderIterativePseudocode(EmitPass):
+    """Render an autoropes/lockstep kernel in the Fig. 6/7/8 style."""
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return (
+            unit.mode == "render_iterative"
+            and unit.kernel is not None
+            and not unit.source
+        )
+
+    def apply(self, unit: EmitUnit) -> None:
+        kernel = unit.kernel
+        spec = kernel.spec
+        invariant = "".join(f", {a.name}" for a in spec.invariant_args)
+        lines = [f"void {spec.name}(node root, point pt{invariant}) {{"]
+        body_pad = _INDENT
+        lines.append(f"{body_pad}stack stk = new stack();")
+        init_payload = ["root"]
+        init_payload += [a.name for a in spec.variant_args]
+        if kernel.lockstep:
+            lines.append(f"{body_pad}uint mask;")
+            init_payload.append("~0 /* all threads active */")
+        lines.append(f"{body_pad}stk.push({', '.join(init_payload)});")
+        lines.append(f"{body_pad}while (!stk.is_empty()) {{")
+        pops = ["node"] + [a.name for a in spec.variant_args]
+        if kernel.lockstep:
+            pops.append("mask")
+        for i, name in enumerate(pops):
+            lines.append(f"{body_pad * 2}{name} = stk.peek({i});")
+        lines.append(f"{body_pad * 2}stk.pop();")
+        if kernel.lockstep:
+            lines.append(f"{body_pad * 2}if (bit_set(mask, threadId)) {{")
+            self._emit(kernel.body, lines, 3, kernel)
+            lines.append(f"{body_pad * 2}}}")
+        else:
+            self._emit(kernel.body, lines, 2, kernel)
+        lines.append(f"{body_pad}}}")
+        lines.append("}")
+        unit.source = "\n".join(lines)
+
+    def _emit(
+        self, stmt: Stmt, lines: List[str], depth: int, kernel: IterativeKernel
+    ) -> None:
+        pad = _INDENT * depth
+        if isinstance(stmt, Seq):
+            for s in stmt.stmts:
+                self._emit(s, lines, depth, kernel)
+        elif isinstance(stmt, If):
+            call = f"{stmt.cond.name}(node, pt)"
+            if stmt.cond.name in kernel.vote_conditions:
+                call = f"warp_majority({call})"
+            lines.append(f"{pad}if ({call}) {{")
+            self._emit(stmt.then, lines, depth + 1, kernel)
+            if stmt.orelse is not None:
+                lines.append(f"{pad}}} else {{")
+                self._emit(stmt.orelse, lines, depth + 1, kernel)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, Update):
+            lines.append(f"{pad}{stmt.fn.name}(node, pt);")
+        elif isinstance(stmt, Continue):
+            if kernel.lockstep:
+                lines.append(f"{pad}bit_clear(mask, threadId);")
+            else:
+                lines.append(f"{pad}continue;")
+        elif isinstance(stmt, PushGroup):
+            if kernel.lockstep:
+                lines.append(f"{pad}mask = warp_ballot(mask);")
+                lines.append(f"{pad}if (mask != 0) {{")
+                inner = _INDENT * (depth + 1)
+                for call in stmt.push_order:
+                    payload = self._push_payload(call, kernel, with_mask=True)
+                    lines.append(f"{inner}stk.push({payload});")
+                lines.append(f"{pad}}}")
+            else:
+                for call in stmt.push_order:
+                    payload = self._push_payload(call, kernel, with_mask=False)
+                    lines.append(f"{pad}stk.push({payload});")
+        else:
+            raise TypeError(f"cannot render {type(stmt).__name__}")
+
+    def _push_payload(
+        self, call: Recurse, kernel: IterativeKernel, with_mask: bool
+    ) -> str:
+        parts = [f"node.{call.child.name}"]
+        parts.extend(a.name for a in kernel.spec.variant_args)
+        if with_mask:
+            parts.append("mask")
+        return ", ".join(parts)
+
+
+_SCALAR_PRELUDE = '''\
+def {name}(ctx, tree, pt, root):
+    """Generated by repro.core.emit_python — do not edit.
+
+    Standalone autoropes traversal for one point: returns the visited
+    node ids in order and applies updates to ``ctx.out``.
+    """
+    visits = []
+    stk = [(root, dict(_initial_args))]
+    while stk:
+        node, args = stk.pop()
+        if node < 0 and not _visits_null:
+            continue
+        if node >= 0:
+            visits.append(node)
+'''
+
+
+@register_pass
+class EmitScalarPython(EmitPass):
+    """Emit the standalone per-point Python traversal (runnable Fig. 6/7).
+
+    The function name comes from ``unit.bindings['emit_name']``
+    (default ``traverse``); the caller supplies the runtime namespace
+    (condition/update tables, arg-rule evaluators) at compile time.
+    """
+
+    def can_apply(self, unit: EmitUnit) -> bool:
+        return (
+            unit.mode == "scalar_python"
+            and unit.kernel is not None
+            and not unit.source
+        )
+
+    def apply(self, unit: EmitUnit) -> None:
+        name = unit.bindings.get("emit_name", "traverse")
+        lines: List[str] = [_SCALAR_PRELUDE.format(name=name).rstrip()]
+        body_lines: List[str] = []
+        self._emit(unit.kernel.body, body_lines, 2, unit.kernel)
+        lines.extend(body_lines)
+        lines.append(f"{_INDENT}return visits")
+        unit.source = "\n".join(lines)
+
+    def _emit(
+        self, stmt: Stmt, lines: List[str], depth: int, kernel: IterativeKernel
+    ) -> None:
+        pad = _INDENT * depth
+        if isinstance(stmt, Seq):
+            if not stmt.stmts:
+                lines.append(f"{pad}pass")
+                return
+            for s in stmt.stmts:
+                self._emit(s, lines, depth, kernel)
+        elif isinstance(stmt, If):
+            lines.append(
+                f"{pad}if _cond[{stmt.cond.name!r}]"
+                f"(ctx, _n1(node), _p1(pt), args)[0]:"
+            )
+            self._emit(stmt.then, lines, depth + 1, kernel)
+            if stmt.orelse is not None:
+                lines.append(f"{pad}else:")
+                self._emit(stmt.orelse, lines, depth + 1, kernel)
+        elif isinstance(stmt, Update):
+            lines.append(
+                f"{pad}_upd[{stmt.fn.name!r}](ctx, _n1(node), _p1(pt), args)"
+            )
+        elif isinstance(stmt, Continue):
+            lines.append(f"{pad}continue")
+        elif isinstance(stmt, PushGroup):
+            lines.append(f"{pad}new_args = _visit_args(ctx, node, pt, args)")
+            for call in stmt.push_order:
+                overrides = dict(call.arg_overrides)
+                lines.append(
+                    f"{pad}stk.append(("
+                    f"_child(tree, {call.child.name!r}, node), "
+                    f"_site_args(ctx, node, pt, new_args, "
+                    f"{sorted(overrides.items())!r})"
+                    f"))"
+                )
+        else:
+            raise TypeError(f"cannot emit {type(stmt).__name__}")
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def build_emit_unit(kernel: IterativeKernel, facts: LoopFacts) -> EmitUnit:
+    """Run the full pass pipeline for one (kernel, facts) pair."""
+    unit = EmitUnit(kernel=kernel, facts=facts)
+    run_pipeline(unit)
+    if not unit.source:
+        raise RuntimeError(
+            f"no emitter produced source for kind={facts.kind!r} "
+            f"(applied: {unit.applied})"
+        )
+    return unit
+
+
+def emit_step_loop_source(kernel: IterativeKernel, facts: LoopFacts) -> str:
+    """The emitted per-step loop source (for tests and --dump-source)."""
+    return build_emit_unit(kernel, facts).source
+
+
+def compile_step_loop(kernel: IterativeKernel, facts: LoopFacts):
+    """Emit, ``exec``-compile, and return the specialized step loop.
+
+    The returned function takes the executor instance as its only
+    argument and runs the whole traversal loop.  Emission metadata
+    rides on attributes: ``__source__`` (the emitted text),
+    ``__facts__``, ``__passes__`` (pipeline provenance) and
+    ``__emit_ms__`` (wall-clock emit+compile time, surfaced as the
+    plan cache's codegen emit-time telemetry).
+    """
+    t0 = time.perf_counter()
+    unit = build_emit_unit(kernel, facts)
+    name = f"{kernel.spec.name}.{facts.kind}"
+    ns = dict(unit.bindings)
+    code = compile(unit.source, f"<codegen:{name}>", "exec")
+    exec(code, ns)
+    fn = ns["step_loop"]
+    fn.__source__ = unit.source
+    fn.__facts__ = facts
+    fn.__passes__ = tuple(unit.applied)
+    fn.__emit_ms__ = (time.perf_counter() - t0) * 1000.0
+    if dump_sink is not None:
+        dump_sink(name, unit.source)
+    return fn
+
+
+def step_loop_for(executor, kind: str):
+    """Resolve (emitting at most once) the step loop for an executor.
+
+    Memoized on the kernel instance keyed by the loop-facts digest, the
+    same pattern ``program_for`` uses for compiled programs; the
+    service layer adds a second cache in the shared plan cache so
+    eviction and plan-epoch bumps also drop generated functions.
+    """
+    kernel = executor.kernel
+    facts = facts_for(executor, kind)
+    key = facts.digest()
+    cache_ref = getattr(executor.L, "codegen_cache", None)
+    if cache_ref is not None:
+        # Service-managed launches delegate ownership to the shared
+        # plan cache: eviction and plan-epoch bumps must drop the
+        # generated function too, so no second memo may shadow it.
+        return cache_ref.codegen_get_or_emit(
+            getattr(executor.L, "codegen_key", None), key, kernel, facts
+        )
+    cache = kernel.__dict__.setdefault("_codegen_fns", {})
+    fn = cache.get(key)
+    if fn is None:
+        fn = cache[key] = compile_step_loop(kernel, facts)
+    return fn

@@ -39,6 +39,12 @@ class PlanCacheStats:
     misses: int
     size: int
     invalidations: int = 0
+    #: generated-function (engine="codegen") cache counters; emit time
+    #: is cumulative wall-clock ms spent emitting + exec-compiling.
+    codegen_hits: int = 0
+    codegen_misses: int = 0
+    codegen_size: int = 0
+    codegen_emit_ms: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -63,6 +69,13 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self._failures: Dict[Hashable, int] = {}
+        #: generated step loops (engine="codegen"), bucketed by plan key
+        #: so invalidation drops a plan's functions with its plan:
+        #: {plan key: {(codegen key, facts digest): fn}}.
+        self._codegen: Dict[Hashable, Dict[Hashable, object]] = {}
+        self.codegen_hits = 0
+        self.codegen_misses = 0
+        self.codegen_emit_ms = 0.0
         #: optional observer called with "hit" / "miss" / "invalidate"
         #: on each cache event (the telemetry layer hangs a counter
         #: here); None — the default — costs one attribute check.
@@ -83,6 +96,38 @@ class PlanCache:
         self._plans[key] = plan
         return plan
 
+    def codegen_get_or_emit(self, key, facts_digest, kernel, facts):
+        """Resolve (emitting at most once) a generated step loop.
+
+        The ``engine="codegen"`` analogue of :meth:`get_or_compile` for
+        service-managed launches: ``key`` identifies the plan
+        generation the function belongs to — the dispatcher passes
+        ``(plan_key, plan_epoch)`` — and ``facts_digest`` specializes
+        within it (kernel kind, device digest, plan toggles).  Entries
+        are bucketed under the plan key, so :meth:`invalidate` and
+        :meth:`clear` drop a plan's generated functions with the plan,
+        and a ``refresh_plan`` epoch bump changes ``key``, making every
+        stale function unreachable even before the invalidate lands.
+        """
+        from repro.core.passes import compile_step_loop
+
+        base = key[0] if isinstance(key, tuple) and key else key
+        bucket = self._codegen.setdefault(base, {})
+        sub = (key, facts_digest)
+        fn = bucket.get(sub)
+        if fn is not None:
+            self.codegen_hits += 1
+            if self.on_event is not None:
+                self.on_event("codegen_hit")
+            return fn
+        self.codegen_misses += 1
+        if self.on_event is not None:
+            self.on_event("codegen_miss")
+        fn = compile_step_loop(kernel, facts)
+        self.codegen_emit_ms += fn.__emit_ms__
+        bucket[sub] = fn
+        return fn
+
     def get(self, key: Hashable) -> Optional[CompiledTraversal]:
         """Peek without compiling (no counter changes)."""
         return self._plans.get(key)
@@ -102,6 +147,7 @@ class PlanCache:
         freshly compiled plan clears any poisoned cached state.
         """
         self._failures.pop(key, None)
+        self._codegen.pop(key, None)
         if self._plans.pop(key, None) is None:
             return False
         self.invalidations += 1
@@ -135,6 +181,7 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
         self._failures.clear()
+        self._codegen.clear()
 
     def stats(self) -> PlanCacheStats:
         return PlanCacheStats(
@@ -142,4 +189,8 @@ class PlanCache:
             misses=self.misses,
             size=len(self._plans),
             invalidations=self.invalidations,
+            codegen_hits=self.codegen_hits,
+            codegen_misses=self.codegen_misses,
+            codegen_size=sum(len(b) for b in self._codegen.values()),
+            codegen_emit_ms=self.codegen_emit_ms,
         )

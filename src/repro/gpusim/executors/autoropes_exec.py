@@ -57,6 +57,11 @@ MIN_COMPACT_GROUPS = 8
 class AutoropesExecutor:
     """Runs an autoropes kernel with one stack per thread."""
 
+    #: whether ``engine="codegen"`` can run this executor class; classes
+    #: that override the main loop itself (static ropes) opt out and
+    #: fall back to the compiled walker.
+    _codegen_supported = True
+
     def __init__(self, launch: TraversalLaunch) -> None:
         if launch.kernel.lockstep:
             raise ValueError(
@@ -103,7 +108,14 @@ class AutoropesExecutor:
         self._warp_ids = np.arange(launch.n_warps, dtype=np.int64)
         self._compacted = False
         self.program: Optional[CompiledProgram] = (
-            program_for(self.kernel) if launch.engine == "compiled" else None
+            program_for(self.kernel)
+            if launch.engine in ("compiled", "codegen")
+            else None
+        )
+        #: set when engine="codegen" was requested but this executor
+        #: class cannot run generated loops (it ran compiled instead).
+        self.codegen_fallback = (
+            launch.engine == "codegen" and not self._codegen_supported
         )
 
     # -- memory helpers --------------------------------------------------
@@ -389,7 +401,14 @@ class AutoropesExecutor:
         n_live = int(grp_live.sum())
         if n_live >= groups * threshold:
             return
-        sel = np.nonzero(grp_live)[0]
+        self._compact_groups(np.nonzero(grp_live)[0])
+
+    def _compact_groups(self, sel: np.ndarray) -> None:
+        """Gather executor state down to the selected warp groups.
+
+        The cold half of compaction, shared by the compiled walker and
+        the generated codegen loops (which inline the cheap trigger
+        checks and call back here for the gather)."""
         self.stack.compact(sel)
         rows = (sel[:, None] * self.ws + np.arange(self.ws)).ravel()
         self.pt = self.pt[rows]
@@ -409,7 +428,11 @@ class AutoropesExecutor:
         init["node"][:] = self.tree.root
         self.stack.push(real, self._step, **init)
 
-        if self.program is not None:
+        if L.engine == "codegen" and self._codegen_supported:
+            from repro.core.passes import step_loop_for
+
+            step_loop_for(self, "autoropes")(self)
+        elif self.program is not None:
             self._run_compiled()
         else:
             self._run_interp()

@@ -59,10 +59,19 @@ class TraversalLaunch:
     #: armed chaos faults for this launch (see repro.gpusim.faults).
     fault_plan: Optional[BatchFaultPlan] = None
     #: execution engine: ``"compiled"`` runs the plan-compiled program
-    #: with frontier compaction (repro.core.compile); ``"interp"`` keeps
-    #: the original per-step AST interpreter as the differential
-    #: baseline.  Simulated stats are bit-identical between the two.
+    #: with frontier compaction (repro.core.compile); ``"codegen"`` goes
+    #: one level further and runs source generated per (kernel, plan)
+    #: by the pass pipeline in :mod:`repro.core.passes`; ``"interp"``
+    #: keeps the original per-step AST interpreter as the differential
+    #: baseline.  Simulated stats are bit-identical across all three.
     engine: str = "compiled"
+    #: shared :class:`repro.core.plancache.PlanCache` owning generated
+    #: codegen functions for service launches (so plan eviction and
+    #: epoch bumps drop them); ``None`` falls back to a per-kernel memo.
+    codegen_cache: Optional[object] = None
+    #: the (plan key, variant, plan_epoch) identity the service caches
+    #: this launch's generated function under.
+    codegen_key: Optional[object] = None
     #: per-step defensive bookkeeping (popped-node bounds validation).
     #: ``None`` resolves to "on exactly when chaos faults are armed":
     #: corruption only enters through the chaos layer, so clean runs
@@ -120,9 +129,10 @@ class TraversalLaunch:
         )
         if self.fault_plan is not None and not self.fault_plan.any_armed:
             self.fault_plan = None
-        if self.engine not in ("compiled", "interp"):
+        if self.engine not in ("compiled", "codegen", "interp"):
             raise ValueError(
-                f"engine must be 'compiled' or 'interp', got {self.engine!r}"
+                "engine must be 'compiled', 'codegen' or 'interp', "
+                f"got {self.engine!r}"
             )
         if not 0.0 <= self.compact_threshold <= 1.0:
             raise ValueError("compact_threshold must be in [0, 1]")

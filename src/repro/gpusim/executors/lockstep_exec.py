@@ -73,6 +73,10 @@ class LockstepExecutor:
     #: and replace rope-stack accounting with call-frame accounting.
     _require_lockstep = True
     _stack_account = True
+    #: whether ``engine="codegen"`` can run this executor class; classes
+    #: that override the main loop itself opt out and fall back to the
+    #: compiled walker (``codegen_fallback`` records that on instances).
+    _codegen_supported = True
 
     def __init__(self, launch: TraversalLaunch) -> None:
         if self._require_lockstep and not launch.kernel.lockstep:
@@ -132,7 +136,14 @@ class LockstepExecutor:
         self._warp_ids = np.arange(launch.n_warps, dtype=np.int64)
         self._compacted = False
         self.program: Optional[CompiledProgram] = (
-            program_for(self.kernel) if launch.engine == "compiled" else None
+            program_for(self.kernel)
+            if launch.engine in ("compiled", "codegen")
+            else None
+        )
+        #: set when engine="codegen" was requested but this executor
+        #: class cannot run generated loops (it ran compiled instead).
+        self.codegen_fallback = (
+            launch.engine == "codegen" and not self._codegen_supported
         )
 
     # -- helpers -------------------------------------------------------------
@@ -571,7 +582,11 @@ class LockstepExecutor:
             init[f"arg.{a.name}"] = np.full(L.n_warps, a.initial, dtype=a.dtype)
         self.stack.push(warp_real, self._step, **init)
 
-        if self.program is not None:
+        if L.engine == "codegen" and self._codegen_supported:
+            from repro.core.passes import step_loop_for
+
+            step_loop_for(self, "lockstep")(self)
+        elif self.program is not None:
             self._run_compiled()
         else:
             self._run_interp()

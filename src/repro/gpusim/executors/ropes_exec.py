@@ -43,6 +43,10 @@ from repro.trees.ropes import first_children, install_ropes
 class StaticRopesExecutor(AutoropesExecutor):
     """Per-thread stackless traversal via preinstalled ropes."""
 
+    #: the stackless loop is bespoke (no rope stack, descend scratch);
+    #: codegen launches fall back to the compiled walker here.
+    _codegen_supported = False
+
     def __init__(self, launch: TraversalLaunch) -> None:
         super().__init__(launch)
         kernel = launch.kernel

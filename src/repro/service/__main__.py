@@ -210,6 +210,11 @@ def main(argv=None) -> int:
         help="frontier-compaction trigger for GPU launches",
     )
     eng.add_argument(
+        "--dump-source", metavar="DIR",
+        help="with --engine codegen: write every emitted step-loop "
+        "source into DIR as <kernel>.<kind>.py",
+    )
+    eng.add_argument(
         "--memo-capacity", type=int, default=256,
         help="per-session traversal-result memo size (0 = off)",
     )
@@ -371,6 +376,19 @@ def main(argv=None) -> int:
             fast_window_ms=args.slo_fast_window_ms,
             slow_window_ms=args.slo_slow_window_ms,
         )
+    if args.dump_source:
+        import pathlib
+
+        from repro.core import passes as _passes
+
+        dump_dir = pathlib.Path(args.dump_source)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+
+        def _dump(name: str, source: str) -> None:
+            (dump_dir / f"{name}.py").write_text(source + "\n")
+
+        _passes.dump_sink = _dump
+
     cfg = ServiceConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,

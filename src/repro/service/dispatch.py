@@ -140,9 +140,14 @@ class AdaptiveDispatcher:
     injection, and degraded-mode failover along ``FALLBACK_CHAIN``.
     """
 
-    def __init__(self, config, telemetry: Telemetry = NULL_TELEMETRY) -> None:
+    def __init__(
+        self, config, telemetry: Telemetry = NULL_TELEMETRY, plans=None
+    ) -> None:
         self.config = config
         self.telemetry = telemetry
+        #: the shared PlanCache, so codegen launches store generated
+        #: functions where invalidation/epoch bumps can reach them.
+        self.plans = plans
         #: whether GPU launches record StepTrace for span step events
         #: (hoisted out of the batch path; False keeps launches exactly
         #: as before, so the off path stays byte-identical).
@@ -402,6 +407,7 @@ class AdaptiveDispatcher:
         prof = None
         if profiler is not None and profiler.should_sample():
             prof = profiler.begin(session.tree)
+        use_codegen = engine == "codegen" and self.plans is not None
         launch = TraversalLaunch(
             kernel=kernel,
             tree=session.tree,
@@ -415,6 +421,15 @@ class AdaptiveDispatcher:
             compact_threshold=compact,
             trace=self._want_trace,
             op_profile=prof,
+            # Generated functions are owned by the shared plan cache,
+            # keyed by plan generation: refresh_plan's epoch bump and
+            # failure-driven invalidation drop them with the plan.
+            codegen_cache=self.plans if use_codegen else None,
+            codegen_key=(
+                (session.plan_key, session.plan_epoch)
+                if use_codegen
+                else None
+            ),
         )
         executor = LockstepExecutor(launch) if lockstep else AutoropesExecutor(launch)
         result = executor.run()

@@ -60,7 +60,7 @@ from repro.telemetry import (
 
 SORT_MODES = ("arrival", "morton", "tree")
 SHED_POLICIES = ("reject-new", "drop-oldest")
-ENGINES = ("compiled", "interp")
+ENGINES = ("compiled", "interp", "codegen")
 
 
 @dataclass(frozen=True)
@@ -126,9 +126,11 @@ class ServiceConfig:
     # -- execution engine ------------------------------------------------
 
     #: GPU execution engine for dispatched batches: ``"compiled"`` (the
-    #: plan-compiled op programs with frontier compaction) or
-    #: ``"interp"`` (the per-step AST interpreter baseline).  Individual
-    #: sessions may override this at register time.
+    #: plan-compiled op programs with frontier compaction),
+    #: ``"codegen"`` (emitted + exec-compiled specialized NumPy loops,
+    #: cached in the shared plan cache), or ``"interp"`` (the per-step
+    #: AST interpreter baseline).  Individual sessions may override
+    #: this at register time.
     engine: str = "compiled"
     #: frontier-compaction trigger passed to every GPU launch (see
     #: TraversalLaunch.compact_threshold); session-overridable.
@@ -201,7 +203,9 @@ class TraversalService:
         self.config = config or ServiceConfig()
         self.registry = SessionRegistry()
         self.telemetry = Telemetry.from_config(self.config.telemetry)
-        self.dispatcher = AdaptiveDispatcher(self.config, self.telemetry)
+        self.dispatcher = AdaptiveDispatcher(
+            self.config, self.telemetry, plans=self.registry.plans
+        )
         self._batchers: Dict[str, DynamicBatcher] = {}
         self._memos: Dict[str, TraversalMemo] = {}
         self._backend_stats: Dict[str, BackendStats] = {

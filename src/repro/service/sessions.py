@@ -195,9 +195,10 @@ class SessionRegistry:
         they never reach the builder and are not part of the build
         fingerprint, because the same tree + plan serves both engines.
         """
-        if engine is not None and engine not in ("compiled", "interp"):
+        if engine is not None and engine not in ("compiled", "interp", "codegen"):
             raise ValueError(
-                f"engine must be 'compiled', 'interp', or None, got {engine!r}"
+                f"engine must be 'compiled', 'interp', 'codegen', or None, "
+                f"got {engine!r}"
             )
         if compact_threshold is not None and not 0.0 <= compact_threshold <= 1.0:
             raise ValueError(
