@@ -11,7 +11,15 @@ and serves the aggregated pull endpoints:
 * ``/healthz`` — fleet readiness (503 while any worker is degraded,
   unreachable, or dead);
 * ``/statsz`` — strict-JSON fleet snapshot: per-worker stats plus the
-  summed aggregate (``None``, never ``NaN``, when nothing has samples).
+  summed aggregate (``None``, never ``NaN``, when nothing has samples);
+* ``/tracez`` — the merged fleet timeline: worker spans (shipped back
+  over the wire) assembled under the router's ticket spans, one trace
+  per scatter/gather ticket (``?format=chrome`` for trace_event JSON);
+* ``/profilez`` — per-worker kernel-profiler snapshots.
+
+``--otlp-endpoint`` additionally ships every assembled span to an
+OTLP/JSON collector on a background thread (bounded buffer, drop
+counters — an unreachable collector never blocks the serve path).
 
 SIGTERM/SIGINT fans a graceful drain out to every worker; the process
 exits 0 only when every worker flushed clean and exited 0 — the same
@@ -96,6 +104,23 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--load-tick-ms", type=float, default=2.0,
         help="logical milliseconds each worker's clock advances per tick",
+    )
+    tracing = parser.add_argument_group("distributed tracing + egress")
+    tracing.add_argument(
+        "--no-trace", action="store_true",
+        help="disable distributed tracing (no TraceContext on frames, "
+        "no span piggybacking, /tracez reports enabled=false)",
+    )
+    tracing.add_argument(
+        "--otlp-endpoint", default=None, metavar="URL",
+        help="OTLP/JSON collector URL (e.g. http://host:4318/v1/traces); "
+        "spans assembled by the router ship there on a background "
+        "thread — an unreachable collector only increments drop "
+        "counters, it never blocks serving",
+    )
+    tracing.add_argument(
+        "--otlp-flush-ms", type=float, default=1000.0,
+        help="wall milliseconds between OTLP flushes",
     )
     chaos = parser.add_argument_group("chaos (per-worker reseeded)")
     chaos.add_argument(
@@ -187,9 +212,20 @@ def main(argv=None) -> int:
             window_ms=args.restart_window_ms,
         ),
         fleet_chaos=fleet_chaos,
+        trace=not args.no_trace,
     )
     router = FleetRouter(config)
     router.start()
+    if args.otlp_endpoint:
+        from repro.telemetry import OTLPExporter
+
+        router.attach_otlp(OTLPExporter(
+            args.otlp_endpoint,
+            flush_ms=args.otlp_flush_ms,
+            service_name="repro-fleet",
+        ))
+        print(f"otlp egress -> {args.otlp_endpoint} "
+              f"(flush every {args.otlp_flush_ms:.0f} ms)")
     print(
         f"fleet: {len(router.live_workers())}/{args.workers} workers booted "
         f"(seed={args.seed}, engine={args.engine})"

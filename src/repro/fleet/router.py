@@ -57,7 +57,7 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -73,12 +73,15 @@ from repro.fleet.supervisor import (
     FleetSupervisor,
     RestartPolicy,
 )
+from repro.fleet.tracing import FleetTraceAssembler, ROUTER_WORKER
 from repro.fleet.worker import worker_main
 from repro.service.serve import JSON_CONTENT_TYPE, METRICS_CONTENT_TYPE
 from repro.telemetry import (
     FlightRecorder,
     MetricsRegistry,
+    TraceContext,
     Tracer,
+    derive_trace_id,
     expose_export_text,
     merge_labeled_exports,
     sum_exports,
@@ -121,6 +124,13 @@ class FleetConfig:
     scatter_retry: bool = True
     #: fleet-level fault injection (worker kill / reply drop / stall).
     fleet_chaos: Optional[FleetChaosConfig] = None
+    #: distributed tracing: stamp a TraceContext on every submit frame,
+    #: assemble the workers' span streams in the router, expose the
+    #: merged timeline at /tracez.  Off ⇒ frames are byte-identical to
+    #: the pre-tracing protocol and the router allocates no assembler.
+    trace: bool = True
+    #: fleet trace assembler ring capacity (merged finished spans).
+    trace_capacity: int = 50_000
 
 
 #: router-side breaker states.
@@ -216,8 +226,22 @@ class FleetRouter:
         self.now_ms = 0.0
         self.registry = MetricsRegistry()
         #: recovery observability: spans per recovery, ring per worker.
-        self.tracer = Tracer(max_spans=10_000)
+        #: trace_seed=fleet seed so router span identity is derived the
+        #: same way worker identity is — pure function of the one seed.
+        self.tracer = Tracer(max_spans=10_000, trace_seed=self.config.seed)
         self.flight = FlightRecorder(capacity=32)
+        #: fleet-wide trace assembly (None when tracing is off: the
+        #: query path then carries no trace payloads at all).
+        self.trace = (
+            FleetTraceAssembler(capacity=self.config.trace_capacity)
+            if self.config.trace
+            else None
+        )
+        #: optional OTLP egress (attach_otlp); never blocks the router.
+        self.otlp = None
+        self._ticket_lock = threading.Lock()
+        self._next_ticket = 0
+        self._trace_synced: Dict[str, int] = {}
         self._m = {
             "workers": self.registry.gauge(
                 "fleet_workers", "worker count by state", labels=("state",)
@@ -562,6 +586,107 @@ class FleetRouter:
         the live ring; rehashes automatically after a breaker trip)."""
         return self.ring.place(session)
 
+    # -- distributed tracing ---------------------------------------------
+
+    def _ingest_spans(self, worker: str, spans) -> int:
+        """Feed one worker's piggybacked span dicts to the assembler
+        (strict-JSON-converted: numpy never reaches /tracez or OTLP)."""
+        if self.trace is None or not spans:
+            return 0
+        return self.trace.ingest(worker, wire.to_jsonable(spans))
+
+    def _begin_ticket(self, session: str, rows: int):
+        """Open the router-side ticket span and build the TraceContext
+        workers adopt.  Trace identity is ``derive_trace_id(seed,
+        "ticket:{n}")`` with a process-wide ticket counter, so two
+        same-seed fleets mint identical trace ids in identical order."""
+        if self.trace is None:
+            return None, None
+        with self._ticket_lock:
+            tid = self._next_ticket
+            self._next_ticket += 1
+        t0 = self.now_ms
+        trace_id = derive_trace_id(self.config.seed, f"ticket:{tid}")
+        tspan = self.tracer.begin(
+            "fleet.ticket", track="router", span_id=f"t{tid}", t_ms=t0,
+            trace_id=trace_id, session=session, rows=rows,
+        )
+        ctx = TraceContext(
+            trace_id=trace_id, parent_span_id=tspan.span_id,
+            clock_offset_ms=t0,
+        )
+        return ctx, tspan
+
+    def _end_ticket(self, tspan, mode: str, status: str = "ok") -> None:
+        if tspan is None:
+            return
+        self.tracer.end(tspan.span_id, self.now_ms, status, mode=mode)
+        self._ingest_spans(ROUTER_WORKER, [tspan.to_dict()])
+
+    def drain_spans(self) -> int:
+        """Sweep every live worker's tracer outbox into the assembler.
+
+        This is the path that saves spans stranded between submits —
+        including the partial spans of a ticket whose worker died and
+        whose rows were rerouted elsewhere.  Returns spans absorbed.
+        """
+        if self.trace is None:
+            return 0
+        replies, _ = self.broadcast("trace_drain")
+        absorbed = 0
+        for worker, reply in sorted(replies.items()):
+            absorbed += self._ingest_spans(worker, reply.get("spans"))
+        return absorbed
+
+    def tracez(self, limit: Optional[int] = None) -> dict:
+        """The fleet ``/tracez`` payload: sweep, then merged timeline."""
+        if self.trace is None:
+            return {"enabled": False, "spans": [], "workers": []}
+        self.drain_spans()
+        payload = self.trace.to_dict(limit=limit)
+        payload["enabled"] = True
+        return payload
+
+    def profilez(self) -> dict:
+        """Aggregated kernel-profiler snapshots, one per live worker."""
+        replies, failures = self.broadcast("profile")
+        profiles = {
+            w: r.get("profile") for w, r in sorted(replies.items())
+        }
+        enabled = any(p is not None for p in profiles.values())
+        return {
+            "enabled": enabled,
+            "workers": profiles,
+            "unreachable": sorted(failures),
+        }
+
+    def attach_otlp(self, exporter) -> None:
+        """Wire an :class:`~repro.telemetry.otlp.OTLPExporter` as the
+        assembler's sink and start its background flush thread."""
+        self.otlp = exporter
+        if self.trace is not None:
+            self.trace.sink = exporter.export
+        exporter.start()
+
+    def _sync_trace_counters(self) -> None:
+        """Mirror assembler totals into fleet_* counters (delta-based,
+        safe on every scrape)."""
+        if self.trace is None:
+            return
+        for name, help_text, total in (
+            ("fleet_trace_spans_ingested_total",
+             "worker spans absorbed by the fleet trace assembler",
+             self.trace.ingested),
+            ("fleet_trace_spans_dropped_total",
+             "spans evicted from the fleet trace assembler ring",
+             self.trace.dropped),
+        ):
+            counter = self.registry.counter(name, help_text)
+            delta = total - self._trace_synced.get(name, 0)
+            if delta > 0:
+                counter.inc(delta)
+                self._trace_synced[name] = total
+
     # -- query path ------------------------------------------------------
 
     def submit_many(
@@ -584,13 +709,24 @@ class FleetRouter:
         if not live:
             raise RuntimeError("no live workers")
         threshold = self.config.scatter_threshold
-        if threshold and len(coords) >= threshold and len(live) > 1:
-            return self._scatter_submit(session, coords, now)
-        return self._routed_submit(session, coords, now)
+        scatter = bool(threshold) and len(coords) >= threshold and len(live) > 1
+        ctx, tspan = self._begin_ticket(session, len(coords))
+        mode = "scatter" if scatter else "routed"
+        try:
+            if scatter:
+                out = self._scatter_submit(session, coords, now, ctx, tspan)
+            else:
+                out = self._routed_submit(session, coords, now, ctx)
+        except Exception:
+            self._end_ticket(tspan, mode=mode, status="error")
+            raise
+        self._end_ticket(tspan, mode=mode)
+        return out
 
     def _submit_call(
         self, worker: str, session: str, coords: np.ndarray,
         now: Optional[float], chaos: bool = True,
+        ctx: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         """One locked submit exchange (chaos-aware recv); trips on death.
 
@@ -604,40 +740,44 @@ class FleetRouter:
         handle = self.handles[worker]
         if not handle.alive:
             raise wire.WorkerGone(worker, handle.breaker.reason)
+        payload: Dict[str, Any] = dict(session=session, coords=coords, now=now)
+        if ctx is not None:
+            payload["trace"] = ctx.to_wire()
         with handle.lock:
             try:
-                wire.send_request(
-                    handle.conn, worker, "submit",
-                    session=session, coords=coords, now=now,
-                )
+                wire.send_request(handle.conn, worker, "submit", **payload)
                 reply = self._recv_submit_reply(handle, now if chaos else None)
             except wire.WorkerGone as exc:
                 self._trip(handle, str(exc), now=now)
                 raise
         self.observe_now(reply.get("now_ms"))
+        self._ingest_spans(worker, reply.get("spans"))
         return reply
 
     def _routed_submit(
-        self, session: str, coords: np.ndarray, now: Optional[float]
+        self, session: str, coords: np.ndarray, now: Optional[float],
+        ctx: Optional[TraceContext] = None,
     ) -> List[Dict[str, Any]]:
         """Whole-batch route to the placed shard, one reroute on death.
 
         The batch is stateless on the worker side (submit + flush), so
         re-sending the identical coords to the post-rehash owner is
-        safe and returns bit-identical answers.
+        safe and returns bit-identical answers.  The retry reuses the
+        same TraceContext: the rerouted batch's spans still parent
+        under the original ticket span.
         """
         owner = self.place(session)
         if owner is None:
             raise RuntimeError("no live workers")
         try:
-            reply = self._submit_call(owner, session, coords, now)
+            reply = self._submit_call(owner, session, coords, now, ctx=ctx)
         except wire.WorkerGone:
             retry_owner = self.place(session)
             if retry_owner is None:
                 raise
             self._m["reroutes"].inc(worker=retry_owner)
             reply = self._submit_call(
-                retry_owner, session, coords, now, chaos=False
+                retry_owner, session, coords, now, chaos=False, ctx=ctx
             )
             owner = retry_owner
         self._m["routed"].inc(worker=owner)
@@ -645,6 +785,7 @@ class FleetRouter:
 
     def _scatter_submit(
         self, session: str, coords: np.ndarray, now: Optional[float],
+        ctx: Optional[TraceContext] = None, tspan=None,
     ) -> List[Dict[str, Any]]:
         """Scatter slices across live workers, gather in order.
 
@@ -671,10 +812,14 @@ class FleetRouter:
                     continue
                 handle.lock.acquire()
                 acquired.append(handle)
+                slice_payload: Dict[str, Any] = dict(
+                    session=session, coords=coords[sl], now=now
+                )
+                if ctx is not None:
+                    slice_payload["trace"] = ctx.to_wire()
                 try:
                     wire.send_request(
-                        handle.conn, handle.id, "submit",
-                        session=session, coords=coords[sl], now=now,
+                        handle.conn, handle.id, "submit", **slice_payload
                     )
                     sent.append((handle, sl))
                     self._m["scatter_rows"].inc(
@@ -688,6 +833,7 @@ class FleetRouter:
                     reply = self._recv_submit_reply(handle, now)
                     parts[handle.id] = reply["results"]
                     self.observe_now(reply.get("now_ms"))
+                    self._ingest_spans(handle.id, reply.get("spans"))
                 except (wire.WorkerGone, wire.WireError) as exc:
                     if isinstance(exc, wire.WorkerGone):
                         self._trip(handle, str(exc), now=now)
@@ -714,12 +860,13 @@ class FleetRouter:
                 for i in range(sl.start, sl.stop):
                     out[i]["error"]["message"] = detail
         if self.config.scatter_retry:
-            self._retry_lost_rows(session, coords, out, now)
+            self._retry_lost_rows(session, coords, out, now, ctx, tspan)
         return out
 
     def _retry_lost_rows(
         self, session: str, coords: np.ndarray,
         out: List[Dict[str, Any]], now: Optional[float],
+        ctx: Optional[TraceContext] = None, tspan=None,
     ) -> None:
         """One-shot retry of ``shard-lost`` rows against the survivors.
 
@@ -739,9 +886,17 @@ class FleetRouter:
         if owner is None:
             return
         self._m["scatter_retries"].inc()
+        if tspan is not None:
+            # The retried rows run under the SAME context: their spans
+            # parent under the original ticket's trace id, so a chaos
+            # kill mid-scatter still renders as one trace.
+            tspan.event(
+                "scatter_retry", self.now_ms, rows=len(lost), worker=owner
+            )
         try:
             reply = self._submit_call(
-                owner, session, coords[np.asarray(lost)], now, chaos=False
+                owner, session, coords[np.asarray(lost)], now, chaos=False,
+                ctx=ctx,
             )
         except (wire.WorkerGone, wire.WireError):
             return  # one shot spent; rows keep their typed error
@@ -758,8 +913,9 @@ class FleetRouter:
             "run_load", ticks=ticks, queries_per_tick=queries_per_tick,
             tick_ms=tick_ms, keep_results=keep_results,
         )
-        for reply in replies.values():
+        for worker, reply in sorted(replies.items()):
             self.observe_now(reply.get("now_ms"))
+            self._ingest_spans(worker, reply.get("spans"))
         for worker, reason in failures.items():
             replies[worker] = {"ok": False, "error": reason}
         return replies
@@ -877,6 +1033,7 @@ class FleetRouter:
                 self.tracer.end(span.span_id, self.now_ms, status="error",
                                 error=str(exc))
                 self.flight.record(handle.id, span.to_dict())
+                self._ingest_spans(ROUTER_WORKER, [span.to_dict()])
                 return False
         with self._state_lock:
             if handle.id not in self.ring:
@@ -892,6 +1049,9 @@ class FleetRouter:
             sessions_replayed=replayed, incarnation=handle.incarnation,
         )
         self.flight.record(handle.id, span.to_dict())
+        # Satellite contract: a heal is visible on the same merged
+        # /tracez timeline as the tickets it delayed.
+        self._ingest_spans(ROUTER_WORKER, [span.to_dict()])
         return True
 
     def _replay_sessions(self, handle: WorkerHandle, span) -> int:
@@ -928,6 +1088,9 @@ class FleetRouter:
             w: r.get("metrics") for w, r in replies.items()
             if r.get("metrics") is not None
         }
+        self._sync_trace_counters()
+        if self.otlp is not None:
+            self.otlp.sync_metrics(self.registry)
         merged = merge_labeled_exports(exports, label="worker")
         merged.update(self.registry.to_dict())  # fleet_* families
         return merged
@@ -1037,6 +1200,16 @@ class FleetRouter:
                 "placements": {
                     s: self.place(s) for s in sorted(self.sessions)
                 },
+                "trace": (
+                    {
+                        "retained": len(self.trace),
+                        "ingested": self.trace.ingested,
+                        "dropped": self.trace.dropped,
+                    }
+                    if self.trace is not None
+                    else None
+                ),
+                "otlp": self.otlp.stats() if self.otlp is not None else None,
             },
             "aggregate": agg,
             "workers": worker_stats,
@@ -1057,11 +1230,13 @@ class FleetRouter:
         the drain not-ok by definition (its queries cannot be
         accounted for).
         """
+        self.drain_spans()  # final sweep while the workers still answer
         report: Dict[str, dict] = dict(self._drained)
         for worker in self.live_workers():
             handle = self.handles[worker]
             try:
                 reply = self._call(worker, "drain")
+                self._ingest_spans(worker, reply.get("spans"))
                 report[worker] = {
                     "pending": int(reply.get("pending", -1)),
                     "drained": bool(reply.get("drained", False)),
@@ -1075,8 +1250,13 @@ class FleetRouter:
             remaining = max(0.0, deadline - time.monotonic())
             handle.proc.join(timeout=remaining)
             if handle.proc.is_alive():
+                # Workers shield SIGTERM (they exit via the drain
+                # protocol), so escalation goes straight past it.
                 handle.proc.terminate()
                 handle.proc.join(timeout=5.0)
+                if handle.proc.is_alive():
+                    handle.proc.kill()
+                    handle.proc.join(timeout=5.0)
             entry = report.setdefault(
                 worker,
                 {"pending": -1, "drained": False,
@@ -1161,7 +1341,9 @@ class FleetServer:
 
     Routes: ``/metrics`` (merged exposition), ``/healthz`` (fleet
     readiness, 503 while degraded), ``/statsz`` (strict-JSON fleet
-    snapshot).  A background load pump fans seeded synthetic ticks to
+    snapshot), ``/tracez`` (merged fleet timeline, ``?format=chrome``
+    for trace_event JSON), ``/profilez`` (per-worker kernel profiles).
+    A background load pump fans seeded synthetic ticks to
     the workers so a scraped fleet shows a live, moving system, and a
     supervision loop heals dead workers (restart + ledger replay) so a
     SIGKILLed worker shows up in ``/healthz`` as degraded, then
@@ -1177,6 +1359,7 @@ class FleetServer:
         load_tick_ms: float = 2.0,
         load_interval_s: float = 0.05,
         heal_interval_s: float = 0.25,
+        trace_interval_s: float = 0.5,
     ) -> None:
         self.router = router
         self.host = host
@@ -1185,10 +1368,12 @@ class FleetServer:
         self.load_tick_ms = load_tick_ms
         self.load_interval_s = load_interval_s
         self.heal_interval_s = heal_interval_s
+        self.trace_interval_s = trace_interval_s
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._pump: Optional[threading.Thread] = None
         self._healer: Optional[threading.Thread] = None
+        self._trace_pump: Optional[threading.Thread] = None
         self._halt = threading.Event()
         self._shut = False
 
@@ -1235,6 +1420,11 @@ class FleetServer:
                 target=self._heal_loop, name="fleet-healer", daemon=True
             )
             self._healer.start()
+        if self.router.trace is not None:
+            self._trace_pump = threading.Thread(
+                target=self._trace_loop, name="fleet-trace-drain", daemon=True
+            )
+            self._trace_pump.start()
         return self.host, self.port
 
     def _pump_loop(self) -> None:
@@ -1261,6 +1451,16 @@ class FleetServer:
                 pass  # supervision must never kill the serving loop
             self._halt.wait(self.heal_interval_s)
 
+    def _trace_loop(self) -> None:
+        """Periodic trace_drain sweep: spans stranded between submits
+        (or orphaned by a worker death) still reach the assembler."""
+        while not self._halt.is_set():
+            try:
+                self.router.drain_spans()
+            except Exception:
+                pass  # trace collection must never kill serving
+            self._halt.wait(self.trace_interval_s)
+
     def shutdown(self) -> Dict[str, Any]:
         """Stop load, drain the fleet, close the listener; idempotent."""
         if self._shut:
@@ -1277,7 +1477,13 @@ class FleetServer:
             self._pump.join(timeout=10.0)
         if self._healer is not None:
             self._healer.join(timeout=10.0)
+        if self._trace_pump is not None:
+            self._trace_pump.join(timeout=10.0)
         report = self.router.drain()
+        if self.router.otlp is not None:
+            # After the final drain sweep the assembler has everything;
+            # one last flush, then the exporter thread stops.
+            self.router.otlp.stop(flush=True)
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -1296,7 +1502,8 @@ class FleetServer:
 
     def respond(self, path: str) -> Tuple[int, str, bytes]:
         """Route one GET (shared by the HTTP handler and the tests)."""
-        route = urlsplit(path).path.rstrip("/") or "/"
+        parts = urlsplit(path)
+        route = parts.path.rstrip("/") or "/"
         if route == "/metrics":
             return 200, METRICS_CONTENT_TYPE, self.router.metrics_text().encode()
         if route == "/healthz":
@@ -1304,13 +1511,38 @@ class FleetServer:
             return self._json(200 if health["ok"] else 503, health)
         if route == "/statsz":
             return self._json(200, self.router.statsz())
+        if route == "/tracez":
+            return self._tracez(parts.query)
+        if route == "/profilez":
+            return self._json(200, self.router.profilez())
         return self._json(
             404,
             {
                 "error": f"no route {route!r}",
-                "routes": ["/metrics", "/healthz", "/statsz"],
+                "routes": [
+                    "/metrics", "/healthz", "/statsz", "/tracez", "/profilez",
+                ],
             },
         )
+
+    def _tracez(self, query: str) -> Tuple[int, str, bytes]:
+        """Merged fleet timeline; ``?limit=N`` caps the span list and
+        ``?format=chrome`` returns the Chrome trace_event export."""
+        params = parse_qs(query)
+        limit: Optional[int] = None
+        if "limit" in params:
+            try:
+                limit = int(params["limit"][-1])
+            except ValueError:
+                return self._json(
+                    400, {"error": f"bad limit {params['limit'][-1]!r}"}
+                )
+        if params.get("format", [""])[-1] == "chrome":
+            if self.router.trace is None:
+                return self._json(200, {"traceEvents": []})
+            self.router.drain_spans()
+            return self._json(200, self.router.trace.chrome_trace())
+        return self._json(200, self.router.tracez(limit=limit))
 
     @staticmethod
     def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
@@ -1346,8 +1578,8 @@ def run_fleet(
     host, port = server.start()
     announce(
         f"fleet of {len(server.router.handles)} workers on "
-        f"http://{host}:{port} (/metrics /healthz /statsz) — "
-        "SIGTERM or Ctrl-C drains every worker and exits"
+        f"http://{host}:{port} (/metrics /healthz /statsz /tracez "
+        "/profilez) — SIGTERM or Ctrl-C drains every worker and exits"
     )
     deadline = time.monotonic() + duration_s if duration_s else None
     try:
@@ -1367,4 +1599,13 @@ def run_fleet(
         f"restarts={report.get('restarts_total', 0)}, "
         f"pending per worker: {pendings})"
     )
+    if not report["ok"]:
+        # A not-ok drain must say why, per worker, or the exit code is
+        # undebuggable from the smoke-job log alone.
+        for worker, entry in sorted(report["workers"].items()):
+            if entry.get("error") or entry.get("exitcode") != 0:
+                announce(
+                    f"  {worker}: error={entry.get('error')!r} "
+                    f"exitcode={entry.get('exitcode')}"
+                )
     return 0 if report["ok"] else 1

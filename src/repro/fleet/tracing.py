@@ -1,0 +1,152 @@
+"""Fleet-wide trace assembly: one logical timeline from many workers.
+
+Workers trace locally (their tracer outbox collects finished spans as
+plain dicts) and ship those dicts back to the router — piggybacked on
+submit/run_load/drain replies, plus periodic ``trace_drain`` sweeps.
+:class:`FleetTraceAssembler` is where the streams meet: each span is
+tagged with the worker it came from, retained in one bounded ring, and
+exported either merged-JSON (the fleet ``/tracez`` payload) or Chrome
+``trace_event`` JSON where every worker renders as its own process
+track, so a scatter/gather ticket across three shards reads as one
+trace with a router row on top and one row per shard under it.
+
+Ordering is deterministic: :meth:`spans` sorts by ``(t_start_ms,
+worker, span_id)`` — all values that are pure functions of the fleet
+seed — so two same-seed runs produce bit-identical span trees no
+matter how reply frames interleaved on the wire.
+
+An optional ``sink`` (the OTLP exporter's ``export``) observes every
+ingested batch, which is how fleet spans reach a collector without the
+router growing a second shipping path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+#: the worker label the router tags its own spans with.
+ROUTER_WORKER = "router"
+
+DEFAULT_CAPACITY = 50_000
+
+
+class FleetTraceAssembler:
+    """Bounded, worker-tagged ring of finished span dicts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._spans: Deque[dict] = deque()
+        self.ingested = 0
+        self.dropped = 0
+        #: optional callable(List[dict]) observing every ingested batch
+        #: (wired to :meth:`repro.telemetry.otlp.OTLPExporter.export`).
+        self.sink: Optional[Callable[[List[dict]], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def ingest(self, worker: str, span_dicts) -> int:
+        """Absorb one worker's batch of finished-span dicts.
+
+        Returns the number of spans absorbed.  ``span_dicts`` may be
+        None or empty (replies without a ``spans`` key cost nothing).
+        """
+        if not span_dicts:
+            return 0
+        tagged = [{**sd, "worker": worker} for sd in span_dicts]
+        for span in tagged:
+            if len(self._spans) >= self.capacity:
+                self._spans.popleft()
+                self.dropped += 1
+            self._spans.append(span)
+        self.ingested += len(tagged)
+        if self.sink is not None:
+            try:
+                self.sink(tagged)
+            except Exception:
+                pass  # egress must never break assembly
+        return len(tagged)
+
+    def spans(self, worker: Optional[str] = None) -> List[dict]:
+        """Retained spans in deterministic timeline order."""
+        out = [
+            s for s in self._spans if worker is None or s.get("worker") == worker
+        ]
+        out.sort(
+            key=lambda s: (
+                float(s.get("t_start_ms") or 0.0),
+                str(s.get("worker", "")),
+                str(s.get("span_id", "")),
+            )
+        )
+        return out
+
+    def workers(self) -> List[str]:
+        """Every worker label seen, router first, then sorted."""
+        seen = {str(s.get("worker", "")) for s in self._spans}
+        rest = sorted(w for w in seen if w != ROUTER_WORKER)
+        return ([ROUTER_WORKER] if ROUTER_WORKER in seen else []) + rest
+
+    def to_dict(self, limit: Optional[int] = None) -> dict:
+        """The fleet ``/tracez`` payload: merged spans + accounting."""
+        spans = self.spans()
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return {
+            "spans": spans,
+            "workers": self.workers(),
+            "ingested": self.ingested,
+            "dropped": self.dropped,
+        }
+
+    def chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` export: one process track per worker.
+
+        The router gets pid 1; workers get stable pids in sorted order.
+        Inside a worker's process the span's own track ("query",
+        "batch", ...) becomes the thread id, so the single-process
+        layout survives inside each fleet row.
+        """
+        workers = self.workers()
+        pids: Dict[str, int] = {w: i + 1 for i, w in enumerate(workers)}
+        tracks: Dict[str, int] = {}
+        events: List[dict] = []
+        for worker in workers:
+            events.append({
+                "name": "process_name", "ph": "M",
+                "pid": pids[worker], "tid": 0,
+                "args": {"name": worker},
+            })
+        for span in self.spans():
+            worker = str(span.get("worker", ""))
+            track = str(span.get("track", ""))
+            tid = tracks.setdefault(track, len(tracks))
+            base = {
+                "name": str(span.get("name", "")),
+                "cat": track,
+                "id": str(span.get("span_id", "")),
+                "pid": pids.get(worker, len(workers) + 1),
+                "tid": tid,
+            }
+            t0 = float(span.get("t_start_ms") or 0.0)
+            events.append({
+                **base, "ph": "b", "ts": t0 * 1000.0,
+                "args": dict(span.get("args", {})),
+            })
+            for ev in span.get("events", []):
+                events.append({
+                    **base, "ph": "n",
+                    "name": str(ev.get("name", "")),
+                    "ts": float(ev.get("t_ms") or 0.0) * 1000.0,
+                    "args": dict(ev.get("args", {})),
+                })
+            t1 = span.get("t_end_ms")
+            if t1 is not None:
+                events.append({
+                    **base, "ph": "e", "ts": float(t1) * 1000.0,
+                    "args": {"status": span.get("status", "ok")},
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

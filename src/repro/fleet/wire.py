@@ -16,18 +16,30 @@ scalar.
 
 Commands (see ``docs/FLEET.md`` for the full contract):
 
-=============  =======================================================
-``ping``       liveness + worker id echo
-``register``   build a session (tree + plan) on this worker
-``submit``     execute a coords batch; per-query resolutions back
-``run_load``   run N seeded synthetic load ticks locally, keep tickets
-``advance``    advance the worker's logical clock
-``flush``      force-flush pending batches
-``stats``      strict-JSON ServiceStats snapshot
-``metrics``    metrics-registry JSON export (None if telemetry off)
-``health``     TraversalService.health() payload
-``drain``      flush everything, reply with pending depth, then exit
-=============  =======================================================
+===============  =====================================================
+``ping``         liveness + worker id echo
+``register``     build a session (tree + plan) on this worker
+``submit``       execute a coords batch; per-query resolutions back
+``run_load``     run N seeded synthetic load ticks locally, keep tickets
+``advance``      advance the worker's logical clock
+``flush``        force-flush pending batches
+``stats``        strict-JSON ServiceStats snapshot
+``metrics``      metrics-registry JSON export (None if telemetry off)
+``health``       TraversalService.health() payload
+``trace_drain``  drain the worker tracer's outbox of finished spans
+``profile``      kernel-profiler snapshot (None if profiler off)
+``drain``        flush everything, reply with pending depth, then exit
+===============  =====================================================
+
+Distributed tracing rides on the existing frames: ``submit`` requests
+may carry a ``trace`` key (:meth:`TraceContext.to_wire` payload) that
+the worker's tracer adopts for the frame's duration, and ``submit`` /
+``run_load`` / ``drain`` replies may carry back a ``spans`` key — the
+worker outbox's finished-span dicts — so spans piggyback on traffic
+that is flowing anyway.  ``trace_drain`` is the periodic sweep that
+catches spans stranded between submits (and the final sweep before a
+worker exits), so a ticket rerouted after a worker death still has its
+partial spans in the router's assembler.
 """
 
 from __future__ import annotations
@@ -48,6 +60,8 @@ COMMANDS = (
     "stats",
     "metrics",
     "health",
+    "trace_drain",
+    "profile",
     "drain",
 )
 

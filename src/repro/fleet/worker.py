@@ -94,6 +94,28 @@ class _WorkerState:
         self.driver = None
 
 
+def _tracer(state: _WorkerState):
+    """This worker's tracer, or None when tracing is off — every
+    distributed-tracing touch point guards on this so the off path
+    stays allocation-free."""
+    tel = state.service.telemetry
+    return tel.tracer if tel.enabled else None
+
+
+def _attach_spans(state: _WorkerState, reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Piggyback the outbox's finished spans onto a reply frame.
+
+    The key is only present when there are spans to ship: a tracing-off
+    fleet sends byte-identical frames to the pre-tracing protocol.
+    """
+    tracer = _tracer(state)
+    if tracer is not None and tracer.outbox_enabled:
+        spans = tracer.drain_outbox()
+        if spans:
+            reply["spans"] = spans
+    return reply
+
+
 def _handle_register(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
     data = np.asarray(frame["data"], dtype=np.float64)
     state.service.register(
@@ -115,20 +137,32 @@ def _handle_submit(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]
     batcher on the shared clock value, and every row reports back a
     resolution — result or typed error, never silence.
     """
+    from repro.telemetry import TraceContext
+
     session = frame["session"]
     coords = np.asarray(frame["coords"], dtype=np.float64)
     now = frame.get("now")
     svc = state.service
     if now is not None and now > svc.now_ms:
         svc.advance(float(now))
+    # Adopt the router's trace context for the frame's duration: every
+    # span this batch opens (query, batch, launch) joins the router's
+    # ticket trace and parents under the ticket span.
+    tracer = _tracer(state)
+    ctx = TraceContext.from_wire(frame.get("trace")) if tracer is not None else None
+    prev_ctx = tracer.activate(ctx) if tracer is not None else None
     tickets = []
     rejected = []
-    for i, coord in enumerate(coords):
-        try:
-            tickets.append((i, svc.submit(session, coord, now=svc.now_ms)))
-        except ServiceError as err:
-            rejected.append((i, err))
-    svc.flush(session)
+    try:
+        for i, coord in enumerate(coords):
+            try:
+                tickets.append((i, svc.submit(session, coord, now=svc.now_ms)))
+            except ServiceError as err:
+                rejected.append((i, err))
+        svc.flush(session)
+    finally:
+        if tracer is not None:
+            tracer.activate(prev_ctx)
     results: List[Optional[Dict[str, Any]]] = [None] * len(coords)
     for i, ticket in tickets:
         results[i] = (
@@ -143,7 +177,7 @@ def _handle_submit(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]
             "result": None,
             "error": {"code": getattr(err, "code", "error"), "message": str(err)},
         }
-    return wire.ok_reply(results=results, now_ms=svc.now_ms)
+    return _attach_spans(state, wire.ok_reply(results=results, now_ms=svc.now_ms))
 
 
 def _handle_run_load(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -182,7 +216,7 @@ def _handle_run_load(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, An
             )
             for t in record
         ]
-    return wire.ok_reply(**reply)
+    return _attach_spans(state, wire.ok_reply(**reply))
 
 
 def _handle_frame(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -214,6 +248,18 @@ def _handle_frame(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
         return wire.ok_reply(metrics=tel.registry.to_dict())
     if cmd == "health":
         return wire.ok_reply(health=wire.to_jsonable(svc.health()))
+    if cmd == "trace_drain":
+        tracer = _tracer(state)
+        if tracer is None or not tracer.outbox_enabled:
+            return wire.ok_reply(spans=None, dropped=0)
+        return wire.ok_reply(
+            spans=tracer.drain_outbox(), dropped=tracer.outbox_dropped
+        )
+    if cmd == "profile":
+        tel = svc.telemetry
+        if not tel.enabled or tel.profiler is None:
+            return wire.ok_reply(profile=None)
+        return wire.ok_reply(profile=wire.to_jsonable(tel.profiler.snapshot()))
     return wire.error_reply(f"unknown command {cmd!r}")
 
 
@@ -231,8 +277,19 @@ def worker_main(
     the worker alive; only drain (exit 0) and a dead router pipe
     (exit 2) end the loop.
     """
+    import signal
     import sys
 
+    # Ctrl-C delivers SIGINT to every process in the foreground group,
+    # workers included — shield it so the worker can still answer the
+    # router's drain protocol instead of dying mid-drain with queries
+    # pending.  SIGTERM stays at its default on purpose: it is the
+    # escalation (and orphan-cleanup) path, and a worker must never be
+    # unkillable by it.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass  # non-main thread or unsupported platform
     pin_to_cpu(cpu_index)
     try:
         service = build_worker_service(worker_index, base_seed, config_payload)
@@ -243,6 +300,11 @@ def worker_main(
             pass
         sys.exit(EXIT_CRASH)
     state = _WorkerState(worker_id, worker_index, base_seed, service)
+    tracer = _tracer(state)
+    if tracer is not None:
+        # Finished spans ride back on reply frames (and trace_drain
+        # sweeps) to the router's fleet-wide assembler.
+        tracer.enable_outbox()
     conn.send(wire.ok_reply(worker=worker_id, booted=True))
     exit_code = EXIT_ROUTER_GONE
     while True:
@@ -259,7 +321,9 @@ def worker_main(
             try:
                 service.flush()
                 pending = service.queue_depth
-                conn.send(wire.ok_reply(pending=pending, drained=pending == 0))
+                conn.send(_attach_spans(state, wire.ok_reply(
+                    pending=pending, drained=pending == 0
+                )))
                 exit_code = EXIT_DRAINED
             except Exception as exc:
                 conn.send(wire.error_reply(f"drain failed: {exc!r}"))

@@ -282,6 +282,16 @@ def main(argv=None) -> int:
         "--load-tick-ms", type=float, default=2.0,
         help="logical milliseconds the clock advances per driver tick",
     )
+    serve.add_argument(
+        "--otlp-endpoint", default=None, metavar="URL",
+        help="OTLP/JSON collector URL (e.g. http://host:4318/v1/traces); "
+        "finished spans ship there on a background thread — an "
+        "unreachable collector only increments drop counters",
+    )
+    serve.add_argument(
+        "--otlp-flush-ms", type=float, default=1000.0,
+        help="wall milliseconds between OTLP flushes",
+    )
     slo = parser.add_argument_group("service-level objectives")
     slo.add_argument(
         "--slo-latency-ms", type=float, default=None,
@@ -421,7 +431,18 @@ def main(argv=None) -> int:
         )
 
         svc = build_service(cfg, args.data, args.seed)
-        server = TraversalServer(svc, host=args.host, port=args.port)
+        otlp = None
+        if args.otlp_endpoint:
+            from repro.telemetry import OTLPExporter
+
+            otlp = OTLPExporter(
+                args.otlp_endpoint,
+                flush_ms=args.otlp_flush_ms,
+                service_name="repro-serve",
+            )
+        server = TraversalServer(
+            svc, host=args.host, port=args.port, otlp=otlp
+        )
         if args.load_queries_per_tick > 0:
             server.driver = SyntheticLoadDriver(
                 svc,

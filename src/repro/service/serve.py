@@ -148,12 +148,16 @@ class TraversalServer:
         host: str = "127.0.0.1",
         port: int = 0,
         driver: Optional[SyntheticLoadDriver] = None,
+        otlp=None,
     ) -> None:
         self.service = service
         self.lock = threading.RLock()
         self.host = host
         self.port = port
         self.driver = driver
+        #: optional repro.telemetry.OTLPExporter; single-process egress
+        #: pulls from the tracer's outbox on the exporter's own thread.
+        self.otlp = otlp
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._shut = False
@@ -199,6 +203,17 @@ class TraversalServer:
             daemon=True,
         )
         self._thread.start()
+        if self.otlp is not None:
+            tracer = self.service.telemetry.tracer
+            if tracer is not None:
+                tracer.enable_outbox()
+
+                def _harvest():
+                    with self.lock:
+                        return tracer.drain_outbox()
+
+                self.otlp.source = _harvest
+            self.otlp.start()
         if self.driver is not None:
             self.driver.start()
         return self.host, self.port
@@ -217,6 +232,10 @@ class TraversalServer:
                 # Drain-or-fail: every queued ticket resolves (result
                 # or typed error) before the process exits.
                 self.service.flush()
+        if self.otlp is not None:
+            # After the drain every span is finished; one final flush
+            # ships them, then the exporter thread stops.
+            self.otlp.stop(flush=True)
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -278,6 +297,8 @@ class TraversalServer:
             return self._json(
                 503, {"error": "metrics disabled (telemetry off)"}
             )
+        if self.otlp is not None:
+            self.otlp.sync_metrics(tel.registry)
         with self.lock:
             text = tel.registry.expose_text()
         return 200, METRICS_CONTENT_TYPE, text.encode()
@@ -290,6 +311,8 @@ class TraversalServer:
     def _statsz(self) -> Tuple[int, str, bytes]:
         with self.lock:
             payload = self.service.stats().to_dict()
+        if self.otlp is not None:
+            payload["otlp"] = self.otlp.stats()
         return self._json(200, payload)
 
     def _profilez(self) -> Tuple[int, str, bytes]:

@@ -203,6 +203,10 @@ class TraversalService:
         self.config = config or ServiceConfig()
         self.registry = SessionRegistry()
         self.telemetry = Telemetry.from_config(self.config.telemetry)
+        if self.telemetry.tracer is not None:
+            # Local trace identity derives from the service seed, so a
+            # standalone run's span tree is as reproducible as a fleet's.
+            self.telemetry.tracer.trace_seed = self.config.seed
         self.dispatcher = AdaptiveDispatcher(
             self.config, self.telemetry, plans=self.registry.plans
         )
@@ -747,7 +751,7 @@ class TraversalService:
                 largs["engine"] = sess.engine or self.config.engine
             lspan = tracer.begin(
                 f"launch:{r.backend}", "launch", f"b{batch.id}:launch",
-                t_launch, **largs,
+                t_launch, parent_id=f"b{batch.id}", **largs,
             )
             if outcome.trace is not None and len(outcome.trace) > 0:
                 # Interpolate decimated StepTrace samples across the
@@ -832,9 +836,15 @@ class TraversalService:
                 m = self._m
                 m["batches"].inc(session=session, reason=reason)
                 m["batch_size"].observe(batch.size, backend=r.backend)
-                m["exec_ms"].observe(outcome.exec_ms, backend=r.backend)
+                # Exemplars tie the latency buckets back to the trace
+                # that landed in them (the batch span's trace id, which
+                # under a fleet context is the router ticket's trace).
+                exemplar = bspan.trace_id if bspan is not None else None
+                m["exec_ms"].observe(
+                    outcome.exec_ms, exemplar=exemplar, backend=r.backend
+                )
                 for w in waits:
-                    m["wait_ms"].observe(w)
+                    m["wait_ms"].observe(w, exemplar=exemplar)
                 m["results"].inc(n_ok, outcome="ok")
                 if n_ok < batch.size:
                     m["results"].inc(

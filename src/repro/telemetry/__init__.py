@@ -43,8 +43,9 @@ from .metrics import (
     merge_labeled_exports,
     sum_exports,
 )
-from .tracing import Span, Tracer
+from .tracing import Span, TraceContext, Tracer, derive_trace_id
 from .flight import FlightRecorder
+from .otlp import OTLPExporter
 from .profile import KernelProfiler, LaunchProfile
 from .slo import SLOConfig, SLOTracker
 
@@ -58,6 +59,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Tracer",
+    "TraceContext",
+    "derive_trace_id",
+    "OTLPExporter",
     "Span",
     "FlightRecorder",
     "KernelProfiler",
@@ -81,7 +85,9 @@ class TelemetryConfig:
     samples a launch span carries (decimated, first/last kept);
     ``flight_capacity`` is the per-session ring size and
     ``flight_max_dumps`` bounds how many failure dumps are retained.
-    ``max_spans`` bounds tracer memory on long-running services.
+    ``max_spans`` bounds tracer memory on long-running services: the
+    tracer keeps the most recent spans in a ring, evicting the oldest
+    and counting evictions in ``tracer_spans_dropped_total``.
     """
 
     enabled: bool = False
@@ -167,6 +173,14 @@ class Telemetry:
             return NULL_TELEMETRY
         registry = MetricsRegistry() if config.metrics else None
         tracer = Tracer(max_spans=config.max_spans) if config.trace else None
+        if tracer is not None and registry is not None:
+            # Satellite contract: ring evictions are observable as a
+            # counter, not just a tracer attribute.
+            dropped = registry.counter(
+                "tracer_spans_dropped_total",
+                "finished spans evicted from the tracer's bounded ring",
+            )
+            tracer.on_drop = dropped.inc
         flight = (
             FlightRecorder(
                 capacity=config.flight_capacity,

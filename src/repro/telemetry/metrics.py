@@ -86,6 +86,16 @@ def _series_suffix(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> st
     return "{" + body + "}"
 
 
+def _fmt_exemplar(exemplar: Optional[dict]) -> str:
+    """OpenMetrics exemplar suffix for a ``_bucket`` sample line:
+    `` # {trace_id="..."} value`` — the link from a latency bucket to
+    the trace that landed in it.  Empty string when there is none."""
+    if not exemplar:
+        return ""
+    trace_id = escape_label_value(exemplar.get("trace_id", ""))
+    return f' # {{trace_id="{trace_id}"}} {_fmt_value(exemplar.get("value", 0.0))}'
+
+
 class Instrument:
     """Base class: a named metric family with fixed label names."""
 
@@ -171,12 +181,16 @@ class Gauge(Instrument):
 
 
 class _HistogramState:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int) -> None:
         self.counts = [0] * n_buckets  # len(bounds) + 1 (overflow last)
         self.sum = 0.0
         self.count = 0
+        #: lazily-allocated per-bucket exemplars ({trace_id, value}),
+        #: last-write-wins; None until the first exemplar arrives so
+        #: exemplar-free histograms pay nothing.
+        self.exemplars: Optional[List[Optional[dict]]] = None
 
 
 class Histogram(Instrument):
@@ -202,7 +216,9 @@ class Histogram(Instrument):
         self.bounds = bounds
         self._series: Dict[LabelKey, _HistogramState] = {}
 
-    def observe(self, v: float, **labels: str) -> None:
+    def observe(self, v: float, exemplar: Optional[str] = None, **labels: str) -> None:
+        """Record one observation; ``exemplar`` optionally links the
+        bucket it lands in to a trace id (OpenMetrics exemplars)."""
         v = self._check(v, "observation")
         key = _label_key(self.label_names, labels)
         state = self._series.get(key)
@@ -210,14 +226,18 @@ class Histogram(Instrument):
             state = self._series[key] = _HistogramState(len(self.bounds) + 1)
         # Linear scan: bucket lists are short (~10) and observations
         # cluster low, so this beats bisect's call overhead in practice.
+        idx = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if v <= bound:
-                state.counts[i] += 1
+                idx = i
                 break
-        else:
-            state.counts[-1] += 1
+        state.counts[idx] += 1
         state.sum += v
         state.count += 1
+        if exemplar is not None:
+            if state.exemplars is None:
+                state.exemplars = [None] * len(state.counts)
+            state.exemplars[idx] = {"trace_id": str(exemplar), "value": v}
 
     def state(self, **labels: str) -> Optional[_HistogramState]:
         return self._series.get(_label_key(self.label_names, labels))
@@ -225,27 +245,33 @@ class Histogram(Instrument):
     def series(self) -> List[dict]:
         out = []
         for key, st in sorted(self._series.items()):
-            out.append(
-                {
-                    "labels": dict(key),
-                    "bounds": list(self.bounds),
-                    "counts": list(st.counts),
-                    "sum": st.sum,
-                    "count": st.count,
-                }
-            )
+            entry = {
+                "labels": dict(key),
+                "bounds": list(self.bounds),
+                "counts": list(st.counts),
+                "sum": st.sum,
+                "count": st.count,
+            }
+            if st.exemplars is not None:
+                entry["exemplars"] = [
+                    dict(e) if e else None for e in st.exemplars
+                ]
+            out.append(entry)
         return out
 
     def expose(self) -> Iterable[str]:
         for key, st in sorted(self._series.items()):
+            ex = st.exemplars
             cum = 0
-            for bound, n in zip(self.bounds, st.counts):
+            for i, (bound, n) in enumerate(zip(self.bounds, st.counts)):
                 cum += n
                 suffix = _series_suffix(key, (("le", _fmt_value(bound)),))
-                yield f"{self.name}_bucket{suffix} {cum}"
+                tail = _fmt_exemplar(ex[i]) if ex is not None else ""
+                yield f"{self.name}_bucket{suffix} {cum}{tail}"
             cum += st.counts[-1]
             suffix = _series_suffix(key, (("le", "+Inf"),))
-            yield f"{self.name}_bucket{suffix} {cum}"
+            tail = _fmt_exemplar(ex[-1]) if ex is not None else ""
+            yield f"{self.name}_bucket{suffix} {cum}{tail}"
             yield f"{self.name}_sum{_series_suffix(key)} {_fmt_value(st.sum)}"
             yield f"{self.name}_count{_series_suffix(key)} {st.count}"
 
@@ -266,6 +292,31 @@ class Histogram(Instrument):
 
 def _export_series_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _merge_exemplars(
+    a: Optional[List[Optional[dict]]], b: Optional[List[Optional[dict]]]
+) -> Optional[List[Optional[dict]]]:
+    """Bucket-wise exemplar union for summed histograms: where both
+    sides carry one, keep the larger observation (trace id as the
+    deterministic tie-break)."""
+    if a is None and b is None:
+        return None
+    if a is None:
+        return [dict(e) if e else None for e in b]
+    if b is None:
+        return [dict(e) if e else None for e in a]
+    out: List[Optional[dict]] = []
+    for ea, eb in zip(a, b):
+        if ea is None or eb is None:
+            keep = ea or eb
+        else:
+            keep = max(
+                ea, eb,
+                key=lambda e: (float(e["value"]), str(e["trace_id"])),
+            )
+        out.append(dict(keep) if keep else None)
+    return out
 
 
 def merge_labeled_exports(
@@ -343,13 +394,18 @@ def sum_exports(exports: Mapping[str, dict]) -> dict:
                 acc = slot["_series"].get(key)
                 if family["kind"] == "histogram":
                     if acc is None:
-                        slot["_series"][key] = {
+                        acc = slot["_series"][key] = {
                             "labels": dict(series.get("labels", {})),
                             "bounds": list(series["bounds"]),
                             "counts": list(series["counts"]),
                             "sum": float(series["sum"]),
                             "count": int(series["count"]),
                         }
+                        merged_ex = _merge_exemplars(
+                            None, series.get("exemplars")
+                        )
+                        if merged_ex is not None:
+                            acc["exemplars"] = merged_ex
                     else:
                         if acc["bounds"] != list(series["bounds"]):
                             raise ValueError(
@@ -361,6 +417,11 @@ def sum_exports(exports: Mapping[str, dict]) -> dict:
                         ]
                         acc["sum"] += float(series["sum"])
                         acc["count"] += int(series["count"])
+                        merged_ex = _merge_exemplars(
+                            acc.get("exemplars"), series.get("exemplars")
+                        )
+                        if merged_ex is not None:
+                            acc["exemplars"] = merged_ex
                 else:
                     if acc is None:
                         slot["_series"][key] = {
@@ -391,14 +452,20 @@ def expose_export_text(export: Mapping[str, dict]) -> str:
         for series in family.get("series", []):
             key = _export_series_key(series.get("labels", {}))
             if family["kind"] == "histogram":
+                ex = series.get("exemplars")
                 cum = 0
-                for bound, n in zip(series["bounds"], series["counts"]):
+                for i, (bound, n) in enumerate(
+                    zip(series["bounds"], series["counts"])
+                ):
                     cum += n
                     suffix = _series_suffix(key, (("le", _fmt_value(bound)),))
-                    lines.append(f"{name}_bucket{suffix} {cum}")
+                    tail = _fmt_exemplar(ex[i]) if ex else ""
+                    lines.append(f"{name}_bucket{suffix} {cum}{tail}")
                 cum += series["counts"][-1]
+                tail = _fmt_exemplar(ex[-1]) if ex else ""
                 lines.append(
-                    f"{name}_bucket{_series_suffix(key, (('le', '+Inf'),))} {cum}"
+                    f"{name}_bucket{_series_suffix(key, (('le', '+Inf'),))} "
+                    f"{cum}{tail}"
                 )
                 lines.append(
                     f"{name}_sum{_series_suffix(key)} {_fmt_value(series['sum'])}"

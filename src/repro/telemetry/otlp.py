@@ -1,0 +1,313 @@
+"""OTLP/JSON span egress over plain urllib — stdlib only, never blocking.
+
+:class:`OTLPExporter` ships finished spans (the plain-dict form
+:meth:`repro.telemetry.tracing.Span.to_dict` produces, optionally
+tagged with a ``worker``) to an OpenTelemetry collector's
+``/v1/traces`` HTTP endpoint as OTLP/JSON.  Design constraints, in
+order:
+
+1. **The serve path never blocks.**  :meth:`export` appends to a
+   bounded in-memory buffer and returns; the HTTP POST happens on a
+   background flush thread (or an explicit :meth:`flush` call in
+   deterministic tests).  A full buffer or an unreachable collector
+   *drops* spans and counts the drops — backpressure never reaches the
+   query path.
+2. **Stdlib only.**  ``urllib.request`` for the POST, ``json`` for the
+   payload.  No OpenTelemetry SDK.
+3. **Deterministic identity.**  OTLP wants 32-hex trace ids and 16-hex
+   span ids; ours are human-readable strings (``t0``, ``b3:launch``).
+   :func:`otlp_span_id` derives the hex form with the same SHA-1 family
+   used everywhere else, so the mapping is stable across processes and
+   runs, and parent links survive the re-encoding.
+
+Timestamps: spans live on the *logical* clock (modeled ms).  The
+exporter encodes ``t_ms * 1e6`` as ``...UnixNano`` — a collector sees
+the fleet's own timeline starting at epoch, which keeps two same-seed
+runs byte-comparable instead of smearing wall clock over them.
+
+Drop/egress accounting is exposed two ways: :meth:`stats` (a strict-
+JSON dict for ``/statsz``) and :meth:`sync_metrics`, which mirrors the
+cumulative totals into ``otlp_*`` counters on a metrics registry so
+the drop counters are scrapable from ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+DEFAULT_FLUSH_MS = 1000.0
+DEFAULT_MAX_BUFFER = 8192
+DEFAULT_TIMEOUT_S = 2.0
+
+#: OTLP status codes (proto enum): 0 unset, 1 ok, 2 error.
+_STATUS_OK = 1
+_STATUS_ERROR = 2
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def otlp_trace_id(trace_id) -> str:
+    """32-hex OTLP trace id; already-hex ids pass through unchanged."""
+    s = str(trace_id or "")
+    if len(s) == 32 and set(s) <= _HEX_DIGITS:
+        return s
+    return hashlib.sha1(f"trace:{s}".encode()).hexdigest()[:32]
+
+
+def otlp_span_id(span_id) -> str:
+    """Deterministic 16-hex OTLP span id for one of our span ids."""
+    return hashlib.sha1(f"span:{span_id}".encode()).hexdigest()[:16]
+
+
+def _attr(key: str, value) -> dict:
+    if isinstance(value, bool):
+        v = {"boolValue": value}
+    elif isinstance(value, int):
+        v = {"intValue": str(value)}
+    elif isinstance(value, float):
+        v = (
+            {"doubleValue": value}
+            if math.isfinite(value)
+            else {"stringValue": str(value)}
+        )
+    elif value is None:
+        v = {"stringValue": ""}
+    else:
+        v = {"stringValue": str(value)}
+    return {"key": str(key), "value": v}
+
+
+def _nanos(t_ms) -> str:
+    return str(int(float(t_ms or 0.0) * 1e6))
+
+
+def span_to_otlp(span: dict) -> dict:
+    """One ``Span.to_dict()`` payload -> one OTLP/JSON span object.
+
+    OTLP span ids are salted with the span's trace id: local span keys
+    like ``b0`` repeat on every worker (each worker numbers its own
+    batches), and only the trace id disambiguates them once the fleet
+    merges streams.  Parent links use the *same* trace salt, which is
+    sound because parentage never crosses a trace boundary — a child
+    either inherits its parent's trace or adopts the ticket context
+    both were stamped with.
+    """
+    trace_key = str(span.get("trace_id") or "")
+    attrs = [_attr(k, v) for k, v in sorted(span.get("args", {}).items())]
+    for key in ("track", "worker"):
+        if span.get(key) is not None:
+            attrs.append(_attr(key, span[key]))
+    attrs.append(_attr("span.key", span.get("span_id")))
+    t0 = span.get("t_start_ms") or 0.0
+    t1 = span.get("t_end_ms")
+    status = span.get("status", "ok")
+    out = {
+        "traceId": otlp_trace_id(span.get("trace_id")),
+        "spanId": otlp_span_id(f"{trace_key}:{span.get('span_id')}"),
+        "name": str(span.get("name", "")),
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": _nanos(t0),
+        "endTimeUnixNano": _nanos(t1 if t1 is not None else t0),
+        "attributes": attrs,
+        "events": [
+            {
+                "timeUnixNano": _nanos(ev.get("t_ms")),
+                "name": str(ev.get("name", "")),
+                "attributes": [
+                    _attr(k, v) for k, v in sorted(ev.get("args", {}).items())
+                ],
+            }
+            for ev in span.get("events", [])
+        ],
+        "status": (
+            {"code": _STATUS_OK}
+            if status == "ok"
+            else {"code": _STATUS_ERROR, "message": str(status)}
+        ),
+    }
+    parent = span.get("parent_id")
+    if parent is not None:
+        out["parentSpanId"] = otlp_span_id(f"{trace_key}:{parent}")
+    return out
+
+
+def encode_batch(spans: List[dict], service_name: str = "repro") -> dict:
+    """Wrap span dicts in the OTLP/JSON ``resourceSpans`` envelope."""
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [_attr("service.name", service_name)]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.telemetry"},
+                        "spans": [span_to_otlp(s) for s in spans],
+                    }
+                ],
+            }
+        ]
+    }
+
+
+class OTLPExporter:
+    """Bounded, background, drop-counting OTLP/JSON span shipper."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        flush_ms: float = DEFAULT_FLUSH_MS,
+        max_buffer: int = DEFAULT_MAX_BUFFER,
+        service_name: str = "repro",
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        source: Optional[Callable[[], List[dict]]] = None,
+    ) -> None:
+        if flush_ms <= 0:
+            raise ValueError(f"flush_ms must be positive, got {flush_ms}")
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        self.endpoint = str(endpoint)
+        self.flush_ms = float(flush_ms)
+        self.max_buffer = int(max_buffer)
+        self.service_name = service_name
+        self.timeout_s = float(timeout_s)
+        #: optional pull hook: called at each flush to harvest spans
+        #: (e.g. a tracer outbox drained under the server lock).
+        self.source = source
+        self._buf: Deque[dict] = deque()
+        self._lock = threading.Lock()
+        self._halt = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Cumulative egress accounting (strict-JSON ints).
+        self.spans_exported = 0
+        self.spans_dropped = 0
+        self.posts_ok = 0
+        self.post_failures = 0
+        self._synced: Dict[str, float] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background flush thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._halt.clear()
+        self._thread = threading.Thread(
+            target=self._flush_loop, name="otlp-exporter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, flush: bool = True) -> None:
+        """Stop the flush thread; optionally attempt one final flush."""
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(5.0, 2 * self.timeout_s))
+            self._thread = None
+        if flush:
+            self.flush()
+
+    def _flush_loop(self) -> None:
+        while not self._halt.wait(self.flush_ms / 1000.0):
+            self.flush()
+
+    # -- buffering -------------------------------------------------------
+
+    def export(self, spans: List[dict]) -> None:
+        """Enqueue finished spans; never blocks, overflow drops oldest."""
+        if not spans:
+            return
+        with self._lock:
+            for span in spans:
+                if len(self._buf) >= self.max_buffer:
+                    self._buf.popleft()
+                    self.spans_dropped += 1
+                self._buf.append(span)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._buf)
+
+    # -- shipping --------------------------------------------------------
+
+    def flush(self) -> int:
+        """Harvest the source, POST everything buffered; returns the
+        number of spans delivered.  An unreachable collector drops the
+        batch (counted), it never raises and never retries in place —
+        the buffer belongs to the *next* spans."""
+        source = self.source
+        if source is not None:
+            try:
+                self.export(source())
+            except Exception:
+                pass  # harvesting must never kill the flush loop
+        with self._lock:
+            if not self._buf:
+                return 0
+            batch = list(self._buf)
+            self._buf.clear()
+        body = json.dumps(
+            encode_batch(batch, self.service_name), allow_nan=False
+        ).encode()
+        req = urllib.request.Request(
+            self.endpoint,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                resp.read()
+        except (urllib.error.URLError, OSError, ValueError):
+            with self._lock:
+                self.post_failures += 1
+                self.spans_dropped += len(batch)
+            return 0
+        with self._lock:
+            self.posts_ok += 1
+            self.spans_exported += len(batch)
+        return len(batch)
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "endpoint": self.endpoint,
+                "pending": len(self._buf),
+                "spans_exported": self.spans_exported,
+                "spans_dropped": self.spans_dropped,
+                "posts_ok": self.posts_ok,
+                "post_failures": self.post_failures,
+            }
+
+    def sync_metrics(self, registry) -> None:
+        """Mirror cumulative egress totals into ``otlp_*`` counters.
+
+        Counters only go up, so the mirror applies *deltas* since the
+        last sync — safe to call on every ``/metrics`` scrape.
+        """
+        snap = self.stats()
+        for name, help_text, key in (
+            ("otlp_spans_exported_total",
+             "spans delivered to the OTLP collector", "spans_exported"),
+            ("otlp_spans_dropped_total",
+             "spans dropped: buffer overflow or collector unreachable",
+             "spans_dropped"),
+            ("otlp_posts_total",
+             "OTLP HTTP posts accepted by the collector", "posts_ok"),
+            ("otlp_post_failures_total",
+             "OTLP HTTP posts that failed (collector unreachable)",
+             "post_failures"),
+        ):
+            counter = registry.counter(name, help_text)
+            delta = snap[key] - self._synced.get(key, 0)
+            if delta > 0:
+                counter.inc(delta)
+                self._synced[key] = snap[key]

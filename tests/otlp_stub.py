@@ -1,0 +1,151 @@
+"""Stdlib in-process OTLP/JSON collector stub (tests + CI otlp-smoke).
+
+Accepts ``POST /v1/traces`` with an OTLP/JSON body, records every
+batch, and answers ``200 {"partialSuccess": {}}`` like a real
+collector.  Two uses:
+
+* **in-process** (pytest): ``with OTLPCollectorStub() as stub: ...``
+  then assert on ``stub.spans()``;
+* **subprocess** (CI): ``python -m tests.otlp_stub --port N --out
+  FILE`` appends one JSON line per received batch to FILE, flushing
+  after every write, so a SIGKILLed stub still leaves everything it
+  acknowledged on disk — the smoke job kills it mid-run on purpose to
+  prove the fleet only increments drop counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
+
+
+class OTLPCollectorStub:
+    """Minimal OTLP/JSON traces receiver on an OS-assigned port."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 out_path: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.out_path = out_path
+        self.batches: List[dict] = []
+        self.requests = 0
+        self.lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._out = None
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self.host}:{self.port}/v1/traces"
+
+    def start(self) -> "OTLPCollectorStub":
+        stub = self
+        if self.out_path:
+            self._out = open(self.out_path, "a", encoding="utf-8")
+
+        class _Handler(BaseHTTPRequestHandler):
+            server_version = "otlp-stub/1.0"
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length)
+                if self.path.rstrip("/") != "/v1/traces":
+                    self.send_error(404)
+                    return
+                try:
+                    batch = json.loads(raw)
+                except ValueError:
+                    self.send_error(400)
+                    return
+                with stub.lock:
+                    stub.requests += 1
+                    stub.batches.append(batch)
+                    if stub._out is not None:
+                        stub._out.write(json.dumps(batch) + "\n")
+                        stub._out.flush()
+                body = json.dumps({"partialSuccess": {}}).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="otlp-stub", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._out is not None:
+            self._out.close()
+            self._out = None
+
+    def __enter__(self) -> "OTLPCollectorStub":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def spans(self) -> List[dict]:
+        """Every OTLP span received, flattened across batches."""
+        out: List[dict] = []
+        with self.lock:
+            batches = list(self.batches)
+        for batch in batches:
+            for rs in batch.get("resourceSpans", []):
+                for ss in rs.get("scopeSpans", []):
+                    out.extend(ss.get("spans", []))
+        return out
+
+
+def flatten_spans(batches: List[dict]) -> List[dict]:
+    """Flatten recorded OTLP batches (e.g. JSONL rows) to span dicts."""
+    stub = OTLPCollectorStub()
+    stub.batches = list(batches)
+    return stub.spans()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m tests.otlp_stub")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4318)
+    parser.add_argument(
+        "--out", default=None,
+        help="append one JSON line per received batch (flushed "
+        "immediately, so a SIGKILL loses nothing acknowledged)",
+    )
+    args = parser.parse_args(argv)
+    stub = OTLPCollectorStub(args.host, args.port, out_path=args.out)
+    stub.start()
+    print(f"otlp stub listening on {stub.endpoint}", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stub.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

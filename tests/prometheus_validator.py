@@ -1,0 +1,278 @@
+"""Strict Prometheus text-exposition validator (satellite of ISSUE 9).
+
+Replaces the curl-only smoke check: instead of grepping for one metric
+name, this validates the whole scrape line by line — metric and label
+name grammar, escape-aware label values, ``# HELP`` / ``# TYPE``
+ordering and uniqueness, family contiguity, duplicate series, finite
+sample values, OpenMetrics exemplar syntax (only on ``_bucket``
+lines), and histogram structure (cumulative non-decreasing buckets,
+``+Inf`` present and equal to ``_count``, ``le`` ascending).
+
+Used three ways:
+
+* imported by the pytest suite (``validate(text)`` raises
+  :class:`ExpositionError` with the offending line number);
+* re-exported through ``tests.test_serve.assert_valid_prometheus`` so
+  existing callers keep their entry point;
+* run as a module in CI against a live scrape::
+
+      curl -fsS http://host:port/metrics | python -m tests.prometheus_validator /dev/stdin
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one label pair: name="value" with \\, \" and \n escapes only.
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"'
+)
+#: sample line split: name[{labels}] value [# {exemplar-labels} value]
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: # \{(?P<ex_labels>[^}]*)\} (?P<ex_value>\S+))?$"
+)
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class ExpositionError(AssertionError):
+    """One malformed exposition line (carries the 1-based line number)."""
+
+    def __init__(self, lineno: int, line: str, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+
+
+def _family_of(name: str) -> str:
+    return re.sub(r"_(bucket|sum|count)$", "", name)
+
+
+def _parse_labels(
+    lineno: int, line: str, raw: Optional[str]
+) -> Tuple[Tuple[str, str], ...]:
+    if raw is None or raw == "":
+        return ()
+    pos = 0
+    pairs: List[Tuple[str, str]] = []
+    while pos < len(raw):
+        m = _LABEL_PAIR_RE.match(raw, pos)
+        if m is None:
+            raise ExpositionError(
+                lineno, line, f"malformed label pair at {raw[pos:]!r}"
+            )
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ExpositionError(
+                    lineno, line, "labels must be comma-separated"
+                )
+            pos += 1
+    names = [n for n, _ in pairs]
+    if len(names) != len(set(names)):
+        raise ExpositionError(lineno, line, f"duplicate label name in {names}")
+    return tuple(pairs)
+
+def _parse_value(lineno: int, line: str, raw: str) -> float:
+    if raw in ("+Inf", "-Inf", "Inf", "NaN"):
+        raise ExpositionError(
+            lineno, line,
+            "non-finite sample value (the repo's exports are finite by "
+            "construction)",
+        )
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(lineno, line, f"bad sample value {raw!r}")
+
+
+def validate(text: str) -> Dict[str, str]:
+    """Validate one scrape; returns ``{family: type}`` on success."""
+    help_seen: Dict[str, int] = {}
+    type_seen: Dict[str, str] = {}
+    family_done: Dict[str, bool] = {}
+    current_family: Optional[str] = None
+    series_seen: set = set()
+    #: histogram family -> {labels-sans-le: [(le, count), ...]}
+    buckets: Dict[str, Dict[tuple, List[Tuple[float, float]]]] = {}
+    counts: Dict[str, Dict[tuple, float]] = {}
+    sums: Dict[str, set] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line != line.rstrip():
+            raise ExpositionError(lineno, line, "trailing whitespace")
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                raise ExpositionError(lineno, line, "malformed HELP")
+            family = parts[2]
+            if family in help_seen:
+                raise ExpositionError(lineno, line, "duplicate HELP")
+            if "\\" in parts[3]:
+                for frag in re.findall(r"\\.", parts[3]):
+                    if frag not in ("\\\\", "\\n"):
+                        raise ExpositionError(
+                            lineno, line, f"bad HELP escape {frag!r}"
+                        )
+            help_seen[family] = lineno
+            if current_family is not None and current_family != family:
+                family_done[current_family] = True
+            if family_done.get(family):
+                raise ExpositionError(
+                    lineno, line, "family reopened (exposition must be "
+                    "contiguous per family)"
+                )
+            current_family = family
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ExpositionError(lineno, line, "malformed TYPE")
+            family, mtype = parts[2], parts[3]
+            if mtype not in _TYPES:
+                raise ExpositionError(lineno, line, f"bad type {mtype!r}")
+            if family in type_seen:
+                raise ExpositionError(lineno, line, "duplicate TYPE")
+            if family not in help_seen:
+                raise ExpositionError(lineno, line, "TYPE before HELP")
+            if current_family != family:
+                raise ExpositionError(
+                    lineno, line, "TYPE must directly follow its HELP block"
+                )
+            type_seen[family] = mtype
+            continue
+        if line.startswith("#"):
+            raise ExpositionError(lineno, line, "bad comment (not HELP/TYPE)")
+
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ExpositionError(lineno, line, "malformed sample")
+        name = m.group("name")
+        family = _family_of(name)
+        mtype = type_seen.get(name) or type_seen.get(family)
+        if mtype is None:
+            raise ExpositionError(lineno, line, "sample before HELP/TYPE")
+        owner = family if family in type_seen else name
+        if current_family is not None and current_family != owner:
+            family_done[current_family] = True
+            if family_done.get(owner):
+                raise ExpositionError(lineno, line, "family reopened")
+            current_family = owner
+        labels = _parse_labels(lineno, line, m.group("labels"))
+        if (name, labels) in series_seen:
+            raise ExpositionError(lineno, line, "duplicate series")
+        series_seen.add((name, labels))
+        value = _parse_value(lineno, line, m.group("value"))
+
+        suffix = name[len(family):] if name.startswith(family) else ""
+        if mtype == "histogram" and suffix not in (
+            "_bucket", "_sum", "_count"
+        ):
+            raise ExpositionError(
+                lineno, line, "histogram sample must be _bucket/_sum/_count"
+            )
+        if m.group("ex_labels") is not None:
+            # OpenMetrics exemplars: only on bucket (or counter) lines.
+            if not (mtype == "histogram" and suffix == "_bucket"):
+                raise ExpositionError(
+                    lineno, line, "exemplar on a non-bucket line"
+                )
+            ex_pairs = _parse_labels(lineno, line, m.group("ex_labels"))
+            if not any(n == "trace_id" for n, _ in ex_pairs):
+                raise ExpositionError(
+                    lineno, line, "exemplar missing trace_id label"
+                )
+            ex_value = _parse_value(lineno, line, m.group("ex_value"))
+            if not math.isfinite(ex_value):
+                raise ExpositionError(lineno, line, "non-finite exemplar")
+
+        if mtype == "histogram":
+            key = tuple(p for p in labels if p[0] != "le")
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    raise ExpositionError(
+                        lineno, line, "bucket sample missing le label"
+                    )
+                bound = math.inf if le == "+Inf" else float(le)
+                buckets.setdefault(family, {}).setdefault(key, []).append(
+                    (bound, value)
+                )
+            elif suffix == "_count":
+                counts.setdefault(family, {})[key] = value
+            elif suffix == "_sum":
+                sums.setdefault(family, set()).add(key)
+
+    # Histogram structure: per series, le ascending, counts cumulative,
+    # +Inf present and equal to _count, _sum/_count present.
+    for family, per_series in buckets.items():
+        for key, pairs in per_series.items():
+            bounds = [b for b, _ in pairs]
+            if bounds != sorted(bounds):
+                raise ExpositionError(
+                    0, family, f"series {key}: le not ascending: {bounds}"
+                )
+            values = [v for _, v in pairs]
+            if values != sorted(values):
+                raise ExpositionError(
+                    0, family,
+                    f"series {key}: bucket counts not cumulative: {values}",
+                )
+            if not bounds or bounds[-1] != math.inf:
+                raise ExpositionError(
+                    0, family, f"series {key}: no +Inf bucket"
+                )
+            total = counts.get(family, {}).get(key)
+            if total is None:
+                raise ExpositionError(
+                    0, family, f"series {key}: missing _count"
+                )
+            if values[-1] != total:
+                raise ExpositionError(
+                    0, family,
+                    f"series {key}: +Inf bucket {values[-1]} != _count "
+                    f"{total}",
+                )
+            if key not in sums.get(family, set()):
+                raise ExpositionError(
+                    0, family, f"series {key}: missing _sum"
+                )
+    return type_seen
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m tests.prometheus_validator FILE "
+            "(use /dev/stdin for a pipe)",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        families = validate(text)
+    except ExpositionError as err:
+        print(f"INVALID: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"valid Prometheus exposition: {len(families)} families, "
+        f"{len(text.splitlines())} lines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""OTLP/JSON egress: encoding, delivery, and drop-not-block semantics.
+
+The exporter's contract is that the serve path never blocks and never
+raises on collector failure: spans are buffered (bounded, drop-oldest)
+and an unreachable collector drops the batch and counts it.  Delivery
+runs against the in-process stub from tests/otlp_stub.py — the same
+stub the CI otlp-smoke job launches as a subprocess.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import Tracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.otlp import (
+    OTLPExporter,
+    encode_batch,
+    otlp_span_id,
+    otlp_trace_id,
+    span_to_otlp,
+)
+from tests.otlp_stub import OTLPCollectorStub
+
+
+def _spans(n: int = 3, seed: int = 7):
+    tracer = Tracer(trace_seed=seed)
+    tracer.enable_outbox()
+    tracer.begin("batch", "batch", "b0", 0.0, size=n)
+    for i in range(n):
+        tracer.complete("q", "query", f"q{i}", 0.0, 1.0 + i,
+                        parent_id="b0", session="s")
+    tracer.end("b0", 5.0)
+    return tracer.drain_outbox()
+
+
+class TestEncoding:
+    def test_ids_are_otlp_shaped(self):
+        assert len(otlp_trace_id("t0")) == 32
+        assert len(otlp_span_id("b0:launch")) == 16
+        # Already-32-hex trace ids pass through unchanged.
+        hex_id = "ab" * 16
+        assert otlp_trace_id(hex_id) == hex_id
+
+    def test_ids_are_deterministic(self):
+        assert otlp_span_id("b0") == otlp_span_id("b0")
+        assert otlp_span_id("b0") != otlp_span_id("b1")
+
+    def test_span_mapping(self):
+        span = _spans(1)[-1]  # the batch span (ended last)
+        out = span_to_otlp(span)
+        assert out["name"] == "batch"
+        assert out["traceId"] == otlp_trace_id(span["trace_id"])
+        assert out["spanId"] == otlp_span_id(f"{span['trace_id']}:b0")
+        assert out["status"] == {"code": 1}
+        assert int(out["endTimeUnixNano"]) == int(5.0 * 1e6)
+
+    def test_parent_link_survives_reencoding(self):
+        spans = _spans(1)
+        child = next(s for s in spans if s["span_id"] == "q0")
+        out = span_to_otlp(child)
+        assert out["parentSpanId"] == otlp_span_id(
+            f"{child['trace_id']}:b0"
+        )
+
+    def test_span_ids_unique_across_workers(self):
+        """Two workers both number their first batch ``b0``; the trace
+        salt keeps their OTLP span ids distinct after the fleet merge."""
+        a = span_to_otlp(_spans(1, seed=1)[-1])
+        b = span_to_otlp(_spans(1, seed=2)[-1])
+        assert a["spanId"] != b["spanId"]
+        assert a["traceId"] != b["traceId"]
+
+    def test_error_status(self):
+        out = span_to_otlp({"span_id": "x", "status": "backend-error",
+                            "t_start_ms": 0.0})
+        assert out["status"]["code"] == 2
+        assert "backend-error" in out["status"]["message"]
+
+    def test_batch_is_strict_json(self):
+        body = encode_batch(_spans(), service_name="repro-test")
+        text = json.dumps(body, allow_nan=False)
+        back = json.loads(text)
+        rs = back["resourceSpans"][0]
+        attrs = {a["key"]: a["value"] for a in rs["resource"]["attributes"]}
+        assert attrs["service.name"] == {"stringValue": "repro-test"}
+        assert len(rs["scopeSpans"][0]["spans"]) == 4
+
+
+class TestDelivery:
+    def test_spans_reach_the_stub_with_parentage(self):
+        with OTLPCollectorStub() as stub:
+            exporter = OTLPExporter(stub.endpoint, flush_ms=10_000.0)
+            exporter.export(_spans(2))
+            delivered = exporter.flush()
+            assert delivered == 3
+            received = stub.spans()
+        assert len(received) == 3
+        by_id = {s["spanId"]: s for s in received}
+        trace_key = _spans(1)[-1]["trace_id"]
+        batch_id = otlp_span_id(f"{trace_key}:b0")
+        assert batch_id in by_id
+        children = [s for s in received
+                    if s.get("parentSpanId") == batch_id]
+        assert len(children) == 2
+        assert all(s["traceId"] == by_id[batch_id]["traceId"]
+                   for s in children)
+        assert exporter.stats()["posts_ok"] == 1
+
+    def test_source_pull_on_flush(self):
+        tracer = Tracer(trace_seed=1)
+        tracer.enable_outbox()
+        with OTLPCollectorStub() as stub:
+            exporter = OTLPExporter(
+                stub.endpoint, source=tracer.drain_outbox
+            )
+            tracer.complete("q", "query", "q0", 0.0, 1.0)
+            assert exporter.flush() == 1
+            assert len(stub.spans()) == 1
+
+    def test_background_thread_lifecycle(self):
+        with OTLPCollectorStub() as stub:
+            exporter = OTLPExporter(stub.endpoint, flush_ms=20.0)
+            exporter.start()
+            exporter.start()  # idempotent
+            exporter.export(_spans(1))
+            exporter.stop(flush=True)
+            assert exporter.stats()["spans_exported"] == 2
+            assert len(stub.spans()) == 2
+
+
+class TestDropNotBlock:
+    def test_unreachable_collector_drops_and_counts(self):
+        stub = OTLPCollectorStub().start()
+        endpoint = stub.endpoint
+        stub.stop()  # port now refuses connections
+        exporter = OTLPExporter(endpoint, timeout_s=0.5)
+        exporter.export(_spans(2))
+        assert exporter.flush() == 0  # never raises
+        stats = exporter.stats()
+        assert stats["post_failures"] == 1
+        assert stats["spans_dropped"] == 3
+        assert stats["spans_exported"] == 0
+        assert stats["pending"] == 0  # the buffer belongs to new spans
+
+    def test_buffer_overflow_drops_oldest(self):
+        exporter = OTLPExporter("http://127.0.0.1:1/v1/traces", max_buffer=2)
+        exporter.export([{"span_id": f"s{i}"} for i in range(5)])
+        assert exporter.pending() == 2
+        assert exporter.stats()["spans_dropped"] == 3
+
+    def test_collector_death_mid_run_only_counts(self):
+        """The satellite-5 scenario in miniature: collector dies between
+        flushes; later spans are dropped + counted, nothing raises, and
+        a recovered buffer keeps accepting spans."""
+        stub = OTLPCollectorStub().start()
+        exporter = OTLPExporter(stub.endpoint, timeout_s=0.5)
+        exporter.export(_spans(1))
+        assert exporter.flush() == 2
+        stub.stop()  # the mid-run kill
+        exporter.export(_spans(1))
+        assert exporter.flush() == 0
+        stats = exporter.stats()
+        assert stats["spans_exported"] == 2
+        assert stats["spans_dropped"] == 2
+        assert stats["post_failures"] == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            OTLPExporter("http://x", flush_ms=0)
+        with pytest.raises(ValueError):
+            OTLPExporter("http://x", max_buffer=0)
+
+
+class TestMetricsMirror:
+    def test_sync_metrics_is_delta_based(self):
+        registry = MetricsRegistry()
+        exporter = OTLPExporter("http://127.0.0.1:1/v1/traces", timeout_s=0.2)
+        exporter.export(_spans(1))
+        exporter.flush()  # fails: 2 spans dropped, 1 post failure
+        exporter.sync_metrics(registry)
+        exporter.sync_metrics(registry)  # second sync must not double
+        export = registry.to_dict()
+        assert export["otlp_spans_dropped_total"]["series"][0]["value"] == 2
+        assert export["otlp_post_failures_total"]["series"][0]["value"] == 1
+        assert "otlp_spans_exported_total" not in export or (
+            export["otlp_spans_exported_total"]["series"] == []
+        )

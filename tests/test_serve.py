@@ -8,7 +8,6 @@ over HTTP, and the chaos test asserts the acceptance criterion that
 """
 
 import json
-import re
 import urllib.request
 
 import numpy as np
@@ -24,36 +23,17 @@ from repro.service.serve import (
 from repro.service.service import ServiceConfig, TraversalService
 from repro.telemetry import SLOConfig, TelemetryConfig
 
-#: sample line of the exposition format: name{labels} value
-_SAMPLE_RE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\")*\})?"
-    r" -?[0-9.eE+-]+(?:[0-9]|inf|nan)?$"
-)
-
-
 def assert_valid_prometheus(text: str) -> None:
-    """Structural validation of the text exposition format: every line
-    is a HELP/TYPE comment or a sample; HELP precedes its samples."""
-    seen_help = set()
-    for line in text.splitlines():
-        if not line:
-            continue
-        if line.startswith("# HELP "):
-            seen_help.add(line.split()[2])
-            assert "\n" not in line
-            continue
-        if line.startswith("# TYPE "):
-            parts = line.split()
-            assert parts[3] in ("counter", "gauge", "histogram", "untyped")
-            continue
-        assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
-        name = re.split(r"[{ ]", line, 1)[0]
-        family = re.sub(r"_(bucket|sum|count)$", "", name)
-        assert name in seen_help or family in seen_help, (
-            f"sample before HELP: {line!r}"
-        )
+    """Strict structural validation of the text exposition format.
+
+    Delegates to :mod:`tests.prometheus_validator` (label escaping,
+    HELP/TYPE ordering, family contiguity, exemplar syntax, histogram
+    bucket structure) — the same validator CI pipes live scrapes
+    through.  Kept here because test_fleet.py imports it by this name.
+    """
+    from tests.prometheus_validator import validate
+
+    validate(text)
 
 
 def _service(**kw) -> TraversalService:

@@ -1,0 +1,152 @@
+"""Distributed-tracing unit layer: TraceContext, ring, outbox, identity.
+
+The cross-process pieces (router stamping, worker adoption, fleet
+assembly) live in test_fleet_tracing.py; this file proves the tracer
+primitives they build on — deterministic trace ids, context
+activation/restore, parent inheritance, the bounded finished-span ring
+(satellite: spans must not accumulate for the life of the process),
+and the outbox that ships finished spans across the wire.
+"""
+
+import pytest
+
+from repro.telemetry import Telemetry, TraceContext, Tracer, derive_trace_id
+from repro.telemetry.tracing import DEFAULT_OUTBOX_CAPACITY
+
+
+class TestDeriveTraceId:
+    def test_deterministic_and_distinct(self):
+        a = derive_trace_id(7, "ticket:0")
+        assert a == derive_trace_id(7, "ticket:0")
+        assert a != derive_trace_id(7, "ticket:1")
+        assert a != derive_trace_id(8, "ticket:0")
+
+    def test_shape(self):
+        tid = derive_trace_id(0, "x")
+        assert len(tid) == 32
+        assert set(tid) <= set("0123456789abcdef")
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext.derive(7, "ticket:3", "t3", clock_offset_ms=12.5)
+        back = TraceContext.from_wire(ctx.to_wire())
+        assert back == ctx
+
+    def test_from_wire_none(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+
+    def test_activation_stamps_new_spans(self):
+        tracer = Tracer(trace_seed=7)
+        ctx = TraceContext.derive(7, "ticket:0", "t0")
+        prev = tracer.activate(ctx)
+        assert prev is None
+        span = tracer.begin("query", "query", "q1", 1.0)
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id == "t0"
+        tracer.activate(prev)
+        assert tracer.context is None
+
+    def test_explicit_parent_keeps_context_trace(self):
+        tracer = Tracer(trace_seed=7)
+        tracer.activate(TraceContext.derive(7, "ticket:0", "t0"))
+        tracer.begin("batch", "batch", "b0", 1.0)
+        launch = tracer.begin("launch", "launch", "b0:launch", 2.0,
+                              parent_id="b0")
+        assert launch.parent_id == "b0"
+        assert launch.trace_id == derive_trace_id(7, "ticket:0")
+
+    def test_open_parent_inheritance_without_context(self):
+        tracer = Tracer(trace_seed=3)
+        parent = tracer.begin("batch", "batch", "b0", 1.0)
+        child = tracer.begin("launch", "launch", "b0:launch", 2.0,
+                             parent_id="b0")
+        assert child.trace_id == parent.trace_id
+
+    def test_local_identity_is_seed_derived(self):
+        a = Tracer(trace_seed=7).begin("q", "query", "q1", 0.0)
+        b = Tracer(trace_seed=7).begin("q", "query", "q1", 0.0)
+        c = Tracer(trace_seed=8).begin("q", "query", "q1", 0.0)
+        assert a.trace_id == b.trace_id == derive_trace_id(7, "q1")
+        assert c.trace_id != a.trace_id
+
+
+class TestRingBuffer:
+    def test_evicts_oldest_and_counts(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(4):
+            tracer.complete("q", "query", f"q{i}", 0.0, 1.0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        kept = [s.span_id for s in tracer.spans()]
+        assert kept == ["q2", "q3"]
+
+    def test_on_drop_callback_fires_per_eviction(self):
+        fired = []
+        tracer = Tracer(max_spans=1)
+        tracer.on_drop = lambda: fired.append(1)
+        for i in range(3):
+            tracer.complete("q", "query", f"q{i}", 0.0, 1.0)
+        assert len(fired) == 2
+
+    def test_facade_wires_dropped_counter(self):
+        tel = Telemetry.on(max_spans=1)
+        tel.tracer.complete("q", "query", "q0", 0.0, 1.0)
+        tel.tracer.complete("q", "query", "q1", 0.0, 1.0)
+        export = tel.registry.to_dict()
+        family = export["tracer_spans_dropped_total"]
+        assert family["series"][0]["value"] == 1
+
+    def test_evicted_open_span_cannot_leak(self):
+        tracer = Tracer(max_spans=1)
+        tracer.begin("a", "query", "a", 0.0)
+        tracer.begin("b", "query", "b", 1.0)  # evicts open span a
+        assert tracer.end("a", 2.0) is None
+        assert tracer.end("b", 2.0) is not None
+
+
+class TestOutbox:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.complete("q", "query", "q0", 0.0, 1.0)
+        assert not tracer.outbox_enabled
+        assert tracer.drain_outbox() == []
+
+    def test_collects_finished_spans_once(self):
+        tracer = Tracer(trace_seed=7)
+        tracer.enable_outbox()
+        tracer.begin("q", "query", "q0", 0.0)
+        tracer.end("q0", 1.0)
+        tracer.complete("b", "batch", "b0", 0.0, 2.0)
+        shipped = tracer.drain_outbox()
+        assert [s["span_id"] for s in shipped] == ["q0", "b0"]
+        assert shipped[0]["trace_id"] == derive_trace_id(7, "q0")
+        assert tracer.drain_outbox() == []
+
+    def test_bounded_with_drop_count(self):
+        tracer = Tracer()
+        tracer.enable_outbox(capacity=2)
+        for i in range(5):
+            tracer.complete("q", "query", f"q{i}", 0.0, 1.0)
+        shipped = tracer.drain_outbox()
+        assert [s["span_id"] for s in shipped] == ["q3", "q4"]
+        assert tracer.outbox_dropped == 3
+
+    def test_default_capacity(self):
+        tracer = Tracer()
+        tracer.enable_outbox()
+        assert tracer.outbox_capacity == DEFAULT_OUTBOX_CAPACITY
+
+
+class TestZeroCostOff:
+    def test_disabled_telemetry_has_no_tracer(self):
+        tel = Telemetry.disabled()
+        assert not tel.enabled
+        assert tel.tracer is None
+
+    def test_config_validation_still_applies(self):
+        from repro.telemetry import TelemetryConfig
+
+        with pytest.raises(ValueError):
+            TelemetryConfig(enabled=True, max_spans=0)
