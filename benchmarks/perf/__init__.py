@@ -34,6 +34,7 @@ Results land in ``BENCH_perf.json`` (override with ``--out``).
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
@@ -315,6 +316,77 @@ def _merge_seed_speedups(report: dict, seed: Optional[dict]) -> None:
     report["max_lockstep_speedup_vs_seed"] = max(lockstep) if lockstep else None
 
 
+def measure_telemetry_overhead(
+    engines: Tuple[str, ...] = ("interp", "compiled", "codegen"),
+    n_points: int = 2048,
+    n_queries: int = 512,
+    repeat: int = 3,
+    log=print,
+) -> List[dict]:
+    """Time the service layer with telemetry off vs fully on, per engine.
+
+    The zero-cost-when-disabled claim (``docs/OBSERVABILITY.md``) is a
+    design goal of the telemetry layer: with ``enabled=False`` every
+    hook reduces to one ``is not None`` branch per batch.  This probe
+    measures it instead of asserting it: the same seeded query stream
+    runs through two :class:`~repro.service.service.TraversalService`
+    instances — telemetry disabled, and telemetry fully enabled
+    (metrics + tracing + structured log + flight recorder + per-launch
+    profiling) — and the best-of-``repeat`` wall times land in the
+    report meta.  Memoization is off so every query executes; tree
+    build and plan compile happen before the clock starts.
+
+    ``overhead_pct`` can dip below zero on a noisy machine — it is a
+    measurement, not a floor check.
+    """
+    from repro.service.service import ServiceConfig, TraversalService
+    from repro.telemetry import TelemetryConfig
+
+    modes = (
+        ("off", TelemetryConfig(enabled=False)),
+        ("on", TelemetryConfig(enabled=True, profile_sample_rate=1)),
+    )
+    rows: List[dict] = []
+    for engine in engines:
+        walls: Dict[str, float] = {}
+        for mode, tel in modes:
+            best = math.inf
+            for _ in range(repeat):
+                rng = np.random.default_rng(1234)
+                data = rng.random((n_points, 2))
+                queries = rng.random((n_queries, 2))
+                svc = TraversalService(
+                    ServiceConfig(
+                        engine=engine,
+                        telemetry=tel,
+                        memo_capacity=0,
+                        max_batch=64,
+                    )
+                )
+                svc.register("pc", "pc", data, radius=0.05)
+                t0 = time.perf_counter()
+                svc.query_many("pc", queries)
+                best = min(best, time.perf_counter() - t0)
+            walls[mode] = best
+        rows.append(
+            {
+                "engine": engine,
+                "queries": n_queries,
+                "telemetry_off_s": round(walls["off"], 4),
+                "telemetry_on_s": round(walls["on"], 4),
+                "overhead_pct": round(
+                    100.0 * (walls["on"] - walls["off"]) / walls["off"], 1
+                ),
+            }
+        )
+        log(
+            f"telemetry overhead {engine}: off {walls['off']:.4f}s, "
+            f"on {walls['on']:.4f}s "
+            f"({rows[-1]['overhead_pct']:+.1f}%)"
+        )
+    return rows
+
+
 @dataclass
 class Row:
     """One timed (workload, executor, engine) cell."""
@@ -586,6 +658,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip timing the seed (root-commit) executors",
     )
     ap.add_argument(
+        "--no-telemetry-overhead",
+        action="store_true",
+        help="skip the service-layer telemetry on/off overhead probe",
+    )
+    ap.add_argument(
         "--verify-visits",
         action="store_true",
         help="also record and compare full visit logs (slower)",
@@ -613,6 +690,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
     )
     report["meta"]["jobs"] = args.jobs
+    if not args.no_telemetry_overhead:
+        report["meta"]["telemetry_overhead"] = measure_telemetry_overhead()
     if not args.smoke and not args.no_seed_baseline:
         timed = {(w[0], w[1], w[2]) for w in workloads}
         seed_set = tuple(

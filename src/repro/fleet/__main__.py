@@ -15,10 +15,17 @@ and serves the aggregated pull endpoints:
 * ``/tracez`` — the merged fleet timeline: worker spans (shipped back
   over the wire) assembled under the router's ticket spans, one trace
   per scatter/gather ticket (``?format=chrome`` for trace_event JSON);
+* ``/logz`` — the merged fleet log stream: worker event-log records
+  (shipped back over the wire like spans) plus the router's own,
+  filterable by level / worker / trace id — a ticket's logs, spans,
+  and latency exemplars join on the same trace id;
+* ``/debugz`` — one strict-JSON fleet diagnostics snapshot (config,
+  ring placement, breaker states, recent errors with trace ids);
 * ``/profilez`` — per-worker kernel-profiler snapshots.
 
-``--otlp-endpoint`` additionally ships every assembled span to an
-OTLP/JSON collector on a background thread (bounded buffer, drop
+``--otlp-endpoint`` additionally ships every assembled span, the
+merged fleet metrics export, and every assembled log record to an
+OTLP/JSON collector on a background thread (bounded buffers, drop
 counters — an unreachable collector never blocks the serve path).
 
 SIGTERM/SIGINT fans a graceful drain out to every worker; the process
@@ -112,11 +119,17 @@ def main(argv=None) -> int:
         "no span piggybacking, /tracez reports enabled=false)",
     )
     tracing.add_argument(
+        "--no-log", action="store_true",
+        help="disable structured logging (no log piggybacking, /logz "
+        "reports enabled=false)",
+    )
+    tracing.add_argument(
         "--otlp-endpoint", default=None, metavar="URL",
-        help="OTLP/JSON collector URL (e.g. http://host:4318/v1/traces); "
-        "spans assembled by the router ship there on a background "
-        "thread — an unreachable collector only increments drop "
-        "counters, it never blocks serving",
+        help="OTLP/JSON collector URL (e.g. http://host:4318); the "
+        "router ships assembled spans, merged fleet metrics, and the "
+        "assembled log stream (/v1/traces, /v1/metrics, /v1/logs) on "
+        "a background thread — an unreachable collector only "
+        "increments drop counters, it never blocks serving",
     )
     tracing.add_argument(
         "--otlp-flush-ms", type=float, default=1000.0,
@@ -213,6 +226,7 @@ def main(argv=None) -> int:
         ),
         fleet_chaos=fleet_chaos,
         trace=not args.no_trace,
+        log=not args.no_log,
     )
     router = FleetRouter(config)
     router.start()

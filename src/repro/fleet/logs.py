@@ -1,0 +1,125 @@
+"""Fleet-wide log assembly: one structured event stream from many workers.
+
+Workers log locally (their :class:`~repro.telemetry.logging.EventLog`
+outbox collects structured records as plain dicts) and ship those
+dicts back to the router exactly like finished spans — piggybacked on
+submit/run_load/drain replies, plus periodic ``log_drain`` sweeps.
+:class:`FleetLogAssembler` is where the streams meet: each record is
+tagged with the worker it came from, retained in one bounded
+drop-oldest ring, and exported as the fleet ``/logz`` payload with
+level / worker / trace-id filters, so a scatter/gather ticket's
+records from three shards read as one correlated stream joined on the
+ticket's trace id.
+
+Ordering is deterministic: :meth:`records` sorts by ``(t_ms, worker,
+seq)`` — all values that are pure functions of the fleet seed — so two
+same-seed runs produce bit-identical log streams no matter how reply
+frames interleaved on the wire.
+
+An optional ``sink`` (the OTLP exporter's ``export_logs``) observes
+every ingested batch, which is how fleet logs reach a collector
+without the router growing a second shipping path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.telemetry.logging import level_rank
+
+#: the worker label the router tags its own records with.
+ROUTER_WORKER = "router"
+
+DEFAULT_CAPACITY = 50_000
+
+
+class FleetLogAssembler:
+    """Bounded, worker-tagged ring of structured log-record dicts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._records: Deque[dict] = deque()
+        self.ingested = 0
+        self.dropped = 0
+        #: optional callable(List[dict]) observing every ingested batch
+        #: (wired to :meth:`repro.telemetry.otlp.OTLPExporter.export_logs`).
+        self.sink: Optional[Callable[[List[dict]], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def ingest(self, worker: str, record_dicts) -> int:
+        """Absorb one worker's batch of log-record dicts.
+
+        Returns the number of records absorbed.  ``record_dicts`` may
+        be None or empty (replies without a ``logs`` key cost nothing).
+        """
+        if not record_dicts:
+            return 0
+        tagged = [{**rec, "worker": worker} for rec in record_dicts]
+        for rec in tagged:
+            if len(self._records) >= self.capacity:
+                self._records.popleft()
+                self.dropped += 1
+            self._records.append(rec)
+        self.ingested += len(tagged)
+        if self.sink is not None:
+            try:
+                self.sink(tagged)
+            except Exception:
+                pass  # egress must never break assembly
+        return len(tagged)
+
+    def records(
+        self,
+        level: Optional[str] = None,
+        worker: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> List[dict]:
+        """Retained records in deterministic timeline order.
+
+        ``level`` is a severity *floor* (``warn`` keeps warn + error);
+        ``worker`` and ``trace_id`` are exact matches.
+        """
+        floor = level_rank(level) if level is not None else 0
+        out = [
+            r for r in self._records
+            if level_rank(str(r.get("level", "info"))) >= floor
+            and (worker is None or r.get("worker") == worker)
+            and (trace_id is None or r.get("trace_id") == trace_id)
+        ]
+        out.sort(
+            key=lambda r: (
+                float(r.get("t_ms") or 0.0),
+                str(r.get("worker", "")),
+                int(r.get("seq") or 0),
+            )
+        )
+        return out
+
+    def workers(self) -> List[str]:
+        """Every worker label seen, router first, then sorted."""
+        seen = {str(r.get("worker", "")) for r in self._records}
+        rest = sorted(w for w in seen if w != ROUTER_WORKER)
+        return ([ROUTER_WORKER] if ROUTER_WORKER in seen else []) + rest
+
+    def to_dict(
+        self,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+        worker: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """The fleet ``/logz`` payload: merged records + accounting."""
+        records = self.records(level=level, worker=worker, trace_id=trace_id)
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return {
+            "records": records,
+            "workers": self.workers(),
+            "ingested": self.ingested,
+            "dropped": self.dropped,
+        }

@@ -73,11 +73,14 @@ from repro.fleet.supervisor import (
     FleetSupervisor,
     RestartPolicy,
 )
+from repro.fleet.logs import FleetLogAssembler
 from repro.fleet.tracing import FleetTraceAssembler, ROUTER_WORKER
 from repro.fleet.worker import worker_main
 from repro.service.serve import JSON_CONTENT_TYPE, METRICS_CONTENT_TYPE
 from repro.telemetry import (
+    EventLog,
     FlightRecorder,
+    LEVELS,
     MetricsRegistry,
     TraceContext,
     Tracer,
@@ -131,6 +134,12 @@ class FleetConfig:
     trace: bool = True
     #: fleet trace assembler ring capacity (merged finished spans).
     trace_capacity: int = 50_000
+    #: structured logging: assemble the workers' event-log streams in
+    #: the router, expose the merged stream at /logz.  Off ⇒ frames
+    #: carry no ``logs`` keys and the router allocates no assembler.
+    log: bool = True
+    #: fleet log assembler ring capacity (merged log records).
+    log_capacity: int = 50_000
 
 
 #: router-side breaker states.
@@ -235,6 +244,19 @@ class FleetRouter:
         self.trace = (
             FleetTraceAssembler(capacity=self.config.trace_capacity)
             if self.config.trace
+            else None
+        )
+        #: fleet-wide log assembly + the router's own structured log
+        #: (None when logging is off: frames carry no ``logs`` keys and
+        #: the router pays nothing on the query path).
+        self.logs = (
+            FleetLogAssembler(capacity=self.config.log_capacity)
+            if self.config.log
+            else None
+        )
+        self.log = (
+            EventLog(capacity=self.config.log_capacity, tracer=self.tracer)
+            if self.config.log
             else None
         )
         #: optional OTLP egress (attach_otlp); never blocks the router.
@@ -417,6 +439,10 @@ class FleetRouter:
             handle.id, self.observe_now(now), reason
         )
         self._m["deaths"].inc(worker=handle.id)
+        self._rlog(
+            "error", "fleet.worker_death", self.now_ms,
+            worker=handle.id, reason=reason,
+        )
         self._update_worker_gauges()
 
     def _update_worker_gauges(self) -> None:
@@ -442,6 +468,10 @@ class FleetRouter:
         for worker in self.live_workers():  # sorted: deterministic order
             if self.chaos.should_kill(worker, now):
                 self._m["chaos"].inc(kind="kill", worker=worker)
+                self._rlog(
+                    "warn", "fleet.chaos", float(now),
+                    kind="kill", worker=worker,
+                )
                 try:
                     self.handles[worker].proc.kill()
                 except (OSError, ValueError):
@@ -595,6 +625,77 @@ class FleetRouter:
             return 0
         return self.trace.ingest(worker, wire.to_jsonable(spans))
 
+    # -- structured logging ----------------------------------------------
+
+    def _ingest_logs(self, worker: str, records) -> int:
+        """Feed one worker's piggybacked log records to the assembler
+        (strict-JSON-converted: numpy never reaches /logz or OTLP)."""
+        if self.logs is None or not records:
+            return 0
+        return self.logs.ingest(worker, wire.to_jsonable(records))
+
+    def _rlog(self, level: str, event: str, t_ms: float,
+              trace_id: Optional[str] = None, **fields) -> None:
+        """One router-side log record, immediately visible in /logz.
+
+        Router records skip the outbox: they are minted in-process, so
+        they go straight to the assembler tagged ``router`` — same
+        worker-tagging discipline as router spans.
+        """
+        if self.log is None:
+            return
+        rec = self.log.log(level, event, t_ms, trace_id=trace_id, **fields)
+        if self.logs is not None:
+            self.logs.ingest(ROUTER_WORKER, [rec])
+
+    def drain_logs(self) -> int:
+        """Sweep every live worker's event-log outbox into the
+        assembler (the ``log_drain`` counterpart of :meth:`drain_spans`).
+        Returns records absorbed."""
+        if self.logs is None:
+            return 0
+        replies, _ = self.broadcast("log_drain")
+        absorbed = 0
+        for worker, reply in sorted(replies.items()):
+            absorbed += self._ingest_logs(worker, reply.get("logs"))
+        return absorbed
+
+    def logz(
+        self,
+        limit: Optional[int] = None,
+        level: Optional[str] = None,
+        worker: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """The fleet ``/logz`` payload: sweep, then the merged stream."""
+        if self.logs is None:
+            return {"enabled": False, "records": [], "workers": []}
+        self.drain_logs()
+        payload = self.logs.to_dict(
+            limit=limit, level=level, worker=worker, trace_id=trace_id
+        )
+        payload["enabled"] = True
+        return payload
+
+    def _sync_log_counters(self) -> None:
+        """Mirror log-assembler totals into fleet_* counters
+        (delta-based, safe on every scrape)."""
+        if self.logs is None:
+            return
+        for name, help_text, total in (
+            ("fleet_log_records_ingested_total",
+             "log records absorbed by the fleet log assembler",
+             self.logs.ingested),
+            ("fleet_log_records_dropped_total",
+             "log records evicted from the fleet log assembler ring",
+             self.logs.dropped),
+        ):
+            counter = self.registry.counter(name, help_text)
+            delta = total - self._trace_synced.get(name, 0)
+            if delta > 0:
+                counter.inc(delta)
+                self._trace_synced[name] = total
+
     def _begin_ticket(self, session: str, rows: int):
         """Open the router-side ticket span and build the TraceContext
         workers adopt.  Trace identity is ``derive_trace_id(seed,
@@ -660,13 +761,108 @@ class FleetRouter:
             "unreachable": sorted(failures),
         }
 
+    def flight_dumps(self) -> dict:
+        """Every flight-recorder dump in the fleet, reachable
+        router-side.
+
+        Broadcasts the ``flight`` verb: each worker answers its full
+        FlightRecorder export (failure dumps frozen by ServiceErrors on
+        that shard) and the router adds its own recovery recorder — so
+        a worker-side failure at any ``--flight-capacity`` is
+        recoverable without attaching to the worker process.
+        """
+        replies, failures = self.broadcast("flight")
+        workers = {w: r.get("flight") for w, r in sorted(replies.items())}
+        return {
+            "router": wire.to_jsonable(self.flight.to_dict()),
+            "workers": workers,
+            "unreachable": sorted(failures),
+        }
+
+    def debugz(self, recent_errors: int = 20) -> dict:
+        """One strict-JSON diagnostics snapshot of the whole fleet:
+        config, ring placement, breaker states, telemetry accounting,
+        and the most recent error-level records with their trace ids."""
+        from dataclasses import asdict
+
+        errors: List[dict] = []
+        if self.logs is not None:
+            self.drain_logs()
+            errors = self.logs.records(level="error")[-recent_errors:]
+        live = self.live_workers()
+        return {
+            "config": wire.to_jsonable(asdict(self.config)),
+            "now_ms": self.now_ms,
+            "workers": {
+                w: {
+                    "breaker": h.breaker.state,
+                    "reason": h.breaker.reason,
+                    "trips": h.breaker.trips,
+                    "recoveries": h.breaker.recoveries,
+                    "incarnation": h.incarnation,
+                    "in_ring": w in self.ring,
+                }
+                for w, h in sorted(self.handles.items())
+            },
+            "ring": {
+                "live": live,
+                "dead": self.dead_workers(),
+                "evicted": self.supervisor.evicted_workers(),
+                "placements": {
+                    s: self.place(s) for s in sorted(self.sessions)
+                },
+            },
+            "sessions": {
+                "names": sorted(self.sessions),
+                "coverage": self.ledger.coverage(live),
+                "partial": self.ledger.partial_registrations(live),
+            },
+            "supervision": self.supervisor.snapshot(),
+            "telemetry": {
+                "trace": (
+                    {
+                        "retained": len(self.trace),
+                        "ingested": self.trace.ingested,
+                        "dropped": self.trace.dropped,
+                    }
+                    if self.trace is not None else None
+                ),
+                "logs": (
+                    {
+                        "retained": len(self.logs),
+                        "ingested": self.logs.ingested,
+                        "dropped": self.logs.dropped,
+                    }
+                    if self.logs is not None else None
+                ),
+                "otlp": self.otlp.stats() if self.otlp is not None else None,
+            },
+            "recent_errors": errors,
+        }
+
     def attach_otlp(self, exporter) -> None:
         """Wire an :class:`~repro.telemetry.otlp.OTLPExporter` as the
-        assembler's sink and start its background flush thread."""
+        assemblers' sink (spans + logs), point its metrics source at
+        the merged fleet export, and start its flush thread."""
         self.otlp = exporter
         if self.trace is not None:
             self.trace.sink = exporter.export
+        if self.logs is not None:
+            self.logs.sink = exporter.export_logs
+        exporter.metrics_source = self._otlp_metrics_snapshot
+        exporter.clock = lambda: self.now_ms
         exporter.start()
+
+    def _otlp_metrics_snapshot(self) -> dict:
+        """Metrics payload for OTLP flushes: the merged fleet export
+        while workers answer, the router's own registry after drain
+        (a post-drain broadcast would only manufacture worker deaths)."""
+        if self._drained:
+            return self.registry.to_dict()
+        try:
+            return self.metrics_export()
+        except Exception:
+            return self.registry.to_dict()
 
     def _sync_trace_counters(self) -> None:
         """Mirror assembler totals into fleet_* counters (delta-based,
@@ -752,6 +948,7 @@ class FleetRouter:
                 raise
         self.observe_now(reply.get("now_ms"))
         self._ingest_spans(worker, reply.get("spans"))
+        self._ingest_logs(worker, reply.get("logs"))
         return reply
 
     def _routed_submit(
@@ -834,6 +1031,7 @@ class FleetRouter:
                     parts[handle.id] = reply["results"]
                     self.observe_now(reply.get("now_ms"))
                     self._ingest_spans(handle.id, reply.get("spans"))
+                    self._ingest_logs(handle.id, reply.get("logs"))
                 except (wire.WorkerGone, wire.WireError) as exc:
                     if isinstance(exc, wire.WorkerGone):
                         self._trip(handle, str(exc), now=now)
@@ -886,6 +1084,11 @@ class FleetRouter:
         if owner is None:
             return
         self._m["scatter_retries"].inc()
+        self._rlog(
+            "warn", "fleet.scatter_retry", self.now_ms,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            session=session, rows=len(lost), worker=owner,
+        )
         if tspan is not None:
             # The retried rows run under the SAME context: their spans
             # parent under the original ticket's trace id, so a chaos
@@ -916,6 +1119,7 @@ class FleetRouter:
         for worker, reply in sorted(replies.items()):
             self.observe_now(reply.get("now_ms"))
             self._ingest_spans(worker, reply.get("spans"))
+            self._ingest_logs(worker, reply.get("logs"))
         for worker, reason in failures.items():
             replies[worker] = {"ok": False, "error": reason}
         return replies
@@ -964,6 +1168,10 @@ class FleetRouter:
                         handle.breaker.reason = (
                             f"evicted (restart budget exhausted): "
                             f"{handle.breaker.reason}"
+                        )
+                        self._rlog(
+                            "error", "fleet.evicted", now, worker=worker,
+                            reason=handle.breaker.reason,
                         )
                         self._update_worker_gauges()
                     actions[worker] = "evicted"
@@ -1034,6 +1242,11 @@ class FleetRouter:
                                 error=str(exc))
                 self.flight.record(handle.id, span.to_dict())
                 self._ingest_spans(ROUTER_WORKER, [span.to_dict()])
+                self._rlog(
+                    "error", "fleet.restart_failed", self.now_ms,
+                    worker=handle.id, incarnation=handle.incarnation,
+                    error=str(exc),
+                )
                 return False
         with self._state_lock:
             if handle.id not in self.ring:
@@ -1052,6 +1265,10 @@ class FleetRouter:
         # Satellite contract: a heal is visible on the same merged
         # /tracez timeline as the tickets it delayed.
         self._ingest_spans(ROUTER_WORKER, [span.to_dict()])
+        self._rlog(
+            "info", "fleet.restarted", self.now_ms, worker=handle.id,
+            incarnation=handle.incarnation, sessions_replayed=replayed,
+        )
         return True
 
     def _replay_sessions(self, handle: WorkerHandle, span) -> int:
@@ -1089,6 +1306,7 @@ class FleetRouter:
             if r.get("metrics") is not None
         }
         self._sync_trace_counters()
+        self._sync_log_counters()
         if self.otlp is not None:
             self.otlp.sync_metrics(self.registry)
         merged = merge_labeled_exports(exports, label="worker")
@@ -1209,6 +1427,15 @@ class FleetRouter:
                     if self.trace is not None
                     else None
                 ),
+                "logs": (
+                    {
+                        "retained": len(self.logs),
+                        "ingested": self.logs.ingested,
+                        "dropped": self.logs.dropped,
+                    }
+                    if self.logs is not None
+                    else None
+                ),
                 "otlp": self.otlp.stats() if self.otlp is not None else None,
             },
             "aggregate": agg,
@@ -1230,21 +1457,34 @@ class FleetRouter:
         the drain not-ok by definition (its queries cannot be
         accounted for).
         """
-        self.drain_spans()  # final sweep while the workers still answer
+        self.drain_spans()  # final sweeps while the workers still answer
+        self.drain_logs()
         report: Dict[str, dict] = dict(self._drained)
         for worker in self.live_workers():
             handle = self.handles[worker]
             try:
                 reply = self._call(worker, "drain")
                 self._ingest_spans(worker, reply.get("spans"))
+                self._ingest_logs(worker, reply.get("logs"))
                 report[worker] = {
                     "pending": int(reply.get("pending", -1)),
                     "drained": bool(reply.get("drained", False)),
                 }
+                self._rlog(
+                    "info" if report[worker]["drained"] else "warn",
+                    "fleet.drain_verdict", self.now_ms, worker=worker,
+                    pending=report[worker]["pending"],
+                    drained=report[worker]["drained"],
+                )
             except (wire.WorkerGone, wire.WireError) as exc:
                 report[worker] = {
                     "pending": -1, "drained": False, "error": str(exc),
                 }
+                self._rlog(
+                    "error", "fleet.drain_verdict", self.now_ms,
+                    worker=worker, pending=-1, drained=False,
+                    error=str(exc),
+                )
         deadline = time.monotonic() + timeout_s
         for worker, handle in sorted(self.handles.items()):
             remaining = max(0.0, deadline - time.monotonic())
@@ -1342,7 +1582,11 @@ class FleetServer:
     Routes: ``/metrics`` (merged exposition), ``/healthz`` (fleet
     readiness, 503 while degraded), ``/statsz`` (strict-JSON fleet
     snapshot), ``/tracez`` (merged fleet timeline, ``?format=chrome``
-    for trace_event JSON), ``/profilez`` (per-worker kernel profiles).
+    for trace_event JSON), ``/logz`` (merged structured log stream,
+    filterable by level / worker / trace id), ``/debugz`` (one
+    strict-JSON diagnostics snapshot), ``/profilez`` (per-worker
+    kernel profiles).  Malformed query params answer 400 with a JSON
+    error body, never a 500 traceback.
     A background load pump fans seeded synthetic ticks to
     the workers so a scraped fleet shows a live, moving system, and a
     supervision loop heals dead workers (restart + ledger replay) so a
@@ -1420,7 +1664,7 @@ class FleetServer:
                 target=self._heal_loop, name="fleet-healer", daemon=True
             )
             self._healer.start()
-        if self.router.trace is not None:
+        if self.router.trace is not None or self.router.logs is not None:
             self._trace_pump = threading.Thread(
                 target=self._trace_loop, name="fleet-trace-drain", daemon=True
             )
@@ -1452,13 +1696,15 @@ class FleetServer:
             self._halt.wait(self.heal_interval_s)
 
     def _trace_loop(self) -> None:
-        """Periodic trace_drain sweep: spans stranded between submits
-        (or orphaned by a worker death) still reach the assembler."""
+        """Periodic trace_drain + log_drain sweep: spans and log
+        records stranded between submits (or orphaned by a worker
+        death) still reach the assemblers."""
         while not self._halt.is_set():
             try:
                 self.router.drain_spans()
+                self.router.drain_logs()
             except Exception:
-                pass  # trace collection must never kill serving
+                pass  # telemetry collection must never kill serving
             self._halt.wait(self.trace_interval_s)
 
     def shutdown(self) -> Dict[str, Any]:
@@ -1510,9 +1756,13 @@ class FleetServer:
             health = self.router.healthz()
             return self._json(200 if health["ok"] else 503, health)
         if route == "/statsz":
-            return self._json(200, self.router.statsz())
+            return self._statsz(parts.query)
         if route == "/tracez":
             return self._tracez(parts.query)
+        if route == "/logz":
+            return self._logz(parts.query)
+        if route == "/debugz":
+            return self._json(200, self.router.debugz())
         if route == "/profilez":
             return self._json(200, self.router.profilez())
         return self._json(
@@ -1520,29 +1770,71 @@ class FleetServer:
             {
                 "error": f"no route {route!r}",
                 "routes": [
-                    "/metrics", "/healthz", "/statsz", "/tracez", "/profilez",
+                    "/metrics", "/healthz", "/statsz", "/tracez", "/logz",
+                    "/debugz", "/profilez",
                 ],
             },
         )
+
+    @staticmethod
+    def _parse_limit(params: dict):
+        """``?limit=N`` → (limit, error_payload).  Malformed or negative
+        values are a client error (400 + JSON body), never a traceback.
+        """
+        if "limit" not in params:
+            return None, None
+        raw = params["limit"][-1]
+        try:
+            limit = int(raw)
+        except ValueError:
+            return None, {"error": f"limit must be an integer, got {raw!r}"}
+        if limit < 0:
+            return None, {"error": f"limit must be >= 0, got {limit}"}
+        return limit, None
+
+    def _statsz(self, query: str) -> Tuple[int, str, bytes]:
+        _, bad = self._parse_limit(parse_qs(query))
+        if bad is not None:
+            return self._json(400, bad)
+        return self._json(200, self.router.statsz())
 
     def _tracez(self, query: str) -> Tuple[int, str, bytes]:
         """Merged fleet timeline; ``?limit=N`` caps the span list and
         ``?format=chrome`` returns the Chrome trace_event export."""
         params = parse_qs(query)
-        limit: Optional[int] = None
-        if "limit" in params:
-            try:
-                limit = int(params["limit"][-1])
-            except ValueError:
-                return self._json(
-                    400, {"error": f"bad limit {params['limit'][-1]!r}"}
-                )
+        limit, bad = self._parse_limit(params)
+        if bad is not None:
+            return self._json(400, bad)
         if params.get("format", [""])[-1] == "chrome":
             if self.router.trace is None:
                 return self._json(200, {"traceEvents": []})
             self.router.drain_spans()
             return self._json(200, self.router.trace.chrome_trace())
         return self._json(200, self.router.tracez(limit=limit))
+
+    def _logz(self, query: str) -> Tuple[int, str, bytes]:
+        """Merged fleet log stream; ``?limit=N`` caps the record list,
+        ``?level=warn`` is a severity floor, ``?worker=w0`` and
+        ``?trace_id=...`` are exact-match filters."""
+        params = parse_qs(query)
+        limit, bad = self._parse_limit(params)
+        if bad is not None:
+            return self._json(400, bad)
+        level = params.get("level", [None])[-1]
+        if level is not None and level not in LEVELS:
+            return self._json(
+                400,
+                {"error": f"level must be one of {list(LEVELS)}, "
+                          f"got {level!r}"},
+            )
+        worker = params.get("worker", [None])[-1]
+        trace_id = params.get("trace_id", [None])[-1]
+        return self._json(
+            200,
+            self.router.logz(
+                limit=limit, level=level, worker=worker, trace_id=trace_id
+            ),
+        )
 
     @staticmethod
     def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
@@ -1578,8 +1870,9 @@ def run_fleet(
     host, port = server.start()
     announce(
         f"fleet of {len(server.router.handles)} workers on "
-        f"http://{host}:{port} (/metrics /healthz /statsz /tracez "
-        "/profilez) — SIGTERM or Ctrl-C drains every worker and exits"
+        f"http://{host}:{port} (/metrics /healthz /statsz /tracez /logz "
+        "/debugz /profilez) — SIGTERM or Ctrl-C drains every worker "
+        "and exits"
     )
     deadline = time.monotonic() + duration_s if duration_s else None
     try:

@@ -27,7 +27,9 @@ Commands (see ``docs/FLEET.md`` for the full contract):
 ``metrics``      metrics-registry JSON export (None if telemetry off)
 ``health``       TraversalService.health() payload
 ``trace_drain``  drain the worker tracer's outbox of finished spans
+``log_drain``    drain the worker event log's outbox of records
 ``profile``      kernel-profiler snapshot (None if profiler off)
+``flight``       flight-recorder dumps (None if telemetry off)
 ``drain``        flush everything, reply with pending depth, then exit
 ===============  =====================================================
 
@@ -39,7 +41,10 @@ worker outbox's finished-span dicts — so spans piggyback on traffic
 that is flowing anyway.  ``trace_drain`` is the periodic sweep that
 catches spans stranded between submits (and the final sweep before a
 worker exits), so a ticket rerouted after a worker death still has its
-partial spans in the router's assembler.
+partial spans in the router's assembler.  Structured log records ride
+the same way: a ``logs`` key on the same replies carries the worker
+event log's outbox, and ``log_drain`` is the matching periodic sweep —
+one shipping discipline for both signals.
 """
 
 from __future__ import annotations
@@ -61,7 +66,9 @@ COMMANDS = (
     "metrics",
     "health",
     "trace_drain",
+    "log_drain",
     "profile",
+    "flight",
     "drain",
 )
 

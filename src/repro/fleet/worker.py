@@ -102,17 +102,30 @@ def _tracer(state: _WorkerState):
     return tel.tracer if tel.enabled else None
 
 
-def _attach_spans(state: _WorkerState, reply: Dict[str, Any]) -> Dict[str, Any]:
-    """Piggyback the outbox's finished spans onto a reply frame.
+def _event_log(state: _WorkerState):
+    """This worker's event log, or None when logging is off — same
+    guard discipline as :func:`_tracer`."""
+    tel = state.service.telemetry
+    return tel.log if tel.enabled else None
 
-    The key is only present when there are spans to ship: a tracing-off
-    fleet sends byte-identical frames to the pre-tracing protocol.
+
+def _attach_spans(state: _WorkerState, reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Piggyback outbox'd spans *and* log records onto a reply frame.
+
+    Each key is only present when there is something to ship: a
+    telemetry-off fleet sends byte-identical frames to the
+    pre-tracing protocol.
     """
     tracer = _tracer(state)
     if tracer is not None and tracer.outbox_enabled:
         spans = tracer.drain_outbox()
         if spans:
             reply["spans"] = spans
+    log = _event_log(state)
+    if log is not None and log.outbox_enabled:
+        records = log.drain_outbox()
+        if records:
+            reply["logs"] = records
     return reply
 
 
@@ -255,11 +268,23 @@ def _handle_frame(state: _WorkerState, frame: Dict[str, Any]) -> Dict[str, Any]:
         return wire.ok_reply(
             spans=tracer.drain_outbox(), dropped=tracer.outbox_dropped
         )
+    if cmd == "log_drain":
+        log = _event_log(state)
+        if log is None or not log.outbox_enabled:
+            return wire.ok_reply(logs=None, dropped=0)
+        return wire.ok_reply(
+            logs=log.drain_outbox(), dropped=log.outbox_dropped
+        )
     if cmd == "profile":
         tel = svc.telemetry
         if not tel.enabled or tel.profiler is None:
             return wire.ok_reply(profile=None)
         return wire.ok_reply(profile=wire.to_jsonable(tel.profiler.snapshot()))
+    if cmd == "flight":
+        tel = svc.telemetry
+        if not tel.enabled or tel.flight is None:
+            return wire.ok_reply(flight=None)
+        return wire.ok_reply(flight=wire.to_jsonable(tel.flight.to_dict()))
     return wire.error_reply(f"unknown command {cmd!r}")
 
 
@@ -305,6 +330,11 @@ def worker_main(
         # Finished spans ride back on reply frames (and trace_drain
         # sweeps) to the router's fleet-wide assembler.
         tracer.enable_outbox()
+    log = _event_log(state)
+    if log is not None:
+        # Log records ship the same way spans do: the outbox rides
+        # reply frames and log_drain sweeps to the fleet assembler.
+        log.enable_outbox()
     conn.send(wire.ok_reply(worker=worker_id, booted=True))
     exit_code = EXIT_ROUTER_GONE
     while True:
@@ -321,6 +351,12 @@ def worker_main(
             try:
                 service.flush()
                 pending = service.queue_depth
+                if log is not None:
+                    # Drain verdict: the record rides this very reply.
+                    (log.info if pending == 0 else log.warn)(
+                        "worker.drain", service.now_ms,
+                        pending=pending, drained=pending == 0,
+                    )
                 conn.send(_attach_spans(state, wire.ok_reply(
                     pending=pending, drained=pending == 0
                 )))

@@ -284,8 +284,9 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--otlp-endpoint", default=None, metavar="URL",
-        help="OTLP/JSON collector URL (e.g. http://host:4318/v1/traces); "
-        "finished spans ship there on a background thread — an "
+        help="OTLP/JSON collector URL (e.g. http://host:4318); spans, "
+        "metrics, and log records all ship there (/v1/traces, "
+        "/v1/metrics, /v1/logs) on a background thread — an "
         "unreachable collector only increments drop counters",
     )
     serve.add_argument(

@@ -159,6 +159,9 @@ class AdaptiveDispatcher:
         #: continuous kernel profiler (None unless telemetry enables it);
         #: hoisted so the unprofiled batch path pays one is-None check.
         self._profiler = telemetry.profiler if telemetry.enabled else None
+        #: structured event log (None when telemetry is off); retries,
+        #: breaker transitions, and chaos draws record through it.
+        self._log = telemetry.log if telemetry.enabled else None
         chaos = getattr(config, "chaos", None)
         self.injector = (
             FaultInjector(chaos) if chaos is not None and chaos.enabled else None
@@ -199,6 +202,10 @@ class AdaptiveDispatcher:
         if tracer is not None:
             tracer.instant(
                 "breaker", "service", now, backend=backend, frm=old, to=new
+            )
+        if self._log is not None:
+            self._log.warn(
+                "breaker.transition", now, backend=backend, frm=old, to=new
             )
 
     # -- routing ---------------------------------------------------------
@@ -323,6 +330,12 @@ class AdaptiveDispatcher:
                 if self.injector is not None:
                     plan = self.injector.plan(batch_id, backend, attempt)
                     injected.extend(plan.events)
+                    if plan.events and self._log is not None:
+                        self._log.warn(
+                            "chaos.fault", now + delay,
+                            batch=batch_id, backend=backend,
+                            attempt=attempt + 1, faults=list(plan.events),
+                        )
                 attempts += 1
                 try:
                     outcome = self.execute(session, coords, backend, fault_plan=plan)
@@ -354,6 +367,13 @@ class AdaptiveDispatcher:
                     if tracer is not None:
                         tracer.instant(
                             "retry", "batch", now + delay,
+                            batch=batch_id, backend=backend,
+                            attempt=attempt + 1, backoff_ms=backoff,
+                            error=err.code,
+                        )
+                    if self._log is not None:
+                        self._log.warn(
+                            "retry", now + delay,
                             batch=batch_id, backend=backend,
                             attempt=attempt + 1, backoff_ms=backoff,
                             error=err.code,

@@ -15,7 +15,12 @@ way production monitoring does:
 * ``GET /profilez`` — the continuous kernel profiler's ranked hot-op
   and per-depth attribution (:meth:`KernelProfiler.snapshot`);
 * ``GET /tracez``   — the most recent spans (``?limit=N``) plus the
-  tracer's drop counter.
+  tracer's drop counter;
+* ``GET /logz``     — the structured event log (``?limit=N``,
+  ``?level=warn`` severity floor, ``?trace_id=...`` correlation
+  filter) — the logging pillar joined to traces on trace ids;
+* ``GET /debugz``   — one strict-JSON diagnostics snapshot: config,
+  engines, plan cache, breaker states, flight dumps, recent errors.
 
 The service itself stays single-threaded in spirit: every handler and
 the optional synthetic-load driver serialize on one
@@ -43,13 +48,19 @@ import numpy as np
 
 from repro.service.resilience import ServiceError
 from repro.service.service import TraversalService
+from repro.telemetry import LEVELS
+from repro.telemetry.metrics import OPENMETRICS_CONTENT_TYPE
 
-#: Prometheus text exposition content type (version 0.0.4).
-METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+#: OpenMetrics exposition content type — the format the registry emits
+#: (exemplars require it; a real Prometheus negotiates and parses it).
+METRICS_CONTENT_TYPE = OPENMETRICS_CONTENT_TYPE
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 #: default span count returned by /tracez (override with ?limit=N).
 TRACEZ_DEFAULT_LIMIT = 256
+
+#: default record count returned by /logz (override with ?limit=N).
+LOGZ_DEFAULT_LIMIT = 256
 
 
 class SyntheticLoadDriver(threading.Thread):
@@ -204,7 +215,8 @@ class TraversalServer:
         )
         self._thread.start()
         if self.otlp is not None:
-            tracer = self.service.telemetry.tracer
+            tel = self.service.telemetry
+            tracer = tel.tracer
             if tracer is not None:
                 tracer.enable_outbox()
 
@@ -213,6 +225,24 @@ class TraversalServer:
                         return tracer.drain_outbox()
 
                 self.otlp.source = _harvest
+            log = tel.log
+            if log is not None:
+                log.enable_outbox()
+
+                def _harvest_logs():
+                    with self.lock:
+                        return log.drain_outbox()
+
+                self.otlp.log_source = _harvest_logs
+            if tel.registry is not None:
+                registry = tel.registry
+
+                def _metrics_snapshot():
+                    with self.lock:
+                        return registry.to_dict()
+
+                self.otlp.metrics_source = _metrics_snapshot
+                self.otlp.clock = lambda: self.service.now_ms
             self.otlp.start()
         if self.driver is not None:
             self.driver.start()
@@ -266,20 +296,41 @@ class TraversalServer:
         if route == "/healthz":
             return self._healthz()
         if route == "/statsz":
-            return self._statsz()
+            return self._statsz(query)
         if route == "/profilez":
             return self._profilez()
         if route == "/tracez":
             return self._tracez(query)
+        if route == "/logz":
+            return self._logz(query)
+        if route == "/debugz":
+            return self._debugz()
         return self._json(
             404,
             {
                 "error": f"no route {parts.path!r}",
                 "routes": [
-                    "/metrics", "/healthz", "/statsz", "/profilez", "/tracez"
+                    "/metrics", "/healthz", "/statsz", "/profilez",
+                    "/tracez", "/logz", "/debugz",
                 ],
             },
         )
+
+    @staticmethod
+    def _parse_limit(query: dict, default: Optional[int]):
+        """``?limit=N`` → (limit, error_payload).  Malformed or negative
+        values are a client error (400 + JSON body), never a traceback.
+        """
+        if "limit" not in query:
+            return default, None
+        raw = query["limit"][-1]
+        try:
+            limit = int(raw)
+        except ValueError:
+            return None, {"error": f"limit must be an integer, got {raw!r}"}
+        if limit < 0:
+            return None, {"error": f"limit must be >= 0, got {limit}"}
+        return limit, None
 
     @staticmethod
     def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
@@ -308,7 +359,10 @@ class TraversalServer:
             health = self.service.health()
         return self._json(200 if health["ok"] else 503, health)
 
-    def _statsz(self) -> Tuple[int, str, bytes]:
+    def _statsz(self, query: dict) -> Tuple[int, str, bytes]:
+        _, bad = self._parse_limit(query, None)
+        if bad is not None:
+            return self._json(400, bad)
         with self.lock:
             payload = self.service.stats().to_dict()
         if self.otlp is not None:
@@ -332,12 +386,9 @@ class TraversalServer:
             return self._json(
                 200, {"enabled": False, "spans": [], "dropped": 0}
             )
-        try:
-            limit = int(query.get("limit", [TRACEZ_DEFAULT_LIMIT])[0])
-        except ValueError:
-            return self._json(400, {"error": "limit must be an integer"})
-        if limit < 0:
-            return self._json(400, {"error": "limit must be >= 0"})
+        limit, bad = self._parse_limit(query, TRACEZ_DEFAULT_LIMIT)
+        if bad is not None:
+            return self._json(400, bad)
         with self.lock:
             spans = tracer.spans()
             payload = {
@@ -345,6 +396,80 @@ class TraversalServer:
                 "total_spans": len(spans),
                 "dropped": tracer.dropped,
                 "spans": [s.to_dict() for s in spans[-limit:]] if limit else [],
+            }
+        return self._json(200, payload)
+
+    def _logz(self, query: dict) -> Tuple[int, str, bytes]:
+        """Structured event log; ``?limit=N`` caps the record list,
+        ``?level=warn`` is a severity floor, ``?trace_id=...`` filters
+        to one trace's records."""
+        log = self.service.telemetry.log
+        if log is None:
+            return self._json(
+                200,
+                {"enabled": False, "records": [],
+                 "recorded": 0, "dropped": 0},
+            )
+        limit, bad = self._parse_limit(query, LOGZ_DEFAULT_LIMIT)
+        if bad is not None:
+            return self._json(400, bad)
+        level = query.get("level", [None])[-1]
+        if level is not None and level not in LEVELS:
+            return self._json(
+                400,
+                {"error": f"level must be one of {list(LEVELS)}, "
+                          f"got {level!r}"},
+            )
+        trace_id = query.get("trace_id", [None])[-1]
+        with self.lock:
+            payload = {
+                "enabled": True,
+                "recorded": log.recorded,
+                "dropped": log.dropped,
+                "records": log.records(
+                    level=level, trace_id=trace_id, limit=limit
+                ),
+            }
+        return self._json(200, payload)
+
+    def _debugz(self) -> Tuple[int, str, bytes]:
+        """One strict-JSON diagnostics snapshot: config, engines, plan
+        cache, breaker states, flight dumps, and the most recent
+        error-level records with their trace ids."""
+        from dataclasses import asdict
+
+        svc = self.service
+        tel = svc.telemetry
+        with self.lock:
+            stats = svc.stats().to_dict()
+            health = svc.health()
+            errors = (
+                tel.log.records(level="error", limit=20)
+                if tel.log is not None else []
+            )
+            payload = {
+                "config": asdict(svc.config),
+                "now_ms": svc.now_ms,
+                "sessions": svc.registry.names(),
+                "engines": stats.get("backends"),
+                "plan_cache": stats.get("plan_cache"),
+                "breakers": health["checks"]["breakers"],
+                "queue": health["checks"]["queue"],
+                "telemetry": {
+                    "enabled": tel.enabled,
+                    "spans_recorded": (
+                        len(tel.tracer) if tel.tracer is not None else 0
+                    ),
+                    "log_records": (
+                        tel.log.recorded if tel.log is not None else 0
+                    ),
+                    "flight_dumps": (
+                        tel.flight.to_dict() if tel.flight is not None
+                        else None
+                    ),
+                },
+                "otlp": self.otlp.stats() if self.otlp is not None else None,
+                "recent_errors": errors,
             }
         return self._json(200, payload)
 
@@ -388,7 +513,7 @@ def run_serve(
     host, port = server.start()
     announce(
         f"serving on http://{host}:{port} "
-        "(/metrics /healthz /statsz /profilez /tracez) — "
+        "(/metrics /healthz /statsz /profilez /tracez /logz /debugz) — "
         "SIGTERM or Ctrl-C drains and exits"
     )
     deadline = time.monotonic() + duration_s if duration_s else None

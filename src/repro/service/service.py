@@ -313,9 +313,14 @@ class TraversalService:
                 labels=("session", "objective"),
             ),
         }
-        self.registry.plans.on_event = (
-            lambda event: self._m["plan_events"].inc(event=event)
-        )
+        self.registry.plans.on_event = self._on_plan_event
+
+    def _on_plan_event(self, event: str) -> None:
+        self._m["plan_events"].inc(event=event)
+        # Invalidations and epoch bumps are load-bearing (cached state
+        # was thrown away); cache hits/misses stay counter-only noise.
+        if event == "invalidate" and self.telemetry.log is not None:
+            self.telemetry.log.warn("plan.invalidated", self.now_ms)
 
     def _publish_plan_gauges(self, session: TreeSession) -> None:
         """Static per-plan shape gauges (op histogram per variant)."""
@@ -435,10 +440,16 @@ class TraversalService:
         cap = self.config.max_queue_depth
         if cap is None or batcher.queue_depth < cap:
             return
+        log = self.telemetry.log if self.telemetry.enabled else None
         if self.config.shed_policy == "reject-new":
             batcher.counters.shed_rejected += 1
             self.resilience.shed_rejected += 1
             self.resilience.count_error(Overloaded.code)
+            if log is not None:
+                log.warn(
+                    "admission.shed", t, session=session,
+                    policy="reject-new", cap=cap,
+                )
             raise Overloaded(
                 f"session {session!r} queue at cap {cap}; query rejected "
                 "(shed_policy=reject-new)",
@@ -454,6 +465,11 @@ class TraversalService:
             self.resilience.shed_dropped += 1
             self.resilience.count_error(Overloaded.code)
             self._failed += 1
+            if log is not None:
+                log.warn(
+                    "admission.shed", t, session=session,
+                    policy="drop-oldest", cap=cap, ticket=dropped.id,
+                )
             slo = self._slo.get(session)
             if slo is not None:
                 slo.record(t, None, False)
@@ -659,6 +675,11 @@ class TraversalService:
             return
         n = self._plan_failures.get(session, 0) + 1
         if n >= self.config.plan_failure_threshold:
+            if self.telemetry.log is not None:
+                self.telemetry.log.warn(
+                    "plan.failure_threshold", self.now_ms,
+                    session=session, consecutive_failures=n,
+                )
             self.registry.refresh_plan(session)
             self.resilience.plan_invalidations += 1
             self._plan_failures[session] = 0
@@ -712,6 +733,14 @@ class TraversalService:
         except ServiceError as err:
             self._fail_batch(tickets, batch, err)
             self._record_resilience(session, attempts=0, failures=None, r=None)
+            if tel.log is not None:
+                tel.log.error(
+                    "batch.failed", t_flush,
+                    trace_id=bspan.trace_id if bspan is not None else None,
+                    span_id=f"b{batch.id}" if bspan is not None else None,
+                    session=session, batch=batch.id, size=batch.size,
+                    error=err.code,
+                )
             slo = self._slo.get(session)
             if slo is not None:
                 for _ in tickets:

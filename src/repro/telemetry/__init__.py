@@ -45,6 +45,7 @@ from .metrics import (
 )
 from .tracing import Span, TraceContext, Tracer, derive_trace_id
 from .flight import FlightRecorder
+from .logging import LEVELS, EventLog, level_rank
 from .otlp import OTLPExporter
 from .profile import KernelProfiler, LaunchProfile
 from .slo import SLOConfig, SLOTracker
@@ -64,6 +65,9 @@ __all__ = [
     "OTLPExporter",
     "Span",
     "FlightRecorder",
+    "EventLog",
+    "LEVELS",
+    "level_rank",
     "KernelProfiler",
     "LaunchProfile",
     "SLOConfig",
@@ -94,10 +98,14 @@ class TelemetryConfig:
     trace: bool = True
     metrics: bool = True
     flight: bool = True
+    #: structured event log (the logging pillar); ``log_capacity``
+    #: bounds its drop-oldest ring.
+    log: bool = True
     step_events: int = 32
     flight_capacity: int = 64
     flight_max_dumps: int = 32
     max_spans: int = 100_000
+    log_capacity: int = 10_000
     #: continuous kernel profiler: profile every N-th GPU launch
     #: (0 = profiler off; 1 = every launch).
     profile_sample_rate: int = 0
@@ -113,6 +121,10 @@ class TelemetryConfig:
             )
         if self.max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {self.max_spans}")
+        if self.log_capacity < 1:
+            raise ValueError(
+                f"log_capacity must be >= 1, got {self.log_capacity}"
+            )
         if self.profile_sample_rate < 0:
             raise ValueError(
                 f"profile_sample_rate must be >= 0, got {self.profile_sample_rate}"
@@ -142,6 +154,8 @@ class TelemetrySnapshot:
     spans_dropped: int = 0
     flight_dumps: int = 0
     flight_dumps_dropped: int = 0
+    log_records: int = 0
+    log_records_dropped: int = 0
     metrics: dict = field(default_factory=dict)
     #: kernel-profiler roll-up (empty dict when the profiler is off).
     profile: dict = field(default_factory=dict)
@@ -150,7 +164,9 @@ class TelemetrySnapshot:
 class Telemetry:
     """Facade bundling registry + tracer + flight recorder + profiler."""
 
-    __slots__ = ("enabled", "config", "registry", "tracer", "flight", "profiler")
+    __slots__ = (
+        "enabled", "config", "registry", "tracer", "flight", "profiler", "log",
+    )
 
     def __init__(
         self,
@@ -159,6 +175,7 @@ class Telemetry:
         tracer: Optional[Tracer],
         flight: Optional[FlightRecorder],
         profiler: Optional[KernelProfiler] = None,
+        log: Optional[EventLog] = None,
     ) -> None:
         self.config = config
         self.enabled = bool(config.enabled)
@@ -166,6 +183,7 @@ class Telemetry:
         self.tracer = tracer
         self.flight = flight
         self.profiler = profiler
+        self.log = log
 
     @classmethod
     def from_config(cls, config: TelemetryConfig) -> "Telemetry":
@@ -198,7 +216,15 @@ class Telemetry:
             if config.profile_sample_rate > 0
             else None
         )
-        return cls(config, registry, tracer, flight, profiler)
+        log = None
+        if config.log:
+            log = EventLog(capacity=config.log_capacity, tracer=tracer)
+            if registry is not None:
+                log.on_drop = registry.counter(
+                    "log_records_dropped_total",
+                    "log records evicted from the event log's bounded ring",
+                ).inc
+        return cls(config, registry, tracer, flight, profiler, log)
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -231,6 +257,10 @@ class Telemetry:
             flight_dumps=len(self.flight.dumps) if self.flight is not None else 0,
             flight_dumps_dropped=(
                 self.flight.dumps_dropped if self.flight is not None else 0
+            ),
+            log_records=self.log.recorded if self.log is not None else 0,
+            log_records_dropped=(
+                self.log.dropped if self.log is not None else 0
             ),
             metrics=self.registry.to_dict() if self.registry is not None else {},
             profile=(

@@ -86,6 +86,37 @@ def _series_suffix(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> st
     return "{" + body + "}"
 
 
+#: OpenMetrics exposition content type.  The scrape surface speaks
+#: OpenMetrics (not the legacy ``text/plain; version=0.0.4`` format)
+#: because exemplars are an OpenMetrics feature: a real Prometheus
+#: parses the `` # {trace_id="..."} v`` bucket suffixes only under
+#: this negotiated format — the legacy parser rejects the line.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def metadata_name(name: str, kind: str) -> str:
+    """The OpenMetrics *family* name for ``# HELP`` / ``# TYPE`` lines.
+
+    OpenMetrics counters drop the ``_total`` suffix in metadata — the
+    family is ``service_queries``, its sample ``service_queries_total``
+    — while every other kind uses the instrument name verbatim.
+    """
+    if kind == "counter" and name.endswith("_total"):
+        return name[: -len("_total")]
+    return name
+
+
+def _metadata_lines(name: str, kind: str, help_text: str) -> List[str]:
+    family = metadata_name(name, kind)
+    lines = []
+    if help_text:
+        lines.append(f"# HELP {family} {escape_help_text(help_text)}")
+    lines.append(f"# TYPE {family} {kind}")
+    return lines
+
+
 def _fmt_exemplar(exemplar: Optional[dict]) -> str:
     """OpenMetrics exemplar suffix for a ``_bucket`` sample line:
     `` # {trace_id="..."} value`` — the link from a latency bucket to
@@ -446,9 +477,9 @@ def expose_export_text(export: Mapping[str, dict]) -> str:
     lines: List[str] = []
     for name in sorted(export):
         family = export[name]
-        if family.get("help"):
-            lines.append(f"# HELP {name} {escape_help_text(family['help'])}")
-        lines.append(f"# TYPE {name} {family['kind']}")
+        lines.extend(
+            _metadata_lines(name, family["kind"], family.get("help", ""))
+        )
         for series in family.get("series", []):
             key = _export_series_key(series.get("labels", {}))
             if family["kind"] == "histogram":
@@ -475,6 +506,7 @@ def expose_export_text(export: Mapping[str, dict]) -> str:
                 lines.append(
                     f"{name}{_series_suffix(key)} {_fmt_value(series['value'])}"
                 )
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
@@ -526,14 +558,13 @@ class MetricsRegistry:
     # -- exports ---------------------------------------------------------
 
     def expose_text(self) -> str:
-        """Prometheus text exposition of every instrument."""
+        """OpenMetrics text exposition of every instrument."""
         lines: List[str] = []
         for name in sorted(self._instruments):
             inst = self._instruments[name]
-            if inst.help:
-                lines.append(f"# HELP {name} {escape_help_text(inst.help)}")
-            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(_metadata_lines(name, inst.kind, inst.help))
             lines.extend(inst.expose())
+        lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> dict:

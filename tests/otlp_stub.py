@@ -1,8 +1,8 @@
 """Stdlib in-process OTLP/JSON collector stub (tests + CI otlp-smoke).
 
-Accepts ``POST /v1/traces`` with an OTLP/JSON body, records every
-batch, and answers ``200 {"partialSuccess": {}}`` like a real
-collector.  Two uses:
+Accepts ``POST /v1/traces``, ``/v1/metrics``, and ``/v1/logs`` with an
+OTLP/JSON body, records every batch, and answers ``200
+{"partialSuccess": {}}`` like a real collector.  Two uses:
 
 * **in-process** (pytest): ``with OTLPCollectorStub() as stub: ...``
   then assert on ``stub.spans()``;
@@ -22,8 +22,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional
 
 
+#: accepted OTLP/HTTP signal paths.
+SIGNAL_PATHS = ("/v1/traces", "/v1/metrics", "/v1/logs")
+
+
 class OTLPCollectorStub:
-    """Minimal OTLP/JSON traces receiver on an OS-assigned port."""
+    """Minimal OTLP/JSON three-signal receiver on an OS-assigned port."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  out_path: Optional[str] = None) -> None:
@@ -53,7 +57,7 @@ class OTLPCollectorStub:
             def do_POST(self) -> None:  # noqa: N802 (http.server API)
                 length = int(self.headers.get("Content-Length", 0))
                 raw = self.rfile.read(length)
-                if self.path.rstrip("/") != "/v1/traces":
+                if self.path.rstrip("/") not in SIGNAL_PATHS:
                     self.send_error(404)
                     return
                 try:
@@ -106,21 +110,48 @@ class OTLPCollectorStub:
 
     def spans(self) -> List[dict]:
         """Every OTLP span received, flattened across batches."""
-        out: List[dict] = []
         with self.lock:
-            batches = list(self.batches)
-        for batch in batches:
-            for rs in batch.get("resourceSpans", []):
-                for ss in rs.get("scopeSpans", []):
-                    out.extend(ss.get("spans", []))
-        return out
+            return flatten_spans(list(self.batches))
+
+    def log_records(self) -> List[dict]:
+        """Every OTLP log record received, flattened across batches."""
+        with self.lock:
+            return flatten_log_records(list(self.batches))
+
+    def metrics(self) -> List[dict]:
+        """Every OTLP metric family received, flattened across batches."""
+        with self.lock:
+            return flatten_metrics(list(self.batches))
 
 
 def flatten_spans(batches: List[dict]) -> List[dict]:
     """Flatten recorded OTLP batches (e.g. JSONL rows) to span dicts."""
-    stub = OTLPCollectorStub()
-    stub.batches = list(batches)
-    return stub.spans()
+    out: List[dict] = []
+    for batch in batches:
+        for rs in batch.get("resourceSpans", []):
+            for ss in rs.get("scopeSpans", []):
+                out.extend(ss.get("spans", []))
+    return out
+
+
+def flatten_log_records(batches: List[dict]) -> List[dict]:
+    """Flatten recorded OTLP batches to ``logRecord`` dicts."""
+    out: List[dict] = []
+    for batch in batches:
+        for rl in batch.get("resourceLogs", []):
+            for sl in rl.get("scopeLogs", []):
+                out.extend(sl.get("logRecords", []))
+    return out
+
+
+def flatten_metrics(batches: List[dict]) -> List[dict]:
+    """Flatten recorded OTLP batches to metric-family dicts."""
+    out: List[dict] = []
+    for batch in batches:
+        for rm in batch.get("resourceMetrics", []):
+            for sm in rm.get("scopeMetrics", []):
+                out.extend(sm.get("metrics", []))
+    return out
 
 
 def main(argv=None) -> int:

@@ -1,12 +1,16 @@
-"""Strict Prometheus text-exposition validator (satellite of ISSUE 9).
+"""Strict OpenMetrics exposition validator (satellite of ISSUEs 9/10).
 
 Replaces the curl-only smoke check: instead of grepping for one metric
 name, this validates the whole scrape line by line — metric and label
 name grammar, escape-aware label values, ``# HELP`` / ``# TYPE``
 ordering and uniqueness, family contiguity, duplicate series, finite
-sample values, OpenMetrics exemplar syntax (only on ``_bucket``
-lines), and histogram structure (cumulative non-decreasing buckets,
-``+Inf`` present and equal to ``_count``, ``le`` ascending).
+sample values, OpenMetrics exemplar syntax (only on ``_bucket`` and
+counter ``_total`` lines), histogram structure (cumulative
+non-decreasing buckets, ``+Inf`` present and equal to ``_count``,
+``le`` ascending), and the OpenMetrics framing rules a real Prometheus
+enforces when it negotiates the format: counter metadata names carry
+no ``_total`` suffix (the *sample* does), and the exposition ends with
+the mandatory ``# EOF`` terminator.
 
 Used three ways:
 
@@ -52,8 +56,17 @@ class ExpositionError(AssertionError):
         self.line = line
 
 
-def _family_of(name: str) -> str:
-    return re.sub(r"_(bucket|sum|count)$", "", name)
+def _family_candidates(name: str) -> List[str]:
+    """Family names a sample may belong to, most specific first:
+    histogram suffixes stripped, then the counter ``_total`` suffix,
+    then the name itself (gauges/untyped)."""
+    out = [name]
+    stripped = re.sub(r"_(bucket|sum|count)$", "", name)
+    if stripped != name:
+        out.append(stripped)
+    if name.endswith("_total"):
+        out.append(name[: -len("_total")])
+    return out
 
 
 def _parse_labels(
@@ -107,11 +120,20 @@ def validate(text: str) -> Dict[str, str]:
     counts: Dict[str, Dict[tuple, float]] = {}
     sums: Dict[str, set] = {}
 
+    eof_at: Optional[int] = None
     for lineno, line in enumerate(text.splitlines(), start=1):
+        if eof_at is not None:
+            raise ExpositionError(
+                lineno, line, f"content after the # EOF terminator "
+                f"(line {eof_at})"
+            )
         if line == "":
             continue
         if line != line.rstrip():
             raise ExpositionError(lineno, line, "trailing whitespace")
+        if line == "# EOF":
+            eof_at = lineno
+            continue
         if line.startswith("# HELP "):
             parts = line.split(" ", 3)
             if len(parts) < 4 or not _NAME_RE.match(parts[2]):
@@ -159,11 +181,24 @@ def validate(text: str) -> Dict[str, str]:
         if m is None:
             raise ExpositionError(lineno, line, "malformed sample")
         name = m.group("name")
-        family = _family_of(name)
-        mtype = type_seen.get(name) or type_seen.get(family)
-        if mtype is None:
+        family = next(
+            (c for c in _family_candidates(name) if c in type_seen), None
+        )
+        if family is None:
             raise ExpositionError(lineno, line, "sample before HELP/TYPE")
-        owner = family if family in type_seen else name
+        mtype = type_seen[family]
+        # OpenMetrics sample-name discipline per family type.
+        if mtype == "counter" and name != f"{family}_total":
+            raise ExpositionError(
+                lineno, line,
+                f"counter sample must be {family}_total, got {name}",
+            )
+        if mtype in ("gauge", "untyped") and name != family:
+            raise ExpositionError(
+                lineno, line,
+                f"{mtype} sample must be named {family}, got {name}",
+            )
+        owner = family
         if current_family is not None and current_family != owner:
             family_done[current_family] = True
             if family_done.get(owner):
@@ -183,8 +218,11 @@ def validate(text: str) -> Dict[str, str]:
                 lineno, line, "histogram sample must be _bucket/_sum/_count"
             )
         if m.group("ex_labels") is not None:
-            # OpenMetrics exemplars: only on bucket (or counter) lines.
-            if not (mtype == "histogram" and suffix == "_bucket"):
+            # OpenMetrics exemplars: only bucket and counter lines.
+            if not (
+                (mtype == "histogram" and suffix == "_bucket")
+                or mtype == "counter"
+            ):
                 raise ExpositionError(
                     lineno, line, "exemplar on a non-bucket line"
                 )
@@ -213,6 +251,12 @@ def validate(text: str) -> Dict[str, str]:
                 counts.setdefault(family, {})[key] = value
             elif suffix == "_sum":
                 sums.setdefault(family, set()).add(key)
+
+    if eof_at is None:
+        raise ExpositionError(
+            len(text.splitlines()), "<end of exposition>",
+            "missing mandatory # EOF terminator",
+        )
 
     # Histogram structure: per series, le ascending, counts cumulative,
     # +Inf present and equal to _count, _sum/_count present.

@@ -1,0 +1,450 @@
+"""Structured logging pillar: EventLog core, service instrumentation,
+serve-mode /logz + /debugz, and exemplar preservation through the
+fleet merge helpers.
+
+The e2e fleet correlation tests (logs/spans/exemplars joining on one
+trace id across processes) live in tests/test_fleet_logging.py; this
+file covers everything reachable in-process.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpusim.faults import ChaosConfig
+from repro.service.serve import TraversalServer
+from repro.service.service import Overloaded, ServiceConfig, TraversalService
+from repro.telemetry import (
+    LEVELS,
+    EventLog,
+    Telemetry,
+    TelemetryConfig,
+    level_rank,
+)
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    expose_export_text,
+    merge_labeled_exports,
+    sum_exports,
+)
+from repro.telemetry.tracing import TraceContext, Tracer
+
+
+# ---------------------------------------------------------------------------
+# EventLog unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_levels_are_ordered_and_validated(self):
+        assert LEVELS == ("debug", "info", "warn", "error")
+        assert [level_rank(l) for l in LEVELS] == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            level_rank("fatal")
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.log("loud", "boom", 0.0)
+        assert log.recorded == 0  # a typo never becomes a record
+
+    def test_record_shape_and_sorted_fields(self):
+        log = EventLog()
+        rec = log.warn("retry", 12.5, zebra=1, alpha=2)
+        assert rec == {
+            "seq": 0, "t_ms": 12.5, "level": "warn", "event": "retry",
+            "trace_id": None, "span_id": None,
+            "fields": {"alpha": 2, "zebra": 1},
+        }
+        assert list(rec["fields"]) == ["alpha", "zebra"]
+        json.dumps(rec)  # JSON-safe by construction
+
+    def test_trace_stamping_from_tracer_context(self):
+        tracer = Tracer()
+        log = EventLog(tracer=tracer)
+        prev = tracer.activate(
+            TraceContext(trace_id="t-123", parent_span_id="s-root")
+        )
+        rec = log.info("inside", 1.0)
+        tracer.activate(prev)
+        outside = log.info("outside", 2.0)
+        assert rec["trace_id"] == "t-123"
+        assert rec["span_id"] == "s-root"
+        assert outside["trace_id"] is None
+
+    def test_explicit_ids_override_context(self):
+        tracer = Tracer()
+        log = EventLog(tracer=tracer)
+        tracer.activate(TraceContext(trace_id="t-ctx", parent_span_id="s-ctx"))
+        rec = log.log("info", "x", 1.0, trace_id="t-mine", span_id="s-mine")
+        assert rec["trace_id"] == "t-mine"
+        assert rec["span_id"] == "s-mine"
+
+    def test_ring_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        drops = []
+        log.on_drop = lambda: drops.append(1)
+        for i in range(5):
+            log.info(f"e{i}", float(i))
+        assert len(log) == 3
+        assert log.recorded == 5
+        assert log.dropped == 2
+        assert len(drops) == 2
+        assert [r["event"] for r in log.records()] == ["e2", "e3", "e4"]
+        # seq keeps counting across evictions
+        assert [r["seq"] for r in log.records()] == [2, 3, 4]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_level_filter_is_a_floor(self):
+        log = EventLog()
+        for lvl in LEVELS:
+            log.log(lvl, f"ev-{lvl}", 0.0)
+        assert len(log.records(level="debug")) == 4
+        assert [r["level"] for r in log.records(level="warn")] == [
+            "warn", "error"
+        ]
+        with pytest.raises(ValueError):
+            log.records(level="bogus")
+
+    def test_trace_filter_and_limit_keep_newest(self):
+        log = EventLog()
+        for i in range(6):
+            log.info(f"e{i}", float(i), trace_id="t-a" if i % 2 else "t-b")
+        hits = log.records(trace_id="t-a")
+        assert [r["event"] for r in hits] == ["e1", "e3", "e5"]
+        assert [r["event"] for r in log.records(limit=2)] == ["e4", "e5"]
+        assert log.records(limit=0) == []
+
+    def test_outbox_ships_and_bounds(self):
+        log = EventLog()
+        log.info("before", 0.0)
+        assert not log.outbox_enabled
+        log.enable_outbox(capacity=2)
+        assert log.outbox_enabled
+        assert log.drain_outbox() == []  # pre-enable records don't ship
+        for i in range(4):
+            log.warn(f"w{i}", float(i))
+        shipped = log.drain_outbox()
+        assert [r["event"] for r in shipped] == ["w2", "w3"]
+        assert log.outbox_dropped == 2
+        assert log.drain_outbox() == []
+        # ring is unaffected by outbox drains
+        assert log.recorded == 5
+        assert len(log.records()) == 5
+
+
+class TestTelemetryWiring:
+    def test_enabled_telemetry_carries_event_log(self):
+        tel = Telemetry.from_config(TelemetryConfig(enabled=True))
+        assert tel.log is not None
+        assert tel.log.tracer is tel.tracer
+        tel.log.info("hello", 0.0)
+        snap = tel.snapshot()
+        assert snap.log_records == 1
+        assert snap.log_records_dropped == 0
+
+    def test_log_disabled_and_null_telemetry(self):
+        tel = Telemetry.from_config(TelemetryConfig(enabled=True, log=False))
+        assert tel.log is None
+        off = Telemetry.from_config(TelemetryConfig(enabled=False))
+        assert off.log is None
+
+    def test_ring_drop_feeds_counter(self):
+        tel = Telemetry.from_config(
+            TelemetryConfig(enabled=True, log_capacity=2)
+        )
+        for i in range(5):
+            tel.log.info(f"e{i}", float(i))
+        export = tel.registry.to_dict()
+        fam = export["log_records_dropped_total"]
+        assert fam["series"][0]["value"] == 3.0
+
+    def test_log_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(enabled=True, log_capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Service instrumentation: load-bearing decisions become records
+# ---------------------------------------------------------------------------
+
+
+def _service(**kw) -> TraversalService:
+    defaults = dict(
+        telemetry=TelemetryConfig(enabled=True),
+        memo_capacity=0,
+        max_batch=16,
+    )
+    defaults.update(kw)
+    svc = TraversalService(ServiceConfig(**defaults))
+    rng = np.random.default_rng(11)
+    svc.register("pc", "pc", rng.random((256, 2)), radius=0.1)
+    return svc
+
+
+def _events(svc: TraversalService, level=None):
+    return [r["event"] for r in svc.telemetry.log.records(level=level)]
+
+
+class TestServiceInstrumentation:
+    def test_admission_shed_reject_new(self):
+        svc = _service(max_queue_depth=2, max_batch=1024, max_wait_ms=1e9)
+        rng = np.random.default_rng(3)
+        with pytest.raises(Overloaded):
+            for i in range(5):
+                svc.submit("pc", rng.random(2), now=float(i))
+        recs = [r for r in svc.telemetry.log.records()
+                if r["event"] == "admission.shed"]
+        assert recs
+        assert recs[0]["level"] == "warn"
+        assert recs[0]["fields"]["policy"] == "reject-new"
+        assert recs[0]["fields"]["cap"] == 2
+
+    def test_admission_shed_drop_oldest(self):
+        svc = _service(
+            max_queue_depth=2, shed_policy="drop-oldest",
+            max_batch=1024, max_wait_ms=1e9,
+        )
+        rng = np.random.default_rng(3)
+        for i in range(5):
+            svc.submit("pc", rng.random(2), now=float(i))
+        recs = [r for r in svc.telemetry.log.records()
+                if r["event"] == "admission.shed"]
+        assert len(recs) == 3
+        assert all(r["fields"]["policy"] == "drop-oldest" for r in recs)
+        assert all("ticket" in r["fields"] for r in recs)
+
+    def test_chaos_faults_and_retries_logged(self):
+        svc = _service(
+            chaos=ChaosConfig(seed=1337, p_backend_error=0.7),
+        )
+        rng = np.random.default_rng(13)
+        for _ in range(4):
+            svc.query_many("pc", rng.random((16, 2)), now=svc.now_ms + 1.0)
+        events = set(_events(svc))
+        assert "chaos.fault" in events
+        assert "retry" in events
+        retry = next(r for r in svc.telemetry.log.records()
+                     if r["event"] == "retry")
+        assert retry["level"] == "warn"
+        for key in ("batch", "backend", "attempt", "error"):
+            assert key in retry["fields"]
+
+    def test_batch_failed_is_error_level(self, monkeypatch):
+        from repro.service.dispatch import AdaptiveDispatcher
+
+        svc = _service()
+
+        def boom(self, session, coords, backend, fault_plan=None):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(AdaptiveDispatcher, "execute", boom)
+        rng = np.random.default_rng(5)
+        svc.query_many("pc", rng.random((8, 2)), now=1.0)
+        errors = svc.telemetry.log.records(level="error")
+        assert errors
+        rec = errors[0]
+        assert rec["event"] == "batch.failed"
+        assert rec["fields"]["session"] == "pc"
+        assert "error" in rec["fields"]
+
+    def test_disabled_telemetry_means_no_log(self):
+        svc = TraversalService(ServiceConfig())
+        assert svc.telemetry.log is None
+        rng = np.random.default_rng(2)
+        svc.register("pc", "pc", rng.random((64, 2)), radius=0.1)
+        svc.query_many("pc", rng.random((8, 2)), now=1.0)  # no crash
+
+    def test_same_seed_runs_are_bit_identical(self):
+        streams = []
+        for _ in range(2):
+            svc = _service(
+                chaos=ChaosConfig(seed=1337, p_backend_error=0.4),
+                max_queue_depth=24,
+            )
+            rng = np.random.default_rng(13)
+            for _ in range(4):
+                try:
+                    svc.query_many(
+                        "pc", rng.random((16, 2)), now=svc.now_ms + 1.0
+                    )
+                except Overloaded:
+                    pass
+            streams.append(json.dumps(
+                svc.telemetry.log.records(), sort_keys=True
+            ))
+        assert streams[0] == streams[1]
+
+
+# ---------------------------------------------------------------------------
+# Serve-mode endpoints: /logz and /debugz
+# ---------------------------------------------------------------------------
+
+
+def _server(**kw) -> TraversalServer:
+    svc = _service(**kw)
+    rng = np.random.default_rng(12)
+    svc.query_many("pc", rng.random((24, 2)), now=svc.now_ms + 1.0)
+    return TraversalServer(svc)
+
+
+class TestLogzEndpoint:
+    def test_logz_payload(self):
+        server = _server(
+            chaos=ChaosConfig(seed=1337, p_backend_error=0.5),
+        )
+        status, _, body = server.respond("/logz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["recorded"] == len(payload["records"])
+        assert payload["dropped"] == 0
+        assert all("event" in r and "level" in r for r in payload["records"])
+
+    def test_logz_filters(self):
+        server = _server(
+            chaos=ChaosConfig(seed=1337, p_backend_error=0.5),
+        )
+        payload = json.loads(server.respond("/logz?level=warn&limit=2")[2])
+        assert len(payload["records"]) <= 2
+        assert all(r["level"] in ("warn", "error")
+                   for r in payload["records"])
+        tid = payload["records"][0]["trace_id"]
+        if tid:
+            scoped = json.loads(
+                server.respond(f"/logz?trace_id={tid}")[2]
+            )
+            assert scoped["records"]
+            assert all(r["trace_id"] == tid for r in scoped["records"])
+
+    def test_logz_disabled(self):
+        svc = TraversalService(ServiceConfig())
+        server = TraversalServer(svc)
+        status, _, body = server.respond("/logz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload == {
+            "enabled": False, "records": [], "recorded": 0, "dropped": 0
+        }
+
+    def test_logz_bad_params_are_400_json(self):
+        server = _server()
+        for path in ("/logz?limit=abc", "/logz?limit=-1",
+                     "/logz?level=bogus"):
+            status, ctype, body = server.respond(path)
+            assert status == 400, path
+            assert "json" in ctype
+            assert "error" in json.loads(body)
+
+    def test_statsz_and_tracez_bad_limit_400(self):
+        server = _server()
+        for path in ("/statsz?limit=abc", "/statsz?limit=-3",
+                     "/tracez?limit=abc", "/tracez?limit=-1"):
+            status, _, body = server.respond(path)
+            assert status == 400, path
+            assert "error" in json.loads(body)
+
+    def test_404_lists_logz_and_debugz(self):
+        server = _server()
+        payload = json.loads(server.respond("/nothing")[2])
+        assert "/logz" in payload["routes"]
+        assert "/debugz" in payload["routes"]
+
+
+class TestDebugzEndpoint:
+    def test_debugz_snapshot_shape(self):
+        server = _server()
+        server.service.telemetry.log.error(
+            "batch.failed", server.service.now_ms,
+            trace_id="t-dead", session="pc", error="backend_unavailable",
+        )
+        status, _, body = server.respond("/debugz")
+        assert status == 200
+        payload = json.loads(body)
+        for key in ("config", "now_ms", "sessions", "engines",
+                    "plan_cache", "breakers", "queue", "telemetry",
+                    "recent_errors"):
+            assert key in payload, key
+        assert payload["telemetry"]["enabled"] is True
+        assert payload["recent_errors"]
+        assert payload["recent_errors"][0]["level"] == "error"
+        # Strict JSON: a standards-compliant parser must accept it.
+        json.loads(body.decode(), parse_constant=_reject_constants)
+
+    def test_debugz_telemetry_off(self):
+        svc = TraversalService(ServiceConfig())
+        server = TraversalServer(svc)
+        status, _, body = server.respond("/debugz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["telemetry"]["enabled"] is False
+        assert payload["recent_errors"] == []
+
+
+def _reject_constants(name):
+    raise ValueError(f"non-strict JSON constant {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: exemplars survive the fleet merge helpers
+# ---------------------------------------------------------------------------
+
+
+def _registry_with_exemplar(trace_id: str, v: float) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "rt_ms", "latency", buckets=(1.0, 10.0), labels=("session",)
+    )
+    h.observe(v, exemplar=trace_id, session="pc")
+    return reg
+
+
+class TestExemplarMerge:
+    def test_merge_labeled_exports_preserves_exemplars(self):
+        merged = merge_labeled_exports({
+            "w0": _registry_with_exemplar("t-w0", 0.5).to_dict(),
+            "w1": _registry_with_exemplar("t-w1", 5.0).to_dict(),
+        })
+        series = merged["rt_ms"]["series"]
+        assert len(series) == 2
+        by_worker = {s["labels"]["worker"]: s for s in series}
+        assert by_worker["w0"]["exemplars"][0]["trace_id"] == "t-w0"
+        assert by_worker["w1"]["exemplars"][1]["trace_id"] == "t-w1"
+
+    def test_sum_exports_unions_exemplars_bucketwise(self):
+        summed = sum_exports({
+            "w0": _registry_with_exemplar("t-w0", 0.5).to_dict(),
+            "w1": _registry_with_exemplar("t-w1", 5.0).to_dict(),
+        })
+        series = summed["rt_ms"]["series"][0]
+        assert series["count"] == 2
+        ex = series["exemplars"]
+        assert ex[0]["trace_id"] == "t-w0"   # bucket le=1.0
+        assert ex[1]["trace_id"] == "t-w1"   # bucket le=10.0
+
+    def test_sum_exports_same_bucket_keeps_larger_value(self):
+        summed = sum_exports({
+            "w0": _registry_with_exemplar("t-small", 2.0).to_dict(),
+            "w1": _registry_with_exemplar("t-big", 9.0).to_dict(),
+        })
+        ex = summed["rt_ms"]["series"][0]["exemplars"]
+        assert ex[1] == {"trace_id": "t-big", "value": 9.0}
+
+    def test_merged_export_text_is_valid_openmetrics(self):
+        from tests.prometheus_validator import validate
+
+        merged = merge_labeled_exports({
+            "w0": _registry_with_exemplar("t-w0", 0.5).to_dict(),
+            "w1": _registry_with_exemplar("t-w1", 5.0).to_dict(),
+        })
+        text = expose_export_text(merged)
+        assert '# {trace_id="t-w0"}' in text
+        validate(text)
+        summed_text = expose_export_text(sum_exports({
+            "w0": _registry_with_exemplar("t-w0", 0.5).to_dict(),
+            "w1": _registry_with_exemplar("t-w1", 5.0).to_dict(),
+        }))
+        assert '# {trace_id="' in summed_text
+        validate(summed_text)

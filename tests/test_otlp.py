@@ -11,13 +11,17 @@ import json
 
 import pytest
 
-from repro.telemetry import Tracer
+from repro.telemetry import EventLog, Tracer
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.otlp import (
     OTLPExporter,
     encode_batch,
+    encode_log_batch,
+    encode_metrics_export,
     otlp_span_id,
     otlp_trace_id,
+    record_to_otlp,
+    signal_url,
     span_to_otlp,
 )
 from tests.otlp_stub import OTLPCollectorStub
@@ -172,6 +176,141 @@ class TestDropNotBlock:
             OTLPExporter("http://x", max_buffer=0)
 
 
+class TestSignalURLs:
+    def test_urls_derive_from_one_endpoint(self):
+        for base in ("http://h:4318", "http://h:4318/",
+                     "http://h:4318/v1/traces", "http://h:4318/v1/logs"):
+            assert signal_url(base, "traces") == "http://h:4318/v1/traces"
+            assert signal_url(base, "logs") == "http://h:4318/v1/logs"
+            assert signal_url(base, "metrics") == "http://h:4318/v1/metrics"
+
+
+class TestLogEncoding:
+    def _records(self):
+        tracer = Tracer(trace_seed=7)
+        log = EventLog(capacity=16, tracer=tracer)
+        log.info("admission.shed", 1.0, trace_id="t-abc", span_id="b0",
+                 session="s", cap=4)
+        log.error("batch.failed", 2.0, error="backend-error")
+        return log.records()
+
+    def test_record_mapping(self):
+        rec = self._records()[0]
+        out = record_to_otlp(rec)
+        assert out["severityNumber"] == 9
+        assert out["severityText"] == "INFO"
+        assert out["body"] == {"stringValue": "admission.shed"}
+        assert out["traceId"] == otlp_trace_id("t-abc")
+        assert out["spanId"] == otlp_span_id("t-abc:b0")
+        assert int(out["timeUnixNano"]) == int(1.0 * 1e6)
+        attrs = {a["key"]: a["value"] for a in out["attributes"]}
+        assert attrs["session"] == {"stringValue": "s"}
+        assert attrs["cap"] == {"intValue": "4"}
+
+    def test_log_trace_ids_join_span_trace_ids(self):
+        """The correlation contract: a log record stamped from a span's
+        context re-encodes to the identical OTLP traceId/spanId."""
+        rec = self._records()[0]
+        span = {"trace_id": "t-abc", "span_id": "b0", "t_start_ms": 0.0}
+        assert record_to_otlp(rec)["traceId"] == span_to_otlp(span)["traceId"]
+        assert record_to_otlp(rec)["spanId"] == span_to_otlp(span)["spanId"]
+
+    def test_unstamped_record_has_no_trace_id(self):
+        out = record_to_otlp(self._records()[1])
+        assert "traceId" not in out
+
+    def test_log_batch_is_strict_json(self):
+        body = encode_log_batch(self._records(), service_name="repro-test")
+        back = json.loads(json.dumps(body, allow_nan=False))
+        rl = back["resourceLogs"][0]
+        assert len(rl["scopeLogs"][0]["logRecords"]) == 2
+
+
+class TestMetricsEncoding:
+    def _export(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c", labels=("kind",)).inc(3, kind="x")
+        registry.gauge("g", "g").set(1.5)
+        h = registry.histogram("h_ms", "h", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="t-abc")
+        return registry.to_dict()
+
+    def test_families_map_to_otlp_kinds(self):
+        payload, points = encode_metrics_export(self._export(), t_ms=5.0)
+        families = {
+            m["name"]: m
+            for m in payload["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        }
+        assert points == 3
+        csum = families["c_total"]["sum"]
+        assert csum["isMonotonic"] is True
+        assert csum["aggregationTemporality"] == 2
+        dp = csum["dataPoints"][0]
+        assert dp["asDouble"] == 3.0
+        assert dp["timeUnixNano"] == str(int(5.0 * 1e6))
+        assert {a["key"] for a in dp["attributes"]} == {"kind"}
+        assert families["g"]["gauge"]["dataPoints"][0]["asDouble"] == 1.5
+        hist = families["h_ms"]["histogram"]["dataPoints"][0]
+        assert hist["count"] == "1"
+        assert hist["explicitBounds"] == [1.0, 10.0]
+
+    def test_histogram_exemplars_carry_trace_ids(self):
+        payload, _ = encode_metrics_export(self._export())
+        families = {
+            m["name"]: m
+            for m in payload["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        }
+        exemplars = families["h_ms"]["histogram"]["dataPoints"][0]["exemplars"]
+        assert exemplars[0]["traceId"] == otlp_trace_id("t-abc")
+        assert exemplars[0]["asDouble"] == 0.5
+
+
+class TestThreeSignalDelivery:
+    def test_all_three_signals_reach_the_stub(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc(2)
+        with OTLPCollectorStub() as stub:
+            exporter = OTLPExporter(stub.endpoint, flush_ms=10_000.0)
+            exporter.metrics_source = registry.to_dict
+            exporter.clock = lambda: 42.0
+            exporter.export(_spans(1))
+            exporter.export_logs(
+                [{"level": "warn", "event": "retry", "t_ms": 1.0,
+                  "trace_id": "t-abc", "seq": 0, "fields": {"attempt": 2}}]
+            )
+            exporter.flush()
+            stats = exporter.stats()
+            assert stats["posts_by_signal"] == {
+                "traces": 1, "metrics": 1, "logs": 1,
+            }
+            assert stats["logs_exported"] == 1
+            assert stats["metric_points_exported"] == 1
+            assert stub.spans() and stub.log_records() and stub.metrics()
+            assert stub.log_records()[0]["traceId"] == otlp_trace_id("t-abc")
+
+    def test_log_buffer_overflow_drops_oldest(self):
+        exporter = OTLPExporter("http://127.0.0.1:1", max_buffer=2)
+        exporter.export_logs([{"seq": i} for i in range(5)])
+        assert exporter.pending_logs() == 2
+        assert exporter.stats()["logs_dropped"] == 3
+
+    def test_unreachable_collector_counts_per_signal(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc()
+        stub = OTLPCollectorStub().start()
+        endpoint = stub.endpoint
+        stub.stop()
+        exporter = OTLPExporter(endpoint, timeout_s=0.5)
+        exporter.metrics_source = registry.to_dict
+        exporter.export_logs([{"seq": 0, "level": "info", "event": "x"}])
+        exporter.flush()  # never raises
+        stats = exporter.stats()
+        assert stats["post_failures_by_signal"]["logs"] == 1
+        assert stats["post_failures_by_signal"]["metrics"] == 1
+        assert stats["logs_dropped"] == 1
+        assert stats["logs_exported"] == 0
+
+
 class TestMetricsMirror:
     def test_sync_metrics_is_delta_based(self):
         registry = MetricsRegistry()
@@ -182,7 +321,25 @@ class TestMetricsMirror:
         exporter.sync_metrics(registry)  # second sync must not double
         export = registry.to_dict()
         assert export["otlp_spans_dropped_total"]["series"][0]["value"] == 2
-        assert export["otlp_post_failures_total"]["series"][0]["value"] == 1
+        failures = export["otlp_post_failures_total"]["series"]
+        assert [(s["labels"], s["value"]) for s in failures] == [
+            ({"signal": "traces"}, 1),
+        ]
         assert "otlp_spans_exported_total" not in export or (
             export["otlp_spans_exported_total"]["series"] == []
         )
+
+    def test_posts_mirror_carries_signal_labels(self):
+        registry = MetricsRegistry()
+        with OTLPCollectorStub() as stub:
+            exporter = OTLPExporter(stub.endpoint, flush_ms=10_000.0)
+            exporter.export(_spans(1))
+            exporter.export_logs([{"seq": 0, "level": "info", "event": "x"}])
+            exporter.flush()
+        exporter.sync_metrics(registry)
+        exporter.sync_metrics(registry)  # delta: no doubling
+        series = registry.to_dict()["otlp_posts_total"]["series"]
+        by_signal = {s["labels"]["signal"]: s["value"] for s in series}
+        assert by_signal == {"traces": 1, "logs": 1}
+        logs = registry.to_dict()["otlp_logs_exported_total"]["series"]
+        assert logs[0]["value"] == 1

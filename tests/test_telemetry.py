@@ -162,10 +162,13 @@ class TestExpositionEscaping:
         c.inc(tag='q"uo\\te\nnl')
         text = reg.expose_text()
         lines = [ln for ln in text.splitlines() if ln]
-        # Escaping must keep every sample and comment on one line.
-        assert len(lines) == 3
-        assert lines[0] == '# HELP weird_total help with \\\\ and\\nnewline'
+        # Escaping must keep every sample and comment on one line
+        # (HELP, TYPE, one sample, the # EOF terminator).
+        assert len(lines) == 4
+        # OpenMetrics: counter metadata names drop the _total suffix.
+        assert lines[0] == '# HELP weird help with \\\\ and\\nnewline'
         assert lines[2] == 'weird_total{tag="q\\"uo\\\\te\\nnl"} 1'
+        assert lines[3] == '# EOF'
 
     def test_escaped_text_round_trips(self):
         """Un-escaping the exposed label value recovers the original —
@@ -408,7 +411,7 @@ class TestCLITelemetryOutputs:
         ])
         assert rc == 0
         text = prom.read_text()
-        assert "# TYPE service_queries_total counter" in text
+        assert "# TYPE service_queries counter" in text
         assert "service_exec_ms_bucket" in text
 
     def test_chaos_run_dumps_flight_timelines(self, tmp_path, capsys):
